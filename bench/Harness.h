@@ -1,0 +1,109 @@
+//===- bench/Harness.h - phase-benchmark harness ---------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the figure-reproduction benchmarks: a thread team
+/// with a synchronized start, warmup + median-of-repetitions measurement
+/// (replicating JMH's protocol in miniature, DESIGN.md §3), and a plain
+/// fixed-width table printer so each binary emits the rows/series of its
+/// paper figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BENCH_HARNESS_H
+#define CQS_BENCH_HARNESS_H
+
+#include "support/Backoff.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cqs {
+namespace bench {
+
+/// Runs \p Body(threadIndex) on \p Threads threads with a synchronized
+/// start; returns the wall-clock seconds from release to last completion.
+inline double runThreadTeam(int Threads,
+                            const std::function<void(int)> &Body) {
+  std::atomic<int> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Ts;
+  Ts.reserve(Threads);
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&, T] {
+      Ready.fetch_add(1);
+      Backoff B;
+      while (!Go.load(std::memory_order_acquire))
+        B.pause();
+      Body(T);
+    });
+  }
+  Backoff B;
+  while (Ready.load() != Threads)
+    B.pause();
+  auto Start = std::chrono::steady_clock::now();
+  Go.store(true, std::memory_order_release);
+  for (auto &T : Ts)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Runs \p Sample() Reps+1 times, discards the warmup run, and returns the
+/// median of the rest.
+inline double medianOfReps(int Reps, const std::function<double()> &Sample) {
+  (void)Sample(); // warmup
+  std::vector<double> Xs;
+  Xs.reserve(Reps);
+  for (int R = 0; R < Reps; ++R)
+    Xs.push_back(Sample());
+  std::sort(Xs.begin(), Xs.end());
+  return Xs[Xs.size() / 2];
+}
+
+/// Fixed-width table output (the "rows/series" of the paper's plots).
+class Table {
+public:
+  explicit Table(std::vector<std::string> Columns)
+      : Columns(std::move(Columns)) {
+    for (const std::string &C : this->Columns)
+      std::printf("%18s", C.c_str());
+    std::printf("\n");
+    for (std::size_t I = 0; I < this->Columns.size(); ++I)
+      std::printf("%18s", "----------");
+    std::printf("\n");
+  }
+
+  /// Starts a row with a label cell.
+  void cell(const std::string &S) { std::printf("%18s", S.c_str()); }
+  /// Adds a numeric cell (microseconds, ratios, ...).
+  void cell(double V) { std::printf("%18.3f", V); }
+  void endRow() {
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+private:
+  std::vector<std::string> Columns;
+};
+
+/// Standard banner so bench outputs are self-describing.
+inline void banner(const char *Figure, const char *What) {
+  std::printf("== %s: %s ==\n", Figure, What);
+  std::printf("   host note: single benchmark process; thread counts above "
+              "the core count are oversubscribed (see EXPERIMENTS.md)\n");
+}
+
+} // namespace bench
+} // namespace cqs
+
+#endif // CQS_BENCH_HARNESS_H

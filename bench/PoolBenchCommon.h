@@ -1,0 +1,126 @@
+//===- bench/PoolBenchCommon.h - shared Fig 8/15 machinery -----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 8/15 workload: M operations split over N threads, each
+/// operation = work (mean 100), take an element from the shared pool, work
+/// with the element (mean 100), put it back. Series: CQS queue-based and
+/// stack-based pools vs fair/unfair ArrayBlockingQueue and the (unfair)
+/// LinkedBlockingQueue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BENCH_POOLBENCHCOMMON_H
+#define CQS_BENCH_POOLBENCHCOMMON_H
+
+#include "Harness.h"
+
+#include "baseline/BlockingQueue.h"
+#include "support/Work.h"
+#include "sync/Pool.h"
+
+#include <string>
+#include <vector>
+
+namespace cqs {
+namespace bench {
+
+constexpr int PoolTotalOps = 20000;
+constexpr std::uint64_t PoolWorkMean = 100;
+constexpr int PoolReps = 3;
+
+template <typename TakeFn, typename PutFn>
+double poolWorkload(int Threads, TakeFn Take, PutFn Put) {
+  const int PerThread = PoolTotalOps / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Before(PoolWorkMean, 31 + T);
+    GeometricWork With(PoolWorkMean, 62 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      Before.run();
+      int *E = Take();
+      With.run();
+      Put(E);
+    }
+  });
+}
+
+inline double cqsQueuePoolRun(int Threads, int Elements,
+                              std::vector<int> &Arena) {
+  QueueBlockingPool<int *> P;
+  for (int I = 0; I < Elements; ++I)
+    P.put(&Arena[I]);
+  return poolWorkload(
+      Threads, [&] { return *P.take().blockingGet(); },
+      [&](int *E) { P.put(E); });
+}
+
+inline double cqsStackPoolRun(int Threads, int Elements,
+                              std::vector<int> &Arena) {
+  StackBlockingPool<int *> P;
+  for (int I = 0; I < Elements; ++I)
+    P.put(&Arena[I]);
+  return poolWorkload(
+      Threads, [&] { return *P.take().blockingGet(); },
+      [&](int *E) { P.put(E); });
+}
+
+inline double fairAbqRun(int Threads, int Elements, std::vector<int> &Arena) {
+  FairArrayBlockingQueue<int *> Q(Elements);
+  for (int I = 0; I < Elements; ++I)
+    Q.put(&Arena[I]);
+  return poolWorkload(
+      Threads, [&] { return Q.take(); }, [&](int *E) { Q.put(E); });
+}
+
+inline double unfairAbqRun(int Threads, int Elements,
+                           std::vector<int> &Arena) {
+  UnfairArrayBlockingQueue<int *> Q(Elements);
+  for (int I = 0; I < Elements; ++I)
+    Q.put(&Arena[I]);
+  return poolWorkload(
+      Threads, [&] { return Q.take(); }, [&](int *E) { Q.put(E); });
+}
+
+inline double lbqRun(int Threads, int Elements, std::vector<int> &Arena) {
+  LinkedBlockingQueueBaseline<int *> Q;
+  for (int I = 0; I < Elements; ++I)
+    Q.put(&Arena[I]);
+  return poolWorkload(
+      Threads, [&] { return Q.take(); }, [&](int *E) { Q.put(E); });
+}
+
+inline void poolSweep(int Elements, const std::vector<int> &ThreadCounts) {
+  std::printf("\n-- %d shared element(s); %d ops total; avg time per "
+              "operation (us) --\n",
+              Elements, PoolTotalOps);
+  std::vector<int> Arena(Elements);
+  Table T({"threads", "CQS queue", "CQS stack", "ABQ fair", "ABQ unfair",
+           "LBQ"});
+  for (int Threads : ThreadCounts) {
+    T.cell(std::to_string(Threads));
+    T.cell(1e6 * medianOfReps(PoolReps, [&] {
+             return cqsQueuePoolRun(Threads, Elements, Arena);
+           }) / PoolTotalOps);
+    T.cell(1e6 * medianOfReps(PoolReps, [&] {
+             return cqsStackPoolRun(Threads, Elements, Arena);
+           }) / PoolTotalOps);
+    T.cell(1e6 * medianOfReps(PoolReps, [&] {
+             return fairAbqRun(Threads, Elements, Arena);
+           }) / PoolTotalOps);
+    T.cell(1e6 * medianOfReps(PoolReps, [&] {
+             return unfairAbqRun(Threads, Elements, Arena);
+           }) / PoolTotalOps);
+    T.cell(1e6 * medianOfReps(PoolReps, [&] {
+             return lbqRun(Threads, Elements, Arena);
+           }) / PoolTotalOps);
+    T.endRow();
+  }
+}
+
+} // namespace bench
+} // namespace cqs
+
+#endif // CQS_BENCH_POOLBENCHCOMMON_H

@@ -1,0 +1,117 @@
+//===- bench/SemaphoreBenchCommon.h - shared Fig 7/14 machinery -*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 7/14 workload: M operations split over N threads, each
+/// operation = prep work (mean 100), acquire a permit, work under the
+/// permit (mean 100), release. With K = 1 permit the semaphore is a mutex
+/// and the classic CLH/MCS locks join the comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BENCH_SEMAPHOREBENCHCOMMON_H
+#define CQS_BENCH_SEMAPHOREBENCHCOMMON_H
+
+#include "Harness.h"
+
+#include "baseline/Aqs.h"
+#include "baseline/ClhLock.h"
+#include "baseline/McsLock.h"
+#include "support/Work.h"
+#include "sync/Semaphore.h"
+
+#include <string>
+#include <vector>
+
+namespace cqs {
+namespace bench {
+
+constexpr int SemTotalOps = 20000;
+constexpr std::uint64_t SemWorkMean = 100;
+constexpr int SemReps = 3;
+
+/// Runs the standard workload against anything exposing blocking
+/// acquire/release lambdas.
+template <typename AcquireFn, typename ReleaseFn>
+double semaphoreWorkload(int Threads, AcquireFn Acquire, ReleaseFn Release) {
+  const int PerThread = SemTotalOps / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Prep(SemWorkMean, 555 + T);
+    GeometricWork Critical(SemWorkMean, 777 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      Prep.run();
+      Acquire();
+      Critical.run();
+      Release();
+    }
+  });
+}
+
+inline double cqsSemRun(int Threads, int Permits, ResumptionMode RMode) {
+  Semaphore S(Permits, RMode);
+  return semaphoreWorkload(
+      Threads, [&] { (void)S.acquire().blockingGet(); }, [&] { S.release(); });
+}
+
+inline double aqsSemRun(int Threads, int Permits, bool Fair) {
+  AqsSemaphore S(Permits, Fair);
+  return semaphoreWorkload(
+      Threads, [&] { S.acquire(); }, [&] { S.release(); });
+}
+
+inline double clhRun(int Threads) {
+  ClhLock L;
+  return semaphoreWorkload(
+      Threads, [&] { L.lock(); }, [&] { L.unlock(); });
+}
+
+inline double mcsRun(int Threads) {
+  McsLock L;
+  return semaphoreWorkload(
+      Threads, [&] { L.lock(); }, [&] { L.unlock(); });
+}
+
+/// One table for a given permit count; the mutex case (K = 1) adds the
+/// CLH/MCS series exactly as Figure 7's left plot does.
+inline void semaphoreSweep(int Permits, const std::vector<int> &ThreadCounts) {
+  std::printf("\n-- %d permit(s)%s; %d ops total; avg time per operation "
+              "(us) --\n",
+              Permits, Permits == 1 ? " (mutex)" : "", SemTotalOps);
+  std::vector<std::string> Cols = {"threads",   "CQS async", "CQS sync",
+                                   "Java fair", "Java unfair"};
+  if (Permits == 1) {
+    Cols.push_back("CLH");
+    Cols.push_back("MCS");
+  }
+  Table T(Cols);
+  for (int Threads : ThreadCounts) {
+    T.cell(std::to_string(Threads));
+    T.cell(1e6 * medianOfReps(SemReps, [&] {
+             return cqsSemRun(Threads, Permits, ResumptionMode::Async);
+           }) / SemTotalOps);
+    T.cell(1e6 * medianOfReps(SemReps, [&] {
+             return cqsSemRun(Threads, Permits, ResumptionMode::Sync);
+           }) / SemTotalOps);
+    T.cell(1e6 * medianOfReps(SemReps, [&] {
+             return aqsSemRun(Threads, Permits, /*Fair=*/true);
+           }) / SemTotalOps);
+    T.cell(1e6 * medianOfReps(SemReps, [&] {
+             return aqsSemRun(Threads, Permits, /*Fair=*/false);
+           }) / SemTotalOps);
+    if (Permits == 1) {
+      T.cell(1e6 * medianOfReps(SemReps, [&] { return clhRun(Threads); }) /
+             SemTotalOps);
+      T.cell(1e6 * medianOfReps(SemReps, [&] { return mcsRun(Threads); }) /
+             SemTotalOps);
+    }
+    T.endRow();
+  }
+}
+
+} // namespace bench
+} // namespace cqs
+
+#endif // CQS_BENCH_SEMAPHOREBENCHCOMMON_H

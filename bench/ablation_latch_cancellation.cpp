@@ -1,0 +1,84 @@
+//===- bench/ablation_latch_cancellation.cpp - latch Section 4.2 ablation -===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Section 4.2's design discussion at the primitive level: N await()s
+/// register on a latch and K of them abort; then the final countDown()
+/// opens the latch.
+///
+///  - Simple cancellation: resumeWaiters() still issues one resume per
+///    *registered* waiter — the opener pays for the aborted ones.
+///  - Smart cancellation: aborted waiters deregister eagerly, so the
+///    opener touches only live waiters (plus O(1) per refused racer).
+///
+/// Reported: microseconds for the opening countDown().
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "reclaim/Ebr.h"
+#include "sync/CountDownLatch.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+double openingCountDownCost(CancellationMode Mode, int LiveWaiters,
+                            int CancelledWaiters) {
+  BasicCountDownLatch<16> L(1, Mode);
+  const int Total = LiveWaiters + CancelledWaiters;
+  std::vector<BasicCountDownLatch<16>::FutureType> Fs;
+  Fs.reserve(Total);
+  for (int I = 0; I < Total; ++I)
+    Fs.push_back(L.await());
+  // Cancel CancelledWaiters of them, spread evenly through the queue
+  // (Bresenham-style), so cancelled cells pepper every segment.
+  long Acc = 0;
+  for (int I = 0; I < Total; ++I) {
+    Acc += CancelledWaiters;
+    if (Acc >= Total) {
+      Acc -= Total;
+      (void)Fs[I].cancel();
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  L.countDown(); // opens the latch, resuming the waiters
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+int main() {
+  banner("Ablation C", "opening countDown() cost with aborted awaits: "
+                       "simple pays per registered waiter, smart per live "
+                       "waiter");
+  Table T({"live/cancelled", "simple us", "smart us"});
+  struct Case {
+    int Live, Cancelled;
+  };
+  for (Case C : {Case{64, 0}, Case{64, 1024}, Case{64, 16384},
+                 Case{1024, 16384}}) {
+    T.cell(std::to_string(C.Live) + "/" + std::to_string(C.Cancelled));
+    T.cell(1e6 * medianOfReps(5, [&] {
+             return openingCountDownCost(CancellationMode::Simple, C.Live,
+                                         C.Cancelled);
+           }));
+    T.cell(1e6 * medianOfReps(5, [&] {
+             return openingCountDownCost(CancellationMode::Smart, C.Live,
+                                         C.Cancelled);
+           }));
+    T.endRow();
+  }
+  ebr::drainForTesting();
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench/ablation_segment_size.cpp - SEGM_SIZE tradeoff ---------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Appendix C makes SEGM_SIZE a constant of the infinite-array emulation;
+/// this ablation measures its tradeoff on two workloads:
+///
+///  - transfer: pure suspend+resume pairs (bigger segments amortize
+///    allocation and pointer moves);
+///  - churn: suspend+cancel storms (smaller segments are reclaimed
+///    sooner, but cost more list maintenance).
+///
+/// Reported: nanoseconds per operation for SEGM_SIZE in {2, 8, 16, 64}.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "core/Cqs.h"
+#include "reclaim/Ebr.h"
+
+#include <chrono>
+#include <string>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+constexpr int Ops = 200000;
+
+template <unsigned SegSize> double transferRun() {
+  Cqs<int, ValueTraits<int>, SegSize> Q;
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < Ops; ++I) {
+    auto F = Q.suspend();
+    (void)Q.resume(I);
+    (void)F;
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+template <unsigned SegSize> double churnRun() {
+  struct Handler
+      : Cqs<int, ValueTraits<int>, SegSize>::SmartCancellationHandler {
+    bool onCancellation() override { return true; }
+    void completeRefusedResume(int) override {}
+  } H;
+  Cqs<int, ValueTraits<int>, SegSize> Q(CancellationMode::Smart,
+                                        ResumptionMode::Async, &H);
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < Ops; ++I) {
+    auto F = Q.suspend();
+    (void)F.cancel();
+  }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+template <unsigned SegSize> void row(Table &T) {
+  T.cell(std::to_string(SegSize));
+  T.cell(1e9 * medianOfReps(3, [] { return transferRun<SegSize>(); }) / Ops);
+  T.cell(1e9 * medianOfReps(3, [] { return churnRun<SegSize>(); }) / Ops);
+  T.endRow();
+}
+
+} // namespace
+
+int main() {
+  banner("Ablation B", "segment size: ns per op on transfer and "
+                       "cancellation-churn workloads");
+  Table T({"SEGM_SIZE", "transfer ns", "churn ns"});
+  row<2>(T);
+  row<8>(T);
+  row<16>(T);
+  row<64>(T);
+  ebr::drainForTesting();
+  return 0;
+}

@@ -1,0 +1,98 @@
+//===- bench/ext_channel.cpp - extension: channel throughput --------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Extension experiment (the paper's §7 "synchronous queues" direction):
+/// producer/consumer throughput of the CQS-composed BufferedChannel against
+/// the classic comparators used for pools — the fair/unfair
+/// ArrayBlockingQueue (same bounded-FIFO contract) — across capacities,
+/// including capacity 0 (rendezvous), which the array queues cannot
+/// express (they are benchmarked at capacity 1 there, their minimum).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "baseline/BlockingQueue.h"
+#include "reclaim/Ebr.h"
+#include "support/Work.h"
+#include "sync/Channel.h"
+
+#include <string>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+constexpr int TotalItems = 20000;
+constexpr std::uint64_t WorkMean = 50;
+constexpr int Reps = 3;
+
+/// Pairs of producer/consumer threads move TotalItems through the channel.
+template <typename SendFn, typename RecvFn>
+double channelWorkload(int Pairs, SendFn Send, RecvFn Recv) {
+  const int PerThread = TotalItems / Pairs;
+  return runThreadTeam(2 * Pairs, [&](int T) {
+    GeometricWork Work(WorkMean, 71 + T);
+    if (T % 2 == 0) { // producer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        Send(I);
+      }
+    } else { // consumer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        Recv();
+      }
+    }
+  });
+}
+
+double cqsChannelRun(int Pairs, int Capacity) {
+  BufferedChannel<int> Ch(Capacity);
+  return channelWorkload(
+      Pairs, [&](int V) { (void)Ch.send(V).blockingGet(); },
+      [&] { (void)Ch.receive().blockingGet(); });
+}
+
+double fairAbqRun(int Pairs, int Capacity) {
+  FairArrayBlockingQueue<int> Q(std::max(Capacity, 1));
+  return channelWorkload(
+      Pairs, [&](int V) { Q.put(V); }, [&] { (void)Q.take(); });
+}
+
+double unfairAbqRun(int Pairs, int Capacity) {
+  UnfairArrayBlockingQueue<int> Q(std::max(Capacity, 1));
+  return channelWorkload(
+      Pairs, [&](int V) { Q.put(V); }, [&] { (void)Q.take(); });
+}
+
+} // namespace
+
+int main() {
+  banner("Extension: channel", "bounded-channel throughput: avg time per "
+                               "transferred item, lower is better");
+  for (int Capacity : {0, 1, 4, 16}) {
+    std::printf("\n-- capacity %d%s --\n", Capacity,
+                Capacity == 0 ? " (rendezvous; ABQs clamped to 1)" : "");
+    Table T({"prod/cons pairs", "CQS channel", "ABQ fair", "ABQ unfair"});
+    for (int Pairs : {1, 2, 4, 8}) {
+      T.cell(std::to_string(Pairs));
+      T.cell(1e6 *
+             medianOfReps(Reps, [&] { return cqsChannelRun(Pairs, Capacity); }) /
+             TotalItems);
+      T.cell(1e6 *
+             medianOfReps(Reps, [&] { return fairAbqRun(Pairs, Capacity); }) /
+             TotalItems);
+      T.cell(1e6 *
+             medianOfReps(Reps, [&] { return unfairAbqRun(Pairs, Capacity); }) /
+             TotalItems);
+      T.endRow();
+    }
+  }
+  ebr::drainForTesting();
+  return 0;
+}

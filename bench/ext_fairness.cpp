@@ -1,0 +1,148 @@
+//===- bench/ext_fairness.cpp - extension: measuring fairness itself ------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's evaluation measures throughput; fairness — the property the
+/// whole design pays for — is asserted by construction. This extension
+/// quantifies it: N threads hammer one mutex for a fixed wall-clock
+/// window, and we report
+///
+///   - Jain's fairness index of per-thread acquisition counts
+///     ((sum x)^2 / (n * sum x^2); 1.0 = perfectly fair, 1/n = one thread
+///     monopolized the lock);
+///   - the longest monopolization burst (consecutive acquisitions by one
+///     thread while others were demonstrably waiting).
+///
+/// Series: the fair CQS mutex, the fair AQS lock, the unfair (barging)
+/// AQS lock, and the CLH spin lock. The expected shape: fair designs sit
+/// near index 1.0 with short bursts; the barging lock shows long bursts —
+/// the throughput it wins in Figure 7 is bought with exactly this.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "baseline/Aqs.h"
+#include "baseline/ClhLock.h"
+#include "reclaim/Ebr.h"
+#include "sync/Mutex.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+constexpr int Threads = 8;
+constexpr auto Window = std::chrono::milliseconds(300);
+
+struct FairnessResult {
+  double JainIndex;
+  long LongestBurst;
+  long TotalAcquisitions;
+};
+
+template <typename LockFn, typename UnlockFn>
+FairnessResult measure(LockFn Lock, UnlockFn Unlock) {
+  std::vector<long> Counts(Threads, 0);
+  std::atomic<int> LastOwner{-1};
+  std::atomic<long> Burst{0}, LongestBurst{0};
+  std::atomic<int> Waiters{0};
+  std::atomic<bool> Stop{false};
+
+  double Seconds = runThreadTeam(Threads, [&](int T) {
+    if (T == 0) {
+      std::this_thread::sleep_for(Window);
+      Stop.store(true);
+      return;
+    }
+    int Me = T; // thread 0 is the timer
+    while (!Stop.load(std::memory_order_acquire)) {
+      Waiters.fetch_add(1);
+      Lock();
+      Waiters.fetch_sub(1);
+      ++Counts[Me];
+      // Burst accounting: consecutive acquisitions by one thread while
+      // at least one other thread was waiting.
+      if (LastOwner.load(std::memory_order_relaxed) == Me &&
+          Waiters.load(std::memory_order_relaxed) > 0) {
+        long B = Burst.fetch_add(1) + 1;
+        long L = LongestBurst.load(std::memory_order_relaxed);
+        while (B > L && !LongestBurst.compare_exchange_weak(L, B)) {
+        }
+      } else {
+        LastOwner.store(Me, std::memory_order_relaxed);
+        Burst.store(1, std::memory_order_relaxed);
+      }
+      Unlock();
+    }
+  });
+  (void)Seconds;
+
+  double Sum = 0, SumSq = 0;
+  long Total = 0;
+  int Workers = 0;
+  for (int T = 1; T < Threads; ++T) {
+    Sum += static_cast<double>(Counts[T]);
+    SumSq += static_cast<double>(Counts[T]) * static_cast<double>(Counts[T]);
+    Total += Counts[T];
+    ++Workers;
+  }
+  double Jain = SumSq > 0 ? (Sum * Sum) / (Workers * SumSq) : 0;
+  return {Jain, LongestBurst.load(), Total};
+}
+
+} // namespace
+
+int main() {
+  banner("Extension: fairness", "Jain index of per-thread acquisitions "
+                                "(1.0 = fair) and longest monopolization "
+                                "burst while others waited");
+  Table T({"lock", "Jain index", "longest burst", "total acqs"});
+
+  {
+    Mutex M;
+    auto R = measure([&] { (void)M.lock().blockingGet(); },
+                     [&] { M.unlock(); });
+    T.cell("CQS fair");
+    T.cell(R.JainIndex);
+    T.cell(static_cast<double>(R.LongestBurst));
+    T.cell(static_cast<double>(R.TotalAcquisitions));
+    T.endRow();
+  }
+  {
+    AqsLock L(/*Fair=*/true);
+    auto R = measure([&] { L.lock(); }, [&] { L.unlock(); });
+    T.cell("AQS fair");
+    T.cell(R.JainIndex);
+    T.cell(static_cast<double>(R.LongestBurst));
+    T.cell(static_cast<double>(R.TotalAcquisitions));
+    T.endRow();
+  }
+  {
+    AqsLock L(/*Fair=*/false);
+    auto R = measure([&] { L.lock(); }, [&] { L.unlock(); });
+    T.cell("AQS unfair");
+    T.cell(R.JainIndex);
+    T.cell(static_cast<double>(R.LongestBurst));
+    T.cell(static_cast<double>(R.TotalAcquisitions));
+    T.endRow();
+  }
+  {
+    ClhLock L;
+    auto R = measure([&] { L.lock(); }, [&] { L.unlock(); });
+    T.cell("CLH");
+    T.cell(R.JainIndex);
+    T.cell(static_cast<double>(R.LongestBurst));
+    T.cell(static_cast<double>(R.TotalAcquisitions));
+    T.endRow();
+  }
+  ebr::drainForTesting();
+  return 0;
+}

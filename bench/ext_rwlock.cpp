@@ -1,0 +1,116 @@
+//===- bench/ext_rwlock.cpp - extension: readers-writer lock --------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Extension experiment (the paper's §7 future-work list): the fair
+/// abortable CQS readers-writer lock against std::shared_mutex (the
+/// platform's unfair native RW lock) and a plain CQS mutex (the cost of
+/// ignoring read-parallelism) across read/write mixes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+#include "support/Work.h"
+#include "sync/Mutex.h"
+#include "sync/RwMutex.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+constexpr int TotalOps = 20000;
+constexpr std::uint64_t WorkMean = 100;
+constexpr int Reps = 3;
+
+template <typename ReadFn, typename WriteFn>
+double rwWorkload(int Threads, int WritePercent, ReadFn Read, WriteFn Write) {
+  const int PerThread = TotalOps / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    SplitMix64 Rng(41 + T);
+    GeometricWork Work(WorkMean, 97 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      if (Rng.chance(WritePercent, 100))
+        Write(Work);
+      else
+        Read(Work);
+    }
+  });
+}
+
+double cqsRwRun(int Threads, int WritePercent) {
+  RwMutex Rw;
+  return rwWorkload(
+      Threads, WritePercent,
+      [&](GeometricWork &W) {
+        (void)Rw.readLock().blockingGet();
+        W.run();
+        Rw.readUnlock();
+      },
+      [&](GeometricWork &W) {
+        (void)Rw.writeLock().blockingGet();
+        W.run();
+        Rw.writeUnlock();
+      });
+}
+
+double sharedMutexRun(int Threads, int WritePercent) {
+  std::shared_mutex M;
+  return rwWorkload(
+      Threads, WritePercent,
+      [&](GeometricWork &W) {
+        std::shared_lock<std::shared_mutex> L(M);
+        W.run();
+      },
+      [&](GeometricWork &W) {
+        std::unique_lock<std::shared_mutex> L(M);
+        W.run();
+      });
+}
+
+double plainMutexRun(int Threads, int WritePercent) {
+  Mutex M;
+  auto Locked = [&](GeometricWork &W) {
+    (void)M.lock().blockingGet();
+    W.run();
+    M.unlock();
+  };
+  return rwWorkload(Threads, WritePercent, Locked, Locked);
+}
+
+} // namespace
+
+int main() {
+  banner("Extension: RW lock", "read/write mixes: avg time per operation, "
+                               "lower is better");
+  for (int WritePercent : {0, 5, 50}) {
+    std::printf("\n-- %d%% writes --\n", WritePercent);
+    Table T({"threads", "CQS RwMutex", "std::shared_mutex", "CQS Mutex"});
+    for (int Threads : {1, 2, 4, 8}) {
+      T.cell(std::to_string(Threads));
+      T.cell(1e6 *
+             medianOfReps(Reps,
+                          [&] { return cqsRwRun(Threads, WritePercent); }) /
+             TotalOps);
+      T.cell(1e6 * medianOfReps(Reps, [&] {
+               return sharedMutexRun(Threads, WritePercent);
+             }) / TotalOps);
+      T.cell(1e6 *
+             medianOfReps(Reps,
+                          [&] { return plainMutexRun(Threads, WritePercent); }) /
+             TotalOps);
+      T.endRow();
+    }
+  }
+  ebr::drainForTesting();
+  return 0;
+}

@@ -1,0 +1,28 @@
+//===- bench/fig14_semaphore_ext.cpp - Figure 14: wide permit sweep -------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 14 (Appendix F.1): the Figure 7 workload over a wider variety of
+/// permit counts. The paper's observations to reproduce: the CQS sync and
+/// async implementations coincide; CQS beats the fair Java semaphore
+/// everywhere and approaches the unfair one as permits grow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "SemaphoreBenchCommon.h"
+
+#include "reclaim/Ebr.h"
+
+using namespace cqs;
+using namespace cqs::bench;
+
+int main() {
+  banner("Figure 14", "semaphore: wide permit sweep, lower is better");
+  const std::vector<int> Threads = {1, 2, 4, 8, 16};
+  for (int Permits : {1, 2, 4, 8, 16, 32})
+    semaphoreSweep(Permits, Threads);
+  ebr::drainForTesting();
+  return 0;
+}

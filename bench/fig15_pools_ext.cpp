@@ -1,0 +1,28 @@
+//===- bench/fig15_pools_ext.cpp - Figure 15: wide element sweep ----------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 15 (Appendix F.2): the Figure 8 pool workload over a wider
+/// variety of shared-element counts. Paper-shape expectations: both CQS
+/// pools beat the fair ArrayBlockingQueue by a wide margin everywhere, and
+/// beat the unfair baselines once at least ~8 elements are shared.
+///
+//===----------------------------------------------------------------------===//
+
+#include "PoolBenchCommon.h"
+
+#include "reclaim/Ebr.h"
+
+using namespace cqs;
+using namespace cqs::bench;
+
+int main() {
+  banner("Figure 15", "blocking pools: wide element sweep, lower is better");
+  const std::vector<int> Threads = {1, 2, 4, 8, 16};
+  for (int Elements : {1, 2, 4, 8, 16, 32})
+    poolSweep(Elements, Threads);
+  ebr::drainForTesting();
+  return 0;
+}

@@ -1,0 +1,120 @@
+//===- bench/fig5_barrier.cpp - Figure 5: barrier comparison --------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 5 of the paper: N threads repeatedly synchronize at a barrier,
+/// each arrival preceded by geometrically distributed uncontended work
+/// (mean 100 and 1000 iterations). Reported: average time per
+/// synchronization phase (microseconds), lower is better. Series:
+///   - CQS        — the Listing 6 barrier (one single-use barrier per
+///                  phase, pre-allocated outside the timed region);
+///   - Java       — CyclicBarrier equivalent (mutex + condvar);
+///   - Counter    — spinning counter baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "baseline/CyclicBarrier.h"
+#include "baseline/SpinBarrier.h"
+#include "reclaim/Ebr.h"
+#include "support/Work.h"
+#include "sync/Barrier.h"
+#include "sync/CyclicBarrierCqs.h"
+
+#include <memory>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+constexpr int Phases = 200;
+constexpr int Reps = 3;
+
+double cqsBarrierPhases(int Threads, std::uint64_t WorkMean) {
+  // The CQS barrier is single-use (Listing 6); pre-create one per phase.
+  std::vector<std::unique_ptr<Barrier>> Bs;
+  Bs.reserve(Phases);
+  for (int P = 0; P < Phases; ++P)
+    Bs.push_back(std::make_unique<Barrier>(Threads));
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 1234 + T);
+    for (int P = 0; P < Phases; ++P) {
+      Work.run();
+      auto F = Bs[P]->arrive();
+      (void)F.blockingGet();
+    }
+  });
+}
+
+double cqsCyclicBarrierPhases(int Threads, std::uint64_t WorkMean) {
+  CyclicCqsBarrier B(Threads);
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 1234 + T);
+    for (int P = 0; P < Phases; ++P) {
+      Work.run();
+      B.arriveAndWait();
+    }
+  });
+}
+
+double javaBarrierPhases(int Threads, std::uint64_t WorkMean) {
+  CyclicBarrierBaseline B(Threads);
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 1234 + T);
+    for (int P = 0; P < Phases; ++P) {
+      Work.run();
+      B.arriveAndWait();
+    }
+  });
+}
+
+double counterBarrierPhases(int Threads, std::uint64_t WorkMean) {
+  SpinBarrier B(Threads);
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 1234 + T);
+    for (int P = 0; P < Phases; ++P) {
+      Work.run();
+      B.arriveAndWait();
+    }
+  });
+}
+
+void runSweep(std::uint64_t WorkMean) {
+  std::printf("\n-- work mean = %llu uncontended loop iterations --\n",
+              static_cast<unsigned long long>(WorkMean));
+  Table T({"threads", "CQS us", "CQS cyclic us", "Java us", "Counter us"});
+  for (int Threads : {1, 2, 4, 8, 16}) {
+    T.cell(std::to_string(Threads));
+    T.cell(1e6 *
+           medianOfReps(Reps,
+                        [&] { return cqsBarrierPhases(Threads, WorkMean); }) /
+           Phases);
+    T.cell(1e6 * medianOfReps(Reps, [&] {
+             return cqsCyclicBarrierPhases(Threads, WorkMean);
+           }) / Phases);
+    T.cell(1e6 *
+           medianOfReps(Reps,
+                        [&] { return javaBarrierPhases(Threads, WorkMean); }) /
+           Phases);
+    T.cell(1e6 * medianOfReps(Reps, [&] {
+             return counterBarrierPhases(Threads, WorkMean);
+           }) / Phases);
+    T.endRow();
+  }
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 5", "barrier: avg time per synchronization phase, lower "
+                     "is better");
+  runSweep(100);
+  runSweep(1000);
+  ebr::drainForTesting();
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- bench/fig6_latch.cpp - Figure 6: count-down-latch comparison -------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 6 of the paper: a fixed number of countDown() invocations is
+/// distributed among N threads, each followed by uncontended work (mean 50
+/// and 200 iterations); a set of waiters awaits the latch. The "Baseline"
+/// series performs only the work, measuring the latch-free floor. Reported:
+/// total time for the workload (microseconds), lower is better.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "baseline/Aqs.h"
+#include "reclaim/Ebr.h"
+#include "support/Work.h"
+#include "sync/CountDownLatch.h"
+
+#include <string>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+constexpr int TotalCountDowns = 8000;
+constexpr int Reps = 3;
+
+double cqsLatchRun(int Threads, std::uint64_t WorkMean) {
+  CountDownLatch L(TotalCountDowns);
+  const int PerThread = TotalCountDowns / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 99 + T);
+    // One waiter per thread joins at the end, as in the paper's workload
+    // where awaiters observe the full set of operations completing.
+    for (int I = 0; I < PerThread; ++I) {
+      L.countDown();
+      Work.run();
+    }
+    auto F = L.await();
+    (void)F.blockingGet();
+  });
+}
+
+double aqsLatchRun(int Threads, std::uint64_t WorkMean) {
+  AqsCountDownLatch L(TotalCountDowns);
+  const int PerThread = TotalCountDowns / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 99 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      L.countDown();
+      Work.run();
+    }
+    L.await();
+  });
+}
+
+double noLatchRun(int Threads, std::uint64_t WorkMean) {
+  const int PerThread = TotalCountDowns / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 99 + T);
+    for (int I = 0; I < PerThread; ++I)
+      Work.run();
+  });
+}
+
+void runSweep(std::uint64_t WorkMean) {
+  std::printf("\n-- work mean = %llu uncontended loop iterations, %d "
+              "countDown()s total --\n",
+              static_cast<unsigned long long>(WorkMean), TotalCountDowns);
+  Table T({"threads", "CQS us", "Java us", "Baseline us"});
+  for (int Threads : {1, 2, 4, 8, 16}) {
+    T.cell(std::to_string(Threads));
+    T.cell(1e6 *
+           medianOfReps(Reps, [&] { return cqsLatchRun(Threads, WorkMean); }));
+    T.cell(1e6 *
+           medianOfReps(Reps, [&] { return aqsLatchRun(Threads, WorkMean); }));
+    T.cell(1e6 *
+           medianOfReps(Reps, [&] { return noLatchRun(Threads, WorkMean); }));
+    T.endRow();
+  }
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 6", "count-down-latch: total workload time, lower is "
+                     "better (Baseline = work only, no latch)");
+  runSweep(50);
+  runSweep(200);
+  ebr::drainForTesting();
+  return 0;
+}

@@ -1,0 +1,29 @@
+//===- bench/fig8_pools.cpp - Figure 8: blocking pools --------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 8 of the paper: the queue- and stack-based CQS pools against the
+/// fair/unfair ArrayBlockingQueue and the LinkedBlockingQueue. Lower is
+/// better.
+///
+//===----------------------------------------------------------------------===//
+
+#include "PoolBenchCommon.h"
+
+#include "reclaim/Ebr.h"
+
+using namespace cqs;
+using namespace cqs::bench;
+
+int main() {
+  banner("Figure 8", "blocking pools: avg time per take-work-put operation, "
+                     "lower is better");
+  const std::vector<int> Threads = {1, 2, 4, 8, 16};
+  poolSweep(1, Threads);
+  poolSweep(4, Threads);
+  poolSweep(16, Threads);
+  ebr::drainForTesting();
+  return 0;
+}

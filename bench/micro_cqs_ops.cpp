@@ -1,0 +1,161 @@
+//===- bench/micro_cqs_ops.cpp - google-benchmark CQS micro-ops -----------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Per-operation costs of the CQS core under google-benchmark: the
+/// suspend-then-resume pair, the resume-before-suspend elimination path,
+/// the broken-cell path of the synchronous mode, and the cancellation
+/// handler, single-threaded and contended.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Aqs.h"
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "reclaim/Ebr.h"
+#include "sync/Mutex.h"
+#include "sync/Semaphore.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cqs;
+
+namespace {
+
+using IntCqs = Cqs<int>;
+
+void BM_SuspendThenResume(benchmark::State &State) {
+  IntCqs Q;
+  for (auto _ : State) {
+    auto F = Q.suspend();
+    benchmark::DoNotOptimize(Q.resume(1));
+    benchmark::DoNotOptimize(F.tryGet());
+  }
+}
+BENCHMARK(BM_SuspendThenResume);
+
+void BM_ResumeThenSuspendElimination(benchmark::State &State) {
+  IntCqs Q;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Q.resume(1));
+    auto F = Q.suspend();
+    benchmark::DoNotOptimize(F.isImmediate());
+  }
+}
+BENCHMARK(BM_ResumeThenSuspendElimination);
+
+void BM_SuspendCancelSmart(benchmark::State &State) {
+  struct Handler : IntCqs::SmartCancellationHandler {
+    bool onCancellation() override { return true; }
+    void completeRefusedResume(int) override {}
+  } H;
+  IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+  for (auto _ : State) {
+    auto F = Q.suspend();
+    benchmark::DoNotOptimize(F.cancel());
+  }
+}
+BENCHMARK(BM_SuspendCancelSmart);
+
+void BM_SyncBrokenCell(benchmark::State &State) {
+  IntCqs Q(CancellationMode::Simple, ResumptionMode::Sync);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Q.resume(1)); // times out, breaks the cell
+    auto F = Q.suspend();                  // meets the broken cell
+    benchmark::DoNotOptimize(F.valid());
+  }
+}
+BENCHMARK(BM_SyncBrokenCell);
+
+void BM_MutexUncontended(benchmark::State &State) {
+  Mutex M;
+  for (auto _ : State) {
+    auto F = M.lock();
+    benchmark::DoNotOptimize(F.isImmediate());
+    M.unlock();
+  }
+}
+BENCHMARK(BM_MutexUncontended);
+
+void BM_SemaphoreContended(benchmark::State &State) {
+  static Semaphore S(1);
+  for (auto _ : State) {
+    auto F = S.acquire();
+    (void)F.blockingGet();
+    S.release();
+  }
+}
+BENCHMARK(BM_SemaphoreContended)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_EbrGuardPinUnpin(benchmark::State &State) {
+  for (auto _ : State) {
+    ebr::Guard G;
+    benchmark::DoNotOptimize(&G);
+  }
+}
+BENCHMARK(BM_EbrGuardPinUnpin);
+
+void BM_EbrRetireAmortized(benchmark::State &State) {
+  for (auto _ : State) {
+    ebr::Guard G;
+    ebr::retireObject(new int(1));
+  }
+  ebr::drainForTesting();
+}
+BENCHMARK(BM_EbrRetireAmortized);
+
+void BM_RequestCreateCompleteGet(benchmark::State &State) {
+  for (auto _ : State) {
+    auto *R = new Request<int>(/*InitialRefs=*/1);
+    benchmark::DoNotOptimize(R->complete(7));
+    benchmark::DoNotOptimize(R->tryGet());
+    R->release();
+  }
+}
+BENCHMARK(BM_RequestCreateCompleteGet);
+
+void BM_RequestCancelWithHandler(benchmark::State &State) {
+  for (auto _ : State) {
+    auto *R = new Request<int>(/*InitialRefs=*/1);
+    R->bindCancellation([](void *, void *, std::uint32_t) {}, nullptr,
+                        nullptr, 0);
+    benchmark::DoNotOptimize(R->cancel());
+    R->release();
+  }
+}
+BENCHMARK(BM_RequestCancelWithHandler);
+
+// FAA-based CQS mutex vs CAS-based AQS lock, uncontended fast path — the
+// structural difference Section 7 credits for the scalability gap.
+void BM_AqsLockUncontended(benchmark::State &State) {
+  AqsLock L(/*Fair=*/false);
+  for (auto _ : State) {
+    L.lock();
+    L.unlock();
+  }
+}
+BENCHMARK(BM_AqsLockUncontended);
+
+void BM_AqsLockContended(benchmark::State &State) {
+  static AqsLock L(/*Fair=*/false);
+  for (auto _ : State) {
+    L.lock();
+    L.unlock();
+  }
+}
+BENCHMARK(BM_AqsLockContended)->Threads(2)->Threads(4);
+
+void BM_CqsMutexContended(benchmark::State &State) {
+  static Mutex M;
+  for (auto _ : State) {
+    (void)M.lock().blockingGet();
+    M.unlock();
+  }
+}
+BENCHMARK(BM_CqsMutexContended)->Threads(2)->Threads(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+//===- examples/rate_limiter.cpp - bounded-parallelism job runner ---------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A job runner that (a) bounds concurrent jobs with a fair semaphore so
+/// bursts cannot starve early arrivals, (b) supports *graceful shutdown*:
+/// on stop, every queued-but-not-started job is cancelled in O(1) amortized
+/// per job (smart cancellation), while running jobs finish, and (c) uses a
+/// fair readers-writer lock for a shared configuration that jobs read and
+/// an admin thread occasionally rewrites.
+///
+/// Build & run:  ./build/examples/rate_limiter
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/RwMutex.h"
+#include "sync/Semaphore.h"
+#include "support/Work.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+struct Config {
+  int WorkMean = 150;
+  int Version = 0;
+};
+
+class RateLimitedRunner {
+public:
+  RateLimitedRunner(int MaxParallel) : Slots(MaxParallel) {}
+
+  /// Submits a job; returns false if the runner refused it at shutdown.
+  bool runJob(int Seed) {
+    if (Stopped.load(std::memory_order_acquire))
+      return false; // refuse new submissions outright
+    auto Permit = Slots.acquire();
+    if (!Permit.isImmediate()) {
+      // Remember the pending admission so shutdown can abort it.
+      {
+        std::lock_guard<std::mutex> G(PendingMutex);
+        if (ShuttingDown) {
+          // Too late to queue: withdraw immediately.
+          if (Permit.cancel())
+            return false;
+        } else {
+          Pending.push_back(Permit);
+        }
+      }
+      auto Granted = Permit.blockingGet();
+      if (!Granted.has_value())
+        return false; // shutdown cancelled our admission
+    }
+
+    // Admitted: read the shared config under the read lock and "work".
+    (void)Cfg.readLock().blockingGet();
+    int Mean = Shared.WorkMean;
+    Cfg.readUnlock();
+    GeometricWork Work(Mean, Seed);
+    Work.run();
+
+    Executed.fetch_add(1);
+    Slots.release();
+    return true;
+  }
+
+  /// Admin path: rewrite the configuration under the write lock.
+  void reconfigure(int NewMean) {
+    (void)Cfg.writeLock().blockingGet();
+    Shared.WorkMean = NewMean;
+    ++Shared.Version;
+    Cfg.writeUnlock();
+  }
+
+  /// Cancels every queued admission; running jobs drain naturally.
+  long shutdown() {
+    Stopped.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> G(PendingMutex);
+    ShuttingDown = true;
+    long Aborted = 0;
+    for (auto &F : Pending)
+      Aborted += F.cancel() ? 1 : 0;
+    Pending.clear();
+    return Aborted;
+  }
+
+  long executed() const { return Executed.load(); }
+  int configVersion() const { return Shared.Version; }
+
+private:
+  Semaphore Slots;
+  RwMutex Cfg;
+  Config Shared;
+  std::mutex PendingMutex; // protects the bookkeeping list only
+  std::vector<Semaphore::FutureType> Pending;
+  bool ShuttingDown = false; // guarded by PendingMutex
+  std::atomic<bool> Stopped{false};
+  std::atomic<long> Executed{0};
+};
+
+} // namespace
+
+int main() {
+  RateLimitedRunner Runner(/*MaxParallel=*/2);
+
+  std::atomic<long> Refused{0};
+  std::vector<std::thread> Producers;
+  for (int P = 0; P < 6; ++P) {
+    Producers.emplace_back([&, P] {
+      for (int J = 0; J < 40000; ++J)
+        if (!Runner.runJob(P * 10000 + J))
+          Refused.fetch_add(1);
+    });
+  }
+  std::thread Admin([&] {
+    for (int I = 0; I < 20; ++I) {
+      Runner.reconfigure(100 + 10 * I);
+      std::this_thread::yield();
+    }
+  });
+
+  // Let the system run, then stop it while producers are still submitting.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  long Aborted = Runner.shutdown();
+
+  for (auto &T : Producers)
+    T.join();
+  Admin.join();
+
+  std::printf("jobs executed:   %ld\n", Runner.executed());
+  std::printf("jobs refused:    %ld (including %ld aborted at shutdown)\n",
+              Refused.load(), Aborted);
+  std::printf("config rewrites: %d\n", Runner.configVersion());
+  return 0;
+}

@@ -1,0 +1,143 @@
+//===- examples/request_reply.cpp - rendezvous request/reply server -------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A request/reply server built from two channels:
+///   - requests flow through a small *buffered* channel (bounded queueing
+///     with backpressure: producers slow down instead of overrunning);
+///   - each request carries its own *rendezvous* reply channel, so the
+///     response is handed directly from worker to client.
+///
+/// Clients that lose patience abort their receive() — the CQS makes the
+/// abandoned wait O(1) and the late reply is conserved inside the reply
+/// channel (we drain and count them at the end).
+///
+/// Build & run:  ./build/examples/request_reply
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/Channel.h"
+#include "support/Rng.h"
+#include "support/Work.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+struct RpcRequest {
+  int Payload;
+  RendezvousChannel<int> *ReplyTo;
+};
+
+} // namespace
+
+int main() {
+  constexpr int Clients = 6;
+  constexpr int Workers = 2;
+  constexpr int RequestsPerClient = 3000;
+
+  BufferedChannel<RpcRequest *> Requests(/*Capacity=*/8);
+  std::atomic<bool> Shutdown{false};
+  std::atomic<long> Served{0}, Answered{0}, Impatient{0}, LateReplies{0};
+  std::atomic<long> Stale{0};
+
+  std::vector<std::thread> WorkerThreads;
+  for (int W = 0; W < Workers; ++W) {
+    WorkerThreads.emplace_back([&, W] {
+      GeometricWork Compute(150, 5 + W);
+      for (;;) {
+        auto R = Requests.receive();
+        // Poll for shutdown while idle (a real server would select()).
+        while (R.waitFor(std::chrono::milliseconds(1)) ==
+               FutureStatus::Pending) {
+          if (Shutdown.load()) {
+            if (R.cancel())
+              return;
+            break; // a request arrived as we were leaving: serve it
+          }
+        }
+        RpcRequest *Req = *R.blockingGet();
+        Compute.run();
+        Served.fetch_add(1);
+        // Rendezvous reply: completes only when the client takes it, or
+        // parks in the channel if the client gave up (send suspends; we
+        // abandon the ack — the reply value itself is conserved).
+        auto S = Req->ReplyTo->send(Req->Payload * 2);
+        if (!S.isImmediate())
+          (void)S.cancel();
+        delete Req; // the worker owns the request after receiving it
+      }
+    });
+  }
+
+  std::vector<std::thread> ClientThreads;
+  for (int C = 0; C < Clients; ++C) {
+    ClientThreads.emplace_back([&, C] {
+      RendezvousChannel<int> ReplyTo;
+      SplitMix64 Rng(100 + C);
+      int Outstanding = 0; // aborted waits whose replies are still due
+      for (int I = 0; I < RequestsPerClient; ++I) {
+        int Payload = C * 100000 + I;
+        // Heap-allocated: the worker owns and frees it after replying,
+        // which may happen after this client has long moved on.
+        auto *Req = new RpcRequest{Payload, &ReplyTo};
+        (void)Requests.send(Req).blockingGet(); // bounded: may backpressure
+        auto Reply = ReplyTo.receive();
+        // Impatient clients: short deadline, then abort the wait.
+        auto Deadline = std::chrono::microseconds(Rng.chance(1, 4) ? 30 : 5000);
+        if (Reply.waitFor(Deadline) == FutureStatus::Pending &&
+            Reply.cancel()) {
+          Impatient.fetch_add(1);
+          ++Outstanding;
+          continue;
+        }
+        auto V = Reply.blockingGet();
+        if (V.has_value()) {
+          Answered.fetch_add(1);
+          // After an earlier abort this client's replies arrive shifted
+          // by one — the fate of unmatched RPC over a FIFO channel. A
+          // real protocol would carry correlation ids; the example just
+          // counts the stale deliveries.
+          if (*V != Payload * 2)
+            Stale.fetch_add(1);
+        }
+      }
+      // Every request is eventually served while the workers run (they
+      // stop only after all clients join), so exactly `Outstanding` late
+      // replies are still due — drain them before the reply channel goes
+      // out of scope. This is the conservation property: abandoned waits
+      // never lose the value.
+      for (int K = 0; K < Outstanding; ++K)
+        if (ReplyTo.receive().blockingGet().has_value())
+          LateReplies.fetch_add(1);
+    });
+  }
+
+  for (auto &T : ClientThreads)
+    T.join();
+  Shutdown.store(true);
+  for (auto &T : WorkerThreads)
+    T.join();
+  // Workers may have left unserved requests behind at shutdown; free them.
+  while (auto Leftover = Requests.tryReceive())
+    delete *Leftover;
+
+  std::printf("requests served:   %ld\n", Served.load());
+  std::printf("replies received:  %ld (%ld stale after timeouts)\n",
+              Answered.load(), Stale.load());
+  std::printf("client timeouts:   %ld (late replies drained: %ld)\n",
+              Impatient.load(), LateReplies.load());
+  long Accounted = Answered.load() + LateReplies.load();
+  std::printf("reply conservation: %ld accounted of %ld served %s\n",
+              Accounted, Served.load(),
+              Accounted == Served.load() ? "(ok)" : "(LOST OR DUPLICATED!)");
+  return Accounted == Served.load() ? 0 : 1;
+}

@@ -1,0 +1,273 @@
+//===- baseline/Aqs.h - AbstractQueuedSynchronizer re-implementation -*-C++-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ re-implementation of the core of Java's AbstractQueuedSynchronizer
+/// [Lea 2005], the framework the paper compares CQS against ("the only
+/// practical abstraction that provides similar semantics"). The structural
+/// properties the paper's analysis attributes to AQS are preserved:
+///
+///  - a single 64-bit `state` word updated with CAS loops (NOT Fetch-And-
+///    Add — this is exactly the scalability difference Section 7 discusses);
+///  - a CLH-style FIFO queue of waiter nodes maintained with head/tail CAS;
+///  - park/unpark blocking (here: C++20 atomic wait/notify);
+///  - fair mode that declines the fast path while waiters are queued, and
+///    unfair (barging) mode that always tries first;
+///  - wake-up propagation for shared acquires (semaphore, latch).
+///
+/// Synchronization policies plug in via a static-interface template
+/// parameter mirroring Java's tryAcquire/tryRelease template methods.
+/// Cancellation of a parked acquire is not implemented (the paper's
+/// benchmarks measure throughput, not abort handling).
+///
+/// All atomics here use the default seq_cst ordering on purpose: the
+/// no-lost-wakeup argument needs a total order between State updates and
+/// queue-link updates (release writes a permit then reads the queue; an
+/// acquirer links its node then reads State — the classic store-load
+/// pattern that acquire/release does not order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BASELINE_AQS_H
+#define CQS_BASELINE_AQS_H
+
+#include "reclaim/Ebr.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Synchronizer framework: FIFO waiter queue + policy-controlled state.
+///
+/// \tparam Policy provides:
+///   static bool tryAcquire(std::atomic<std::int64_t> &State, std::int64_t);
+///   static bool tryRelease(std::atomic<std::int64_t> &State, std::int64_t);
+///     (returns true when a waiter should be woken)
+///   static bool shouldPropagate(const std::atomic<std::int64_t> &State);
+///     (after a successful queued acquire: wake the next waiter too?)
+template <typename Policy> class Aqs {
+  /// Waiter node; the queue is Michael-Scott-style with a dummy head, which
+  /// keeps dequeueing on the "I am first" path a single store, like AQS's
+  /// setHead.
+  struct Node {
+    std::atomic<Node *> Next{nullptr};
+    std::atomic<std::uint32_t> Signal{0};
+  };
+
+public:
+  explicit Aqs(std::int64_t InitialState) : State(InitialState) {
+    auto *Dummy = new Node();
+    Head.Value.store(Dummy, std::memory_order_relaxed);
+    Tail.Value.store(Dummy, std::memory_order_relaxed);
+  }
+
+  Aqs(const Aqs &) = delete;
+  Aqs &operator=(const Aqs &) = delete;
+
+  ~Aqs() {
+    Node *Cur = Head.Value.load(std::memory_order_relaxed);
+    while (Cur) {
+      Node *Next = Cur->Next.load(std::memory_order_relaxed);
+      delete Cur;
+      Cur = Next;
+    }
+  }
+
+  /// Blocks until the policy grants \p Arg. In fair mode the fast path is
+  /// skipped while earlier waiters are queued (hasQueuedPredecessors).
+  void acquire(std::int64_t Arg, bool Fair) {
+    if (!(Fair && hasWaiters()) && Policy::tryAcquire(State.Value, Arg))
+      return;
+    acquireQueued(Arg);
+  }
+
+  /// Releases \p Arg; wakes the first waiter when the policy says so.
+  void release(std::int64_t Arg) {
+    if (Policy::tryRelease(State.Value, Arg)) {
+      ebr::Guard Guard;
+      unparkFirst();
+    }
+  }
+
+  /// Non-blocking acquire (barging); used by tryLock()/tryAcquire().
+  bool tryAcquireNow(std::int64_t Arg) {
+    return Policy::tryAcquire(State.Value, Arg);
+  }
+
+  std::int64_t stateForTesting() const { return State.Value.load(); }
+
+  bool hasWaiters() const {
+    ebr::Guard Guard;
+    Node *D = Head.Value.load();
+    return D->Next.load() != nullptr;
+  }
+
+private:
+  void acquireQueued(std::int64_t Arg) {
+    auto *N = new Node();
+    {
+      ebr::Guard Guard;
+      enqueue(N);
+    }
+    for (;;) {
+      bool AmFirst;
+      {
+        ebr::Guard Guard;
+        Node *D = Head.Value.load();
+        AmFirst = D->Next.load() == N;
+      }
+      if (AmFirst && Policy::tryAcquire(State.Value, Arg)) {
+        ebr::Guard Guard;
+        popFirst(N);
+        if (Policy::shouldPropagate(State.Value))
+          unparkFirst();
+        return;
+      }
+      // Park. The releaser stores Signal=1 before notifying, so a store
+      // that lands between our check and the wait is not lost.
+      N->Signal.wait(0);
+      N->Signal.store(0);
+    }
+  }
+
+  void enqueue(Node *N) {
+    for (;;) {
+      Node *T = Tail.Value.load();
+      Node *Next = T->Next.load();
+      if (Next) { // help swing the lagging tail
+        Tail.Value.compare_exchange_weak(T, Next);
+        continue;
+      }
+      Node *Expected = nullptr;
+      if (T->Next.compare_exchange_strong(Expected, N)) {
+        Tail.Value.compare_exchange_strong(T, N);
+        return;
+      }
+    }
+  }
+
+  /// Makes \p N (the first real node, owned by the caller) the new dummy.
+  /// Pops are serialized by construction: only the front thread pops.
+  void popFirst(Node *N) {
+    Node *D = Head.Value.load();
+    assert(D->Next.load() == N && "popFirst by a non-front thread");
+    // Never retire a node the tail still points to (MS-queue discipline).
+    Node *T = Tail.Value.load();
+    if (T == D)
+      Tail.Value.compare_exchange_strong(T, N);
+    Head.Value.store(N);
+    ebr::retireObject(D);
+  }
+
+  /// Wakes the current first waiter. If the head moved while we signalled
+  /// (the front node popped concurrently and our signal hit a dead node),
+  /// retry so the wake-up is never lost. Must run under an EBR guard.
+  void unparkFirst() {
+    for (;;) {
+      Node *D = Head.Value.load();
+      Node *F = D->Next.load();
+      if (!F)
+        return;
+      F->Signal.store(1);
+      F->Signal.notify_all();
+      if (Head.Value.load() == D)
+        return;
+    }
+  }
+
+  CachePadded<std::atomic<std::int64_t>> State;
+  CachePadded<std::atomic<Node *>> Head{nullptr};
+  CachePadded<std::atomic<Node *>> Tail{nullptr};
+};
+
+/// Semaphore policy: state = available permits (Java Semaphore.Sync).
+struct AqsSemaphorePolicy {
+  static bool tryAcquire(std::atomic<std::int64_t> &State, std::int64_t Arg) {
+    std::int64_t C = State.load();
+    while (C >= Arg) {
+      if (State.compare_exchange_weak(C, C - Arg))
+        return true;
+    }
+    return false;
+  }
+  static bool tryRelease(std::atomic<std::int64_t> &State, std::int64_t Arg) {
+    State.fetch_add(Arg);
+    return true;
+  }
+  static bool shouldPropagate(const std::atomic<std::int64_t> &State) {
+    return State.load() > 0;
+  }
+};
+
+/// Latch policy: state = remaining count; await is a shared acquire that
+/// succeeds once the count hits zero (Java CountDownLatch.Sync).
+struct AqsLatchPolicy {
+  static bool tryAcquire(std::atomic<std::int64_t> &State, std::int64_t) {
+    return State.load() == 0;
+  }
+  static bool tryRelease(std::atomic<std::int64_t> &State, std::int64_t) {
+    std::int64_t C = State.load();
+    for (;;) {
+      if (C == 0)
+        return false; // already open; nothing to signal
+      if (State.compare_exchange_weak(C, C - 1))
+        return C == 1; // we opened the latch
+    }
+  }
+  static bool shouldPropagate(const std::atomic<std::int64_t> &State) {
+    return State.load() == 0;
+  }
+};
+
+/// Counting semaphore in the Java style (fairness chosen per instance).
+class AqsSemaphore {
+public:
+  AqsSemaphore(std::int64_t Permits, bool Fair) : Sync(Permits), Fair(Fair) {}
+
+  void acquire() { Sync.acquire(1, Fair); }
+  void release() { Sync.release(1); }
+  bool tryAcquire() { return Sync.tryAcquireNow(1); }
+  std::int64_t availablePermits() const { return Sync.stateForTesting(); }
+
+private:
+  Aqs<AqsSemaphorePolicy> Sync;
+  const bool Fair;
+};
+
+/// Non-reentrant ReentrantLock analog (the paper's lock benchmarks never
+/// re-enter, so reentrancy bookkeeping would only add noise).
+class AqsLock {
+public:
+  explicit AqsLock(bool Fair) : Sync(1), Fair(Fair) {}
+
+  void lock() { Sync.acquire(1, Fair); }
+  void unlock() { Sync.release(1); }
+  bool tryLock() { return Sync.tryAcquireNow(1); }
+
+private:
+  Aqs<AqsSemaphorePolicy> Sync;
+  const bool Fair;
+};
+
+/// Java-style CountDownLatch on the shared-mode queue.
+class AqsCountDownLatch {
+public:
+  explicit AqsCountDownLatch(std::int64_t Count) : Sync(Count) {}
+
+  void await() { Sync.acquire(1, /*Fair=*/false); }
+  void countDown() { Sync.release(1); }
+  std::int64_t count() const { return Sync.stateForTesting(); }
+
+private:
+  Aqs<AqsLatchPolicy> Sync;
+};
+
+} // namespace cqs
+
+#endif // CQS_BASELINE_AQS_H

@@ -1,0 +1,226 @@
+//===- baseline/BlockingQueue.h - Java blocking-queue baselines -*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 8/15 comparators for the blocking pools:
+///
+///  - ArrayBlockingQueue: one lock guarding a ring buffer plus notEmpty/
+///    notFull conditions. The *fair* variant uses our AQS fair lock with a
+///    condition queue (Java's fair ReentrantLock + Condition); the *unfair*
+///    variant uses std::mutex/std::condition_variable (the behavioral
+///    equivalent of the default unfair ReentrantLock).
+///  - LinkedBlockingQueue: Java's two-lock queue (put lock + take lock +
+///    atomic count); unbounded, as in the paper's pool benchmark where
+///    put() never blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BASELINE_BLOCKINGQUEUE_H
+#define CQS_BASELINE_BLOCKINGQUEUE_H
+
+#include "baseline/Aqs.h"
+#include "reclaim/Ebr.h"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cqs {
+
+/// Condition variable for AqsLock. Operations require holding the owning
+/// lock, so the waiter list needs no synchronization of its own; parking is
+/// per-node atomic wait. Mesa semantics: callers re-check their predicate.
+class AqsCondition {
+  struct WaitNode {
+    std::atomic<std::uint32_t> Signal{0};
+    WaitNode *Next = nullptr;
+  };
+
+public:
+  /// Atomically releases \p Lock, waits for a signal, reacquires \p Lock.
+  void await(AqsLock &Lock) {
+    auto *N = new WaitNode();
+    // Guarded by Lock: plain list manipulation.
+    if (Tail)
+      Tail->Next = N;
+    else
+      Head = N;
+    Tail = N;
+    Lock.unlock();
+    while (N->Signal.load() == 0)
+      N->Signal.wait(0);
+    {
+      // The signaller may still be notifying; free through EBR.
+      ebr::Guard Guard;
+      ebr::retireObject(N);
+    }
+    Lock.lock();
+  }
+
+  /// Wakes one waiter; caller must hold the owning lock.
+  void signal() {
+    WaitNode *N = Head;
+    if (!N)
+      return;
+    Head = N->Next;
+    if (!Head)
+      Tail = nullptr;
+    ebr::Guard Guard;
+    N->Signal.store(1);
+    N->Signal.notify_all();
+  }
+
+  /// Wakes all waiters; caller must hold the owning lock.
+  void signalAll() {
+    while (Head)
+      signal();
+  }
+
+private:
+  WaitNode *Head = nullptr;
+  WaitNode *Tail = nullptr;
+};
+
+/// ArrayBlockingQueue with a *fair* lock (Java's `new ArrayBlockingQueue<>(
+/// capacity, true)`).
+template <typename E> class FairArrayBlockingQueue {
+public:
+  explicit FairArrayBlockingQueue(std::size_t Capacity)
+      : Lock(/*Fair=*/true), Buffer(Capacity) {}
+
+  void put(E V) {
+    Lock.lock();
+    while (Count == Buffer.size())
+      NotFull.await(Lock);
+    Buffer[PutIdx] = V;
+    PutIdx = (PutIdx + 1) % Buffer.size();
+    ++Count;
+    NotEmpty.signal();
+    Lock.unlock();
+  }
+
+  E take() {
+    Lock.lock();
+    while (Count == 0)
+      NotEmpty.await(Lock);
+    E V = Buffer[TakeIdx];
+    TakeIdx = (TakeIdx + 1) % Buffer.size();
+    --Count;
+    NotFull.signal();
+    Lock.unlock();
+    return V;
+  }
+
+private:
+  AqsLock Lock;
+  AqsCondition NotEmpty, NotFull;
+  std::vector<E> Buffer;
+  std::size_t PutIdx = 0, TakeIdx = 0, Count = 0;
+};
+
+/// ArrayBlockingQueue with the default *unfair* lock.
+template <typename E> class UnfairArrayBlockingQueue {
+public:
+  explicit UnfairArrayBlockingQueue(std::size_t Capacity) : Buffer(Capacity) {}
+
+  void put(E V) {
+    std::unique_lock<std::mutex> L(M);
+    NotFull.wait(L, [&] { return Count < Buffer.size(); });
+    Buffer[PutIdx] = V;
+    PutIdx = (PutIdx + 1) % Buffer.size();
+    ++Count;
+    NotEmpty.notify_one();
+  }
+
+  E take() {
+    std::unique_lock<std::mutex> L(M);
+    NotEmpty.wait(L, [&] { return Count > 0; });
+    E V = Buffer[TakeIdx];
+    TakeIdx = (TakeIdx + 1) % Buffer.size();
+    --Count;
+    NotFull.notify_one();
+    return V;
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable NotEmpty, NotFull;
+  std::vector<E> Buffer;
+  std::size_t PutIdx = 0, TakeIdx = 0, Count = 0;
+};
+
+/// Java's two-lock LinkedBlockingQueue (unbounded: put never blocks).
+template <typename E> class LinkedBlockingQueueBaseline {
+  struct Node {
+    E Item{};
+    Node *Next = nullptr;
+  };
+
+public:
+  LinkedBlockingQueueBaseline() {
+    Head = Tail = new Node(); // dummy
+  }
+
+  ~LinkedBlockingQueueBaseline() {
+    Node *Cur = Head;
+    while (Cur) {
+      Node *Next = Cur->Next;
+      delete Cur;
+      Cur = Next;
+    }
+  }
+
+  LinkedBlockingQueueBaseline(const LinkedBlockingQueueBaseline &) = delete;
+  LinkedBlockingQueueBaseline &
+  operator=(const LinkedBlockingQueueBaseline &) = delete;
+
+  void put(E V) {
+    auto *N = new Node();
+    N->Item = V;
+    std::int64_t OldCount;
+    {
+      std::lock_guard<std::mutex> L(PutLock);
+      Tail->Next = N;
+      Tail = N;
+      OldCount = Count.fetch_add(1);
+    }
+    if (OldCount == 0) {
+      // The queue was empty: waiters may be parked on NotEmpty.
+      std::lock_guard<std::mutex> L(TakeLock);
+      NotEmpty.notify_one();
+    }
+  }
+
+  E take() {
+    E V;
+    std::int64_t OldCount;
+    {
+      std::unique_lock<std::mutex> L(TakeLock);
+      NotEmpty.wait(L, [&] { return Count.load() > 0; });
+      Node *First = Head->Next;
+      V = First->Item;
+      delete Head; // old dummy; only take-side touches it
+      Head = First;
+      OldCount = Count.fetch_sub(1);
+      if (OldCount > 1)
+        NotEmpty.notify_one(); // cascade to the next waiting take
+    }
+    return V;
+  }
+
+private:
+  std::mutex PutLock, TakeLock;
+  std::condition_variable NotEmpty;
+  Node *Head, *Tail;
+  std::atomic<std::int64_t> Count{0};
+};
+
+} // namespace cqs
+
+#endif // CQS_BASELINE_BLOCKINGQUEUE_H

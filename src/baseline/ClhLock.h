@@ -1,0 +1,73 @@
+//===- baseline/ClhLock.h - classic CLH queue lock -------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CLH queue lock [Magnusson, Landin, Hagersten 1994], one of the fair
+/// mutex baselines of Figure 7. Arrivals swap themselves onto an implicit
+/// queue with a single exchange on the tail; each thread spins on its
+/// predecessor's flag. The spin is bounded-then-yield so the baseline stays
+/// live on oversubscribed hosts (DESIGN.md §3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BASELINE_CLHLOCK_H
+#define CQS_BASELINE_CLHLOCK_H
+
+#include "support/Backoff.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace cqs {
+
+/// Fair spin lock with local spinning on the predecessor's node.
+class ClhLock {
+  struct alignas(CacheLineSize) Node {
+    std::atomic<bool> Locked{true};
+  };
+
+public:
+  ClhLock() {
+    auto *Dummy = new Node();
+    Dummy->Locked.store(false, std::memory_order_relaxed);
+    Tail.Value.store(Dummy, std::memory_order_relaxed);
+  }
+
+  ~ClhLock() {
+    assert(!Owner && "destroying a held ClhLock");
+    delete Tail.Value.load(std::memory_order_relaxed);
+  }
+
+  ClhLock(const ClhLock &) = delete;
+  ClhLock &operator=(const ClhLock &) = delete;
+
+  void lock() {
+    auto *N = new Node();
+    Node *Pred = Tail.Value.exchange(N, std::memory_order_acq_rel);
+    Backoff B;
+    while (Pred->Locked.load(std::memory_order_acquire))
+      B.pause();
+    // The predecessor released; nobody else can reference its node.
+    delete Pred;
+    Owner = N; // protected by the lock we now hold
+  }
+
+  void unlock() {
+    Node *N = Owner;
+    assert(N && "unlock() without lock()");
+    Owner = nullptr;
+    N->Locked.store(false, std::memory_order_release);
+  }
+
+private:
+  CachePadded<std::atomic<Node *>> Tail{nullptr};
+  Node *Owner = nullptr;
+};
+
+} // namespace cqs
+
+#endif // CQS_BASELINE_CLHLOCK_H

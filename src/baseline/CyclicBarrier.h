@@ -1,0 +1,61 @@
+//===- baseline/CyclicBarrier.h - Java-style mutex+condvar barrier -*-C++-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 5 Java baseline. java.util.concurrent.CyclicBarrier guards a
+/// generation counter with a ReentrantLock and a Condition — the paper:
+/// "we find the reason for such performance degradation in using a mutex
+/// under the hood; surprisingly, it does not use AbstractQueuedSynchronizer
+/// directly." The C++ behavioral equivalent is std::mutex +
+/// std::condition_variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BASELINE_CYCLICBARRIER_H
+#define CQS_BASELINE_CYCLICBARRIER_H
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cqs {
+
+/// Reusable barrier in the java.util.concurrent.CyclicBarrier style.
+class CyclicBarrierBaseline {
+public:
+  explicit CyclicBarrierBaseline(int Parties) : Parties(Parties) {
+    assert(Parties >= 1 && "barrier needs at least one party");
+    Count = Parties;
+  }
+
+  CyclicBarrierBaseline(const CyclicBarrierBaseline &) = delete;
+  CyclicBarrierBaseline &operator=(const CyclicBarrierBaseline &) = delete;
+
+  /// Blocks until all parties of the current generation arrive.
+  void arriveAndWait() {
+    std::unique_lock<std::mutex> Lock(M);
+    std::uint64_t Gen = Generation;
+    if (--Count == 0) {
+      ++Generation;
+      Count = Parties;
+      Cv.notify_all();
+      return;
+    }
+    Cv.wait(Lock, [&] { return Generation != Gen; });
+  }
+
+private:
+  const int Parties;
+  std::mutex M;
+  std::condition_variable Cv;
+  int Count;
+  std::uint64_t Generation = 0;
+};
+
+} // namespace cqs
+
+#endif // CQS_BASELINE_CYCLICBARRIER_H

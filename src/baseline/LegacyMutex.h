@@ -1,0 +1,164 @@
+//===- baseline/LegacyMutex.h - pre-CQS Kotlin-style mutex -----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 13 comparator: the mutex that kotlinx.coroutines shipped
+/// before CQS. Structurally it pairs a CAS-updated state word with a
+/// lock-free *linked* queue of waiting continuations — every enqueue is a
+/// CAS on the queue tail, every handoff a CAS-dequeue, in contrast to the
+/// CQS design's Fetch-And-Add counters over segment cells. That CAS-vs-FAA
+/// difference is precisely what the paper credits for the ~10-40% speedup
+/// (Section 7, Appendix F.3), so this baseline preserves it.
+///
+/// The waiters are the same Request<Unit> futures the CQS primitives use,
+/// so benchmarks drive both mutexes through one interface (blockingGet or
+/// the coroutine awaitable). Cancellation of a waiting lock() is not
+/// supported (the old Kotlin implementation's linear-time cancellation is
+/// not exercised by the Figure 13 workload).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BASELINE_LEGACYMUTEX_H
+#define CQS_BASELINE_LEGACYMUTEX_H
+
+#include "future/Future.h"
+#include "reclaim/Ebr.h"
+#include "support/Backoff.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Fair mutex: CAS'd permit counter + Michael-Scott queue of waiters.
+class LegacyCoroutineMutex {
+  using RequestType = Request<Unit>;
+
+  struct Node {
+    std::atomic<Node *> Next{nullptr};
+    RequestType *Waiter = nullptr;
+  };
+
+public:
+  using FutureType = Future<Unit>;
+
+  LegacyCoroutineMutex() {
+    auto *Dummy = new Node();
+    Head.Value.store(Dummy, std::memory_order_relaxed);
+    Tail.Value.store(Dummy, std::memory_order_relaxed);
+  }
+
+  LegacyCoroutineMutex(const LegacyCoroutineMutex &) = delete;
+  LegacyCoroutineMutex &operator=(const LegacyCoroutineMutex &) = delete;
+
+  ~LegacyCoroutineMutex() {
+    Node *Cur = Head.Value.load(std::memory_order_relaxed);
+    while (Cur) {
+      Node *Next = Cur->Next.load(std::memory_order_relaxed);
+      if (Cur->Waiter)
+        Cur->Waiter->release();
+      delete Cur;
+      Cur = Next;
+    }
+  }
+
+  /// Acquires the mutex: immediate when free, otherwise enqueues a waiter
+  /// future completed by the releasing unlock().
+  FutureType lock() {
+    for (;;) {
+      std::int64_t S = State.Value.load();
+      if (S > 0) {
+        // Free: take it with a CAS (the legacy design's contended hot spot).
+        if (State.Value.compare_exchange_weak(S, S - 1))
+          return FutureType::immediate(Unit{});
+        continue;
+      }
+      // Held: register as one more waiter.
+      if (!State.Value.compare_exchange_weak(S, S - 1))
+        continue;
+      auto *R = new RequestType(/*InitialRefs=*/2); // queue + caller
+      enqueue(R);
+      return FutureType::suspended(Ref<RequestType>::adopt(R));
+    }
+  }
+
+  /// Releases the mutex, handing it to the longest waiting lock() if any.
+  void unlock() {
+    for (;;) {
+      std::int64_t S = State.Value.load();
+      assert(S <= 0 && "unlock() of a free LegacyCoroutineMutex");
+      if (!State.Value.compare_exchange_weak(S, S + 1))
+        continue;
+      if (S == 0)
+        return; // no waiter
+      // A waiter registered (or is about to finish registering: the state
+      // decrement precedes the enqueue); hand the lock over.
+      RequestType *R = dequeueSpinning();
+      [[maybe_unused]] bool Ok = R->complete(Unit{});
+      assert(Ok && "legacy mutex waiters are never cancelled");
+      R->release();
+      return;
+    }
+  }
+
+  bool isLockedForTesting() const { return State.Value.load() <= 0; }
+
+private:
+  void enqueue(RequestType *R) {
+    auto *N = new Node();
+    N->Waiter = R;
+    ebr::Guard Guard;
+    for (;;) {
+      Node *T = Tail.Value.load();
+      Node *Next = T->Next.load();
+      if (Next) {
+        Tail.Value.compare_exchange_weak(T, Next);
+        continue;
+      }
+      Node *Expected = nullptr;
+      if (T->Next.compare_exchange_strong(Expected, N)) {
+        Tail.Value.compare_exchange_strong(T, N);
+        return;
+      }
+    }
+  }
+
+  /// Dequeues the first waiter, spinning (bounded, then yielding) through
+  /// the suspend/resume race window where the counter already promised a
+  /// waiter but its node is not linked yet.
+  RequestType *dequeueSpinning() {
+    ebr::Guard Guard;
+    Backoff B;
+    for (;;) {
+      Node *D = Head.Value.load();
+      Node *F = D->Next.load();
+      if (!F) {
+        B.pause();
+        continue;
+      }
+      if (!Head.Value.compare_exchange_strong(D, F))
+        continue;
+      // Keep the MS-queue discipline: never retire the tail.
+      Node *T = Tail.Value.load();
+      if (T == D)
+        Tail.Value.compare_exchange_strong(T, F);
+      RequestType *R = F->Waiter;
+      F->Waiter = nullptr; // F is the new dummy
+      ebr::retireObject(D);
+      return R;
+    }
+  }
+
+  CachePadded<std::atomic<std::int64_t>> State{1};
+  CachePadded<std::atomic<Node *>> Head{nullptr};
+  CachePadded<std::atomic<Node *>> Tail{nullptr};
+};
+
+} // namespace cqs
+
+#endif // CQS_BASELINE_LEGACYMUTEX_H

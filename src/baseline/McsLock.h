@@ -1,0 +1,83 @@
+//===- baseline/McsLock.h - classic MCS queue lock -------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MCS queue lock [Mellor-Crummey, Scott 1991], the other fair mutex
+/// baseline of Figure 7. Each waiter spins on its *own* node; the releaser
+/// follows the explicit next pointer to hand the lock over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BASELINE_MCSLOCK_H
+#define CQS_BASELINE_MCSLOCK_H
+
+#include "support/Backoff.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace cqs {
+
+/// Fair spin lock with purely local spinning.
+class McsLock {
+  struct alignas(CacheLineSize) Node {
+    std::atomic<Node *> Next{nullptr};
+    std::atomic<bool> Locked{false};
+  };
+
+public:
+  McsLock() = default;
+  McsLock(const McsLock &) = delete;
+  McsLock &operator=(const McsLock &) = delete;
+
+  ~McsLock() { assert(!Owner && "destroying a held McsLock"); }
+
+  void lock() {
+    auto *N = new Node();
+    Node *Pred = Tail.Value.exchange(N, std::memory_order_acq_rel);
+    if (Pred) {
+      N->Locked.store(true, std::memory_order_relaxed);
+      Pred->Next.store(N, std::memory_order_release);
+      Backoff B;
+      while (N->Locked.load(std::memory_order_acquire))
+        B.pause();
+    }
+    Owner = N;
+  }
+
+  void unlock() {
+    Node *N = Owner;
+    assert(N && "unlock() without lock()");
+    Owner = nullptr;
+    Node *Next = N->Next.load(std::memory_order_acquire);
+    if (!Next) {
+      // Nobody enqueued behind us (yet): try to reset the tail.
+      Node *Expected = N;
+      if (Tail.Value.compare_exchange_strong(Expected, nullptr,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        delete N;
+        return;
+      }
+      // A successor is mid-enqueue; wait for its next-pointer write.
+      Backoff B;
+      while (!(Next = N->Next.load(std::memory_order_acquire)))
+        B.pause();
+    }
+    Next->Locked.store(false, std::memory_order_release);
+    // The successor never touches our node after publishing Next.
+    delete N;
+  }
+
+private:
+  CachePadded<std::atomic<Node *>> Tail{nullptr};
+  Node *Owner = nullptr;
+};
+
+} // namespace cqs
+
+#endif // CQS_BASELINE_MCSLOCK_H

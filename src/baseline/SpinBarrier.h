@@ -1,0 +1,60 @@
+//===- baseline/SpinBarrier.h - counter barrier with active waiting -*-C++-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 5 baseline: "a simple counter-based solution, which is
+/// organized in the same way as ours, but performs active waiting instead
+/// of suspension, spinning in a loop until the remaining counter becomes
+/// zero." Generation-based so it is cyclic (reusable across phases).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BASELINE_SPINBARRIER_H
+#define CQS_BASELINE_SPINBARRIER_H
+
+#include "support/Backoff.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Cyclic barrier with busy-wait arrival.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(std::int64_t Parties) : Parties(Parties) {
+    assert(Parties >= 1 && "barrier needs at least one party");
+    Remaining.Value.store(Parties, std::memory_order_relaxed);
+  }
+
+  SpinBarrier(const SpinBarrier &) = delete;
+  SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+  /// Blocks (spinning) until all parties of the current generation arrive.
+  void arriveAndWait() {
+    std::uint64_t Gen = Generation.Value.load(std::memory_order_acquire);
+    if (Remaining.Value.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: reset the counter, then open the next generation.
+      Remaining.Value.store(Parties, std::memory_order_relaxed);
+      Generation.Value.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    Backoff B;
+    while (Generation.Value.load(std::memory_order_acquire) == Gen)
+      B.pause();
+  }
+
+private:
+  const std::int64_t Parties;
+  CachePadded<std::atomic<std::int64_t>> Remaining{0};
+  CachePadded<std::atomic<std::uint64_t>> Generation{0};
+};
+
+} // namespace cqs
+
+#endif // CQS_BASELINE_SPINBARRIER_H

@@ -1,0 +1,482 @@
+//===- core/Cqs.h - the CancellableQueueSynchronizer -----------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CancellableQueueSynchronizer (CQS) of Koval, Khalanskiy and Alistarh,
+/// "CQS: A Formally-Verified Framework for Fair and Abortable
+/// Synchronization" (PLDI 2023).
+///
+/// CQS maintains a FIFO queue of waiting requests over an infinite array of
+/// cells (emulated by core/SegmentList.h) indexed by two monotone counters:
+///
+///  - suspend() takes the next suspend index, installs a Request future into
+///    the corresponding cell and returns it; if a racing resume(..) already
+///    deposited a value there, suspend() completes immediately (elimination).
+///  - resume(value) takes the next resume index and completes the waiter in
+///    the corresponding cell; if it arrives first it deposits the value
+///    (asynchronous mode) or rendezvouses with the upcoming suspend()
+///    within a bounded wait, breaking the cell on timeout (synchronous mode,
+///    Appendix B).
+///
+/// Cancellation (Section 3) comes in two modes:
+///  - Simple: a resume(..) that meets a cancelled waiter fails, and the
+///    caller compensates (e.g. Mutex::unlock restarts).
+///  - Smart: cancelled cells are skipped in O(1) amortized; the primitive
+///    supplies onCancellation()/completeRefusedResume(..) so that the
+///    "last-waiter cancelled vs. incoming resume" race resolves through the
+///    REFUSE protocol instead of losing the resumption value.
+///
+/// resume-before-suspend is explicitly allowed as long as the matching
+/// suspend() is guaranteed to eventually arrive; the primitives in src/sync
+/// rely on this for their three-line fast paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_CORE_CQS_H
+#define CQS_CORE_CQS_H
+
+#include "core/CqsStats.h"
+#include "core/SegmentList.h"
+#include "future/Future.h"
+#include "reclaim/Ebr.h"
+#include "support/Backoff.h"
+#include "support/CacheLine.h"
+#include "support/TaggedWord.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// How resume(..) treats cancelled waiters (Section 3).
+enum class CancellationMode {
+  /// resume(..) fails on a cancelled waiter; the caller restarts.
+  Simple,
+  /// resume(..) skips cancelled waiters; requires a SmartCancellationHandler
+  /// implementing the REFUSE protocol.
+  Smart,
+};
+
+/// How resume(..) behaves when it reaches the cell before suspend()
+/// (Appendix B).
+enum class ResumptionMode {
+  /// Deposit the value and return; the later suspend() picks it up.
+  Async,
+  /// Rendezvous with suspend() within a bounded wait; break the cell and
+  /// fail on timeout. Required for non-blocking operations like tryLock().
+  Sync,
+};
+
+/// The CancellableQueueSynchronizer.
+///
+/// \tparam T the type transferred from resume(..) to the completed waiter
+///   (Unit for pure synchronization, element pointers for pools).
+/// \tparam Traits how T is packed into a tagged word (support/ValueCodec.h).
+/// \tparam SegmentSize the paper's SEGM_SIZE.
+template <typename T, typename Traits = ValueTraits<T>,
+          unsigned SegmentSize = 16>
+class Cqs {
+public:
+  using FutureType = Future<T, Traits>;
+  using RequestType = Request<T, Traits>;
+  using Seg = Segment<SegmentSize>;
+  using List = SegmentList<SegmentSize>;
+
+  /// Callbacks a primitive supplies to use smart cancellation (Listing 3).
+  class SmartCancellationHandler {
+  public:
+    /// Invoked when a waiter is cancelled; must logically remove it from
+    /// the primitive's state. Returns true if a future resume(..) can
+    /// safely skip the cell (-> CANCELLED), false if the cancelled waiter
+    /// was the last one and the incoming resume(..) must be refused
+    /// (-> REFUSE).
+    virtual bool onCancellation() = 0;
+
+    /// Invoked by the refused resume(..) (or by the cancellation handler it
+    /// raced with) to dispose of the resumption value — e.g. a pool returns
+    /// the element to its storage; a semaphore does nothing because
+    /// onCancellation() already returned the permit.
+    virtual void completeRefusedResume(T Value) = 0;
+
+  protected:
+    ~SmartCancellationHandler() = default;
+  };
+
+  /// \p Handler must be non-null iff \p CMode is Smart and must outlive the
+  /// CQS.
+  explicit Cqs(CancellationMode CMode = CancellationMode::Simple,
+               ResumptionMode RMode = ResumptionMode::Async,
+               SmartCancellationHandler *Handler = nullptr)
+      : CMode(CMode), RMode(RMode), Handler(Handler) {
+    assert((CMode != CancellationMode::Smart || Handler) &&
+           "smart cancellation requires a handler");
+    auto *First = new Seg(0, nullptr, /*InitialPointers=*/2);
+    SuspendSegm->store(First, std::memory_order_relaxed);
+    ResumeSegm->store(First, std::memory_order_relaxed);
+  }
+
+  Cqs(const Cqs &) = delete;
+  Cqs &operator=(const Cqs &) = delete;
+
+  /// Destruction requires quiescence: no concurrent operations, and every
+  /// suspend() either completed or cancelled. Segments still linked at this
+  /// point (everything from the lagging segment pointer rightwards) are
+  /// freed here; already-removed segments belong to EBR.
+  ~Cqs() {
+    Seg *S = SuspendSegm->load(std::memory_order_relaxed);
+    Seg *R = ResumeSegm->load(std::memory_order_relaxed);
+    Seg *Cur = S->Id <= R->Id ? S : R;
+    while (Cur) {
+      Seg *Next = Cur->next();
+      for (unsigned I = 0; I < SegmentSize; ++I) {
+        std::uint64_t W = Cur->Cells[I].load(std::memory_order_relaxed);
+        if (wordKind(W) == WordKind::Pointer)
+          static_cast<RequestType *>(pointerOf(W))->release();
+      }
+      if (!Cur->isRetiredForTesting())
+        delete Cur;
+      Cur = Next;
+    }
+  }
+
+  /// Adds the caller to the waiter queue (Listing 14 + Listing 11).
+  ///
+  /// \returns a suspended Future to be completed by a matching resume(..),
+  /// an immediate Future if a racing resume(..) already deposited a value,
+  /// or — only in the synchronous resumption mode — an invalid Future when
+  /// the cell was broken by a timed-out resume(..); the caller restarts.
+  FutureType suspend() {
+    ebr::Guard Guard;
+
+    // Read the cached segment *before* taking the index (the Listing 14
+    // highlight): this guarantees the target segment is reachable from it.
+    Seg *Start = SuspendSegm->load(std::memory_order_acquire);
+    std::uint64_t GlobalIdx =
+        SuspendIdx->fetch_add(1, std::memory_order_acq_rel);
+    std::uint64_t SegId = GlobalIdx / SegmentSize;
+    unsigned CellIdx = static_cast<unsigned>(GlobalIdx % SegmentSize);
+
+    Seg *S = List::findAndMoveForward(*SuspendSegm, Start, SegId);
+    // suspend() always lands exactly: a cell can only be cancelled after a
+    // waiter was installed in it, so our (still empty) cell pins the
+    // segment.
+    assert(S->Id == SegId && "suspend() segment was removed prematurely");
+
+    // Try to install a fresh request. Created with 2 refs: one for the
+    // cell, one for the Future we hand back.
+    auto *Req = new RequestType(/*InitialRefs=*/2);
+    Req->bindCancellation(&Cqs::cancellationCallback, this, S, CellIdx);
+    std::uint64_t Expected = makeTokenWord(Token::Empty);
+    if (S->Cells[CellIdx].compare_exchange_strong(
+            Expected, makePointerWord(Req), std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      bump(Stats.Suspensions);
+      return FutureType::suspended(Ref<RequestType>::adopt(Req));
+    }
+
+    // The cell is not empty: a racing resume(..) got there first. The
+    // request was never published; discard both references.
+    Req->release();
+    Req->release();
+
+    // Either a value awaits us (elimination) or the cell is broken (SYNC
+    // mode). Listing 11: replace with TAKEN via exchange.
+    std::uint64_t Old = S->Cells[CellIdx].exchange(
+        makeTokenWord(Token::Taken), std::memory_order_acq_rel);
+    // Either way the cell is now terminally processed; account it so the
+    // segment can eventually be physically removed (see onCellDead()).
+    S->onCellDead();
+    if (isToken(Old, Token::Broken)) {
+      bump(Stats.SuspendFailures);
+      return FutureType::invalid();
+    }
+    assert(wordKind(Old) == WordKind::Value &&
+           "suspend() raced with a non-value cell state");
+    bump(Stats.Eliminations);
+    return FutureType::immediate(decodeValueWord<T, Traits>(Old));
+  }
+
+  /// Retrieves and resumes the next waiter with \p Value (Listing 13 with
+  /// the segment-skipping of Listing 15).
+  ///
+  /// \returns true on success (including a refused resume, which is
+  /// completed through the handler); false if the waiter was cancelled
+  /// (simple mode) or the cell rendezvous timed out / met a cancelled
+  /// waiter (sync mode) — the caller restarts to keep the operation
+  /// balance.
+  bool resume(T Value) {
+    ebr::Guard Guard;
+    return resumeImpl(Value);
+  }
+
+  /// Path-coverage counters (see core/CqsStats.h).
+  const CqsStats &stats() const { return Stats; }
+
+  ResumptionMode resumptionModeForTesting() const { return RMode; }
+  CancellationMode cancellationModeForTesting() const { return CMode; }
+
+  /// Test hooks.
+  std::uint64_t suspendIdxForTesting() const {
+    return SuspendIdx->load(std::memory_order_acquire);
+  }
+  std::uint64_t resumeIdxForTesting() const {
+    return ResumeIdx->load(std::memory_order_acquire);
+  }
+  Seg *resumeSegmentForTesting() const {
+    return ResumeSegm->load(std::memory_order_acquire);
+  }
+  Seg *suspendSegmentForTesting() const {
+    return SuspendSegm->load(std::memory_order_acquire);
+  }
+
+  /// Number of segments currently linked into the list (from the lagging
+  /// segment pointer to the tail). Appendix C's memory bound says this
+  /// stays O(live waiters / SegmentSize + threads) no matter how many
+  /// operations or cancellations have run. Quiescent callers only.
+  std::size_t linkedSegmentCountForTesting() const {
+    ebr::Guard Guard;
+    Seg *S = SuspendSegm->load(std::memory_order_acquire);
+    Seg *R = ResumeSegm->load(std::memory_order_acquire);
+    Seg *Cur = S->Id <= R->Id ? S : R;
+    std::size_t N = 0;
+    for (; Cur; Cur = Cur->next())
+      ++N;
+    return N;
+  }
+
+private:
+  /// Outcome of processing one cell in resume(..).
+  enum class CellResult {
+    Done,     ///< resumption completed (or delegated / refused-and-handled)
+    Failed,   ///< report failure to the caller
+    SkipCell, ///< smart mode: waiter cancelled, take the next index
+  };
+
+  bool resumeImpl(T Value) {
+    for (;;) {
+      Seg *Start = ResumeSegm->load(std::memory_order_acquire);
+      std::uint64_t GlobalIdx =
+          ResumeIdx->fetch_add(1, std::memory_order_acq_rel);
+      std::uint64_t SegId = GlobalIdx / SegmentSize;
+      unsigned CellIdx = static_cast<unsigned>(GlobalIdx % SegmentSize);
+
+      Seg *S = List::findAndMoveForward(*ResumeSegm, Start, SegId);
+      // Everything to the left is processed; allow those segments to be
+      // collected (Listing 15's `s.prev = null` in resume).
+      S->clearPrev();
+
+      if (S->Id != SegId) {
+        // The whole segment (and possibly more) was cancelled and removed.
+        if (CMode == CancellationMode::Simple)
+          return false;
+        // Smart mode: skip the removed range wholesale, then retry with a
+        // fresh index.
+        std::uint64_t ExpectedIdx = GlobalIdx + 1;
+        ResumeIdx->compare_exchange_strong(ExpectedIdx, S->Id * SegmentSize,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+        bump(Stats.SegmentSkips);
+        continue;
+      }
+
+      switch (processResumeCell(S, CellIdx, Value)) {
+      case CellResult::Done:
+        return true;
+      case CellResult::Failed:
+        return false;
+      case CellResult::SkipCell:
+        continue; // Listing 5's tail-recursive `return resume(value)`
+      }
+    }
+  }
+
+  /// The per-cell state machine of Listing 13 (covers both resumption and
+  /// both cancellation modes).
+  CellResult processResumeCell(Seg *S, unsigned CellIdx, T Value) {
+    std::atomic<std::uint64_t> &Cell = S->Cells[CellIdx];
+    Backoff B;
+    for (;;) {
+      std::uint64_t Cur = Cell.load(std::memory_order_acquire);
+
+      if (isToken(Cur, Token::Empty)) {
+        // Elimination: we arrived before suspend().
+        if (!Cell.compare_exchange_strong(
+                Cur, encodeValueWord<T, Traits>(Value),
+                std::memory_order_acq_rel, std::memory_order_acquire))
+          continue;
+        bump(Stats.ValueDeposits);
+        if (RMode == ResumptionMode::Async)
+          return CellResult::Done;
+        return rendezvousOrBreak(Cell, Value);
+      }
+
+      if (wordKind(Cur) == WordKind::Pointer) {
+        auto *Req = static_cast<RequestType *>(pointerOf(Cur));
+        if (Req->complete(Value)) {
+          // Clear the waiter reference for reclamation (-> RESUMED) and
+          // account the terminally-processed cell.
+          Cell.store(makeTokenWord(Token::Resumed),
+                     std::memory_order_release);
+          Req->release();
+          S->onCellDead();
+          bump(Stats.Completions);
+          return CellResult::Done;
+        }
+        // The waiter was cancelled.
+        if (CMode == CancellationMode::Simple) {
+          bump(Stats.SimpleFailures);
+          return CellResult::Failed;
+        }
+        if (RMode == ResumptionMode::Sync) {
+          // Never leave the value unattended in SYNC mode: wait for the
+          // cancellation handler to publish CANCELLED or REFUSE
+          // (Listing 13, line 28).
+          B.pause();
+          continue;
+        }
+        // ASYNC + smart: delegate the rest of this resume(..) to the
+        // cancellation handler by swapping in the value (Figure 4).
+        if (Cell.compare_exchange_strong(
+                Cur, encodeValueWord<T, Traits>(Value),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          Req->release(); // the cell no longer references the waiter
+          bump(Stats.Delegations);
+          return CellResult::Done;
+        }
+        continue;
+      }
+
+      if (isToken(Cur, Token::Cancelled)) {
+        if (CMode == CancellationMode::Simple) {
+          bump(Stats.SimpleFailures);
+          return CellResult::Failed;
+        }
+        bump(Stats.SkippedCells);
+        return CellResult::SkipCell;
+      }
+
+      if (isToken(Cur, Token::Refuse)) {
+        assert(Handler && "REFUSE state requires a smart handler");
+        Handler->completeRefusedResume(Value);
+        bump(Stats.RefusedResumes);
+        // The refused resume(..) is the last visitor of this cell; account
+        // it so the segment does not outlive its usefulness (the paper can
+        // leave REFUSE segments to the GC; we cannot).
+        S->onCellDead();
+        return CellResult::Done;
+      }
+
+      assert(false && "resume() met an impossible cell state (TAKEN/BROKEN/"
+                      "RESUMED imply a duplicated resume index)");
+      return CellResult::Failed;
+    }
+  }
+
+  /// SYNC-mode tail of the elimination path: wait (bounded) for the paired
+  /// suspend() to take the value; break the cell on timeout (Listing 11).
+  CellResult rendezvousOrBreak(std::atomic<std::uint64_t> &Cell, T Value) {
+    Backoff B;
+    for (unsigned Spin = 0; Spin < MaxSpinCycles; ++Spin) {
+      if (isToken(Cell.load(std::memory_order_acquire), Token::Taken))
+        return CellResult::Done;
+      B.pause();
+    }
+    std::uint64_t Expected = encodeValueWord<T, Traits>(Value);
+    if (Cell.compare_exchange_strong(Expected, makeTokenWord(Token::Broken),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      bump(Stats.BrokenCells);
+      return CellResult::Failed;
+    }
+    // CAS failed => the suspender took the value after all.
+    assert(isToken(Expected, Token::Taken));
+    return CellResult::Done;
+  }
+
+  /// Request::cancel() trampoline: runs the cancellation handler of
+  /// Listing 5 on the owning CQS.
+  static void cancellationCallback(void *Self, void *SegPtr,
+                                   std::uint32_t CellIdx) {
+    auto *Q = static_cast<Cqs *>(Self);
+    auto *S = static_cast<Seg *>(SegPtr);
+    ebr::Guard Guard;
+    Q->onRequestCancelled(S, CellIdx);
+  }
+
+  void onRequestCancelled(Seg *S, unsigned CellIdx) {
+    bump(Stats.Cancellations);
+    std::atomic<std::uint64_t> &Cell = S->Cells[CellIdx];
+
+    if (CMode == CancellationMode::Simple) {
+      // Mark the cell CANCELLED; resume(..) processing it will fail. Only
+      // the cancelled waiter can be in the cell here (simple-mode resume
+      // never overwrites a waiter).
+      std::uint64_t Old = Cell.exchange(makeTokenWord(Token::Cancelled),
+                                        std::memory_order_acq_rel);
+      assert(wordKind(Old) == WordKind::Pointer &&
+             "simple cancellation expects the waiter in the cell");
+      static_cast<RequestType *>(pointerOf(Old))->release();
+      S->onCellDead();
+      return;
+    }
+
+    // Smart cancellation (Listing 5, lines 29-44).
+    assert(Handler && "smart cancellation requires a handler");
+    if (Handler->onCancellation()) {
+      // Logically deregistered; move the cell to CANCELLED.
+      std::uint64_t Old = Cell.exchange(makeTokenWord(Token::Cancelled),
+                                        std::memory_order_acq_rel);
+      if (wordKind(Old) == WordKind::Pointer) {
+        // No resume(..) reached the cell; just account the cancellation.
+        static_cast<RequestType *>(pointerOf(Old))->release();
+        S->onCellDead();
+        return;
+      }
+      // A concurrent resume(..) delegated its completion to us by leaving
+      // its value here; re-dispatch it to the next waiter. The cell is
+      // terminally CANCELLED either way, so account it first.
+      assert(wordKind(Old) == WordKind::Value);
+      S->onCellDead();
+      resumeImpl(decodeValueWord<T, Traits>(Old));
+      return;
+    }
+
+    // The cancelled waiter was logically the last one: refuse the incoming
+    // resume(..).
+    bump(Stats.RefuseVerdicts);
+    std::uint64_t Old = Cell.exchange(makeTokenWord(Token::Refuse),
+                                      std::memory_order_acq_rel);
+    if (wordKind(Old) == WordKind::Pointer) {
+      static_cast<RequestType *>(pointerOf(Old))->release();
+      return; // resume(..) will meet REFUSE, complete, and account the cell
+    }
+    // The racing resume(..) already delegated; complete it as refused. We
+    // are the cell's last visitor, so account it.
+    assert(wordKind(Old) == WordKind::Value);
+    Handler->completeRefusedResume(decodeValueWord<T, Traits>(Old));
+    S->onCellDead();
+  }
+
+  /// Bounded rendezvous budget of the synchronous mode. Deliberately small:
+  /// on the oversubscribed CI host a long spin only delays the inevitable
+  /// break, and the primitives restart anyway.
+  static constexpr unsigned MaxSpinCycles = 64;
+
+  const CancellationMode CMode;
+  const ResumptionMode RMode;
+  SmartCancellationHandler *const Handler;
+  CqsStats Stats;
+
+  CachePadded<std::atomic<std::uint64_t>> SuspendIdx{0};
+  CachePadded<std::atomic<std::uint64_t>> ResumeIdx{0};
+  CachePadded<std::atomic<Seg *>> SuspendSegm{nullptr};
+  CachePadded<std::atomic<Seg *>> ResumeSegm{nullptr};
+};
+
+} // namespace cqs
+
+#endif // CQS_CORE_CQS_H

@@ -1,0 +1,285 @@
+//===- core/SegmentList.h - the "infinite array" of cells ------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CQS conceptually works on an infinite array of cells indexed by two
+/// monotone counters (Section 2). This file implements the emulation from
+/// Appendix C: a concurrent doubly-linked list of fixed-size segments with
+///  - findSegment: locate (or append) the first non-removed segment whose id
+///    is >= the requested one (Listing 15, findSegment);
+///  - moveForward: advance a segment pointer, maintaining the per-segment
+///    count of pointers that reference it (Listing 15, moveForwardResume);
+///  - remove: O(1) physical unlinking of a segment whose cells are all
+///    cancelled (Listing 15, remove / aliveSegmLeft / aliveSegmRight).
+///
+/// The pointers count and the cancelled-cells count live in one 32-bit word
+/// so the "logically removed" predicate (cancelled == size && pointers == 0)
+/// is a single atomic read, exactly as the paper requires ("by storing these
+/// numbers in a single register, we are able to modify them atomically").
+///
+/// Memory reclamation: removed segments are retired through EBR; see
+/// reclaim/Ebr.h for why the paper's GC-based argument carries over. All
+/// entry points must be called with an active ebr::Guard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_CORE_SEGMENTLIST_H
+#define CQS_CORE_SEGMENTLIST_H
+
+#include "reclaim/Ebr.h"
+#include "support/CacheLine.h"
+#include "support/TaggedWord.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace cqs {
+
+/// One fixed-size block of cells in the infinite-array emulation.
+///
+/// \tparam Size number of cells per segment (the paper's SEGM_SIZE). Kept a
+/// template parameter so tests can force tiny segments (exercising removal
+/// on every few operations) and the ablation bench can sweep it.
+template <unsigned Size> class alignas(CacheLineSize) Segment {
+  static_assert(Size >= 1 && Size < (1u << 16),
+                "segment size must fit the 16-bit cancelled counter");
+
+  /// Packed (pointers << 16 | dead). Pointers counts how many of the CQS's
+  /// segment pointers (suspendSegm/resumeSegm) currently reference this
+  /// segment; dead counts cells in a terminal state (CANCELLED in the
+  /// paper; see onCellDead() for the GC-free generalization).
+  static constexpr std::uint32_t PointerUnit = 1u << 16;
+  static constexpr std::uint32_t CancelledMask = PointerUnit - 1;
+
+public:
+  /// Creates the segment with \p InitialPointers segment-pointer references
+  /// (2 for the very first segment, 0 for appended ones, matching
+  /// "Initialized with (2, 0) for the first segment").
+  Segment(std::uint64_t Id, Segment *Prev, std::uint32_t InitialPointers)
+      : Id(Id), PrevLink(Prev), State(InitialPointers * PointerUnit) {}
+
+  const std::uint64_t Id;
+
+  /// Tagged cell words; see support/TaggedWord.h for the encoding. Fresh
+  /// cells are zero, i.e. Token::Empty.
+  std::atomic<std::uint64_t> Cells[Size] = {};
+
+  Segment *next() const { return NextLink.load(std::memory_order_acquire); }
+  Segment *prev() const { return PrevLink.load(std::memory_order_acquire); }
+
+  /// True iff the segment is logically removed: every cell dead and no
+  /// segment pointer references it. Note the tail exemption is handled in
+  /// remove(), not here, mirroring the paper.
+  bool isRemoved() const {
+    return isRemovedState(State.load(std::memory_order_acquire));
+  }
+
+  /// Registers one more dead cell; physically removes the segment when it
+  /// becomes logically removed.
+  ///
+  /// This is the paper's onCancelledCell() (Listing 15), generalized the
+  /// way the production Kotlin implementation generalizes it: a cell counts
+  /// as dead not only when CANCELLED but also once it reaches any other
+  /// terminal state that no operation will ever revisit (RESUMED, TAKEN,
+  /// processed REFUSE). On the JVM fully-processed segments simply become
+  /// garbage once unreferenced; without a GC we must remove them through
+  /// the same pointers/counter protocol, or every segment ever used would
+  /// leak. The removal-safety argument is identical: a dead cell is never
+  /// accessed again, so a fully-dead segment may be unlinked.
+  void onCellDead() {
+    std::uint32_t New = State.fetch_add(1, std::memory_order_acq_rel) + 1;
+    assert((New & CancelledMask) <= Size && "more dead cells than cells");
+    if (isRemovedState(New))
+      remove();
+  }
+
+  /// Attempts to register one more segment-pointer reference; fails iff the
+  /// segment is already logically removed (Listing 15, tryIncPointers).
+  bool tryIncPointers() {
+    std::uint32_t Cur = State.load(std::memory_order_acquire);
+    for (;;) {
+      if (isRemovedState(Cur))
+        return false;
+      if (State.compare_exchange_weak(Cur, Cur + PointerUnit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  /// Drops one segment-pointer reference; returns true iff the segment
+  /// became logically removed (Listing 15, decPointers).
+  bool decPointers() {
+    std::uint32_t New =
+        State.fetch_sub(PointerUnit, std::memory_order_acq_rel) - PointerUnit;
+    return isRemovedState(New);
+  }
+
+  /// Physically unlinks this logically-removed segment in O(1) absent
+  /// contention (Listing 15, remove). Removal of the tail is postponed: the
+  /// next findSegment that appends a successor finishes the job.
+  void remove() {
+    assert(ebr::isPinned() && "segment removal requires an EBR guard");
+    for (;;) {
+      // The tail segment is never removed (its id must stay unique).
+      Segment *NextAlive = NextLink.load(std::memory_order_acquire);
+      if (!NextAlive)
+        return;
+
+      Segment *Right = aliveSegmentRight();
+      Segment *Left = aliveSegmentLeft();
+
+      // Link the alive neighbours around us.
+      Right->PrevLink.store(Left, std::memory_order_release);
+      if (Left)
+        Left->NextLink.store(Right, std::memory_order_release);
+
+      // The neighbours may have been removed concurrently; if so, retry so
+      // that the stale links we just wrote are corrected before this guard
+      // is released (the EBR soundness argument relies on this).
+      if (Right->isRemoved() &&
+          Right->NextLink.load(std::memory_order_acquire) != nullptr)
+        continue;
+      if (Left && Left->isRemoved())
+        continue;
+
+      // Success. Hand the memory to EBR exactly once; concurrent remove()
+      // calls for the same segment are allowed by the protocol.
+      if (!RetireFlag.test_and_set(std::memory_order_acq_rel))
+        ebr::retireObject(this);
+      return;
+    }
+  }
+
+  /// First non-removed segment to the left, or null if none (Listing 15,
+  /// aliveSegmLeft).
+  Segment *aliveSegmentLeft() const {
+    Segment *Cur = PrevLink.load(std::memory_order_acquire);
+    while (Cur && Cur->isRemoved())
+      Cur = Cur->PrevLink.load(std::memory_order_acquire);
+    return Cur;
+  }
+
+  /// First non-removed segment to the right, or the tail if all are removed
+  /// (Listing 15, aliveSegmRight). Requires next() != null.
+  Segment *aliveSegmentRight() const {
+    Segment *Cur = NextLink.load(std::memory_order_acquire);
+    assert(Cur && "aliveSegmentRight called on the tail");
+    while (Cur->isRemoved()) {
+      Segment *Next = Cur->NextLink.load(std::memory_order_acquire);
+      if (!Next)
+        break;
+      Cur = Next;
+    }
+    return Cur;
+  }
+
+  /// Clears the prev link; always sound (the paper: "setting the prev of a
+  /// segment to null is always valid"), used by resume(..) to let processed
+  /// segments be collected.
+  void clearPrev() { PrevLink.store(nullptr, std::memory_order_release); }
+
+  /// Test hook: raw (pointers, cancelled) snapshot.
+  std::pair<std::uint32_t, std::uint32_t> stateForTesting() const {
+    std::uint32_t S = State.load(std::memory_order_acquire);
+    return {S >> 16, S & CancelledMask};
+  }
+
+  /// Whether this segment has been handed to EBR (destructor bookkeeping).
+  bool isRetiredForTesting() const {
+    // test_and_set-only flags have no plain load; approximate via a copy.
+    return const_cast<Segment *>(this)->RetireFlag.test(
+        std::memory_order_acquire);
+  }
+
+private:
+  template <unsigned S> friend class SegmentList;
+
+  static bool isRemovedState(std::uint32_t S) {
+    return (S & CancelledMask) == Size && (S >> 16) == 0;
+  }
+
+  std::atomic<Segment *> NextLink{nullptr};
+  std::atomic<Segment *> PrevLink;
+  std::atomic<std::uint32_t> State;
+  std::atomic_flag RetireFlag = ATOMIC_FLAG_INIT;
+};
+
+/// Stateless operations over the segment list; the CQS owns the two segment
+/// pointers and passes them in.
+template <unsigned Size> class SegmentList {
+public:
+  using Seg = Segment<Size>;
+
+  /// Returns the first non-removed segment with id >= \p Id, appending new
+  /// segments at the tail if needed (Listing 15, findSegment).
+  static Seg *findSegment(Seg *Start, std::uint64_t Id) {
+    assert(ebr::isPinned() && "list traversal requires an EBR guard");
+    Seg *Cur = Start;
+    while (Cur->Id < Id || Cur->isRemoved()) {
+      Seg *Next = Cur->NextLink.load(std::memory_order_acquire);
+      if (!Next) {
+        // Reached the tail: append a successor.
+        Seg *Fresh = new Seg(Cur->Id + 1, Cur, /*InitialPointers=*/0);
+        Seg *Expected = nullptr;
+        if (Cur->NextLink.compare_exchange_strong(Expected, Fresh,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+          // The old tail may have become removable while it was the tail;
+          // its postponed removal happens now (Listing 15, line 35).
+          if (Cur->isRemoved())
+            Cur->remove();
+          Next = Fresh;
+        } else {
+          delete Fresh; // lost the race; never published
+          Next = Expected;
+        }
+      }
+      Cur = Next;
+    }
+    return Cur;
+  }
+
+  /// Moves \p SegmentPtr forward to \p To unless it already references a
+  /// segment at least as far; returns false iff \p To got logically removed
+  /// first (Listing 15, moveForwardResume).
+  static bool moveForward(std::atomic<Seg *> &SegmentPtr, Seg *To) {
+    for (;;) {
+      Seg *Cur = SegmentPtr.load(std::memory_order_acquire);
+      if (Cur->Id >= To->Id)
+        return true;
+      if (!To->tryIncPointers())
+        return false;
+      if (SegmentPtr.compare_exchange_strong(Cur, To,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        if (Cur->decPointers())
+          Cur->remove();
+        return true;
+      }
+      // Lost the race: give back the reference we took on To.
+      if (To->decPointers())
+        To->remove();
+    }
+  }
+
+  /// findSegment + moveForward, restarted until the pointer is advanced
+  /// past a non-removed segment (Listing 15, findAndMoveForwardResume).
+  static Seg *findAndMoveForward(std::atomic<Seg *> &SegmentPtr, Seg *Start,
+                                 std::uint64_t Id) {
+    for (;;) {
+      Seg *S = findSegment(Start, Id);
+      if (moveForward(SegmentPtr, S))
+        return S;
+    }
+  }
+};
+
+} // namespace cqs
+
+#endif // CQS_CORE_SEGMENTLIST_H

@@ -1,0 +1,321 @@
+//===- future/Future.h - futures for blocking operations -------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper models every blocking operation as a Future (Section 2,
+/// Appendix A): lock()/acquire()/take() return immediately with either an
+/// ImmediateResult (the fast path took effect) or a Request that a later
+/// resume(..) completes. Futures support cancel(), which atomically aborts a
+/// pending request and fires the cancellation handler the CQS installed.
+///
+/// This file provides:
+///  - Request<T>: the suspending future (Listing 9), intrusively
+///    reference-counted so the CQS cell, the caller, and a canceller can
+///    share it without a GC. Waiters can either block the OS thread
+///    (C++20 atomic wait, standing in for Java's park/unpark) or attach a
+///    Continuation (standing in for a Kotlin coroutine continuation).
+///  - Future<T>: the user-facing handle — Invalid (SYNC-mode suspend()
+///    failure), Immediate, or Suspended around a Request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_FUTURE_FUTURE_H
+#define CQS_FUTURE_FUTURE_H
+
+#include "future/Ref.h"
+#include "support/Futex.h"
+#include "support/TaggedWord.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace cqs {
+
+/// Observable state of a Future, mirroring get()'s three outcomes in the
+/// paper: null (pending), a value (completed), or bottom (cancelled).
+enum class FutureStatus { Pending, Completed, Cancelled };
+
+/// A suspended blocking request awaiting resume(..) (Listing 9's Request).
+///
+/// The result slot is a tagged word: Token::Empty while pending,
+/// Token::Cancelled after a successful cancel(), or a Value word once
+/// completed. complete() and cancel() race through a single CAS, so exactly
+/// one of them takes effect — the property the formal specification calls
+/// "a Future cannot be both cancelled and completed" (Appendix G.2).
+template <typename T, typename Traits = ValueTraits<T>>
+class Request final : public RefCounted<Request<T, Traits>> {
+  static constexpr std::uint64_t PendingWord = makeTokenWord(Token::Empty);
+  static constexpr std::uint64_t CancelledWord =
+      makeTokenWord(Token::Cancelled);
+
+public:
+  /// Cancellation handler installed by the CQS before the request is
+  /// published (Listing 5's cancellationHandler(s, i)). Type-erased so this
+  /// header does not depend on the segment type.
+  using CancelFn = void (*)(void *Cqs, void *Segment, std::uint32_t CellIdx);
+
+  /// Callback fired when the request completes or is cancelled; used by the
+  /// coroutine runtime to reschedule the awaiting task. The object must stay
+  /// alive until invoked (it lives in the coroutine frame).
+  class Continuation {
+  public:
+    /// \p ResultWord is the request's final tagged result word.
+    virtual void invoke(std::uint64_t ResultWord) = 0;
+
+  protected:
+    ~Continuation() = default;
+  };
+
+  /// Creates a pending request with \p InitialRefs owners. suspend() uses 2
+  /// (the cell + the returned Future).
+  explicit Request(std::uint32_t InitialRefs)
+      : RefCounted<Request<T, Traits>>(InitialRefs) {}
+
+  /// Binds the cancellation handler. Must happen before the request is
+  /// returned to user code; the CQS knows the target cell when it creates
+  /// the request, so this is race-free.
+  void bindCancellation(CancelFn Fn, void *Cqs, void *Segment,
+                        std::uint32_t CellIdx) {
+    CancelHandler = Fn;
+    CancelCqs = Cqs;
+    CancelSegment = Segment;
+    CancelCellIdx = CellIdx;
+  }
+
+  /// Completes the request with \p V. Returns false iff the request was
+  /// already cancelled (resume(..) uses this to detect aborted waiters).
+  bool complete(T V) {
+    std::uint64_t Expected = PendingWord;
+    if (!Result.compare_exchange_strong(Expected,
+                                        encodeValueWord<T, Traits>(V),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      assert(Expected == CancelledWord &&
+             "Request completed twice — CQS hands out exactly one "
+             "completion permit");
+      return false;
+    }
+    finish();
+    return true;
+  }
+
+  /// Cancels the request. Returns false if it already completed. On success
+  /// runs the bound cancellation handler in the caller's thread, exactly as
+  /// Listing 9's cancel() does.
+  bool cancel() {
+    std::uint64_t Expected = PendingWord;
+    if (!Result.compare_exchange_strong(Expected, CancelledWord,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+      return false;
+    if (CancelHandler)
+      CancelHandler(CancelCqs, CancelSegment, CancelCellIdx);
+    finish();
+    return true;
+  }
+
+  FutureStatus status() const {
+    std::uint64_t W = Result.load(std::memory_order_acquire);
+    if (W == PendingWord)
+      return FutureStatus::Pending;
+    if (W == CancelledWord)
+      return FutureStatus::Cancelled;
+    return FutureStatus::Completed;
+  }
+
+  /// Non-blocking get(): the value if completed, std::nullopt otherwise
+  /// (pending or cancelled — disambiguate via status()).
+  std::optional<T> tryGet() const {
+    std::uint64_t W = Result.load(std::memory_order_acquire);
+    if (W == PendingWord || W == CancelledWord)
+      return std::nullopt;
+    return decodeValueWord<T, Traits>(W);
+  }
+
+  /// Parks the calling thread until completion or cancellation; nullopt iff
+  /// cancelled. This is the thread-waiter mode the paper's JVM benchmarks
+  /// use ("we use threads as waiters in CQS", Section 6).
+  std::optional<T> blockingGet() const {
+    std::uint64_t W = Result.load(std::memory_order_acquire);
+    while (W == PendingWord) {
+      Result.wait(PendingWord, std::memory_order_acquire);
+      W = Result.load(std::memory_order_acquire);
+    }
+    if (W == CancelledWord)
+      return std::nullopt;
+    return decodeValueWord<T, Traits>(W);
+  }
+
+  /// Timed wait: parks until completion/cancellation or until \p Timeout
+  /// elapses. Returns the status observed on return — Pending means the
+  /// wait timed out, after which callers typically cancel():
+  /// \code
+  ///   if (F.waitFor(50ms) == FutureStatus::Pending && F.cancel())
+  ///     ...timed out, request withdrawn...
+  ///   else
+  ///     ...use *F.tryGet() or observe cancellation...
+  /// \endcode
+  FutureStatus waitFor(std::chrono::nanoseconds Timeout) const {
+    auto Deadline = std::chrono::steady_clock::now() + Timeout;
+    for (;;) {
+      FutureStatus St = status();
+      if (St != FutureStatus::Pending)
+        return St;
+      auto Now = std::chrono::steady_clock::now();
+      if (Now >= Deadline)
+        return status();
+      futexWait(DoneFlag, 0, Deadline - Now);
+    }
+  }
+
+  /// Attaches \p C, to be invoked on completion/cancellation. Returns false
+  /// if the request already finished — the caller must not suspend and
+  /// should consume the result directly. At most one continuation may ever
+  /// be attached.
+  bool setContinuation(Continuation *C) {
+    void *Expected = nullptr;
+    if (ContSlot.compare_exchange_strong(Expected, C,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+      return true;
+    assert(Expected == doneSentinel() &&
+           "only one continuation may be attached to a Request");
+    return false;
+  }
+
+  /// Raw tagged result word (for Continuation::invoke consumers).
+  std::uint64_t resultWordForContinuation() const {
+    return Result.load(std::memory_order_acquire);
+  }
+
+private:
+  static void *doneSentinel() {
+    return reinterpret_cast<void *>(static_cast<std::uintptr_t>(1));
+  }
+
+  /// Common completion tail: wake parked threads and fire the continuation.
+  void finish() {
+    DoneFlag.store(1, std::memory_order_release);
+    futexWakeAll(DoneFlag);
+    Result.notify_all();
+    void *Old = ContSlot.exchange(doneSentinel(), std::memory_order_acq_rel);
+    if (Old && Old != doneSentinel())
+      static_cast<Continuation *>(Old)->invoke(
+          Result.load(std::memory_order_acquire));
+  }
+
+  mutable std::atomic<std::uint64_t> Result{PendingWord};
+  /// 32-bit completion flag for futex-based timed waits (futexes operate
+  /// on 32-bit words; Result is 64 bits wide).
+  std::atomic<std::uint32_t> DoneFlag{0};
+  std::atomic<void *> ContSlot{nullptr};
+
+  CancelFn CancelHandler = nullptr;
+  void *CancelCqs = nullptr;
+  void *CancelSegment = nullptr;
+  std::uint32_t CancelCellIdx = 0;
+};
+
+/// User-facing result of a potentially blocking operation.
+///
+/// Mirrors Appendix A: an ImmediateResult when the operation completed
+/// without suspension (no allocation happens in that case) or a handle to
+/// the suspended Request. Additionally an *invalid* Future models the null
+/// that suspend() returns when a SYNC-mode cell was broken (Appendix B).
+template <typename T, typename Traits = ValueTraits<T>>
+class Future {
+  enum class Kind : std::uint8_t { Invalid, Immediate, Suspended };
+
+public:
+  using RequestType = Request<T, Traits>;
+
+  Future() = default;
+
+  /// The failed suspend() of the synchronous resumption mode.
+  static Future invalid() { return Future(); }
+
+  /// An operation that completed without suspension.
+  static Future immediate(T V) {
+    Future F;
+    F.K = Kind::Immediate;
+    F.ImmediateWord = encodeValueWord<T, Traits>(V);
+    return F;
+  }
+
+  /// An operation that suspended; \p Req shares ownership of the request.
+  static Future suspended(Ref<RequestType> Req) {
+    assert(Req && "suspended future requires a request");
+    Future F;
+    F.K = Kind::Suspended;
+    F.Req = std::move(Req);
+    return F;
+  }
+
+  /// False iff suspend() failed on a broken SYNC-mode cell.
+  bool valid() const { return K != Kind::Invalid; }
+
+  /// True when the operation completed without suspending.
+  bool isImmediate() const { return K == Kind::Immediate; }
+
+  FutureStatus status() const {
+    assert(valid() && "status() on an invalid future");
+    if (K == Kind::Immediate)
+      return FutureStatus::Completed;
+    return Req->status();
+  }
+
+  /// Paper's get(): value if completed, nullopt if pending or cancelled.
+  std::optional<T> tryGet() const {
+    assert(valid() && "tryGet() on an invalid future");
+    if (K == Kind::Immediate)
+      return decodeValueWord<T, Traits>(ImmediateWord);
+    return Req->tryGet();
+  }
+
+  /// Parks until completed or cancelled; nullopt iff cancelled.
+  std::optional<T> blockingGet() const {
+    assert(valid() && "blockingGet() on an invalid future");
+    if (K == Kind::Immediate)
+      return decodeValueWord<T, Traits>(ImmediateWord);
+    return Req->blockingGet();
+  }
+
+  /// Timed wait; Pending on return means timeout (see Request::waitFor).
+  FutureStatus waitFor(std::chrono::nanoseconds Timeout) const {
+    assert(valid() && "waitFor() on an invalid future");
+    if (K == Kind::Immediate)
+      return FutureStatus::Completed;
+    return Req->waitFor(Timeout);
+  }
+
+  /// Paper's cancel(): true iff the pending request was aborted. Immediate
+  /// results are already completed, so cancel() returns false for them.
+  bool cancel() {
+    assert(valid() && "cancel() on an invalid future");
+    if (K == Kind::Immediate)
+      return false;
+    return Req->cancel();
+  }
+
+  /// The underlying request, or null for immediate/invalid futures. Used by
+  /// the coroutine awaitable adapter.
+  RequestType *request() const {
+    return K == Kind::Suspended ? Req.get() : nullptr;
+  }
+
+private:
+  Kind K = Kind::Invalid;
+  std::uint64_t ImmediateWord = 0;
+  Ref<RequestType> Req;
+};
+
+} // namespace cqs
+
+#endif // CQS_FUTURE_FUTURE_H

@@ -1,0 +1,114 @@
+//===- future/Ref.h - intrusive reference-counted pointer ------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal intrusive smart pointer. Request futures are shared between the
+/// caller of suspend(), the CQS cell that stores them, and a potential
+/// canceller; on the JVM the garbage collector arbitrates their lifetime, in
+/// C++ an intrusive atomic reference count does (DESIGN.md §3). Intrusive
+/// counting (rather than std::shared_ptr) lets the CQS store the raw pointer
+/// in its single-word atomic cells.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_FUTURE_REF_H
+#define CQS_FUTURE_REF_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace cqs {
+
+/// CRTP base providing an atomic reference count. Objects start with the
+/// count given to the constructor (callers that immediately publish the
+/// object to N owners can start at N and skip N-1 atomic increments).
+template <typename Derived> class RefCounted {
+public:
+  explicit RefCounted(std::uint32_t InitialRefs) : Refs(InitialRefs) {}
+
+  RefCounted(const RefCounted &) = delete;
+  RefCounted &operator=(const RefCounted &) = delete;
+
+  void addRef() const { Refs.fetch_add(1, std::memory_order_relaxed); }
+
+  void release() const {
+    std::uint32_t Prev = Refs.fetch_sub(1, std::memory_order_acq_rel);
+    assert(Prev > 0 && "over-release of RefCounted object");
+    if (Prev == 1)
+      delete static_cast<const Derived *>(this);
+  }
+
+  /// For tests: current reference count (racy by nature).
+  std::uint32_t refCountForTesting() const {
+    return Refs.load(std::memory_order_relaxed);
+  }
+
+protected:
+  ~RefCounted() = default;
+
+private:
+  mutable std::atomic<std::uint32_t> Refs;
+};
+
+/// Owning handle to a RefCounted object.
+template <typename T> class Ref {
+public:
+  Ref() = default;
+
+  /// Adopts an existing reference (does not increment). Use when the callee
+  /// hands over one of the counts it created the object with.
+  static Ref adopt(T *Ptr) {
+    Ref R;
+    R.Ptr = Ptr;
+    return R;
+  }
+
+  /// Shares \p Ptr (increments).
+  static Ref share(T *Ptr) {
+    if (Ptr)
+      Ptr->addRef();
+    return adopt(Ptr);
+  }
+
+  Ref(const Ref &Other) : Ptr(Other.Ptr) {
+    if (Ptr)
+      Ptr->addRef();
+  }
+
+  Ref(Ref &&Other) noexcept : Ptr(Other.Ptr) { Other.Ptr = nullptr; }
+
+  Ref &operator=(Ref Other) noexcept {
+    std::swap(Ptr, Other.Ptr);
+    return *this;
+  }
+
+  ~Ref() {
+    if (Ptr)
+      Ptr->release();
+  }
+
+  T *get() const { return Ptr; }
+  T *operator->() const { return Ptr; }
+  T &operator*() const { return *Ptr; }
+  explicit operator bool() const { return Ptr != nullptr; }
+
+  /// Releases ownership without decrementing; the caller takes over the
+  /// count (e.g. to stash the raw pointer in an atomic cell).
+  T *leak() {
+    T *P = Ptr;
+    Ptr = nullptr;
+    return P;
+  }
+
+private:
+  T *Ptr = nullptr;
+};
+
+} // namespace cqs
+
+#endif // CQS_FUTURE_REF_H

@@ -1,0 +1,175 @@
+//===- lincheck/Checker.h - mini concurrency-consistency checker -*- C++-*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature analogue of the Lincheck framework that the Kotlin team
+/// uses to validate the production CQS: execute a small scenario of
+/// operations concurrently, record every result, and verify that the
+/// outcome is *sequentially consistent* — explainable by some interleaving
+/// of the per-thread operation sequences executed against a sequential
+/// model of the data structure.
+///
+/// Scope notes, honestly stated:
+///  - The check is sequential consistency, not linearizability: it does
+///    not constrain the order by real-time non-overlap. For the
+///    operations we target (single-word CAS state machines) SC violations
+///    are what bugs produce, and SC keeps the verifier a simple DFS.
+///  - Operations must return their observable effect as an int64 and be
+///    total (no blocking); blocking operations are checked by the
+///    purpose-built suites in tests/ instead (futures make their
+///    suspension observable, which those tests exploit).
+///
+/// Usage: describe operations as (concurrent lambda, sequential-model
+/// lambda) pairs, build per-thread scenarios, and call
+/// ScChecker::checkOnce / checkMany.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_LINCHECK_CHECKER_H
+#define CQS_LINCHECK_CHECKER_H
+
+#include "support/Backoff.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cqs {
+namespace lincheck {
+
+/// One operation of the scenario, in both semantic flavours.
+template <typename Shared, typename Model> struct Op {
+  std::string Name;
+  /// Runs against the real concurrent structure; returns the observation.
+  std::function<std::int64_t(Shared &)> Concurrent;
+  /// Runs against the sequential model; returns the expected observation
+  /// for the interleaving position being explored.
+  std::function<std::int64_t(Model &)> Sequential;
+};
+
+/// Result of a check; Explanation is filled on failure.
+struct Verdict {
+  bool Ok = true;
+  std::string Explanation;
+};
+
+/// The checker. \p Model must be cheaply copyable (DFS snapshots it).
+template <typename Shared, typename Model> class ScChecker {
+public:
+  using OpT = Op<Shared, Model>;
+  /// A scenario: one operation sequence per thread.
+  using Scenario = std::vector<std::vector<OpT>>;
+
+  /// Executes \p S against a fresh Shared from \p MakeShared and verifies
+  /// the observed results against a fresh Model from \p MakeModel.
+  static Verdict
+  checkOnce(const std::function<Shared *()> &MakeShared,
+            const std::function<Model()> &MakeModel, const Scenario &S) {
+    Shared *Structure = MakeShared();
+    std::vector<std::vector<std::int64_t>> Observed(S.size());
+
+    // Concurrent phase: synchronized start, per-thread program order.
+    std::atomic<int> Ready{0};
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Ts;
+    for (std::size_t T = 0; T < S.size(); ++T) {
+      Observed[T].resize(S[T].size());
+      Ts.emplace_back([&, T] {
+        Ready.fetch_add(1);
+        Backoff B;
+        while (!Go.load(std::memory_order_acquire))
+          B.pause();
+        for (std::size_t I = 0; I < S[T].size(); ++I)
+          Observed[T][I] = S[T][I].Concurrent(*Structure);
+      });
+    }
+    Backoff B;
+    while (Ready.load() != static_cast<int>(S.size()))
+      B.pause();
+    Go.store(true, std::memory_order_release);
+    for (auto &T : Ts)
+      T.join();
+    // MakeShared returns the exact dynamic type, so deleting through
+    // Shared* is well-defined even when Shared has virtual members with a
+    // non-virtual destructor (e.g. primitives deriving from the CQS
+    // handler interface); silence GCC's heuristic warning.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdelete-non-virtual-dtor"
+#endif
+    delete Structure;
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+    // Verification phase: DFS over interleavings of the per-thread
+    // sequences, replaying the model.
+    std::vector<std::size_t> Pos(S.size(), 0);
+    if (dfs(S, Observed, Pos, MakeModel()))
+      return Verdict{};
+    return Verdict{false, explain(S, Observed)};
+  }
+
+  /// Runs \p Rounds independent executions of scenarios drawn by
+  /// \p MakeScenario(seed); returns the first failing verdict, if any.
+  static Verdict
+  checkMany(const std::function<Shared *()> &MakeShared,
+            const std::function<Model()> &MakeModel,
+            const std::function<Scenario(std::uint64_t)> &MakeScenario,
+            int Rounds, std::uint64_t Seed = 1) {
+    for (int R = 0; R < Rounds; ++R) {
+      Verdict V = checkOnce(MakeShared, MakeModel, MakeScenario(Seed + R));
+      if (!V.Ok)
+        return V;
+    }
+    return Verdict{};
+  }
+
+private:
+  static bool dfs(const Scenario &S,
+                  const std::vector<std::vector<std::int64_t>> &Observed,
+                  std::vector<std::size_t> &Pos, Model M) {
+    bool AllDone = true;
+    for (std::size_t T = 0; T < S.size(); ++T) {
+      if (Pos[T] >= S[T].size())
+        continue;
+      AllDone = false;
+      Model Next = M; // snapshot: each branch replays independently
+      std::int64_t Expected = S[T][Pos[T]].Sequential(Next);
+      if (Expected != Observed[T][Pos[T]])
+        continue; // this interleaving step contradicts the observation
+      ++Pos[T];
+      if (dfs(S, Observed, Pos, std::move(Next))) {
+        --Pos[T];
+        return true;
+      }
+      --Pos[T];
+    }
+    return AllDone;
+  }
+
+  static std::string
+  explain(const Scenario &S,
+          const std::vector<std::vector<std::int64_t>> &Observed) {
+    std::string Out = "no sequentially consistent explanation for:\n";
+    for (std::size_t T = 0; T < S.size(); ++T) {
+      Out += "  thread " + std::to_string(T) + ":";
+      for (std::size_t I = 0; I < S[T].size(); ++I)
+        Out += " " + S[T][I].Name + "->" + std::to_string(Observed[T][I]);
+      Out += "\n";
+    }
+    return Out;
+  }
+};
+
+} // namespace lincheck
+} // namespace cqs
+
+#endif // CQS_LINCHECK_CHECKER_H

@@ -1,0 +1,199 @@
+//===- reclaim/Ebr.cpp - epoch-based memory reclamation -------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/Ebr.h"
+
+#include <cassert>
+
+using namespace cqs;
+using namespace cqs::ebr;
+
+namespace {
+
+/// Global EBR state. A single domain serves the whole process; the CQS only
+/// retires segments and futures, so there is no benefit to per-structure
+/// domains.
+struct Domain {
+  /// Epochs start at 1 so that BagEpoch == 0 means "empty bag".
+  std::atomic<std::uint64_t> GlobalEpoch{1};
+  std::atomic<ThreadRecord *> Head{nullptr};
+
+  ThreadRecord *acquire();
+  void release(ThreadRecord *Rec);
+  bool tryAdvance(std::uint64_t Expected);
+};
+
+Domain &domain() {
+  // Leaked on purpose: thread records may be touched by detached threads
+  // during process teardown, so the domain must outlive all of them. This is
+  // a function-local static (constructed on first use), not a global static
+  // constructor.
+  static Domain *D = new Domain();
+  return *D;
+}
+
+ThreadRecord *Domain::acquire() {
+  // First try to recycle a record abandoned by a finished thread.
+  for (ThreadRecord *R = Head.load(std::memory_order_acquire); R;
+       R = R->Next) {
+    bool Expected = false;
+    if (!R->InUse.load(std::memory_order_relaxed))
+      if (R->InUse.compare_exchange_strong(Expected, true,
+                                           std::memory_order_acq_rel))
+        return R;
+  }
+  // None free: push a fresh record.
+  auto *R = new ThreadRecord();
+  R->InUse.store(true, std::memory_order_relaxed);
+  ThreadRecord *OldHead = Head.load(std::memory_order_relaxed);
+  do {
+    R->Next = OldHead;
+  } while (!Head.compare_exchange_weak(OldHead, R, std::memory_order_release,
+                                       std::memory_order_relaxed));
+  return R;
+}
+
+void Domain::release(ThreadRecord *Rec) {
+  assert((Rec->EpochAndPin.load(std::memory_order_relaxed) & 1) == 0 &&
+         "releasing a pinned thread record");
+  Rec->InUse.store(false, std::memory_order_release);
+}
+
+/// Attempts to move the global epoch from \p Expected to Expected+1. Fails
+/// if any pinned thread still observes an older epoch.
+bool Domain::tryAdvance(std::uint64_t Expected) {
+  for (ThreadRecord *R = Head.load(std::memory_order_acquire); R;
+       R = R->Next) {
+    std::uint64_t EP = R->EpochAndPin.load(std::memory_order_acquire);
+    if ((EP & 1) != 0 && (EP >> 1) != Expected)
+      return false;
+  }
+  return GlobalEpoch.compare_exchange_strong(Expected, Expected + 1,
+                                             std::memory_order_acq_rel);
+}
+
+/// Per-thread handle; owns the registry record for the thread's lifetime.
+struct LocalHandle {
+  ThreadRecord *Rec = nullptr;
+  unsigned PinDepth = 0;
+
+  ThreadRecord *record() {
+    if (!Rec)
+      Rec = domain().acquire();
+    return Rec;
+  }
+
+  ~LocalHandle() {
+    if (Rec)
+      domain().release(Rec);
+  }
+};
+
+thread_local LocalHandle Local;
+
+/// Frees every bag of \p Rec whose epoch is at least two behind \p Global.
+void collectBags(ThreadRecord *Rec, std::uint64_t Global) {
+  for (unsigned I = 0; I < 3; ++I) {
+    if (Rec->BagEpoch[I] == 0 || Rec->BagEpoch[I] + 2 > Global)
+      continue;
+    for (const Retired &G : Rec->Bags[I])
+      G.Deleter(G.Ptr);
+    Rec->Bags[I].clear();
+    Rec->BagEpoch[I] = 0;
+  }
+}
+
+} // namespace
+
+ebr::Guard::Guard() {
+  LocalHandle &H = Local;
+  if (H.PinDepth++ != 0)
+    return;
+  ThreadRecord *Rec = H.record();
+  Domain &D = domain();
+  // Standard pin protocol: publish (epoch, pinned) with a full fence, then
+  // re-read the global epoch until it is stable. The seq_cst store/load pair
+  // gives the store-load ordering the protocol needs.
+  std::uint64_t E = D.GlobalEpoch.load(std::memory_order_seq_cst);
+  for (;;) {
+    Rec->EpochAndPin.store((E << 1) | 1, std::memory_order_seq_cst);
+    std::uint64_t E2 = D.GlobalEpoch.load(std::memory_order_seq_cst);
+    if (E2 == E)
+      return;
+    E = E2;
+  }
+}
+
+ebr::Guard::~Guard() {
+  LocalHandle &H = Local;
+  assert(H.PinDepth > 0 && "unbalanced EBR guard");
+  if (--H.PinDepth != 0)
+    return;
+  H.Rec->EpochAndPin.store(0, std::memory_order_release);
+}
+
+void ebr::retire(void *Ptr, void (*Deleter)(void *)) {
+  assert(isPinned() && "ebr::retire requires an active Guard");
+  ThreadRecord *Rec = Local.record();
+  Domain &D = domain();
+  std::uint64_t Global = D.GlobalEpoch.load(std::memory_order_acquire);
+
+  collectBags(Rec, Global);
+
+  unsigned Slot = Global % 3;
+  if (Rec->BagEpoch[Slot] != 0 && Rec->BagEpoch[Slot] != Global) {
+    // The bag still holds garbage from an epoch that is not yet two behind;
+    // that can only be Global-1 or Global-2... but collectBags() already
+    // freed anything <= Global-2, and a slot collision means the epochs
+    // differ by a multiple of 3 — impossible for live garbage. Assert.
+    assert(false && "EBR bag slot collision");
+  }
+  Rec->BagEpoch[Slot] = Global;
+  Rec->Bags[Slot].push_back(Retired{Ptr, Deleter});
+
+  // Amortize the registry scan: attempt an epoch advance only occasionally.
+  if (++Rec->RetiresSinceAdvance >= 64) {
+    Rec->RetiresSinceAdvance = 0;
+    if (D.tryAdvance(Global))
+      collectBags(Rec, Global + 1);
+  }
+}
+
+bool ebr::isPinned() { return Local.PinDepth > 0; }
+
+void ebr::drainForTesting() {
+  Domain &D = domain();
+  // Advance the epoch a few times (no thread may be pinned), then free all
+  // bags of all records.
+  for (int I = 0; I < 4; ++I) {
+    std::uint64_t E = D.GlobalEpoch.load(std::memory_order_acquire);
+    D.tryAdvance(E);
+  }
+  std::uint64_t Global = D.GlobalEpoch.load(std::memory_order_acquire);
+  for (ThreadRecord *R = D.Head.load(std::memory_order_acquire); R;
+       R = R->Next) {
+    assert((R->EpochAndPin.load(std::memory_order_acquire) & 1) == 0 &&
+           "drainForTesting called while a thread is pinned");
+    collectBags(R, Global);
+    // After three advances with no pinned threads every bag is collectable;
+    // force-free any remainder.
+    for (unsigned I = 0; I < 3; ++I) {
+      for (const Retired &G : R->Bags[I])
+        G.Deleter(G.Ptr);
+      R->Bags[I].clear();
+      R->BagEpoch[I] = 0;
+    }
+  }
+}
+
+std::size_t ebr::pendingForTesting() {
+  std::size_t N = 0;
+  for (ThreadRecord *R = domain().Head.load(std::memory_order_acquire); R;
+       R = R->Next)
+    for (unsigned I = 0; I < 3; ++I)
+      N += R->Bags[I].size();
+  return N;
+}

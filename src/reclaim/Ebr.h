@@ -1,0 +1,108 @@
+//===- reclaim/Ebr.h - epoch-based memory reclamation ----------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-based reclamation (EBR) for the lock-free segment list.
+///
+/// The paper's implementation runs on the JVM and leans on its garbage
+/// collector: a segment full of cancelled cells is unlinked from the list
+/// and the GC frees it once no thread can reach it. In C++ we must free
+/// segments manually, but a concurrent resume(..)/suspend()/cancel() may
+/// still hold a raw pointer to a just-removed segment, and — worse — a
+/// concurrent Segment::remove() may transiently *re-link* a removed segment
+/// into a live prev/next field before its own retry loop fixes the link.
+///
+/// EBR makes this safe under one discipline, which the CQS core follows:
+///
+///   1. Every operation that traverses or mutates the segment list runs
+///      inside an ebr::Guard (an epoch pin).
+///   2. A segment is retired (ebr::retire) only after its remove() call has
+///      completed, i.e. after the removal protocol of Appendix C, Listing 15.
+///   3. Any code that *stores* a segment pointer into shared memory
+///      (moveForward, remove's relinking) re-checks `removed()` afterwards
+///      and retries within the same Guard, so every stale store of a removed
+///      segment is corrected before the storing thread unpins.
+///
+/// With (3), once the global epoch has advanced past the retire epoch, no
+/// shared location still points at the retired segment; the classic
+/// three-epoch rule (free garbage of epoch e when the global epoch reaches
+/// e+2) then guarantees no pinned reader can hold a stale local pointer
+/// either. This argument replaces the paper's "the GC keeps it alive as long
+/// as referenced" and is discussed in DESIGN.md §3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_RECLAIM_EBR_H
+#define CQS_RECLAIM_EBR_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cqs {
+namespace ebr {
+
+/// One retired allocation awaiting a safe epoch.
+struct Retired {
+  void *Ptr;
+  void (*Deleter)(void *);
+};
+
+/// Per-thread participant state. Records are allocated once, linked into a
+/// global list, and recycled across threads; they are never freed while the
+/// process runs (a standard EBR simplification: the record count is bounded
+/// by the peak number of concurrent threads).
+class ThreadRecord {
+public:
+  /// Low bit: pinned flag; upper bits: the epoch observed at pin time.
+  std::atomic<std::uint64_t> EpochAndPin{0};
+  /// True while some live thread owns this record.
+  std::atomic<bool> InUse{false};
+  /// Next record in the global registry (push-only list).
+  ThreadRecord *Next = nullptr;
+
+  /// Garbage bags indexed by epoch % 3, plus the epoch each bag belongs to.
+  std::vector<Retired> Bags[3];
+  std::uint64_t BagEpoch[3] = {0, 0, 0};
+  /// Retires since the last advance attempt, to pace tryAdvance().
+  unsigned RetiresSinceAdvance = 0;
+};
+
+/// Pins the current thread's epoch for the duration of the scope. Reentrant:
+/// nested guards share the outermost pin.
+class Guard {
+public:
+  Guard();
+  ~Guard();
+
+  Guard(const Guard &) = delete;
+  Guard &operator=(const Guard &) = delete;
+};
+
+/// Retires \p Ptr; \p Deleter will run once no pinned thread can reach it.
+/// Must be called with an active Guard on this thread.
+void retire(void *Ptr, void (*Deleter)(void *));
+
+/// Convenience wrapper retiring an object allocated with `new`.
+template <typename T> void retireObject(T *Ptr) {
+  retire(Ptr, [](void *P) { delete static_cast<T *>(P); });
+}
+
+/// Returns true if the calling thread currently holds a Guard.
+bool isPinned();
+
+/// Frees all retired garbage. Only safe when no thread is pinned (test
+/// teardown / quiescent points); asserts that this is the case.
+void drainForTesting();
+
+/// Number of allocations currently awaiting reclamation (approximate; for
+/// tests and leak diagnostics).
+std::size_t pendingForTesting();
+
+} // namespace ebr
+} // namespace cqs
+
+#endif // CQS_RECLAIM_EBR_H

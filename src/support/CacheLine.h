@@ -1,0 +1,44 @@
+//===- support/CacheLine.h - cache-line alignment helpers ------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line size constant and a padding wrapper used to keep hot atomic
+/// counters (e.g. suspendIdx/resumeIdx of the CQS) on separate lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_CACHELINE_H
+#define CQS_SUPPORT_CACHELINE_H
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace cqs {
+
+/// Size in bytes of one cache line on the target. We hard-code the common
+/// x86-64/ARM64 value instead of std::hardware_destructive_interference_size
+/// because the latter is an ABI-stability minefield on GCC.
+inline constexpr std::size_t CacheLineSize = 64;
+
+/// Wraps a value so that it occupies (at least) one full cache line,
+/// preventing false sharing between adjacent hot fields.
+template <typename T> struct alignas(CacheLineSize) CachePadded {
+  T Value;
+
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args &&...A) : Value(std::forward<Args>(A)...) {}
+
+  T &operator*() { return Value; }
+  const T &operator*() const { return Value; }
+  T *operator->() { return &Value; }
+  const T *operator->() const { return &Value; }
+};
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_CACHELINE_H

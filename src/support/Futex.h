@@ -1,0 +1,73 @@
+//===- support/Futex.h - timed waiting on 32-bit words ---------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin futex wrapper. C++20's std::atomic::wait has no timed variant,
+/// but abortable synchronization in practice is dominated by *timeouts*
+/// ("wait up to 50ms, then cancel the request"), so the futures expose a
+/// waitFor API backed by FUTEX_WAIT with a timeout. This mirrors how
+/// java.util.concurrent's parkNanos underlies its timed acquires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_FUTEX_H
+#define CQS_SUPPORT_FUTEX_H
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace cqs {
+
+/// Blocks while `*Word == Expected`, up to \p Timeout (forever if the
+/// timeout is negative). Returns on wake-up, timeout, value change, or
+/// spuriously — callers re-check their predicate in a loop.
+inline void futexWait(const std::atomic<std::uint32_t> &Word,
+                      std::uint32_t Expected,
+                      std::chrono::nanoseconds Timeout) {
+#if defined(__linux__)
+  struct timespec Ts;
+  struct timespec *TsPtr = nullptr;
+  if (Timeout.count() >= 0) {
+    Ts.tv_sec = static_cast<time_t>(Timeout.count() / 1000000000);
+    Ts.tv_nsec = static_cast<long>(Timeout.count() % 1000000000);
+    TsPtr = &Ts;
+  }
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t *>(&Word),
+          FUTEX_WAIT_PRIVATE, Expected, TsPtr, nullptr, 0);
+#else
+  // Portable fallback: untimed atomic wait when no deadline was given,
+  // otherwise a short sleep so the caller's deadline loop makes progress.
+  if (Timeout.count() < 0)
+    Word.wait(Expected, std::memory_order_acquire);
+  else
+    std::this_thread::sleep_for(
+        std::min(Timeout, std::chrono::nanoseconds(100000)));
+#endif
+}
+
+/// Wakes every waiter blocked in futexWait on \p Word.
+inline void futexWakeAll(const std::atomic<std::uint32_t> &Word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t *>(&Word),
+          FUTEX_WAKE_PRIVATE, INT32_MAX, nullptr, nullptr, 0);
+#else
+  Word.notify_all();
+#endif
+}
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_FUTEX_H

@@ -1,0 +1,47 @@
+//===- support/Rng.h - fast deterministic PRNGs ----------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 and xorshift generators used by the benchmark harness and the
+/// randomized/property tests. Deterministic per seed so failures reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_RNG_H
+#define CQS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace cqs {
+
+/// SplitMix64: tiny, fast, and passes BigCrush; ideal for seeding and for
+/// benchmark workloads where statistical perfection is irrelevant.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) { return next() % Bound; }
+
+  /// Bernoulli trial that succeeds with probability Num/Den.
+  bool chance(std::uint64_t Num, std::uint64_t Den) {
+    return nextBelow(Den) < Num;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_RNG_H

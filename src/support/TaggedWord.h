@@ -1,0 +1,107 @@
+//===- support/TaggedWord.h - tagged 64-bit state words --------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 64-bit word that holds either a small state token, an encoded user
+/// value, or a pointer. Both the CQS cells (Section 2/3 of the paper) and
+/// the Future result slot (Appendix A) use this representation so that every
+/// state transition of the cell life-cycle diagrams is a single atomic
+/// CAS/exchange.
+///
+/// Layout (low 3 bits are the tag):
+///   tag 0 (Token):   word == Token << 3; Token::Empty makes the word 0.
+///   tag 1 (Value):   word == (payload << 3) | 1, payload from ValueTraits.
+///   tag 2 (Pointer): word == ptr | 2; the pointee is 8-byte aligned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_TAGGEDWORD_H
+#define CQS_SUPPORT_TAGGEDWORD_H
+
+#include "support/ValueCodec.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Small state tokens stored in cells and future result slots. The names
+/// follow the paper's cell life-cycle diagrams (Figures 2, 4, 10, 11).
+enum class Token : std::uint64_t {
+  /// Cell not yet visited by either operation; also "future still pending"
+  /// in a Request result slot. Must be zero: fresh cells are zero-filled.
+  Empty = 0,
+  /// suspend() extracted a value placed by an earlier resume(..).
+  Taken = 1,
+  /// A synchronous-mode resume(..) gave up waiting for its rendezvous and
+  /// poisoned the cell (Appendix B).
+  Broken = 2,
+  /// resume(..) completed the stored future; cleared for memory reclamation.
+  Resumed = 3,
+  /// The stored waiter was cancelled (both cancellation modes).
+  Cancelled = 4,
+  /// Smart cancellation determined the matching resume(..) must be refused
+  /// (Section 3.2).
+  Refuse = 5,
+};
+
+/// Discriminates the three payload kinds of a tagged word.
+enum class WordKind : std::uint64_t { Token = 0, Value = 1, Pointer = 2 };
+
+inline constexpr std::uint64_t WordTagMask = 0x7;
+
+constexpr std::uint64_t makeTokenWord(Token T) {
+  return static_cast<std::uint64_t>(T) << 3;
+}
+
+constexpr std::uint64_t makeValueWord(std::uint64_t Payload) {
+  return (Payload << 3) | static_cast<std::uint64_t>(WordKind::Value);
+}
+
+inline std::uint64_t makePointerWord(void *Ptr) {
+  auto Bits = reinterpret_cast<std::uint64_t>(Ptr);
+  assert((Bits & WordTagMask) == 0 && "pointer must be 8-byte aligned");
+  return Bits | static_cast<std::uint64_t>(WordKind::Pointer);
+}
+
+constexpr WordKind wordKind(std::uint64_t Word) {
+  return static_cast<WordKind>(Word & WordTagMask);
+}
+
+constexpr bool isToken(std::uint64_t Word, Token T) {
+  return Word == makeTokenWord(T);
+}
+
+constexpr Token tokenOf(std::uint64_t Word) {
+  assert(wordKind(Word) == WordKind::Token && "not a token word");
+  return static_cast<Token>(Word >> 3);
+}
+
+constexpr std::uint64_t valuePayloadOf(std::uint64_t Word) {
+  assert(wordKind(Word) == WordKind::Value && "not a value word");
+  return Word >> 3;
+}
+
+inline void *pointerOf(std::uint64_t Word) {
+  assert(wordKind(Word) == WordKind::Pointer && "not a pointer word");
+  return reinterpret_cast<void *>(Word & ~WordTagMask);
+}
+
+/// Encodes a user value of type T into a tagged Value word.
+template <typename T, typename Traits = ValueTraits<T>>
+std::uint64_t encodeValueWord(const T &V) {
+  return makeValueWord(Traits::encode(V));
+}
+
+/// Decodes a tagged Value word back into T.
+template <typename T, typename Traits = ValueTraits<T>>
+T decodeValueWord(std::uint64_t Word) {
+  return Traits::decode(valuePayloadOf(Word));
+}
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_TAGGEDWORD_H

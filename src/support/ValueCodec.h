@@ -1,0 +1,80 @@
+//===- support/ValueCodec.h - encode values into tagged words --*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CQS stores each cell in a single atomic 64-bit word so that every
+/// life-cycle transition of Figures 2/4/10/11 of the paper is one CAS or
+/// exchange. Cells can hold either a small token (EMPTY, TAKEN, BROKEN, ...),
+/// a pointer to a waiting Request future, or the resumption *value* placed by
+/// a resume(..) that arrived before its suspend(). This header defines how a
+/// user value of type T is encoded into the 61-bit payload of such a word.
+///
+/// On the JVM the value is simply an object reference; in C++ we require T to
+/// be encodable, which covers everything the paper's primitives transfer:
+/// Unit (semaphore/mutex/latch/barrier permits), pointers (pool elements),
+/// and small integers. Users can specialize ValueTraits for their own types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_VALUECODEC_H
+#define CQS_SUPPORT_VALUECODEC_H
+
+#include <cstdint>
+#include <type_traits>
+
+namespace cqs {
+
+/// The unit type: carries no information. Used by primitives whose blocking
+/// operations transfer a logical permit rather than data.
+struct Unit {
+  friend constexpr bool operator==(Unit, Unit) { return true; }
+};
+
+/// Number of payload bits available in a tagged cell word (64 minus the
+/// 3-bit tag).
+inline constexpr unsigned ValuePayloadBits = 61;
+
+/// Maps T to/from a 61-bit payload. The primary template handles integral
+/// types; specializations below handle Unit and pointers.
+template <typename T, typename Enable = void> struct ValueTraits;
+
+/// Integral values up to 32 bits are zero-extended into the payload (a
+/// bijection, so decode is exact). Wider integrals would not round-trip
+/// through 61 bits and are rejected at compile time.
+template <typename T>
+struct ValueTraits<T, std::enable_if_t<std::is_integral_v<T>>> {
+  static_assert(sizeof(T) <= 4,
+                "integral CQS values must fit in 32 bits; use a pointer "
+                "or specialize ValueTraits for wider payloads");
+
+  static std::uint64_t encode(T V) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(V));
+  }
+  static T decode(std::uint64_t Payload) {
+    return static_cast<T>(static_cast<std::uint32_t>(Payload));
+  }
+};
+
+template <> struct ValueTraits<Unit> {
+  static std::uint64_t encode(Unit) { return 0; }
+  static Unit decode(std::uint64_t) { return Unit{}; }
+};
+
+/// Pointers round-trip through the payload; on all supported platforms the
+/// significant bits of an object pointer fit in 61 bits (user-space
+/// addresses are <= 57 bits on x86-64/aarch64).
+template <typename T> struct ValueTraits<T *> {
+  static std::uint64_t encode(T *V) {
+    return reinterpret_cast<std::uint64_t>(V);
+  }
+  static T *decode(std::uint64_t Payload) {
+    return reinterpret_cast<T *>(Payload);
+  }
+};
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_VALUECODEC_H

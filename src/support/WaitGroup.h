@@ -1,0 +1,58 @@
+//===- support/WaitGroup.h - completion counter for tests/bench -*- C++-*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Go-style wait group: add() registers pending work, done() retires it,
+/// wait() blocks until the count reaches zero. Used by the benchmark harness
+/// and the coroutine runtime to join fire-and-forget tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_WAITGROUP_H
+#define CQS_SUPPORT_WAITGROUP_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Counts outstanding work items; wait() parks via C++20 atomic waiting.
+class WaitGroup {
+public:
+  explicit WaitGroup(std::uint32_t Initial = 0) : Count(Initial) {}
+
+  void add(std::uint32_t N = 1) {
+    Count.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  void done() {
+    std::uint32_t Prev = Count.fetch_sub(1, std::memory_order_acq_rel);
+    assert(Prev > 0 && "WaitGroup::done() without matching add()");
+    if (Prev == 1)
+      Count.notify_all();
+  }
+
+  /// Blocks until the count drops to zero.
+  void wait() const {
+    std::uint32_t Cur = Count.load(std::memory_order_acquire);
+    while (Cur != 0) {
+      Count.wait(Cur, std::memory_order_acquire);
+      Cur = Count.load(std::memory_order_acquire);
+    }
+  }
+
+  std::uint32_t pending() const {
+    return Count.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<std::uint32_t> Count;
+};
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_WAITGROUP_H

@@ -1,0 +1,70 @@
+//===- support/Work.h - geometrically distributed busy work ----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmarks interleave each synchronization operation with
+/// "some uncontended work — the work size is geometrically distributed with
+/// a fixed mean" (Section 6). This header reproduces that workload shape:
+/// a geometric number of loop iterations of opaque arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_WORK_H
+#define CQS_SUPPORT_WORK_H
+
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace cqs {
+
+/// Performs \p Iters iterations of uncontended arithmetic that the compiler
+/// cannot elide. Each iteration is a handful of ALU ops, matching the
+/// "uncontended loop iteration" unit used throughout the paper's plots.
+inline void spinWork(std::uint64_t Iters) {
+  std::uint64_t Acc = Iters + 1;
+  for (std::uint64_t I = 0; I < Iters; ++I)
+    Acc = Acc * 6364136223846793005ull + 1442695040888963407ull;
+  // Publish through a compiler barrier so the loop is not dead code.
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  volatile std::uint64_t Sink = Acc;
+  (void)Sink;
+}
+
+/// Per-thread generator of geometrically distributed work amounts with a
+/// given mean, as used by the JMH benchmarks the paper reports.
+class GeometricWork {
+public:
+  /// \p Mean is the expected number of loop iterations; 0 disables work.
+  GeometricWork(std::uint64_t Mean, std::uint64_t Seed)
+      : Mean(Mean), Rng(Seed) {}
+
+  /// Draws one geometric sample (support {0, 1, 2, ...}, mean ~Mean).
+  std::uint64_t nextAmount() {
+    if (Mean == 0)
+      return 0;
+    // Geometric via inversion on a coarse grid: count trials until a
+    // success with probability 1/Mean. Bounded to 32*Mean to keep the
+    // tail from producing pathological benchmark iterations.
+    std::uint64_t N = 0;
+    const std::uint64_t Limit = 32 * Mean;
+    while (N < Limit && !Rng.chance(1, Mean))
+      ++N;
+    return N;
+  }
+
+  /// Draws a sample and burns that much CPU.
+  void run() { spinWork(nextAmount()); }
+
+private:
+  std::uint64_t Mean;
+  SplitMix64 Rng;
+};
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_WORK_H

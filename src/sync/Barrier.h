@@ -1,0 +1,101 @@
+//===- sync/Barrier.h - cyclic-point barrier over CQS ----------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The barrier of Section 4.1 (Listing 6): `parties` operations wait for
+/// each other at a common point. A single Fetch-And-Add counts arrivals; the
+/// last arriver resumes everyone else through the CQS.
+///
+/// Like the paper (and Java), cancellation is not *supported* — resuming a
+/// set of waiters atomically is impossible — but unlike Java's "broken
+/// barrier" the design *ignores* cancellation: a cancelled waiter has
+/// already arrived, so the remaining parties still proceed. Concretely, the
+/// last arriver's resume(..) calls simply skip over cancelled futures
+/// (simple cancellation: a failed resume corresponds to exactly one
+/// cancelled waiter, so nothing is retried).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_BARRIER_H
+#define CQS_SYNC_BARRIER_H
+
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Single-use barrier for a fixed number of parties.
+template <unsigned SegmentSize = 16> class BasicBarrier {
+public:
+  using CqsType = Cqs<Unit, ValueTraits<Unit>, SegmentSize>;
+  using FutureType = typename CqsType::FutureType;
+
+  explicit BasicBarrier(std::int64_t Parties)
+      : Q(CancellationMode::Simple, ResumptionMode::Async), Remaining(Parties),
+        Parties(Parties) {
+    assert(Parties >= 1 && "barrier needs at least one party");
+  }
+
+  /// Registers the caller's arrival. All but the last arriver receive a
+  /// future that completes when the final party arrives; the last arriver
+  /// completes immediately after waking everyone.
+  FutureType arrive() {
+    FutureType F = tryArrive();
+    assert(F.valid() && "more arrive() calls than parties");
+    return F;
+  }
+
+  /// Result of tryArrive(): the future plus whether this call was the
+  /// final arrival. The two are NOT synonymous — a non-last arriver whose
+  /// wake-up raced ahead of its suspend() receives an *immediate* future
+  /// through the CQS elimination path, so "immediate" must never be used
+  /// to detect the last arriver.
+  struct Arrival {
+    FutureType Future;
+    bool Last = false;
+  };
+
+  /// Like arrive(), but an over-arrival (more calls than parties) returns
+  /// an invalid future instead of asserting. Used by the cyclic wrapper,
+  /// where a racing arrival for the *next* generation can reach a spent
+  /// instance and must retry on the fresh one.
+  FutureType tryArrive() { return tryArriveTagged().Future; }
+
+  /// tryArrive() plus the last-arriver tag (see Arrival).
+  Arrival tryArriveTagged() {
+    std::int64_t R = Remaining->fetch_sub(1, std::memory_order_acq_rel);
+    if (R < 1)
+      return {FutureType::invalid(), false};
+    if (R > 1)
+      return {Q.suspend(), false};
+    // Last arriver: wake all the earlier ones. A false return means that
+    // waiter cancelled itself — it already arrived, so just move on.
+    for (std::int64_t I = 0; I < Parties - 1; ++I)
+      (void)Q.resume(Unit{});
+    return {FutureType::immediate(Unit{}), true};
+  }
+
+  /// Parties that have not arrived yet (test/diagnostic hook).
+  std::int64_t remainingForTesting() const {
+    return Remaining->load(std::memory_order_acquire);
+  }
+
+private:
+  CqsType Q;
+  CachePadded<std::atomic<std::int64_t>> Remaining;
+  const std::int64_t Parties;
+};
+
+using Barrier = BasicBarrier<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_BARRIER_H

@@ -1,0 +1,213 @@
+//===- sync/Channel.h - buffered & rendezvous channels over CQS -*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded blocking channel — the "synchronous queues" direction the
+/// paper names as future work (Section 7), built by composing the CQS
+/// machinery this library already provides:
+///
+///  - one balance counter C: negative = waiting receivers, in [0,Capacity)
+///    = buffered items, >= Capacity = senders blocked on backpressure;
+///  - a receivers CQS (smart cancellation): receive() suspends when empty;
+///  - a senders CQS: send() suspends when the buffer is full, resumed as
+///    acknowledgement when a receive drains the balance below capacity;
+///  - the infinite-array storage reused from the queue pool, holding the
+///    elements themselves (sends enqueue their element immediately, so
+///    FIFO order is fixed at send time even for blocked sends).
+///
+/// Capacity 0 gives a rendezvous (synchronous) channel: every send
+/// suspends until a receiver takes its element, every receive suspends
+/// until a send supplies one.
+///
+/// Semantics and honest limitations:
+///  - FIFO: elements are received in send order; suspended receivers are
+///    served in arrival order.
+///  - receive() is fully abortable (smart cancellation; a refused element
+///    is re-delivered, never lost).
+///  - Cancelling a *suspended send* is not supported: by the time the send
+///    suspended, its element is already in the channel; the cancel only
+///    abandons the backpressure acknowledgement. (Full bidirectional
+///    cancellation requires fusing element and waiter into one cell — the
+///    design of the Koval et al. channel paper — and is out of scope.)
+///  - Backpressure is counter-matched like the semaphore: each receive
+///    that drains the balance below capacity wakes the longest-blocked
+///    sender. Identity pairing between a specific element and a specific
+///    acknowledgement is not tracked (same caveat family as the paper's
+///    pools being "bags with specific heuristics").
+///  - Re-delivery of a refused (cancelled-receive) element may transiently
+///    exceed Capacity and admit one blocked sender a slot early; elements
+///    are still never lost or duplicated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_CHANNEL_H
+#define CQS_SYNC_CHANNEL_H
+
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "support/CacheLine.h"
+#include "sync/Pool.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+namespace cqs {
+
+/// Bounded FIFO channel; Capacity 0 makes it a rendezvous channel.
+template <typename E, unsigned SegmentSize = 16>
+class BufferedChannel
+    : private Cqs<E, ValueTraits<E>, SegmentSize>::SmartCancellationHandler {
+public:
+  using ReceiversCqs = Cqs<E, ValueTraits<E>, SegmentSize>;
+  using SendersCqs = Cqs<Unit, ValueTraits<Unit>, SegmentSize>;
+  using ReceiveFuture = typename ReceiversCqs::FutureType;
+  using SendFuture = typename SendersCqs::FutureType;
+
+  explicit BufferedChannel(std::int64_t Capacity)
+      : Receivers(CancellationMode::Smart, ResumptionMode::Async, this),
+        Senders(CancellationMode::Simple, ResumptionMode::Async),
+        Capacity(Capacity) {
+    assert(Capacity >= 0 && "negative channel capacity");
+  }
+
+  /// Sends \p V. The element is in the channel (in FIFO position) when
+  /// this returns; the future is immediate unless the buffer was full, in
+  /// which case it completes when a buffer slot frees up (backpressure).
+  SendFuture send(E V) {
+    for (;;) {
+      std::int64_t S = Balance->fetch_add(1, std::memory_order_acq_rel);
+      if (S < 0) {
+        // A receiver is waiting: rendezvous directly, no buffering.
+        [[maybe_unused]] bool Ok = Receivers.resume(V);
+        assert(Ok && "smart/async resume cannot fail");
+        return SendFuture::immediate(Unit{});
+      }
+      if (!Storage.tryInsert(V))
+        continue; // a racing receive broke our slot; both restart
+      if (S < Capacity)
+        return SendFuture::immediate(Unit{});
+      // Buffer full: the element is queued but we owe the caller a
+      // backpressure wait until a slot frees.
+      return Senders.suspend();
+    }
+  }
+
+  /// Receives the next element in FIFO order, suspending when the channel
+  /// is empty. The returned future is abortable.
+  ReceiveFuture receive() {
+    for (;;) {
+      std::int64_t S = Balance->fetch_sub(1, std::memory_order_acq_rel);
+      if (S <= 0)
+        return Receivers.suspend();
+      E V;
+      if (!Storage.tryRetrieve(V))
+        continue; // the paired send has not inserted yet; restart
+      if (S > Capacity) {
+        // Draining below the high-water mark frees a slot: acknowledge
+        // the longest-blocked sender (counter-matched, like the
+        // semaphore: one such receive per blocked send). A false return
+        // cannot happen in async mode with never-cancelled senders.
+        (void)Senders.resume(Unit{});
+      }
+      return ReceiveFuture::immediate(V);
+    }
+  }
+
+  /// Non-blocking send: delivers \p V iff a receiver waits or the buffer
+  /// has room; never incurs the backpressure wait.
+  bool trySend(E V) {
+    for (;;) {
+      std::int64_t S = Balance->load(std::memory_order_acquire);
+      if (S >= Capacity)
+        return false; // would block
+      if (!Balance->compare_exchange_weak(S, S + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+        continue;
+      if (S < 0) {
+        [[maybe_unused]] bool Ok = Receivers.resume(V);
+        assert(Ok && "smart/async resume cannot fail");
+        return true;
+      }
+      if (Storage.tryInsert(V))
+        return true;
+      // Raced with a receive that broke our slot; both restart.
+    }
+  }
+
+  /// Non-blocking receive: the next element, or std::nullopt when empty.
+  std::optional<E> tryReceive() {
+    for (;;) {
+      std::int64_t S = Balance->load(std::memory_order_acquire);
+      if (S <= 0)
+        return std::nullopt;
+      if (!Balance->compare_exchange_weak(S, S - 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+        continue;
+      E V;
+      if (!Storage.tryRetrieve(V))
+        continue; // paired send not inserted yet; retry whole op
+      if (S > Capacity)
+        (void)Senders.resume(Unit{});
+      return V;
+    }
+  }
+
+  /// Buffered elements (negative: waiting receivers; above Capacity:
+  /// blocked senders). Racy diagnostic.
+  std::int64_t balanceForTesting() const {
+    return Balance->load(std::memory_order_acquire);
+  }
+
+private:
+  /// Cancellation of a waiting receive (the pool pattern): deregister it,
+  /// refusing when an incoming send already matched it.
+  bool onCancellation() override {
+    std::int64_t S = Balance->fetch_add(1, std::memory_order_acq_rel);
+    return S < 0;
+  }
+
+  /// A refused receive owns an element; re-deliver it without blocking.
+  /// Exactly the pool's protocol (Listing 17): the increment that
+  /// onCancellation() performed already re-counted the element, so first
+  /// try a *bare* insert; only if a racing receive broke that slot does a
+  /// full put (with its own increment, pairing the racer's restart) run.
+  /// Buffering may transiently exceed Capacity here; that is fine — no
+  /// sender waits on this slot (AckNeeded=false).
+  void completeRefusedResume(E V) override {
+    if (Storage.tryInsert(V))
+      return;
+    for (;;) {
+      std::int64_t S = Balance->fetch_add(1, std::memory_order_acq_rel);
+      if (S < 0) {
+        (void)Receivers.resume(V);
+        return;
+      }
+      if (Storage.tryInsert(V))
+        return;
+    }
+  }
+
+  ReceiversCqs Receivers;
+  SendersCqs Senders;
+  QueuePoolStorage<E, SegmentSize> Storage;
+  CachePadded<std::atomic<std::int64_t>> Balance{0};
+  const std::int64_t Capacity;
+};
+
+/// Synchronous (rendezvous) channel: send and receive meet pairwise.
+template <typename E, unsigned SegmentSize = 16>
+class RendezvousChannel : public BufferedChannel<E, SegmentSize> {
+public:
+  RendezvousChannel() : BufferedChannel<E, SegmentSize>(0) {}
+};
+
+} // namespace cqs
+
+#endif // CQS_SYNC_CHANNEL_H

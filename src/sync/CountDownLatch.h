@@ -1,0 +1,123 @@
+//===- sync/CountDownLatch.h - count-down latch over CQS -------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The count-down latch of Section 4.2 (Listing 7): await() suspends until
+/// countDown() has been called the configured number of times.
+///
+/// Two counters: `count` (operations still to complete) and `waiters`
+/// (pending await()s, with DONE_BIT marking that the latch already opened).
+/// The last countDown() sets DONE_BIT and resumes exactly the registered
+/// waiters. Smart cancellation keeps resumeWaiters() linear in the number
+/// of *non-cancelled* waiters: onCancellation() decrements `waiters`
+/// unless DONE_BIT is already set, in which case the in-flight resume must
+/// be refused (and ignored, since a latch transfers no data).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_COUNTDOWNLATCH_H
+#define CQS_SYNC_COUNTDOWNLATCH_H
+
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Latch that opens after a fixed number of countDown() calls.
+template <unsigned SegmentSize = 16>
+class BasicCountDownLatch
+    : private Cqs<Unit, ValueTraits<Unit>,
+                  SegmentSize>::SmartCancellationHandler {
+  static constexpr std::uint32_t DoneBit = 1u << 31;
+
+public:
+  using CqsType = Cqs<Unit, ValueTraits<Unit>, SegmentSize>;
+  using FutureType = typename CqsType::FutureType;
+
+  /// \p CMode selects the cancellation strategy (Section 4.2): Smart (the
+  /// default) keeps resumeWaiters() linear in the number of live waiters;
+  /// Simple also works — "the algorithm already works with the simple
+  /// cancellation mode, where resume(..)-s silently fail on cancelled
+  /// await() requests" — but then the opening countDown() pays linear time
+  /// in *all* awaits including aborted ones (see
+  /// bench/ablation_latch_cancellation).
+  explicit BasicCountDownLatch(std::int64_t InitialCount,
+                               CancellationMode CMode = CancellationMode::Smart)
+      : Q(CMode, ResumptionMode::Async,
+          CMode == CancellationMode::Smart ? this : nullptr),
+        Count(InitialCount) {
+    assert(InitialCount >= 0 && "negative latch count");
+  }
+
+  /// Registers completion of one operation; the call that brings the count
+  /// to zero releases all waiters. Extra calls are permitted (footnote 4).
+  void countDown() {
+    std::int64_t R = Count->fetch_sub(1, std::memory_order_acq_rel);
+    if (R <= 1)
+      resumeWaiters();
+  }
+
+  /// Remaining count (clamped at zero like Java's getCount()).
+  std::int64_t count() const {
+    std::int64_t C = Count->load(std::memory_order_acquire);
+    return C > 0 ? C : 0;
+  }
+
+  /// Completes immediately if the latch is open, otherwise suspends until
+  /// it opens. The future may be cancel()ed to abort waiting.
+  FutureType await() {
+    if (Count->load(std::memory_order_acquire) <= 0)
+      return FutureType::immediate(Unit{});
+    std::uint32_t W = Waiters->fetch_add(1, std::memory_order_acq_rel);
+    if ((W & DoneBit) != 0)
+      return FutureType::immediate(Unit{});
+    return Q.suspend();
+  }
+
+private:
+  /// Sets DONE_BIT (barring further suspensions) and resumes every await()
+  /// registered before it (Listing 7, resumeWaiters).
+  void resumeWaiters() {
+    for (;;) {
+      std::uint32_t W = Waiters->load(std::memory_order_acquire);
+      if ((W & DoneBit) != 0)
+        return; // someone else opened the latch
+      if (Waiters->compare_exchange_strong(W, W | DoneBit,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        for (std::uint32_t I = 0; I < W; ++I)
+          (void)Q.resume(Unit{});
+        return;
+      }
+    }
+  }
+
+  /// A cancelled await() deregisters itself unless the latch already
+  /// opened, in which case the resume heading its way must be refused.
+  bool onCancellation() override {
+    std::uint32_t W = Waiters->fetch_sub(1, std::memory_order_acq_rel);
+    return (W & DoneBit) == 0;
+  }
+
+  /// The cancelled waiter needs nothing back; drop the refused token so
+  /// resumeWaiters() proceeds to the next waiter.
+  void completeRefusedResume(Unit) override {}
+
+  CqsType Q;
+  CachePadded<std::atomic<std::int64_t>> Count;
+  CachePadded<std::atomic<std::uint32_t>> Waiters{0};
+};
+
+using CountDownLatch = BasicCountDownLatch<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_COUNTDOWNLATCH_H

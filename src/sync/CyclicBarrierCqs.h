@@ -1,0 +1,96 @@
+//===- sync/CyclicBarrierCqs.h - reusable barrier over CQS -----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cyclic (reusable) wrapper around the single-use Listing 6 barrier:
+/// each generation is one BasicBarrier instance; the last arriver of a
+/// generation installs a fresh instance before releasing the others, and
+/// the spent instance is reclaimed through EBR (arrivers of the old
+/// generation may still be reading it). This mirrors how Java's
+/// CyclicBarrier rolls its Generation object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_CYCLICBARRIERCQS_H
+#define CQS_SYNC_CYCLICBARRIERCQS_H
+
+#include "reclaim/Ebr.h"
+#include "support/Backoff.h"
+#include "sync/Barrier.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Reusable barrier: arriveAndWait() blocks until all parties of the
+/// current generation have arrived, then everyone proceeds and the barrier
+/// is ready for the next generation.
+template <unsigned SegmentSize = 16> class BasicCyclicBarrier {
+  using Gen = BasicBarrier<SegmentSize>;
+
+public:
+  explicit BasicCyclicBarrier(std::int64_t Parties) : Parties(Parties) {
+    Current.store(new Gen(Parties), std::memory_order_release);
+  }
+
+  ~BasicCyclicBarrier() { delete Current.load(std::memory_order_acquire); }
+
+  BasicCyclicBarrier(const BasicCyclicBarrier &) = delete;
+  BasicCyclicBarrier &operator=(const BasicCyclicBarrier &) = delete;
+
+  /// Blocks (parking, not spinning) until the generation completes. At
+  /// most `Parties` threads may use the barrier concurrently (as with
+  /// java.util.concurrent.CyclicBarrier); under that contract a stale
+  /// arrival can only ever reach an already-completed generation.
+  void arriveAndWait() {
+    Backoff B;
+    for (;;) {
+      typename Gen::Arrival A;
+      {
+        // The EBR guard covers only the access to the (possibly retired)
+        // generation object — never the park below, which would stall
+        // reclamation process-wide.
+        ebr::Guard Guard;
+        Gen *G = Current.load(std::memory_order_acquire);
+        A = G->tryArriveTagged();
+        if (A.Last) {
+          // The Last tag, not isImmediate(), identifies the roller: a
+          // non-last arriver can also complete immediately through the
+          // CQS elimination path when its wake-up outruns its suspend.
+          Gen *Fresh = new Gen(Parties);
+          [[maybe_unused]] Gen *Expected = G;
+          [[maybe_unused]] bool Rolled = Current.compare_exchange_strong(
+              Expected, Fresh, std::memory_order_acq_rel,
+              std::memory_order_acquire);
+          assert(Rolled && "only the last arriver rolls the generation");
+          ebr::retireObject(G);
+          return;
+        }
+      }
+      if (!A.Future.valid()) {
+        // We raced ahead of the roll: this generation is already complete
+        // and its last arriver is about to install the next one.
+        B.pause();
+        continue;
+      }
+      [[maybe_unused]] auto Grant = A.Future.blockingGet();
+      assert(Grant.has_value() && "cyclic barrier waiters are not cancelled");
+      return;
+    }
+  }
+
+private:
+  const std::int64_t Parties;
+  std::atomic<Gen *> Current{nullptr};
+};
+
+using CyclicCqsBarrier = BasicCyclicBarrier<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_CYCLICBARRIERCQS_H

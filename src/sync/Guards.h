@@ -1,0 +1,100 @@
+//===- sync/Guards.h - RAII guards for CQS locks ---------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scope guards in the std::lock_guard idiom for the CQS primitives. The
+/// guards park the calling thread (blockingGet) — coroutine code should
+/// keep using awaitFuture + explicit unlock, since a coroutine must not
+/// block its worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_GUARDS_H
+#define CQS_SYNC_GUARDS_H
+
+#include "sync/Mutex.h"
+#include "sync/RwMutex.h"
+#include "sync/Semaphore.h"
+
+#include <cassert>
+
+namespace cqs {
+
+/// Holds a mutex for the scope: `LockGuard G(Mtx);`.
+template <unsigned SegmentSize = 16> class BasicLockGuard {
+public:
+  explicit BasicLockGuard(BasicMutex<SegmentSize> &M) : M(M) {
+    [[maybe_unused]] auto Grant = M.lock().blockingGet();
+    assert(Grant.has_value() && "nobody may cancel a guard's lock request");
+  }
+  ~BasicLockGuard() { M.unlock(); }
+
+  BasicLockGuard(const BasicLockGuard &) = delete;
+  BasicLockGuard &operator=(const BasicLockGuard &) = delete;
+
+private:
+  BasicMutex<SegmentSize> &M;
+};
+
+/// Holds one semaphore permit for the scope.
+template <unsigned SegmentSize = 16> class BasicPermitGuard {
+public:
+  explicit BasicPermitGuard(BasicSemaphore<SegmentSize> &S) : S(S) {
+    [[maybe_unused]] auto Grant = S.acquire().blockingGet();
+    assert(Grant.has_value() &&
+           "nobody may cancel a guard's acquire request");
+  }
+  ~BasicPermitGuard() { S.release(); }
+
+  BasicPermitGuard(const BasicPermitGuard &) = delete;
+  BasicPermitGuard &operator=(const BasicPermitGuard &) = delete;
+
+private:
+  BasicSemaphore<SegmentSize> &S;
+};
+
+/// Holds a shared (read) lock for the scope.
+template <unsigned SegmentSize = 16> class BasicReadGuard {
+public:
+  explicit BasicReadGuard(BasicRwMutex<SegmentSize> &Rw) : Rw(Rw) {
+    [[maybe_unused]] auto Grant = Rw.readLock().blockingGet();
+    assert(Grant.has_value() &&
+           "nobody may cancel a guard's readLock request");
+  }
+  ~BasicReadGuard() { Rw.readUnlock(); }
+
+  BasicReadGuard(const BasicReadGuard &) = delete;
+  BasicReadGuard &operator=(const BasicReadGuard &) = delete;
+
+private:
+  BasicRwMutex<SegmentSize> &Rw;
+};
+
+/// Holds the exclusive (write) lock for the scope.
+template <unsigned SegmentSize = 16> class BasicWriteGuard {
+public:
+  explicit BasicWriteGuard(BasicRwMutex<SegmentSize> &Rw) : Rw(Rw) {
+    [[maybe_unused]] auto Grant = Rw.writeLock().blockingGet();
+    assert(Grant.has_value() &&
+           "nobody may cancel a guard's writeLock request");
+  }
+  ~BasicWriteGuard() { Rw.writeUnlock(); }
+
+  BasicWriteGuard(const BasicWriteGuard &) = delete;
+  BasicWriteGuard &operator=(const BasicWriteGuard &) = delete;
+
+private:
+  BasicRwMutex<SegmentSize> &Rw;
+};
+
+using LockGuard = BasicLockGuard<>;
+using PermitGuard = BasicPermitGuard<>;
+using ReadGuard = BasicReadGuard<>;
+using WriteGuard = BasicWriteGuard<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_GUARDS_H

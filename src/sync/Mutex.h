@@ -1,0 +1,53 @@
+//===- sync/Mutex.h - fair abortable mutex over CQS ------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutex the paper uses as its running example (Listings 2/4/12).
+/// Section 4.3 observes the semaphore generalizes it: "we equate its
+/// implementation with K = 1 permits as mutual exclusion", which is exactly
+/// what this thin wrapper does, with the lock()/unlock()/tryLock() naming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_MUTEX_H
+#define CQS_SYNC_MUTEX_H
+
+#include "sync/Semaphore.h"
+
+namespace cqs {
+
+/// Fair, abortable mutex. lock() returns a Future<Unit> that completes when
+/// the lock is held; cancel() aborts a pending lock request.
+template <unsigned SegmentSize = 16> class BasicMutex {
+public:
+  using FutureType = typename BasicSemaphore<SegmentSize>::FutureType;
+
+  /// \p RMode must be ResumptionMode::Sync for tryLock() to be usable.
+  explicit BasicMutex(ResumptionMode RMode = ResumptionMode::Async)
+      : Sem(1, RMode) {}
+
+  /// Acquires the lock, suspending in FIFO order if it is held.
+  FutureType lock() { return Sem.acquire(); }
+
+  /// Releases the lock, passing it to the longest-waiting lock() if any.
+  void unlock() { Sem.release(); }
+
+  /// Acquires the lock only if it is free right now (Listing 12; requires
+  /// the synchronous resumption mode).
+  bool tryLock() { return Sem.tryAcquire(); }
+
+  /// True if the mutex is currently held by someone.
+  bool isLocked() const { return Sem.availablePermits() <= 0; }
+
+private:
+  BasicSemaphore<SegmentSize> Sem;
+};
+
+using Mutex = BasicMutex<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_MUTEX_H

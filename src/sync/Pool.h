@@ -1,0 +1,300 @@
+//===- sync/Pool.h - blocking pools over CQS -------------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The blocking pools of Section 4.4 / Appendix D.2: a set of shared
+/// elements (connections, sockets, ...) with
+///   - take():   an element, or suspend until one is put back;
+///   - put(e):   hand e to the longest-waiting take(), or store it.
+///
+/// Listing 17's abstract pool drives a `size` counter (elements if >= 0,
+/// negated waiters if < 0) and delegates storage to tryInsert/tryRetrieve,
+/// which may fail under put/take races (the failing pair restarts, keeping
+/// the counter balanced). Two storages from Listing 18 are provided:
+///   - QueueStorage: an infinite array (reusing the CQS segment machinery)
+///     with insert/retrieve counters and slot breaking — FAA on the
+///     contended path, the faster option;
+///   - StackStorage: a Treiber stack with "failed node" markers — retrieves
+///     the hottest element.
+///
+/// As in the paper, the pools are *bags*: linearizability is not claimed,
+/// but no element is ever lost or duplicated (tested exhaustively), and
+/// waiting take()s are served in FIFO order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_POOL_H
+#define CQS_SYNC_POOL_H
+
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "reclaim/Ebr.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+namespace cqs {
+
+/// Queue-backed storage (Listing 18, left): an unbounded array of slots
+/// addressed by two FAA counters. A retrieve that outruns its insert breaks
+/// the slot; the insert then fails and the abstract pool restarts it.
+template <typename E, unsigned SegmentSize = 16> class QueuePoolStorage {
+  using Seg = Segment<SegmentSize>;
+  using List = SegmentList<SegmentSize>;
+
+public:
+  QueuePoolStorage() {
+    auto *First = new Seg(0, nullptr, /*InitialPointers=*/2);
+    InsertSegm->store(First, std::memory_order_relaxed);
+    RetrieveSegm->store(First, std::memory_order_relaxed);
+  }
+
+  QueuePoolStorage(const QueuePoolStorage &) = delete;
+  QueuePoolStorage &operator=(const QueuePoolStorage &) = delete;
+
+  ~QueuePoolStorage() {
+    Seg *I = InsertSegm->load(std::memory_order_relaxed);
+    Seg *R = RetrieveSegm->load(std::memory_order_relaxed);
+    Seg *Cur = I->Id <= R->Id ? I : R;
+    while (Cur) {
+      Seg *Next = Cur->next();
+      if (!Cur->isRetiredForTesting())
+        delete Cur;
+      Cur = Next;
+    }
+  }
+
+  /// Places \p V into the next slot; false iff a racing retrieve broke it.
+  bool tryInsert(E V) {
+    ebr::Guard Guard;
+    Seg *Start = InsertSegm->load(std::memory_order_acquire);
+    std::uint64_t Idx = InsertIdx->fetch_add(1, std::memory_order_acq_rel);
+    Seg *S = List::findAndMoveForward(*InsertSegm, Start, Idx / SegmentSize);
+    if (S->Id != Idx / SegmentSize)
+      return false; // slot's segment removed => the slot was broken
+    std::uint64_t Expected = makeTokenWord(Token::Empty);
+    return S->Cells[Idx % SegmentSize].compare_exchange_strong(
+        Expected, encodeValueWord<E>(V), std::memory_order_acq_rel,
+        std::memory_order_acquire);
+  }
+
+  /// Takes the element from the next slot; false (and \p Out untouched) iff
+  /// the paired insert has not landed yet — the slot is broken so that the
+  /// insert fails as well.
+  bool tryRetrieve(E &Out) {
+    ebr::Guard Guard;
+    Seg *Start = RetrieveSegm->load(std::memory_order_acquire);
+    std::uint64_t Idx = RetrieveIdx->fetch_add(1, std::memory_order_acq_rel);
+    Seg *S =
+        List::findAndMoveForward(*RetrieveSegm, Start, Idx / SegmentSize);
+    // Our slot cannot be in a removed segment: a slot only dies when its
+    // unique retrieve index is consumed, and that is us.
+    assert(S->Id == Idx / SegmentSize && "retrieve slot vanished");
+    std::atomic<std::uint64_t> &Cell = S->Cells[Idx % SegmentSize];
+    std::uint64_t Old =
+        Cell.exchange(makeTokenWord(Token::Broken), std::memory_order_acq_rel);
+    // Either way this slot is finished; let the segment be reclaimed.
+    S->onCellDead();
+    if (isToken(Old, Token::Empty))
+      return false;
+    assert(wordKind(Old) == WordKind::Value);
+    Out = decodeValueWord<E>(Old);
+    return true;
+  }
+
+private:
+  CachePadded<std::atomic<std::uint64_t>> InsertIdx{0};
+  CachePadded<std::atomic<std::uint64_t>> RetrieveIdx{0};
+  CachePadded<std::atomic<Seg *>> InsertSegm{nullptr};
+  CachePadded<std::atomic<Seg *>> RetrieveSegm{nullptr};
+};
+
+/// Stack-backed storage (Listing 18, right): a Treiber stack whose nodes
+/// either carry an element or mark a failed retrieval. Nodes are reclaimed
+/// through EBR.
+template <typename E> class StackPoolStorage {
+  struct Node {
+    /// Tagged word: a Value word carrying E, or Token::Broken for a
+    /// "failed retrieval" marker node.
+    std::uint64_t Word;
+    Node *Next;
+  };
+
+public:
+  StackPoolStorage() = default;
+  StackPoolStorage(const StackPoolStorage &) = delete;
+  StackPoolStorage &operator=(const StackPoolStorage &) = delete;
+
+  ~StackPoolStorage() {
+    Node *Cur = Top.load(std::memory_order_relaxed);
+    while (Cur) {
+      Node *Next = Cur->Next;
+      delete Cur;
+      Cur = Next;
+    }
+  }
+
+  /// Pushes \p V unless a failed-retrieval marker is on top, in which case
+  /// the marker is consumed and the insert fails (pairing it with the take
+  /// that left the marker).
+  bool tryInsert(E V) {
+    ebr::Guard Guard;
+    Node *Fresh = nullptr;
+    for (;;) {
+      Node *T = Top.load(std::memory_order_acquire);
+      if (T && isToken(T->Word, Token::Broken)) {
+        // Annihilate one failed retrieval instead of inserting.
+        if (Top.compare_exchange_strong(T, T->Next,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          ebr::retireObject(T);
+          delete Fresh;
+          return false;
+        }
+        continue;
+      }
+      if (!Fresh)
+        Fresh = new Node();
+      Fresh->Word = encodeValueWord<E>(V);
+      Fresh->Next = T;
+      if (Top.compare_exchange_strong(T, Fresh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  /// Pops the hottest element; on an empty (or failure-marked) stack pushes
+  /// one more failed-retrieval marker and fails.
+  bool tryRetrieve(E &Out) {
+    ebr::Guard Guard;
+    Node *Fresh = nullptr;
+    for (;;) {
+      Node *T = Top.load(std::memory_order_acquire);
+      if (!T || isToken(T->Word, Token::Broken)) {
+        if (!Fresh)
+          Fresh = new Node();
+        Fresh->Word = makeTokenWord(Token::Broken);
+        Fresh->Next = T;
+        if (Top.compare_exchange_strong(T, Fresh, std::memory_order_acq_rel,
+                                        std::memory_order_acquire))
+          return false;
+        continue;
+      }
+      if (Top.compare_exchange_strong(T, T->Next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        Out = decodeValueWord<E>(T->Word);
+        ebr::retireObject(T);
+        delete Fresh;
+        return true;
+      }
+    }
+  }
+
+private:
+  std::atomic<Node *> Top{nullptr};
+};
+
+/// The abstract blocking pool of Listing 17, parameterized by storage.
+template <typename E, typename Storage, unsigned SegmentSize = 16>
+class BlockingPool
+    : private Cqs<E, ValueTraits<E>, SegmentSize>::SmartCancellationHandler {
+public:
+  using CqsType = Cqs<E, ValueTraits<E>, SegmentSize>;
+  using FutureType = typename CqsType::FutureType;
+
+  BlockingPool() : Q(CancellationMode::Smart, ResumptionMode::Async, this) {}
+
+  /// Hands \p V to the longest-waiting take(), or stores it.
+  void put(E V) {
+    for (;;) {
+      std::int64_t S = Size->fetch_add(1, std::memory_order_acq_rel);
+      if (S < 0) {
+        // A take() is waiting; smart+async resume always succeeds.
+        [[maybe_unused]] bool Ok = Q.resume(V);
+        assert(Ok && "smart/async resume cannot fail");
+        return;
+      }
+      if (Store.tryInsert(V))
+        return;
+      // A racing take() observed our size increment and broke the slot
+      // before the insert landed; both restart (Listing 17).
+    }
+  }
+
+  /// Retrieves an element (unspecified order), suspending when empty.
+  FutureType take() {
+    for (;;) {
+      std::int64_t S = Size->fetch_sub(1, std::memory_order_acq_rel);
+      if (S <= 0)
+        return Q.suspend();
+      E Out;
+      if (Store.tryRetrieve(Out))
+        return FutureType::immediate(Out);
+      // The paired put() has not inserted yet; restart.
+    }
+  }
+
+  /// Non-blocking take: an element, or std::nullopt when the pool is
+  /// empty. Unlike Semaphore::tryAcquire this needs no synchronous
+  /// resumption mode: pool elements live in the storage, and an element a
+  /// racing put() parked in a CQS cell is already *assigned* to the
+  /// suspended take it resumed, so "empty" is the correct answer then.
+  std::optional<E> tryTake() {
+    for (;;) {
+      std::int64_t S = Size->load(std::memory_order_acquire);
+      if (S <= 0)
+        return std::nullopt;
+      if (!Size->compare_exchange_weak(S, S - 1, std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        continue;
+      E Out;
+      if (Store.tryRetrieve(Out))
+        return Out;
+      // Raced with an in-flight put (its slot broke); the put restarts
+      // and re-increments, so retry the whole operation.
+    }
+  }
+
+  /// Elements currently stored (negative: waiters), racy diagnostic.
+  std::int64_t sizeForTesting() const {
+    return Size->load(std::memory_order_acquire);
+  }
+
+private:
+  /// Same shape as the semaphore's handler (Listing 17).
+  bool onCancellation() override {
+    std::int64_t S = Size->fetch_add(1, std::memory_order_acq_rel);
+    return S < 0;
+  }
+
+  /// A refused resume still owns an element; put it back (Listing 17,
+  /// completeRefusedResume).
+  void completeRefusedResume(E V) override {
+    if (!Store.tryInsert(V))
+      put(V);
+  }
+
+  CqsType Q;
+  Storage Store;
+  CachePadded<std::atomic<std::int64_t>> Size{0};
+};
+
+/// Queue-based blocking pool (FAA on the contended path; Listing 18 left).
+template <typename E, unsigned SegmentSize = 16>
+using QueueBlockingPool =
+    BlockingPool<E, QueuePoolStorage<E, SegmentSize>, SegmentSize>;
+
+/// Stack-based blocking pool (returns the hottest element; Listing 18
+/// right).
+template <typename E, unsigned SegmentSize = 16>
+using StackBlockingPool = BlockingPool<E, StackPoolStorage<E>, SegmentSize>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_POOL_H

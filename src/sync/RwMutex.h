@@ -1,0 +1,294 @@
+//===- sync/RwMutex.h - fair abortable readers-writer lock -----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fair, abortable readers-writer lock built on two CQS queues — the
+/// primitive the paper names as the motivation for *smart* cancellation
+/// (Section 3.1: "a reader takes the lock, a writer suspends, another
+/// reader suspends behind it; the writer aborts — the reader must wake up
+/// immediately") and as future work (Section 7: "CQS could serve as a basis
+/// for ... fair readers-writer locks").
+///
+/// Design: one 64-bit state word packs
+///   AR — active readers,           WA — writer-active flag,
+///   WR — waiting readers,          WW — waiting writers,
+/// updated by CAS transitions; suspended readers and writers park in two
+/// separate CQS instances with smart cancellation.
+///
+///  - readLock():  immediate iff no active/waiting writer; else WR++ and
+///    suspend in the readers queue (writers are not starved by read bursts).
+///  - writeLock(): immediate iff the lock is entirely free; else WW++ and
+///    suspend in the writers queue.
+///  - readUnlock(): when the last reader leaves and writers wait, hand the
+///    lock to one writer (WW--, WA=1, resume).
+///  - writeUnlock(): phase-fair alternation — release the whole waiting
+///    reader cohort if any (AR+=WR, WR=0, WR resumes), else the next
+///    writer, else free the lock.
+///
+/// Cancellation follows the semaphore pattern: onCancellation() deregisters
+/// one waiter from the counts, refusing when an in-flight resume already
+/// claimed it; a refused resume releases the already-granted lock through
+/// the normal unlock path. Crucially, when the *last* waiting writer
+/// aborts, its cancellation handler immediately releases the waiting
+/// readers — the exact scenario the simple mode cannot express.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_RWMUTEX_H
+#define CQS_SYNC_RWMUTEX_H
+
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Fair, abortable readers-writer lock.
+template <unsigned SegmentSize = 16> class BasicRwMutex {
+  /// State word layout (16 bits per counter keeps transitions one CAS).
+  static constexpr unsigned ArShift = 0;  ///< active readers
+  static constexpr unsigned WrShift = 16; ///< waiting readers
+  static constexpr unsigned WwShift = 32; ///< waiting writers
+  static constexpr std::uint64_t WaBit = 1ull << 48; ///< writer active
+  static constexpr std::uint64_t FieldMask = 0xffff;
+
+  static std::uint64_t ar(std::uint64_t S) {
+    return (S >> ArShift) & FieldMask;
+  }
+  static std::uint64_t wr(std::uint64_t S) {
+    return (S >> WrShift) & FieldMask;
+  }
+  static std::uint64_t ww(std::uint64_t S) {
+    return (S >> WwShift) & FieldMask;
+  }
+  static bool wa(std::uint64_t S) { return (S & WaBit) != 0; }
+
+  static constexpr std::uint64_t OneAr = 1ull << ArShift;
+  static constexpr std::uint64_t OneWr = 1ull << WrShift;
+  static constexpr std::uint64_t OneWw = 1ull << WwShift;
+
+public:
+  using CqsType = Cqs<Unit, ValueTraits<Unit>, SegmentSize>;
+  using FutureType = typename CqsType::FutureType;
+
+  BasicRwMutex()
+      : ReadersHandler(*this), WritersHandler(*this),
+        Readers(CancellationMode::Smart, ResumptionMode::Async,
+                &ReadersHandler),
+        Writers(CancellationMode::Smart, ResumptionMode::Async,
+                &WritersHandler) {}
+
+  /// Acquires a read (shared) lock. The returned future completes when the
+  /// lock is held; cancel() aborts waiting.
+  FutureType readLock() {
+    std::uint64_t S = State->load(std::memory_order_acquire);
+    for (;;) {
+      if (!wa(S) && ww(S) == 0) {
+        // No writer active or queued: join the reader cohort directly.
+        if (State->compare_exchange_weak(S, S + OneAr,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+          return FutureType::immediate(Unit{});
+        continue;
+      }
+      if (State->compare_exchange_weak(S, S + OneWr,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        return Readers.suspend();
+    }
+  }
+
+  /// Releases a read lock; the last leaving reader hands over to a waiting
+  /// writer (or, defensively, releases a stranded reader cohort).
+  void readUnlock() {
+    std::uint64_t S = State->load(std::memory_order_acquire);
+    for (;;) {
+      assert(ar(S) > 0 && "readUnlock() without a read lock");
+      if (ar(S) == 1 && ww(S) > 0) {
+        // Hand the lock to one writer in a single transition.
+        std::uint64_t Next = (S - OneAr - OneWw) | WaBit;
+        if (!State->compare_exchange_weak(S, Next,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+          continue;
+        [[maybe_unused]] bool Ok = Writers.resume(Unit{});
+        assert(Ok && "smart/async resume cannot fail");
+        return;
+      }
+      if (ar(S) == 1 && ww(S) == 0 && wr(S) > 0) {
+        // No writer remains (it aborted between these readers suspending
+        // and us leaving): admit the waiting cohort instead of stranding
+        // it. Unreachable while writer-cancellation converts eagerly, but
+        // kept as a defensive second line for the liveness invariant
+        // "waiting readers imply an active/waiting writer".
+        std::uint64_t Cohort = wr(S);
+        std::uint64_t Next =
+            (S - OneAr - Cohort * OneWr) + Cohort * OneAr;
+        if (!State->compare_exchange_weak(S, Next,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+          continue;
+        for (std::uint64_t I = 0; I < Cohort; ++I)
+          (void)Readers.resume(Unit{});
+        return;
+      }
+      if (State->compare_exchange_weak(S, S - OneAr,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        return;
+    }
+  }
+
+  /// Acquires the write (exclusive) lock.
+  FutureType writeLock() {
+    std::uint64_t S = State->load(std::memory_order_acquire);
+    for (;;) {
+      if (S == 0) {
+        if (State->compare_exchange_weak(S, WaBit,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+          return FutureType::immediate(Unit{});
+        continue;
+      }
+      if (State->compare_exchange_weak(S, S + OneWw,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        return Writers.suspend();
+    }
+  }
+
+  /// Releases the write lock: waiting readers (the whole cohort) go first,
+  /// then the next writer, else the lock becomes free.
+  void writeUnlock() {
+    std::uint64_t S = State->load(std::memory_order_acquire);
+    for (;;) {
+      assert(wa(S) && "writeUnlock() without the write lock");
+      if (wr(S) > 0) {
+        // Phase change: admit every waiting reader at once.
+        std::uint64_t Cohort = wr(S);
+        std::uint64_t Next =
+            (S & ~WaBit & ~(FieldMask << WrShift)) + Cohort * OneAr;
+        if (!State->compare_exchange_weak(S, Next,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+          continue;
+        for (std::uint64_t I = 0; I < Cohort; ++I) {
+          [[maybe_unused]] bool Ok = Readers.resume(Unit{});
+          assert(Ok && "smart/async resume cannot fail");
+        }
+        return;
+      }
+      if (ww(S) > 0) {
+        std::uint64_t Next = S - OneWw; // WA stays set: direct handoff
+        if (!State->compare_exchange_weak(S, Next,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+          continue;
+        [[maybe_unused]] bool Ok = Writers.resume(Unit{});
+        assert(Ok && "smart/async resume cannot fail");
+        return;
+      }
+      if (State->compare_exchange_weak(S, S & ~WaBit,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        return;
+    }
+  }
+
+  /// Diagnostics (racy snapshots).
+  std::uint64_t activeReadersForTesting() const {
+    return ar(State->load(std::memory_order_acquire));
+  }
+  bool writerActiveForTesting() const {
+    return wa(State->load(std::memory_order_acquire));
+  }
+  std::uint64_t waitingWritersForTesting() const {
+    return ww(State->load(std::memory_order_acquire));
+  }
+  std::uint64_t waitingReadersForTesting() const {
+    return wr(State->load(std::memory_order_acquire));
+  }
+
+private:
+  /// Cancellation of a waiting reader: deregister it, or refuse when a
+  /// writeUnlock() already converted the cohort (WR hit 0) — the refused
+  /// grant is a live read lock and is released as such.
+  struct ReadersCancellation : CqsType::SmartCancellationHandler {
+    explicit ReadersCancellation(BasicRwMutex &Rw) : Rw(Rw) {}
+
+    bool onCancellation() override {
+      std::uint64_t S = Rw.State->load(std::memory_order_acquire);
+      for (;;) {
+        if (wr(S) == 0)
+          return false; // grant already in flight: refuse it
+        if (Rw.State->compare_exchange_weak(S, S - OneWr,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+          return true;
+      }
+    }
+
+    void completeRefusedResume(Unit) override { Rw.readUnlock(); }
+
+    BasicRwMutex &Rw;
+  };
+
+  /// Cancellation of a waiting writer: deregister it; when the *last*
+  /// waiting writer aborts while no writer is active, immediately admit the
+  /// waiting readers (the Section 3.1 scenario). Refuse when a handoff is
+  /// already in flight, releasing the granted write lock.
+  struct WritersCancellation : CqsType::SmartCancellationHandler {
+    explicit WritersCancellation(BasicRwMutex &Rw) : Rw(Rw) {}
+
+    bool onCancellation() override {
+      std::uint64_t S = Rw.State->load(std::memory_order_acquire);
+      for (;;) {
+        if (ww(S) == 0)
+          return false; // handoff already in flight: refuse it
+        if (ww(S) == 1 && !wa(S) && wr(S) > 0) {
+          // The aborting writer was the only remaining one and no writer
+          // is active: the readers it was blocking must wake *now* — this
+          // is exactly the Section 3.1 scenario. They join any already
+          // active readers.
+          std::uint64_t Cohort = wr(S);
+          std::uint64_t Next =
+              (S - OneWw - Cohort * OneWr) + Cohort * OneAr;
+          if (!Rw.State->compare_exchange_weak(S, Next,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire))
+            continue;
+          for (std::uint64_t I = 0; I < Cohort; ++I)
+            (void)Rw.Readers.resume(Unit{});
+          return true;
+        }
+        if (Rw.State->compare_exchange_weak(S, S - OneWw,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+          return true;
+      }
+    }
+
+    void completeRefusedResume(Unit) override { Rw.writeUnlock(); }
+
+    BasicRwMutex &Rw;
+  };
+
+  ReadersCancellation ReadersHandler;
+  WritersCancellation WritersHandler;
+  CqsType Readers;
+  CqsType Writers;
+  CachePadded<std::atomic<std::uint64_t>> State{0};
+};
+
+using RwMutex = BasicRwMutex<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_RWMUTEX_H

@@ -1,0 +1,133 @@
+//===- sync/Semaphore.h - fair abortable semaphore over CQS ----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semaphore of Section 4.3 / Appendix D.1 (Listing 16): a single
+/// Fetch-And-Add counter plus the CQS waiter queue. `state >= 0` is the
+/// number of available permits; `state < 0` negates the number of waiters.
+/// acquire() decrements and suspends when no permit was available; release()
+/// increments and resumes the longest-waiting acquirer.
+///
+/// Cancellation uses the smart mode: an aborted acquire() returns its
+/// "reservation" by incrementing state in onCancellation(); if that
+/// increment re-created an available permit, a release() is already on its
+/// way to this waiter and must be refused (the permit is already back, so
+/// completeRefusedResume is a no-op) — the exact protocol of Listing 16.
+///
+/// With ResumptionMode::Sync the semaphore additionally supports
+/// tryAcquire() (Appendix B/D.1): the synchronous rendezvous guarantees
+/// release() never parks a permit inside the CQS where tryAcquire() could
+/// not see it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_SEMAPHORE_H
+#define CQS_SYNC_SEMAPHORE_H
+
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "support/CacheLine.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace cqs {
+
+/// Fair, abortable counting semaphore on top of the CQS.
+template <unsigned SegmentSize = 16>
+class BasicSemaphore
+    : private Cqs<Unit, ValueTraits<Unit>,
+                  SegmentSize>::SmartCancellationHandler {
+public:
+  using CqsType = Cqs<Unit, ValueTraits<Unit>, SegmentSize>;
+  using FutureType = typename CqsType::FutureType;
+
+  /// \p Permits is the paper's K (K = 1 yields a mutex). \p RMode selects
+  /// the resumption mode: Async is the default and fastest; Sync enables
+  /// tryAcquire().
+  explicit BasicSemaphore(std::int64_t Permits,
+                          ResumptionMode RMode = ResumptionMode::Async)
+      : Q(CancellationMode::Smart, RMode, this), State(Permits),
+        MaxPermits(Permits) {
+    assert(Permits >= 1 && "a semaphore needs at least one permit");
+  }
+
+  /// Takes a permit; completes immediately when one is available, otherwise
+  /// suspends in FIFO order. The returned future completes with Unit when
+  /// the permit is granted and may be cancel()ed to abort waiting.
+  FutureType acquire() {
+    for (;;) {
+      std::int64_t S = State->fetch_sub(1, std::memory_order_acq_rel);
+      if (S > 0)
+        return FutureType::immediate(Unit{});
+      FutureType F = Q.suspend();
+      if (F.valid())
+        return F;
+      // SYNC mode: our cell was broken by a timed-out release(); both sides
+      // restart, which keeps the FAA balance (Listing 12).
+      assert(resumptionMode() == ResumptionMode::Sync);
+    }
+  }
+
+  /// Returns a permit, resuming the first waiter if any.
+  void release() {
+    for (;;) {
+      [[maybe_unused]] std::int64_t S =
+          State->fetch_add(1, std::memory_order_acq_rel);
+      assert(S < MaxPermits && "release() without a matching acquire()");
+      if (S >= 0)
+        return; // no waiter: the permit is banked in state
+      if (Q.resume(Unit{}))
+        return;
+      // SYNC mode rendezvous failure: restart (Listing 12's unlock loop).
+      assert(resumptionMode() == ResumptionMode::Sync);
+    }
+  }
+
+  /// Non-blocking acquire; never touches the CQS. Correct only in the
+  /// synchronous resumption mode (see the Figure 9 counterexample).
+  bool tryAcquire() {
+    assert(resumptionMode() == ResumptionMode::Sync &&
+           "tryAcquire() requires ResumptionMode::Sync");
+    std::int64_t S = State->load(std::memory_order_acquire);
+    while (S > 0) {
+      if (State->compare_exchange_weak(S, S - 1, std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        return true;
+    }
+    return false;
+  }
+
+  /// Permits currently available (non-positive while waiters exist).
+  std::int64_t availablePermits() const {
+    return State->load(std::memory_order_acquire);
+  }
+
+  ResumptionMode resumptionMode() const { return Q.resumptionModeForTesting(); }
+
+private:
+  /// Listing 16's onCancellation(): give the reservation back; refuse the
+  /// incoming release() if it already re-created a permit.
+  bool onCancellation() override {
+    std::int64_t S = State->fetch_add(1, std::memory_order_acq_rel);
+    return S < 0;
+  }
+
+  /// The permit went back into `state` inside onCancellation(), so the
+  /// refused release() has nothing left to do.
+  void completeRefusedResume(Unit) override {}
+
+  CqsType Q;
+  CachePadded<std::atomic<std::int64_t>> State;
+  [[maybe_unused]] const std::int64_t MaxPermits;
+};
+
+using Semaphore = BasicSemaphore<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_SEMAPHORE_H

@@ -1,0 +1,76 @@
+//===- task/Awaitable.h - co_await adapters for CQS futures ----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the Future<T> of the CQS world into C++20 coroutines: `co_await
+/// awaitFuture(Mtx.lock())` suspends the coroutine without blocking its
+/// worker thread; the resume(..) that completes the future posts the
+/// continuation back onto the executor the coroutine was running on. This
+/// mirrors how CancellableContinuation integrates CQS primitives into
+/// Kotlin coroutines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_TASK_AWAITABLE_H
+#define CQS_TASK_AWAITABLE_H
+
+#include "future/Future.h"
+#include "task/Executor.h"
+
+#include <cassert>
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+namespace cqs {
+
+/// Awaiter adapting a Future<T>. The continuation object lives inside the
+/// coroutine frame (this awaiter), which stays alive until resumed — the
+/// stability Request::setContinuation requires.
+template <typename T, typename Traits = ValueTraits<T>>
+class FutureAwaiter : private Request<T, Traits>::Continuation {
+public:
+  explicit FutureAwaiter(Future<T, Traits> F) : Fut(std::move(F)) {
+    assert(Fut.valid() && "cannot await an invalid (broken-cell) future");
+  }
+
+  bool await_ready() const {
+    return Fut.isImmediate() || Fut.status() != FutureStatus::Pending;
+  }
+
+  bool await_suspend(std::coroutine_handle<> H) {
+    Exec = Executor::current();
+    assert(Exec && "CQS futures must be awaited on an Executor worker");
+    Continuation = H;
+    // If the future completed between await_ready and here, run inline.
+    return Fut.request()->setContinuation(this);
+  }
+
+  /// The completed value, or nullopt if the request was cancelled.
+  std::optional<T> await_resume() const { return Fut.tryGet(); }
+
+private:
+  void invoke(std::uint64_t /*ResultWord*/) override {
+    // Called by whoever completed/cancelled the request (a releasing
+    // thread, a canceller, ...): never run the coroutine inline there —
+    // repost it, like kotlinx's dispatched continuations.
+    Exec->post(Continuation);
+  }
+
+  Future<T, Traits> Fut;
+  Executor *Exec = nullptr;
+  std::coroutine_handle<> Continuation;
+};
+
+/// Convenience: `co_await awaitFuture(Sem.acquire())`.
+template <typename T, typename Traits>
+FutureAwaiter<T, Traits> awaitFuture(Future<T, Traits> F) {
+  return FutureAwaiter<T, Traits>(std::move(F));
+}
+
+} // namespace cqs
+
+#endif // CQS_TASK_AWAITABLE_H

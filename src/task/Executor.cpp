@@ -1,0 +1,60 @@
+//===- task/Executor.cpp - fixed thread-pool coroutine executor -----------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "task/Executor.h"
+
+#include <cassert>
+
+using namespace cqs;
+
+namespace {
+thread_local Executor *CurrentExecutor = nullptr;
+} // namespace
+
+Executor::Executor(unsigned Threads) {
+  assert(Threads >= 1 && "executor needs at least one thread");
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void Executor::post(std::coroutine_handle<> Handle) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    assert(!ShuttingDown && "post() after shutdown started");
+    Queue.push_back(Handle);
+  }
+  QueueCv.notify_one();
+}
+
+Executor *Executor::current() { return CurrentExecutor; }
+
+void Executor::workerLoop() {
+  CurrentExecutor = this;
+  for (;;) {
+    std::coroutine_handle<> Handle;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        break; // shutting down and drained
+      Handle = Queue.front();
+      Queue.pop_front();
+    }
+    Handle.resume();
+  }
+  CurrentExecutor = nullptr;
+}

@@ -1,0 +1,70 @@
+//===- task/Executor.h - fixed thread-pool coroutine executor --*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool that runs coroutine continuations. This is the
+/// substrate standing in for the Kotlin Coroutines dispatcher in the
+/// Appendix F.3 experiment (DESIGN.md §3): when a coroutine suspends in a
+/// CQS-based primitive, its worker immediately picks up another task, and a
+/// later resume(..) posts the continuation back to the pool — the same
+/// economics as kotlinx.coroutines, where "the native thread does not
+/// block".
+///
+/// The run queue is a mutex+condvar MPMC deque. That is deliberately plain:
+/// the experiment measures the synchronization primitive, not the
+/// scheduler, and kotlinx's scheduler is likewise not what Figure 13
+/// varies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_TASK_EXECUTOR_H
+#define CQS_TASK_EXECUTOR_H
+
+#include <condition_variable>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqs {
+
+/// Fixed thread pool executing std::coroutine_handle<> continuations.
+class Executor {
+public:
+  /// Spawns \p Threads worker threads immediately.
+  explicit Executor(unsigned Threads);
+
+  /// Joins the workers after draining the queue of already-posted work.
+  ~Executor();
+
+  Executor(const Executor &) = delete;
+  Executor &operator=(const Executor &) = delete;
+
+  /// Schedules \p Handle to be resumed on some worker thread.
+  void post(std::coroutine_handle<> Handle);
+
+  /// The executor running the current thread's worker loop, or null when
+  /// called from a non-worker thread. CQS awaitables use this to reschedule
+  /// the awaiting coroutine on the pool it was running on.
+  static Executor *current();
+
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop();
+
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<std::coroutine_handle<>> Queue;
+  bool ShuttingDown = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace cqs
+
+#endif // CQS_TASK_EXECUTOR_H

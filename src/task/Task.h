@@ -1,0 +1,66 @@
+//===- task/Task.h - fire-and-forget coroutine tasks -----------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal coroutine task type for the benchmark/example substrate: a
+/// `FireAndForget` coroutine starts suspended, is posted to an Executor with
+/// spawn(), and destroys its own frame on completion. Joining is done with
+/// a WaitGroup (the paper's coroutine benchmarks always join a fixed batch
+/// of coroutines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_TASK_TASK_H
+#define CQS_TASK_TASK_H
+
+#include "support/WaitGroup.h"
+#include "task/Executor.h"
+
+#include <coroutine>
+#include <utility>
+
+namespace cqs {
+
+/// A detached coroutine. Returning one from a coroutine function creates
+/// the frame suspended; pass it to spawn() to run it on an executor.
+class FireAndForget {
+public:
+  struct promise_type {
+    FireAndForget get_return_object() {
+      return FireAndForget(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  FireAndForget(FireAndForget &&Other) noexcept
+      : Handle(std::exchange(Other.Handle, nullptr)) {}
+  FireAndForget(const FireAndForget &) = delete;
+  FireAndForget &operator=(const FireAndForget &) = delete;
+
+  ~FireAndForget() {
+    // A never-spawned task still owns its frame.
+    if (Handle)
+      Handle.destroy();
+  }
+
+  /// Hands the coroutine to \p Exec; the frame frees itself when done.
+  void spawn(Executor &Exec) && {
+    Exec.post(std::exchange(Handle, nullptr));
+  }
+
+private:
+  explicit FireAndForget(std::coroutine_handle<promise_type> H) : Handle(H) {}
+
+  std::coroutine_handle<promise_type> Handle;
+};
+
+} // namespace cqs
+
+#endif // CQS_TASK_TASK_H

@@ -1,0 +1,198 @@
+//===- tests/barrier_latch_test.cpp - barrier & count-down-latch tests ----===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Barrier.h"
+#include "sync/CountDownLatch.h"
+
+#include "reclaim/Ebr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using SmallBarrier = BasicBarrier</*SegmentSize=*/4>;
+using SmallLatch = BasicCountDownLatch</*SegmentSize=*/4>;
+
+TEST(Barrier, SinglePartyCompletesImmediately) {
+  SmallBarrier B(1);
+  auto F = B.arrive();
+  EXPECT_TRUE(F.isImmediate());
+}
+
+TEST(Barrier, LastArriverReleasesEveryone) {
+  SmallBarrier B(4);
+  std::vector<SmallBarrier::FutureType> Fs;
+  for (int I = 0; I < 3; ++I) {
+    Fs.push_back(B.arrive());
+    EXPECT_EQ(Fs.back().status(), FutureStatus::Pending);
+  }
+  auto Last = B.arrive();
+  EXPECT_TRUE(Last.isImmediate());
+  for (auto &F : Fs)
+    EXPECT_EQ(F.status(), FutureStatus::Completed);
+}
+
+TEST(Barrier, ThreadedSynchronizationPhase) {
+  constexpr int Parties = 8;
+  SmallBarrier B(Parties);
+  std::atomic<int> BeforeCount{0};
+  std::atomic<bool> AnyoneThroughEarly{false};
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Parties; ++T) {
+    Ts.emplace_back([&] {
+      BeforeCount.fetch_add(1);
+      auto F = B.arrive();
+      ASSERT_TRUE(F.blockingGet().has_value());
+      // Nobody passes until all `Parties` have arrived.
+      if (BeforeCount.load() != Parties)
+        AnyoneThroughEarly.store(true);
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_FALSE(AnyoneThroughEarly.load());
+}
+
+TEST(Barrier, CancelledWaiterDoesNotBlockOthers) {
+  // The design decision of Section 4.1: a cancelled waiter has already
+  // arrived, so the remaining parties still get released.
+  SmallBarrier B(3);
+  auto F1 = B.arrive();
+  auto F2 = B.arrive();
+  EXPECT_TRUE(F1.cancel());
+  auto Last = B.arrive();
+  EXPECT_TRUE(Last.isImmediate());
+  EXPECT_EQ(F2.status(), FutureStatus::Completed);
+  EXPECT_EQ(F1.status(), FutureStatus::Cancelled);
+}
+
+TEST(Barrier, ManyCancellationsStillRelease) {
+  SmallBarrier B(10);
+  std::vector<SmallBarrier::FutureType> Fs;
+  for (int I = 0; I < 9; ++I)
+    Fs.push_back(B.arrive());
+  for (int I = 0; I < 9; I += 2)
+    EXPECT_TRUE(Fs[I].cancel());
+  auto Last = B.arrive();
+  EXPECT_TRUE(Last.isImmediate());
+  for (int I = 1; I < 9; I += 2)
+    EXPECT_EQ(Fs[I].status(), FutureStatus::Completed) << I;
+}
+
+TEST(Latch, OpensAfterExactCount) {
+  SmallLatch L(3);
+  auto F = L.await();
+  EXPECT_EQ(F.status(), FutureStatus::Pending);
+  L.countDown();
+  L.countDown();
+  EXPECT_EQ(F.status(), FutureStatus::Pending);
+  EXPECT_EQ(L.count(), 1);
+  L.countDown();
+  EXPECT_EQ(F.status(), FutureStatus::Completed);
+  EXPECT_EQ(L.count(), 0);
+}
+
+TEST(Latch, AwaitAfterOpenIsImmediate) {
+  SmallLatch L(1);
+  L.countDown();
+  auto F = L.await();
+  EXPECT_TRUE(F.isImmediate());
+}
+
+TEST(Latch, ZeroCountIsOpenFromTheStart) {
+  SmallLatch L(0);
+  EXPECT_TRUE(L.await().isImmediate());
+}
+
+TEST(Latch, ExtraCountDownsAreAllowed) {
+  SmallLatch L(1);
+  L.countDown();
+  L.countDown(); // footnote 4: permitted
+  EXPECT_EQ(L.count(), 0);
+  EXPECT_TRUE(L.await().isImmediate());
+}
+
+TEST(Latch, ManyWaitersAllReleased) {
+  SmallLatch L(1);
+  std::vector<SmallLatch::FutureType> Fs;
+  for (int I = 0; I < 20; ++I)
+    Fs.push_back(L.await());
+  L.countDown();
+  for (auto &F : Fs)
+    EXPECT_EQ(F.status(), FutureStatus::Completed);
+}
+
+TEST(Latch, CancelledWaiterIsSkippedEfficiently) {
+  SmallLatch L(1);
+  auto F1 = L.await();
+  auto F2 = L.await();
+  auto F3 = L.await();
+  EXPECT_TRUE(F2.cancel());
+  L.countDown();
+  EXPECT_EQ(F1.status(), FutureStatus::Completed);
+  EXPECT_EQ(F3.status(), FutureStatus::Completed);
+  EXPECT_EQ(F2.status(), FutureStatus::Cancelled);
+}
+
+TEST(Latch, CancelRacingWithOpenIsRefusedHarmlessly) {
+  // DONE_BIT set concurrently with a cancellation: the cancelled waiter's
+  // resume is refused and simply dropped; every live waiter still wakes.
+  for (int Round = 0; Round < 300; ++Round) {
+    SmallLatch L(1);
+    auto F1 = L.await();
+    auto F2 = L.await();
+    std::thread A([&] { L.countDown(); });
+    std::thread B([&] { (void)F1.cancel(); });
+    A.join();
+    B.join();
+    EXPECT_EQ(F2.status(), FutureStatus::Completed);
+    EXPECT_NE(F1.status(), FutureStatus::Pending);
+  }
+}
+
+TEST(Latch, ThreadedCountDownReleasesAllWaiters) {
+  constexpr int Counts = 64;
+  constexpr int Waiters = 6;
+  SmallLatch L(Counts);
+  std::atomic<int> Released{0};
+  std::vector<std::thread> Ts;
+  for (int W = 0; W < Waiters; ++W) {
+    Ts.emplace_back([&] {
+      auto F = L.await();
+      ASSERT_TRUE(F.blockingGet().has_value());
+      ASSERT_EQ(L.count(), 0) << "woke before the latch opened";
+      Released.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> Counters;
+  for (int C = 0; C < 4; ++C) {
+    Counters.emplace_back([&] {
+      for (int I = 0; I < Counts / 4; ++I)
+        L.countDown();
+    });
+  }
+  for (auto &T : Counters)
+    T.join();
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Released.load(), Waiters);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

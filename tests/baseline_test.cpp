@@ -1,0 +1,304 @@
+//===- tests/baseline_test.cpp - comparator-correctness tests -------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The baselines must be *correct* for the benchmark comparisons to mean
+/// anything: mutual exclusion for every lock, permit accounting for the
+/// semaphores, element conservation for the queues, and release-all
+/// semantics for the latch and barriers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Aqs.h"
+#include "baseline/BlockingQueue.h"
+#include "baseline/ClhLock.h"
+#include "baseline/CyclicBarrier.h"
+#include "baseline/LegacyMutex.h"
+#include "baseline/McsLock.h"
+#include "baseline/SpinBarrier.h"
+#include "reclaim/Ebr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+/// Generic mutual-exclusion stress for anything with lock()/unlock().
+template <typename LockT>
+void mutualExclusionStress(LockT &L, int Threads, int Ops) {
+  std::atomic<int> InCritical{0};
+  long Counter = 0;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < Ops; ++I) {
+        L.lock();
+        ASSERT_EQ(InCritical.fetch_add(1), 0) << "mutual exclusion violated";
+        ++Counter;
+        InCritical.fetch_sub(1);
+        L.unlock();
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Counter, static_cast<long>(Threads) * Ops);
+}
+
+TEST(ClhLock, MutualExclusionStress) {
+  ClhLock L;
+  mutualExclusionStress(L, 6, 3000);
+}
+
+TEST(McsLock, MutualExclusionStress) {
+  McsLock L;
+  mutualExclusionStress(L, 6, 3000);
+}
+
+TEST(AqsLock, UnfairMutualExclusionStress) {
+  AqsLock L(/*Fair=*/false);
+  mutualExclusionStress(L, 6, 3000);
+}
+
+TEST(AqsLock, FairMutualExclusionStress) {
+  AqsLock L(/*Fair=*/true);
+  mutualExclusionStress(L, 6, 3000);
+}
+
+TEST(AqsLock, TryLock) {
+  AqsLock L(/*Fair=*/false);
+  EXPECT_TRUE(L.tryLock());
+  EXPECT_FALSE(L.tryLock());
+  L.unlock();
+  EXPECT_TRUE(L.tryLock());
+  L.unlock();
+}
+
+TEST(AqsSemaphore, PermitAccountingStress) {
+  for (bool Fair : {false, true}) {
+    constexpr int K = 3;
+    AqsSemaphore S(K, Fair);
+    std::atomic<int> Held{0};
+    std::atomic<int> MaxSeen{0};
+    std::vector<std::thread> Ts;
+    for (int T = 0; T < 6; ++T) {
+      Ts.emplace_back([&] {
+        for (int I = 0; I < 1500; ++I) {
+          S.acquire();
+          int Now = Held.fetch_add(1) + 1;
+          int Max = MaxSeen.load();
+          while (Now > Max && !MaxSeen.compare_exchange_weak(Max, Now)) {
+          }
+          Held.fetch_sub(1);
+          S.release();
+        }
+      });
+    }
+    for (auto &T : Ts)
+      T.join();
+    EXPECT_LE(MaxSeen.load(), K) << "fair=" << Fair;
+    EXPECT_EQ(S.availablePermits(), K) << "fair=" << Fair;
+  }
+}
+
+TEST(AqsSemaphore, TryAcquire) {
+  AqsSemaphore S(1, /*Fair=*/false);
+  EXPECT_TRUE(S.tryAcquire());
+  EXPECT_FALSE(S.tryAcquire());
+  S.release();
+  EXPECT_EQ(S.availablePermits(), 1);
+}
+
+TEST(AqsCountDownLatch, ReleasesAllWaiters) {
+  AqsCountDownLatch L(4);
+  std::atomic<int> Released{0};
+  std::vector<std::thread> Waiters;
+  for (int W = 0; W < 5; ++W) {
+    Waiters.emplace_back([&] {
+      L.await();
+      ASSERT_EQ(L.count(), 0);
+      Released.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(Released.load(), 0);
+  for (int I = 0; I < 4; ++I)
+    L.countDown();
+  for (auto &T : Waiters)
+    T.join();
+  EXPECT_EQ(Released.load(), 5);
+  L.await(); // open latch: must not block
+  L.countDown(); // extra countDown tolerated
+}
+
+TEST(CyclicBarrierBaseline, PhasesSynchronize) {
+  constexpr int Parties = 4;
+  constexpr int Phases = 200;
+  CyclicBarrierBaseline B(Parties);
+  // Atomics: peers legitimately read a slot while its owner is already
+  // writing the next phase into it.
+  std::vector<std::atomic<int>> Progress(Parties);
+  for (auto &P : Progress)
+    P.store(0);
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Parties; ++P) {
+    Ts.emplace_back([&, P] {
+      for (int Phase = 0; Phase < Phases; ++Phase) {
+        Progress[P].store(Phase, std::memory_order_release);
+        B.arriveAndWait();
+        // After the barrier, nobody can be more than one phase behind.
+        for (int Q = 0; Q < Parties; ++Q)
+          ASSERT_GE(Progress[Q].load(std::memory_order_acquire), Phase);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+}
+
+TEST(SpinBarrier, PhasesSynchronize) {
+  constexpr int Parties = 4;
+  constexpr int Phases = 200;
+  SpinBarrier B(Parties);
+  std::atomic<int> Arrived{0};
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Parties; ++P) {
+    Ts.emplace_back([&] {
+      for (int Phase = 0; Phase < Phases; ++Phase) {
+        Arrived.fetch_add(1);
+        B.arriveAndWait();
+        ASSERT_GE(Arrived.load(), (Phase + 1) * Parties);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Arrived.load(), Parties * Phases);
+}
+
+template <typename QueueT>
+void queueConservationStress(QueueT &Q, std::vector<int> &Arena) {
+  const int Elements = static_cast<int>(Arena.size());
+  for (int I = 0; I < Elements; ++I)
+    Q.put(&Arena[I]);
+
+  constexpr int Threads = 6;
+  constexpr int Ops = 2000;
+  std::atomic<std::uint32_t> HeldMask{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < Ops; ++I) {
+        int *E = Q.take();
+        int Idx = static_cast<int>(E - Arena.data());
+        ASSERT_GE(Idx, 0);
+        ASSERT_LT(Idx, Elements);
+        std::uint32_t Bit = 1u << Idx;
+        ASSERT_EQ(HeldMask.fetch_or(Bit) & Bit, 0u) << "element held twice";
+        HeldMask.fetch_and(~Bit);
+        Q.put(E);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+
+  std::set<int *> Final;
+  for (int I = 0; I < Elements; ++I)
+    EXPECT_TRUE(Final.insert(Q.take()).second);
+  EXPECT_EQ(Final.size(), static_cast<std::size_t>(Elements));
+}
+
+TEST(FairArrayBlockingQueue, ConservationStress) {
+  std::vector<int> Arena(3);
+  FairArrayBlockingQueue<int *> Q(8);
+  queueConservationStress(Q, Arena);
+}
+
+TEST(UnfairArrayBlockingQueue, ConservationStress) {
+  std::vector<int> Arena(3);
+  UnfairArrayBlockingQueue<int *> Q(8);
+  queueConservationStress(Q, Arena);
+}
+
+TEST(LinkedBlockingQueue, ConservationStress) {
+  std::vector<int> Arena(3);
+  LinkedBlockingQueueBaseline<int *> Q;
+  queueConservationStress(Q, Arena);
+}
+
+TEST(LinkedBlockingQueue, FifoWhenSequential) {
+  std::vector<int> Arena(3);
+  LinkedBlockingQueueBaseline<int *> Q;
+  for (int I = 0; I < 3; ++I)
+    Q.put(&Arena[I]);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Q.take(), &Arena[I]);
+}
+
+TEST(LegacyCoroutineMutex, ImmediateAndHandoff) {
+  LegacyCoroutineMutex M;
+  auto A = M.lock();
+  EXPECT_TRUE(A.isImmediate());
+  auto B = M.lock();
+  EXPECT_EQ(B.status(), FutureStatus::Pending);
+  M.unlock();
+  EXPECT_EQ(B.status(), FutureStatus::Completed);
+  M.unlock();
+  EXPECT_FALSE(M.isLockedForTesting());
+}
+
+TEST(LegacyCoroutineMutex, MutualExclusionStress) {
+  LegacyCoroutineMutex M;
+  std::atomic<int> InCritical{0};
+  long Counter = 0;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 6; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < 3000; ++I) {
+        auto F = M.lock();
+        ASSERT_TRUE(F.blockingGet().has_value());
+        ASSERT_EQ(InCritical.fetch_add(1), 0);
+        ++Counter;
+        InCritical.fetch_sub(1);
+        M.unlock();
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Counter, 6L * 3000);
+  EXPECT_FALSE(M.isLockedForTesting());
+}
+
+TEST(LegacyCoroutineMutex, WaitersServedFifo) {
+  LegacyCoroutineMutex M;
+  auto Holder = M.lock();
+  std::vector<LegacyCoroutineMutex::FutureType> Waiters;
+  for (int I = 0; I < 8; ++I)
+    Waiters.push_back(M.lock());
+  for (int I = 0; I < 8; ++I) {
+    M.unlock();
+    for (int J = 0; J < 8; ++J)
+      EXPECT_EQ(Waiters[J].status(), J <= I ? FutureStatus::Completed
+                                            : FutureStatus::Pending);
+  }
+  M.unlock();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

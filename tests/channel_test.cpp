@@ -1,0 +1,332 @@
+//===- tests/channel_test.cpp - buffered/rendezvous channel tests ---------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The channel composed from CQS parts (the paper's §7 "synchronous
+/// queues" future-work direction): FIFO delivery, backpressure at
+/// capacity, rendezvous at capacity zero, receive-side cancellation, and
+/// conservation under producer/consumer/canceller storms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/Channel.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using IntChannel = BufferedChannel<int, /*SegmentSize=*/4>;
+
+TEST(BufferedChannel, SendThenReceiveFifo) {
+  IntChannel Ch(8);
+  for (int I = 0; I < 5; ++I) {
+    auto S = Ch.send(I);
+    EXPECT_TRUE(S.isImmediate()) << "buffer has room";
+  }
+  for (int I = 0; I < 5; ++I) {
+    auto R = Ch.receive();
+    ASSERT_TRUE(R.isImmediate());
+    EXPECT_EQ(R.tryGet(), I);
+  }
+}
+
+TEST(BufferedChannel, ReceiveOnEmptySuspendsUntilSend) {
+  IntChannel Ch(2);
+  auto R = Ch.receive();
+  EXPECT_EQ(R.status(), FutureStatus::Pending);
+  auto S = Ch.send(42);
+  EXPECT_TRUE(S.isImmediate());
+  EXPECT_EQ(R.tryGet(), 42);
+}
+
+TEST(BufferedChannel, SendBlocksAtCapacity) {
+  IntChannel Ch(2);
+  EXPECT_TRUE(Ch.send(1).isImmediate());
+  EXPECT_TRUE(Ch.send(2).isImmediate());
+  auto S3 = Ch.send(3);
+  EXPECT_EQ(S3.status(), FutureStatus::Pending) << "buffer full";
+  // Draining one element acknowledges the blocked sender.
+  auto R = Ch.receive();
+  EXPECT_EQ(R.tryGet(), 1);
+  EXPECT_EQ(S3.status(), FutureStatus::Completed);
+  EXPECT_EQ(Ch.receive().tryGet(), 2);
+  EXPECT_EQ(Ch.receive().tryGet(), 3);
+}
+
+TEST(BufferedChannel, WaitingReceiversServedFifo) {
+  IntChannel Ch(4);
+  auto R1 = Ch.receive();
+  auto R2 = Ch.receive();
+  auto R3 = Ch.receive();
+  Ch.send(10);
+  Ch.send(20);
+  Ch.send(30);
+  EXPECT_EQ(R1.tryGet(), 10);
+  EXPECT_EQ(R2.tryGet(), 20);
+  EXPECT_EQ(R3.tryGet(), 30);
+}
+
+TEST(RendezvousChannel, SendSuspendsUntilReceive) {
+  RendezvousChannel<int, 4> Ch;
+  auto S = Ch.send(7);
+  EXPECT_EQ(S.status(), FutureStatus::Pending) << "no receiver yet";
+  auto R = Ch.receive();
+  ASSERT_TRUE(R.isImmediate());
+  EXPECT_EQ(R.tryGet(), 7);
+  EXPECT_EQ(S.status(), FutureStatus::Completed) << "handoff acknowledged";
+}
+
+TEST(RendezvousChannel, ReceiveSuspendsUntilSend) {
+  RendezvousChannel<int, 4> Ch;
+  auto R = Ch.receive();
+  EXPECT_EQ(R.status(), FutureStatus::Pending);
+  auto S = Ch.send(9);
+  EXPECT_TRUE(S.isImmediate()) << "direct rendezvous with the waiter";
+  EXPECT_EQ(R.tryGet(), 9);
+}
+
+TEST(BufferedChannel, CancelledReceiveIsSkipped) {
+  IntChannel Ch(2);
+  auto R1 = Ch.receive();
+  auto R2 = Ch.receive();
+  EXPECT_TRUE(R1.cancel());
+  Ch.send(5);
+  EXPECT_EQ(R2.tryGet(), 5) << "element goes to the live receiver";
+}
+
+TEST(BufferedChannel, CancelRaceNeverLosesTheElement) {
+  for (int Round = 0; Round < 500; ++Round) {
+    IntChannel Ch(2);
+    auto R = Ch.receive();
+    std::atomic<bool> Cancelled{false};
+    std::thread A([&] { (void)Ch.send(Round); });
+    std::thread B([&] { Cancelled.store(R.cancel()); });
+    A.join();
+    B.join();
+    if (Cancelled.load()) {
+      // The element was re-delivered into the channel.
+      auto G = Ch.receive();
+      EXPECT_EQ(G.blockingGet(), Round);
+    } else {
+      EXPECT_EQ(R.tryGet(), Round);
+    }
+    EXPECT_EQ(Ch.balanceForTesting(), 0);
+  }
+}
+
+TEST(BufferedChannel, ProducerConsumerStressConservesValues) {
+  constexpr int Producers = 3, Consumers = 3, PerProducer = 4000;
+  constexpr int Total = Producers * PerProducer;
+  IntChannel Ch(4);
+  std::vector<std::atomic<int>> Seen(Total);
+  for (auto &S : Seen)
+    S.store(0);
+
+  std::vector<std::thread> Ts;
+  std::atomic<int> Next{0};
+  for (int P = 0; P < Producers; ++P) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerProducer; ++I) {
+        int V = Next.fetch_add(1);
+        auto S = Ch.send(V);
+        (void)S.blockingGet(); // respect backpressure
+      }
+    });
+  }
+  for (int C = 0; C < Consumers; ++C) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < Total / Consumers; ++I) {
+        auto R = Ch.receive();
+        auto V = R.blockingGet();
+        ASSERT_TRUE(V.has_value());
+        Seen[*V].fetch_add(1);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  for (int V = 0; V < Total; ++V)
+    ASSERT_EQ(Seen[V].load(), 1) << "value " << V;
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+TEST(BufferedChannel, StressWithReceiverCancellation) {
+  constexpr int Total = 6000;
+  IntChannel Ch(2);
+  std::atomic<int> Received{0};
+
+  std::thread Producer([&] {
+    for (int I = 0; I < Total; ++I)
+      (void)Ch.send(I).blockingGet();
+  });
+  std::vector<std::thread> Consumers;
+  for (int C = 0; C < 3; ++C) {
+    Consumers.emplace_back([&, C] {
+      SplitMix64 Rng(33 + C);
+      // Fixed per-consumer quota; cancelled waits do not count, so every
+      // produced element is consumed exactly once in total.
+      for (int Got = 0; Got < Total / 3;) {
+        auto R = Ch.receive();
+        if (!R.isImmediate() && Rng.chance(1, 2) && R.cancel())
+          continue; // aborted this wait
+        auto V = R.blockingGet();
+        ASSERT_TRUE(V.has_value());
+        Received.fetch_add(1);
+        ++Got;
+      }
+    });
+  }
+  Producer.join();
+  for (auto &T : Consumers)
+    T.join();
+  EXPECT_EQ(Received.load(), Total);
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+TEST(BufferedChannel, TrySendTryReceiveBasics) {
+  IntChannel Ch(2);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt) << "empty channel";
+  EXPECT_TRUE(Ch.trySend(1));
+  EXPECT_TRUE(Ch.trySend(2));
+  EXPECT_FALSE(Ch.trySend(3)) << "buffer full: trySend must not block";
+  EXPECT_EQ(Ch.tryReceive(), 1);
+  EXPECT_TRUE(Ch.trySend(3));
+  EXPECT_EQ(Ch.tryReceive(), 2);
+  EXPECT_EQ(Ch.tryReceive(), 3);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(BufferedChannel, TrySendRendezvousesWithWaitingReceiver) {
+  RendezvousChannel<int, 4> Ch;
+  EXPECT_FALSE(Ch.trySend(1)) << "no receiver: rendezvous refused";
+  auto R = Ch.receive();
+  EXPECT_EQ(R.status(), FutureStatus::Pending);
+  EXPECT_TRUE(Ch.trySend(9)) << "waiting receiver: direct handoff";
+  EXPECT_EQ(R.tryGet(), 9);
+}
+
+TEST(BufferedChannel, TryReceiveAcksBlockedSender) {
+  IntChannel Ch(1);
+  EXPECT_TRUE(Ch.send(1).isImmediate());
+  auto S2 = Ch.send(2);
+  EXPECT_EQ(S2.status(), FutureStatus::Pending);
+  EXPECT_EQ(Ch.tryReceive(), 1);
+  EXPECT_EQ(S2.status(), FutureStatus::Completed)
+      << "draining below capacity must acknowledge the blocked sender";
+  EXPECT_EQ(Ch.tryReceive(), 2);
+}
+
+TEST(BufferedChannel, TryOpsConservationStress) {
+  IntChannel Ch(4);
+  constexpr int Total = 8000;
+  std::atomic<int> NextTicket{0}, Received{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 2; ++T) {
+    Ts.emplace_back([&] { // senders: each ticket sent exactly once
+      for (;;) {
+        int V = NextTicket.fetch_add(1);
+        if (V >= Total)
+          return;
+        while (!Ch.trySend(V))
+          std::this_thread::yield();
+      }
+    });
+    Ts.emplace_back([&] { // receivers
+      while (Received.load() < Total) {
+        if (Ch.tryReceive().has_value())
+          Received.fetch_add(1);
+        else
+          std::this_thread::yield();
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Received.load(), Total);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(BufferedChannel, SequentialRendezvousFifoUnderMixedOps) {
+  RendezvousChannel<int, 4> Ch;
+  std::vector<RendezvousChannel<int, 4>::SendFuture> Sends;
+  for (int I = 0; I < 6; ++I)
+    Sends.push_back(Ch.send(I));
+  for (int I = 0; I < 6; ++I) {
+    EXPECT_EQ(Ch.receive().tryGet(), I) << "FIFO across pending sends";
+    EXPECT_EQ(Sends[I].status(), FutureStatus::Completed)
+        << "sequential acks follow send order";
+  }
+}
+
+/// Property sweep over (capacity, producer/consumer pairs): conservation
+/// and quiescent balance must hold for every configuration, including the
+/// rendezvous case.
+class ChannelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ChannelSweep, ConservationAcrossConfigurations) {
+  const int Capacity = std::get<0>(GetParam());
+  const int Pairs = std::get<1>(GetParam());
+  const int PerProducer = 1500;
+  const int Total = Pairs * PerProducer;
+
+  BufferedChannel<int, 4> Ch(Capacity);
+  std::vector<std::atomic<int>> Seen(Total);
+  for (auto &S : Seen)
+    S.store(0);
+
+  std::vector<std::thread> Ts;
+  std::atomic<int> Next{0};
+  for (int P = 0; P < Pairs; ++P) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerProducer; ++I) {
+        int V = Next.fetch_add(1);
+        (void)Ch.send(V).blockingGet();
+      }
+    });
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerProducer; ++I) {
+        auto R = Ch.receive();
+        auto V = R.blockingGet();
+        ASSERT_TRUE(V.has_value());
+        Seen[*V].fetch_add(1);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  for (int V = 0; V < Total; ++V)
+    ASSERT_EQ(Seen[V].load(), 1) << "value " << V;
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChannelSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 3, 16),
+                                            ::testing::Values(1, 2, 4)),
+                         [](const auto &Info) {
+                           return "Cap" +
+                                  std::to_string(std::get<0>(Info.param)) +
+                                  "_P" +
+                                  std::to_string(std::get<1>(Info.param));
+                         });
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -1,0 +1,339 @@
+//===- tests/cqs_cancellation_test.cpp - cancellation protocol tests ------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Section 3's cancellation machinery: simple-mode failing resumes, smart
+/// skipping, whole-segment skip jumps, the REFUSE protocol, and the
+/// delegated-resume race between Future::cancel() and resume(..) (Figure 4),
+/// hammered from two threads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cqs.h"
+#include "reclaim/Ebr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using IntCqs = Cqs<int, ValueTraits<int>, /*SegmentSize=*/4>;
+using IntFut = IntCqs::FutureType;
+
+/// Scripted handler for raw-CQS tests: returns a fixed onCancellation()
+/// verdict and records every refused value.
+struct RecordingHandler : IntCqs::SmartCancellationHandler {
+  explicit RecordingHandler(bool Verdict) : Verdict(Verdict) {}
+
+  bool onCancellation() override {
+    CancellationCalls.fetch_add(1);
+    if (SleepInCancellation)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return Verdict;
+  }
+
+  void completeRefusedResume(int V) override {
+    std::lock_guard<std::mutex> Lock(M);
+    Refused.push_back(V);
+  }
+
+  std::vector<int> refused() {
+    std::lock_guard<std::mutex> Lock(M);
+    return Refused;
+  }
+
+  const bool Verdict;
+  bool SleepInCancellation = false;
+  std::atomic<int> CancellationCalls{0};
+  std::mutex M;
+  std::vector<int> Refused;
+};
+
+TEST(SimpleCancellation, ResumeFailsOnCancelledWaiter) {
+  IntCqs Q(CancellationMode::Simple, ResumptionMode::Async);
+  IntFut F1 = Q.suspend();
+  IntFut F2 = Q.suspend();
+  EXPECT_TRUE(F1.cancel());
+  EXPECT_EQ(F1.status(), FutureStatus::Cancelled);
+
+  EXPECT_FALSE(Q.resume(10)) << "first resume meets the cancelled waiter";
+  EXPECT_TRUE(Q.resume(11)) << "the retry reaches the live waiter";
+  EXPECT_EQ(F2.tryGet(), 11);
+}
+
+TEST(SimpleCancellation, EachFailedResumeConsumesOneCancelledCell) {
+  IntCqs Q(CancellationMode::Simple, ResumptionMode::Async);
+  constexpr int N = 6;
+  std::vector<IntFut> Fs;
+  for (int I = 0; I < N; ++I)
+    Fs.push_back(Q.suspend());
+  for (auto &F : Fs)
+    EXPECT_TRUE(F.cancel());
+  // The paper's Theta(N) behaviour: N failing resumes, one per cell,
+  // whether or not the underlying segments were already removed.
+  for (int I = 0; I < N; ++I)
+    EXPECT_FALSE(Q.resume(I));
+  IntFut Live = Q.suspend();
+  EXPECT_TRUE(Q.resume(99));
+  EXPECT_EQ(Live.tryGet(), 99);
+}
+
+TEST(SimpleCancellation, FullyCancelledSegmentsAreRemoved) {
+  IntCqs Q(CancellationMode::Simple, ResumptionMode::Async); // SegmentSize=4
+  std::vector<IntFut> Fs;
+  for (int I = 0; I < 8; ++I)
+    Fs.push_back(Q.suspend());
+  for (auto &F : Fs)
+    EXPECT_TRUE(F.cancel());
+  // Segments 0 and 1 are fully cancelled; the suspend pointer must have
+  // skipped ahead on the next suspension.
+  IntFut Live = Q.suspend();
+  EXPECT_EQ(Q.suspendSegmentForTesting()->Id, 2u);
+  EXPECT_TRUE(Live.valid());
+  (void)Live.cancel();
+}
+
+TEST(SimpleCancellation, CancelAfterResumeFails) {
+  IntCqs Q(CancellationMode::Simple, ResumptionMode::Async);
+  IntFut F = Q.suspend();
+  EXPECT_TRUE(Q.resume(5));
+  EXPECT_FALSE(F.cancel());
+  EXPECT_EQ(F.tryGet(), 5);
+}
+
+TEST(SmartCancellation, ResumeSkipsCancelledWaiter) {
+  RecordingHandler H(/*Verdict=*/true);
+  IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+  IntFut F1 = Q.suspend();
+  IntFut F2 = Q.suspend();
+  EXPECT_TRUE(F1.cancel());
+  EXPECT_EQ(H.CancellationCalls.load(), 1);
+
+  EXPECT_TRUE(Q.resume(42)) << "smart resume must not fail";
+  EXPECT_EQ(F2.tryGet(), 42) << "the cancelled waiter was skipped";
+  EXPECT_GE(Q.resumeIdxForTesting(), 2u);
+}
+
+TEST(SmartCancellation, SkipsWholeRemovedSegmentsInOneHop) {
+  RecordingHandler H(/*Verdict=*/true);
+  IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+  std::vector<IntFut> Fs;
+  for (int I = 0; I < 9; ++I)
+    Fs.push_back(Q.suspend());
+  for (int I = 0; I < 8; ++I)
+    EXPECT_TRUE(Fs[I].cancel());
+  EXPECT_EQ(H.CancellationCalls.load(), 8);
+
+  EXPECT_TRUE(Q.resume(7));
+  EXPECT_EQ(Fs[8].tryGet(), 7);
+  // The resume pointer jumped over the two removed segments; the resume
+  // index is now past cell 8.
+  EXPECT_GE(Q.resumeIdxForTesting(), 9u);
+}
+
+TEST(SmartCancellation, RefusedResumeDeliversValueToHandler) {
+  RecordingHandler H(/*Verdict=*/false);
+  IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+  IntFut F = Q.suspend();
+  EXPECT_TRUE(F.cancel());
+  EXPECT_EQ(H.CancellationCalls.load(), 1);
+
+  EXPECT_TRUE(Q.resume(77)) << "a refused resume still reports success";
+  EXPECT_EQ(H.refused(), std::vector<int>({77}));
+}
+
+TEST(SmartCancellation, CancellationHandlerRunsOnCancellerThread) {
+  RecordingHandler H(/*Verdict=*/true);
+  IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+  IntFut F = Q.suspend();
+  std::thread Canceller([&] { EXPECT_TRUE(F.cancel()); });
+  Canceller.join();
+  EXPECT_EQ(H.CancellationCalls.load(), 1);
+}
+
+/// The Figure 4 race: cancel() and resume(..) hit the same cell
+/// concurrently. Whatever the interleaving, the value must reach exactly
+/// one destination (the first waiter, the second waiter, or nobody —
+/// never two, never zero).
+TEST(SmartCancellation, DelegatedResumeRaceNeverLosesTheValue) {
+  for (int Round = 0; Round < 600; ++Round) {
+    RecordingHandler H(/*Verdict=*/true);
+    IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+    IntFut F1 = Q.suspend();
+    IntFut F2 = Q.suspend();
+
+    std::atomic<bool> Cancelled{false};
+    std::thread A([&] { EXPECT_TRUE(Q.resume(Round)); });
+    std::thread B([&] { Cancelled.store(F1.cancel()); });
+    A.join();
+    B.join();
+
+    if (Cancelled.load()) {
+      // The value must have been re-routed to F2, either by skipping the
+      // CANCELLED cell or through handler delegation.
+      EXPECT_EQ(F1.status(), FutureStatus::Cancelled);
+      EXPECT_EQ(F2.tryGet(), Round);
+      EXPECT_EQ(H.CancellationCalls.load(), 1);
+    } else {
+      EXPECT_EQ(F1.tryGet(), Round);
+      EXPECT_EQ(F2.status(), FutureStatus::Pending);
+      EXPECT_TRUE(Q.resume(-1)); // settle F2 so teardown is quiescent
+      EXPECT_EQ(F2.tryGet(), -1);
+    }
+  }
+}
+
+/// Same race under the REFUSE verdict: a lone cancelled waiter. The value
+/// must end up either in the waiter (cancel lost) or in
+/// completeRefusedResume (cancel won) — exactly once.
+TEST(SmartCancellation, RefuseRaceDeliversValueExactlyOnce) {
+  for (int Round = 0; Round < 600; ++Round) {
+    RecordingHandler H(/*Verdict=*/false);
+    IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+    IntFut F = Q.suspend();
+
+    std::atomic<bool> Cancelled{false};
+    std::thread A([&] { EXPECT_TRUE(Q.resume(Round)); });
+    std::thread B([&] { Cancelled.store(F.cancel()); });
+    A.join();
+    B.join();
+
+    if (Cancelled.load()) {
+      EXPECT_EQ(H.refused(), std::vector<int>({Round}));
+    } else {
+      EXPECT_EQ(F.tryGet(), Round);
+      EXPECT_TRUE(H.refused().empty());
+    }
+  }
+}
+
+TEST(SmartCancellationSync, ResumeWaitsOutTheCancellationHandler) {
+  // In SYNC mode the resume may not delegate; it must spin until the
+  // handler publishes CANCELLED/REFUSE. Make the handler slow to widen the
+  // window.
+  for (int Round = 0; Round < 50; ++Round) {
+    RecordingHandler H(/*Verdict=*/true);
+    H.SleepInCancellation = true;
+    IntCqs Q(CancellationMode::Smart, ResumptionMode::Sync, &H);
+    IntFut F1 = Q.suspend();
+    IntFut F2 = Q.suspend();
+
+    std::atomic<bool> Cancelled{false};
+    std::thread B([&] { Cancelled.store(F1.cancel()); });
+    std::thread A([&] {
+      while (!Q.resume(Round)) {
+      }
+    });
+    A.join();
+    B.join();
+
+    if (Cancelled.load()) {
+      EXPECT_EQ(F2.tryGet(), Round);
+    } else {
+      EXPECT_EQ(F1.tryGet(), Round);
+      while (!Q.resume(-1)) {
+      }
+      EXPECT_EQ(F2.tryGet(), -1);
+    }
+  }
+}
+
+TEST(SmartCancellation, HeavyCancelChurnReclaimsSegments) {
+  RecordingHandler H(/*Verdict=*/true);
+  {
+    IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+    for (int I = 0; I < 2000; ++I) {
+      IntFut F = Q.suspend();
+      EXPECT_TRUE(F.cancel());
+    }
+    EXPECT_EQ(H.CancellationCalls.load(), 2000);
+    // Cancelled segments were unlinked as they filled; the suspend pointer
+    // is deep into the array while nothing before it is retained.
+    EXPECT_GE(Q.suspendSegmentForTesting()->Id, 499u);
+  }
+  ebr::drainForTesting();
+  SUCCEED();
+}
+
+TEST(SmartCancellation, ConcurrentCancelStormWithResumes) {
+  // W waiters; half get cancelled concurrently with R resumes where R =
+  // number of surviving waiters. Afterwards every surviving waiter must be
+  // completed and every value delivered somewhere (waiter or refused).
+  constexpr int Waiters = 400;
+  RecordingHandler H(/*Verdict=*/true);
+  IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+
+  std::vector<IntFut> Fs;
+  for (int I = 0; I < Waiters; ++I)
+    Fs.push_back(Q.suspend());
+
+  std::atomic<int> CancelWins{0};
+  std::thread Canceller([&] {
+    for (int I = 0; I < Waiters; I += 2)
+      if (Fs[I].cancel())
+        CancelWins.fetch_add(1);
+  });
+  std::thread Resumer([&] {
+    for (int I = 0; I < Waiters / 2; ++I)
+      EXPECT_TRUE(Q.resume(1000 + I));
+  });
+  Canceller.join();
+  Resumer.join();
+
+  // Each of the Waiters/2 resumes completed exactly one waiter (a cancel
+  // that loses the race leaves its waiter completed); with verdict=true no
+  // refusals can ever happen.
+  int Completed = 0;
+  for (auto &F : Fs)
+    Completed += F.status() == FutureStatus::Completed ? 1 : 0;
+  EXPECT_EQ(Completed, Waiters / 2);
+  EXPECT_TRUE(H.refused().empty());
+  EXPECT_EQ(H.CancellationCalls.load(), CancelWins.load());
+
+  // Every value was delivered exactly once (no loss, no duplication).
+  std::vector<bool> SeenValue(Waiters / 2, false);
+  for (auto &F : Fs) {
+    if (F.status() != FutureStatus::Completed)
+      continue;
+    int V = *F.tryGet() - 1000;
+    ASSERT_GE(V, 0);
+    ASSERT_LT(V, Waiters / 2);
+    EXPECT_FALSE(SeenValue[V]) << "value delivered twice";
+    SeenValue[V] = true;
+  }
+  for (int V = 0; V < Waiters / 2; ++V)
+    EXPECT_TRUE(SeenValue[V]) << "value " << V << " lost";
+
+  // FIFO of *values* holds only when no resume delegated its completion
+  // to a cancellation handler: a delegated value re-enters the queue at a
+  // fresh index (Figure 4; the paper: the value "can be out of the data
+  // structure for a while"), legally permuting the assignment. The
+  // waiters themselves are still completed in queue order either way.
+  if (CqsStats::read(Q.stats().Delegations) == 0) {
+    int Expect = 1000;
+    for (auto &F : Fs) {
+      if (F.status() == FutureStatus::Completed) {
+        EXPECT_EQ(F.tryGet(), Expect++);
+      }
+    }
+    EXPECT_EQ(Expect, 1000 + Waiters / 2);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

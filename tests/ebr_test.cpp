@@ -1,0 +1,147 @@
+//===- tests/ebr_test.cpp - epoch-based reclamation tests -----------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/Ebr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+std::atomic<int> LiveObjects{0};
+
+struct Tracked {
+  Tracked() { LiveObjects.fetch_add(1); }
+  ~Tracked() { LiveObjects.fetch_sub(1); }
+  int Payload = 0;
+};
+
+TEST(Ebr, GuardNesting) {
+  EXPECT_FALSE(ebr::isPinned());
+  {
+    ebr::Guard G1;
+    EXPECT_TRUE(ebr::isPinned());
+    {
+      ebr::Guard G2;
+      EXPECT_TRUE(ebr::isPinned());
+    }
+    EXPECT_TRUE(ebr::isPinned()) << "outer guard must still hold the pin";
+  }
+  EXPECT_FALSE(ebr::isPinned());
+}
+
+TEST(Ebr, RetiredObjectsFreedAfterDrain) {
+  LiveObjects = 0;
+  {
+    ebr::Guard G;
+    for (int I = 0; I < 100; ++I)
+      ebr::retireObject(new Tracked());
+  }
+  EXPECT_EQ(LiveObjects.load(), 100) << "nothing freed while epoch is fresh";
+  ebr::drainForTesting();
+  EXPECT_EQ(LiveObjects.load(), 0);
+}
+
+TEST(Ebr, HeavyRetireEventuallySelfCollects) {
+  LiveObjects = 0;
+  // Retire far more objects than the advance pacing interval, pinning per
+  // operation as real CQS calls do; the epochs must advance on their own
+  // and most garbage must be reclaimed without an explicit drain. (A single
+  // long-lived guard would correctly block all reclamation — see
+  // PinnedReaderBlocksReclamation.)
+  for (int I = 0; I < 10000; ++I) {
+    ebr::Guard G;
+    ebr::retireObject(new Tracked());
+  }
+  EXPECT_LT(LiveObjects.load(), 10000)
+      << "epoch never advanced during 10k retires";
+  ebr::drainForTesting();
+  EXPECT_EQ(LiveObjects.load(), 0);
+}
+
+TEST(Ebr, PinnedReaderBlocksReclamation) {
+  LiveObjects = 0;
+  std::atomic<bool> ReaderPinned{false}, ReleaseReader{false};
+  std::thread Reader([&] {
+    ebr::Guard G;
+    ReaderPinned.store(true);
+    while (!ReleaseReader.load())
+      std::this_thread::yield();
+  });
+  while (!ReaderPinned.load())
+    std::this_thread::yield();
+
+  {
+    ebr::Guard G;
+    // Retire enough that the pacing logic attempts advances.
+    for (int I = 0; I < 1000; ++I)
+      ebr::retireObject(new Tracked());
+  }
+  // The reader pinned an epoch <= retire epoch: nothing may be freed while
+  // it is pinned. (The first advance attempt can free garbage from *older*
+  // epochs only; none exists here.)
+  EXPECT_EQ(LiveObjects.load(), 1000);
+
+  ReleaseReader.store(true);
+  Reader.join();
+  ebr::drainForTesting();
+  EXPECT_EQ(LiveObjects.load(), 0);
+}
+
+TEST(Ebr, ConcurrentRetireStress) {
+  LiveObjects = 0;
+  constexpr int Threads = 4;
+  constexpr int PerThread = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I) {
+        ebr::Guard G;
+        auto *Obj = new Tracked();
+        Obj->Payload = I;
+        ebr::retireObject(Obj);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  ebr::drainForTesting();
+  EXPECT_EQ(LiveObjects.load(), 0);
+}
+
+TEST(Ebr, ThreadRecordsAreRecycled) {
+  // Spawning many short-lived threads must not grow the registry without
+  // bound: records are reused. We cannot observe the registry directly,
+  // but this exercises acquire/release heavily under TSan-like schedules.
+  for (int Round = 0; Round < 50; ++Round) {
+    std::thread T([&] {
+      ebr::Guard G;
+      ebr::retireObject(new Tracked());
+    });
+    T.join();
+  }
+  ebr::drainForTesting();
+  EXPECT_EQ(LiveObjects.load(), 0);
+}
+
+TEST(Ebr, PendingCountsReflectRetires) {
+  ebr::drainForTesting();
+  std::size_t Before = ebr::pendingForTesting();
+  {
+    ebr::Guard G;
+    for (int I = 0; I < 5; ++I)
+      ebr::retireObject(new Tracked());
+  }
+  EXPECT_GE(ebr::pendingForTesting(), Before + 5);
+  ebr::drainForTesting();
+}
+
+} // namespace

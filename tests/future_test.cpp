@@ -1,0 +1,283 @@
+//===- tests/future_test.cpp - Request/Future semantics -------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Checks the future contract of Appendix A / G.2: exactly one of
+/// complete()/cancel() wins, get() reports the three states correctly,
+/// cancellation handlers fire exactly once, continuations are invoked on
+/// whichever side finishes the race.
+///
+//===----------------------------------------------------------------------===//
+
+#include "future/Future.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using IntRequest = Request<int>;
+using IntFuture = Future<int>;
+
+IntRequest *newRequest() { return new IntRequest(/*InitialRefs=*/1); }
+
+TEST(Request, CompleteThenGet) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  EXPECT_EQ(R->status(), FutureStatus::Pending);
+  EXPECT_EQ(R->tryGet(), std::nullopt);
+
+  EXPECT_TRUE(R->complete(42));
+  EXPECT_EQ(R->status(), FutureStatus::Completed);
+  EXPECT_EQ(R->tryGet(), 42);
+  EXPECT_EQ(R->blockingGet(), 42);
+}
+
+TEST(Request, CancelThenGetReturnsBottom) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  EXPECT_TRUE(R->cancel());
+  EXPECT_EQ(R->status(), FutureStatus::Cancelled);
+  EXPECT_EQ(R->tryGet(), std::nullopt);
+  EXPECT_EQ(R->blockingGet(), std::nullopt);
+}
+
+TEST(Request, CompleteAfterCancelFails) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  EXPECT_TRUE(R->cancel());
+  EXPECT_FALSE(R->complete(1));
+  EXPECT_EQ(R->status(), FutureStatus::Cancelled);
+}
+
+TEST(Request, CancelAfterCompleteFails) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  EXPECT_TRUE(R->complete(7));
+  EXPECT_FALSE(R->cancel());
+  EXPECT_EQ(R->tryGet(), 7);
+}
+
+TEST(Request, SecondCancelFails) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  EXPECT_TRUE(R->cancel());
+  EXPECT_FALSE(R->cancel());
+}
+
+TEST(Request, CancellationHandlerFiresExactlyOnceOnSuccess) {
+  static std::atomic<int> Fired;
+  Fired = 0;
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  R->bindCancellation(
+      [](void *, void *, std::uint32_t) { Fired.fetch_add(1); }, nullptr,
+      nullptr, 0);
+  EXPECT_TRUE(R->cancel());
+  EXPECT_FALSE(R->cancel());
+  EXPECT_EQ(Fired.load(), 1);
+}
+
+TEST(Request, CancellationHandlerNotFiredWhenCompleted) {
+  static std::atomic<int> Fired;
+  Fired = 0;
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  R->bindCancellation(
+      [](void *, void *, std::uint32_t) { Fired.fetch_add(1); }, nullptr,
+      nullptr, 0);
+  EXPECT_TRUE(R->complete(3));
+  EXPECT_FALSE(R->cancel());
+  EXPECT_EQ(Fired.load(), 0);
+}
+
+TEST(Request, BlockingGetWakesOnComplete) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  std::thread Waiter([&] { EXPECT_EQ(R->blockingGet(), 99); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(R->complete(99));
+  Waiter.join();
+}
+
+TEST(Request, BlockingGetWakesOnCancel) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  std::thread Waiter([&] { EXPECT_EQ(R->blockingGet(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(R->cancel());
+  Waiter.join();
+}
+
+struct CountingContinuation : IntRequest::Continuation {
+  std::atomic<int> Calls{0};
+  std::uint64_t LastWord = 0;
+  void invoke(std::uint64_t W) override {
+    LastWord = W;
+    Calls.fetch_add(1);
+  }
+};
+
+TEST(Request, ContinuationInvokedOnComplete) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  CountingContinuation C;
+  EXPECT_TRUE(R->setContinuation(&C));
+  EXPECT_EQ(C.Calls.load(), 0);
+  EXPECT_TRUE(R->complete(5));
+  EXPECT_EQ(C.Calls.load(), 1);
+  EXPECT_EQ(decodeValueWord<int>(C.LastWord), 5);
+}
+
+TEST(Request, ContinuationInvokedOnCancel) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  CountingContinuation C;
+  EXPECT_TRUE(R->setContinuation(&C));
+  EXPECT_TRUE(R->cancel());
+  EXPECT_EQ(C.Calls.load(), 1);
+}
+
+TEST(Request, SetContinuationAfterCompleteRefuses) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  EXPECT_TRUE(R->complete(1));
+  CountingContinuation C;
+  EXPECT_FALSE(R->setContinuation(&C));
+  EXPECT_EQ(C.Calls.load(), 0) << "caller must consume the result directly";
+}
+
+TEST(Request, RacingCompleteAndCancelExactlyOneWins) {
+  // Property from the spec: "a Future cannot be both cancelled and
+  // completed". Hammer the race.
+  for (int Round = 0; Round < 500; ++Round) {
+    Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+    std::atomic<int> CompletedOk{0}, CancelledOk{0};
+    std::thread A([&] { CompletedOk += R->complete(Round) ? 1 : 0; });
+    std::thread B([&] { CancelledOk += R->cancel() ? 1 : 0; });
+    A.join();
+    B.join();
+    EXPECT_EQ(CompletedOk.load() + CancelledOk.load(), 1);
+    if (CompletedOk.load())
+      EXPECT_EQ(R->tryGet(), Round);
+    else
+      EXPECT_EQ(R->status(), FutureStatus::Cancelled);
+  }
+}
+
+TEST(Request, ManyRacingCancellersOnlyOneSucceeds) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  std::atomic<int> Wins{0};
+  std::vector<std::thread> Ts;
+  for (int I = 0; I < 4; ++I)
+    Ts.emplace_back([&] { Wins += R->cancel() ? 1 : 0; });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Wins.load(), 1);
+}
+
+TEST(Request, WaitForTimesOutWhilePending) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(R->waitFor(std::chrono::milliseconds(20)), FutureStatus::Pending);
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_GE(Elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(Request, WaitForReturnsEarlyOnCompletion) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  std::thread Completer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(R->complete(3));
+  });
+  EXPECT_EQ(R->waitFor(std::chrono::seconds(10)), FutureStatus::Completed);
+  EXPECT_EQ(R->tryGet(), 3);
+  Completer.join();
+}
+
+TEST(Request, WaitForObservesCancellation) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  std::thread Canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(R->cancel());
+  });
+  EXPECT_EQ(R->waitFor(std::chrono::seconds(10)), FutureStatus::Cancelled);
+  Canceller.join();
+}
+
+TEST(Request, WaitForZeroTimeoutPollsStatus) {
+  Ref<IntRequest> R = Ref<IntRequest>::adopt(newRequest());
+  EXPECT_EQ(R->waitFor(std::chrono::nanoseconds(0)), FutureStatus::Pending);
+  EXPECT_TRUE(R->complete(1));
+  EXPECT_EQ(R->waitFor(std::chrono::nanoseconds(0)), FutureStatus::Completed);
+}
+
+TEST(Future, WaitForOnImmediateIsCompleted) {
+  IntFuture F = IntFuture::immediate(4);
+  EXPECT_EQ(F.waitFor(std::chrono::nanoseconds(0)), FutureStatus::Completed);
+}
+
+TEST(Future, TimeoutThenCancelPattern) {
+  // The canonical timed-acquire idiom documented on waitFor().
+  auto *Raw = new IntRequest(/*InitialRefs=*/2);
+  IntFuture F = IntFuture::suspended(Ref<IntRequest>::adopt(Raw));
+  if (F.waitFor(std::chrono::milliseconds(5)) == FutureStatus::Pending) {
+    EXPECT_TRUE(F.cancel());
+  }
+  EXPECT_EQ(F.status(), FutureStatus::Cancelled);
+  Raw->release(); // the cell's reference
+}
+
+TEST(Future, ImmediateBehaviour) {
+  IntFuture F = IntFuture::immediate(11);
+  EXPECT_TRUE(F.valid());
+  EXPECT_TRUE(F.isImmediate());
+  EXPECT_EQ(F.status(), FutureStatus::Completed);
+  EXPECT_EQ(F.tryGet(), 11);
+  EXPECT_EQ(F.blockingGet(), 11);
+  EXPECT_FALSE(F.cancel()) << "immediate results are already completed";
+  EXPECT_EQ(F.request(), nullptr);
+}
+
+TEST(Future, InvalidFutureReportsInvalid) {
+  IntFuture F = IntFuture::invalid();
+  EXPECT_FALSE(F.valid());
+}
+
+TEST(Future, SuspendedSharesTheRequest) {
+  auto *Raw = new IntRequest(/*InitialRefs=*/2); // cell + future, as in CQS
+  IntFuture F = IntFuture::suspended(Ref<IntRequest>::adopt(Raw));
+  EXPECT_TRUE(F.valid());
+  EXPECT_FALSE(F.isImmediate());
+  EXPECT_EQ(F.status(), FutureStatus::Pending);
+  // "The cell" completes it.
+  EXPECT_TRUE(Raw->complete(8));
+  EXPECT_EQ(F.tryGet(), 8);
+  Raw->release(); // the cell's reference
+}
+
+TEST(Future, UnitFutureWorks) {
+  Future<Unit> F = Future<Unit>::immediate(Unit{});
+  EXPECT_EQ(F.status(), FutureStatus::Completed);
+  EXPECT_TRUE(F.tryGet().has_value());
+}
+
+TEST(RefCounted, RefCountLifecycle) {
+  auto *R = new IntRequest(/*InitialRefs=*/1);
+  EXPECT_EQ(R->refCountForTesting(), 1u);
+  R->addRef();
+  EXPECT_EQ(R->refCountForTesting(), 2u);
+  R->release();
+  EXPECT_EQ(R->refCountForTesting(), 1u);
+  R->release(); // frees
+}
+
+TEST(Ref, ShareAndAdoptSemantics) {
+  auto *R = new IntRequest(/*InitialRefs=*/1);
+  {
+    Ref<IntRequest> A = Ref<IntRequest>::adopt(R);
+    Ref<IntRequest> B = A; // copy shares
+    EXPECT_EQ(R->refCountForTesting(), 2u);
+    Ref<IntRequest> C = std::move(B); // move does not bump
+    EXPECT_EQ(R->refCountForTesting(), 2u);
+    EXPECT_FALSE(B); // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(C);
+  } // both owners die; object freed (ASan/valgrind would flag leaks)
+}
+
+} // namespace

@@ -1,0 +1,324 @@
+//===- tests/lincheck_test.cpp - consistency-checker scenarios ------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Mini-Lincheck scenarios (src/lincheck/Checker.h) for the non-blocking
+/// faces of the library: the future's complete/cancel/get state machine,
+/// the count-down latch, and the semaphore's tryAcquire/release counter.
+/// Plus the mandatory sanity check that the checker itself *can* detect a
+/// deliberately non-sequentially-consistent structure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lincheck/Checker.h"
+
+#include "future/Future.h"
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+#include "sync/CountDownLatch.h"
+#include "sync/Semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+
+using namespace cqs;
+using namespace cqs::lincheck;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Target 1: Request<int> — the future state machine of Appendix A.
+// --------------------------------------------------------------------------
+
+struct FutureModel {
+  // -1 pending, -2 cancelled, otherwise the completed value.
+  std::int64_t State = -1;
+};
+
+struct SharedFuture {
+  SharedFuture() : R(Ref<Request<int>>::adopt(new Request<int>(1))) {}
+  Ref<Request<int>> R;
+};
+
+using FutureChecker = ScChecker<SharedFuture, FutureModel>;
+
+FutureChecker::OpT completeOp(int V) {
+  return {"complete(" + std::to_string(V) + ")",
+          [V](SharedFuture &S) -> std::int64_t {
+            return S.R->complete(V) ? 1 : 0;
+          },
+          [V](FutureModel &M) -> std::int64_t {
+            if (M.State != -1)
+              return 0;
+            M.State = V;
+            return 1;
+          }};
+}
+
+FutureChecker::OpT cancelOp() {
+  return {"cancel",
+          [](SharedFuture &S) -> std::int64_t { return S.R->cancel() ? 1 : 0; },
+          [](FutureModel &M) -> std::int64_t {
+            if (M.State != -1)
+              return 0;
+            M.State = -2;
+            return 1;
+          }};
+}
+
+FutureChecker::OpT getOp() {
+  return {"tryGet",
+          [](SharedFuture &S) -> std::int64_t {
+            switch (S.R->status()) {
+            case FutureStatus::Pending:
+              return -1;
+            case FutureStatus::Cancelled:
+              return -2;
+            case FutureStatus::Completed:
+              return *S.R->tryGet();
+            }
+            return -99;
+          },
+          [](FutureModel &M) -> std::int64_t { return M.State; }};
+}
+
+TEST(Lincheck, FutureCompleteCancelGetIsConsistent) {
+  auto MakeScenario = [](std::uint64_t Seed) {
+    SplitMix64 Rng(Seed);
+    FutureChecker::Scenario S(3);
+    // Thread 0 completes (value varies), thread 1 cancels, thread 2 reads.
+    S[0] = {getOp(), completeOp(static_cast<int>(Rng.nextBelow(5)) + 10),
+            getOp()};
+    S[1] = {cancelOp(), getOp()};
+    S[2] = {getOp(), getOp(), getOp()};
+    return S;
+  };
+  Verdict V = FutureChecker::checkMany(
+      [] { return new SharedFuture(); }, [] { return FutureModel{}; },
+      MakeScenario, /*Rounds=*/800);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
+TEST(Lincheck, OneCompleterTwoCancellers) {
+  // One completion permit (the CQS contract) racing two cancellation
+  // attempts: exactly one terminal transition wins and every reader
+  // agrees with some interleaving.
+  auto MakeScenario = [](std::uint64_t) {
+    FutureChecker::Scenario S(3);
+    S[0] = {completeOp(1), getOp()};
+    S[1] = {cancelOp(), getOp()};
+    S[2] = {cancelOp(), getOp()};
+    return S;
+  };
+  Verdict V = FutureChecker::checkMany(
+      [] { return new SharedFuture(); }, [] { return FutureModel{}; },
+      MakeScenario, /*Rounds=*/600);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
+// --------------------------------------------------------------------------
+// Target 2: the count-down latch.
+// --------------------------------------------------------------------------
+
+struct LatchModel {
+  std::int64_t Count = 3;
+};
+
+using SmallLatch = BasicCountDownLatch<4>;
+using LatchChecker = ScChecker<SmallLatch, LatchModel>;
+
+LatchChecker::OpT countDownOp() {
+  return {"countDown",
+          [](SmallLatch &L) -> std::int64_t {
+            L.countDown();
+            return 0;
+          },
+          [](LatchModel &M) -> std::int64_t {
+            if (M.Count > 0)
+              --M.Count;
+            return 0;
+          }};
+}
+
+LatchChecker::OpT countOp() {
+  return {"count",
+          [](SmallLatch &L) -> std::int64_t { return L.count(); },
+          [](LatchModel &M) -> std::int64_t { return M.Count; }};
+}
+
+LatchChecker::OpT tryAwaitOp() {
+  return {"tryAwait",
+          [](SmallLatch &L) -> std::int64_t {
+            // Observable as non-blocking: open latches answer immediately;
+            // otherwise register and immediately abort the wait.
+            auto F = L.await();
+            if (F.isImmediate())
+              return 1;
+            (void)F.cancel();
+            return 0;
+          },
+          [](LatchModel &M) -> std::int64_t { return M.Count == 0 ? 1 : 0; }};
+}
+
+TEST(Lincheck, LatchCountersAreConsistent) {
+  auto MakeScenario = [](std::uint64_t Seed) {
+    SplitMix64 Rng(Seed);
+    LatchChecker::Scenario S(3);
+    for (auto &Thread : S) {
+      int Len = 2 + static_cast<int>(Rng.nextBelow(2));
+      for (int I = 0; I < Len; ++I) {
+        switch (Rng.nextBelow(3)) {
+        case 0:
+          Thread.push_back(countDownOp());
+          break;
+        case 1:
+          Thread.push_back(countOp());
+          break;
+        default:
+          Thread.push_back(tryAwaitOp());
+          break;
+        }
+      }
+    }
+    return S;
+  };
+  Verdict V = LatchChecker::checkMany([] { return new SmallLatch(3); },
+                                      [] { return LatchModel{}; },
+                                      MakeScenario, /*Rounds=*/600);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
+// --------------------------------------------------------------------------
+// Target 3: the semaphore's non-blocking face.
+// --------------------------------------------------------------------------
+
+struct SemModel {
+  std::int64_t Permits = 2;
+};
+
+using SyncSem = BasicSemaphore<4>;
+using SemChecker = ScChecker<SyncSem, SemModel>;
+
+SemChecker::OpT tryAcquireOp() {
+  return {"tryAcquire",
+          [](SyncSem &S) -> std::int64_t { return S.tryAcquire() ? 1 : 0; },
+          [](SemModel &M) -> std::int64_t {
+            if (M.Permits <= 0)
+              return 0;
+            --M.Permits;
+            return 1;
+          }};
+}
+
+TEST(Lincheck, SemaphoreDrainIsConsistent) {
+  // Pure tryAcquire drain: across all threads exactly `Permits` calls may
+  // succeed, in any interleaving. (release is never called, so no
+  // well-formedness constraint is needed.)
+  auto MakeScenario = [](std::uint64_t Seed) {
+    SplitMix64 Rng(Seed);
+    SemChecker::Scenario S(3);
+    for (auto &Thread : S) {
+      int Len = 1 + static_cast<int>(Rng.nextBelow(3));
+      for (int I = 0; I < Len; ++I)
+        Thread.push_back(tryAcquireOp());
+    }
+    return S;
+  };
+  Verdict V = SemChecker::checkMany(
+      [] { return new SyncSem(2, ResumptionMode::Sync); },
+      [] { return SemModel{}; }, MakeScenario, /*Rounds=*/400);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
+TEST(Lincheck, SemaphoreTryAcquireReleaseIsConsistent) {
+  // Well-formedness: each thread releases only what it acquired; since
+  // tryAcquire can fail, pair each tryAcquire with a release *conditioned
+  // on the acquisition result* — encode as a combined op so the scenario
+  // stays total.
+  auto AcqRel = SemChecker::OpT{
+      "tryAcquire+release",
+      [](SyncSem &S) -> std::int64_t {
+        if (!S.tryAcquire())
+          return 0;
+        S.release();
+        return 1;
+      },
+      [](SemModel &M) -> std::int64_t {
+        return M.Permits > 0 ? 1 : 0; // net zero effect
+      }};
+  auto MakeScenario = [&](std::uint64_t Seed) {
+    SplitMix64 Rng(Seed);
+    SemChecker::Scenario S(3);
+    for (auto &Thread : S) {
+      int Len = 2 + static_cast<int>(Rng.nextBelow(3));
+      for (int I = 0; I < Len; ++I)
+        Thread.push_back(AcqRel);
+    }
+    return S;
+  };
+  Verdict V = SemChecker::checkMany(
+      [] { return new SyncSem(2, ResumptionMode::Sync); },
+      [] { return SemModel{}; }, MakeScenario, /*Rounds=*/400);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
+// --------------------------------------------------------------------------
+// Checker sanity: it must detect a genuinely broken structure.
+// --------------------------------------------------------------------------
+
+/// Deliberately lossy counter: incAndGet reads and writes in two separate
+/// atomic steps with a yield between them, so concurrent increments are
+/// lost — producing results no interleaving of a correct counter explains.
+struct LossyCounter {
+  std::atomic<std::int64_t> C{0};
+  std::int64_t incAndGet() {
+    std::int64_t V = C.load();
+    std::this_thread::yield();
+    C.store(V + 1);
+    return V + 1;
+  }
+};
+
+struct CounterModel {
+  std::int64_t C = 0;
+};
+
+using LossyChecker = ScChecker<LossyCounter, CounterModel>;
+
+TEST(Lincheck, CheckerDetectsLostUpdates) {
+  LossyChecker::OpT Inc{
+      "incAndGet",
+      [](LossyCounter &S) -> std::int64_t { return S.incAndGet(); },
+      [](CounterModel &M) -> std::int64_t { return ++M.C; }};
+  auto MakeScenario = [&](std::uint64_t) {
+    LossyChecker::Scenario S(3);
+    S[0] = {Inc, Inc};
+    S[1] = {Inc, Inc};
+    S[2] = {Inc, Inc};
+    return S;
+  };
+  // A lost update makes two incAndGet calls return the same value, which
+  // no interleaving of the correct model allows. It may take a few rounds
+  // for the race to strike; require that the checker catches it within a
+  // generous budget (and fail if it never does — that would mean the
+  // harness cannot see real bugs).
+  Verdict V = LossyChecker::checkMany([] { return new LossyCounter(); },
+                                      [] { return CounterModel{}; },
+                                      MakeScenario, /*Rounds=*/5000);
+  EXPECT_FALSE(V.Ok)
+      << "the checker failed to flag a deliberately racy counter";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -1,0 +1,279 @@
+//===- tests/pool_test.cpp - blocking pool tests --------------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The pools of Section 4.4 are bags, not queues: the spec we check is
+/// conservation (no element lost or duplicated, ever — including under
+/// take-cancellation and put/take races) plus FIFO wakeup of suspended
+/// take()s, plus the stack pool's hotness heuristic in the sequential case.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/Pool.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+/// Elements are pointers into this arena so ValueTraits<int*> applies and
+/// duplicates are detectable by address.
+struct Arena {
+  explicit Arena(int N) : Slots(N) {
+    for (int I = 0; I < N; ++I)
+      Slots[I] = I;
+  }
+  int *at(int I) { return &Slots[I]; }
+  std::vector<int> Slots;
+};
+
+template <typename Pool> class PoolTest : public ::testing::Test {};
+
+using PoolTypes =
+    ::testing::Types<QueueBlockingPool<int *, 4>, StackBlockingPool<int *, 4>>;
+
+TYPED_TEST_SUITE(PoolTest, PoolTypes);
+
+TYPED_TEST(PoolTest, PutThenTakeReturnsElement) {
+  Arena A(1);
+  TypeParam P;
+  P.put(A.at(0));
+  auto F = P.take();
+  EXPECT_TRUE(F.isImmediate());
+  EXPECT_EQ(F.tryGet(), A.at(0));
+}
+
+TYPED_TEST(PoolTest, TakeOnEmptySuspendsUntilPut) {
+  Arena A(1);
+  TypeParam P;
+  auto F = P.take();
+  EXPECT_FALSE(F.isImmediate());
+  EXPECT_EQ(F.status(), FutureStatus::Pending);
+  P.put(A.at(0));
+  EXPECT_EQ(F.tryGet(), A.at(0));
+}
+
+TYPED_TEST(PoolTest, SuspendedTakesAreServedFifo) {
+  Arena A(3);
+  TypeParam P;
+  auto F0 = P.take();
+  auto F1 = P.take();
+  auto F2 = P.take();
+  P.put(A.at(0));
+  P.put(A.at(1));
+  P.put(A.at(2));
+  EXPECT_EQ(F0.tryGet(), A.at(0));
+  EXPECT_EQ(F1.tryGet(), A.at(1));
+  EXPECT_EQ(F2.tryGet(), A.at(2));
+}
+
+TYPED_TEST(PoolTest, CancelledTakeIsSkipped) {
+  Arena A(1);
+  TypeParam P;
+  auto F0 = P.take();
+  auto F1 = P.take();
+  EXPECT_TRUE(F0.cancel());
+  P.put(A.at(0));
+  EXPECT_EQ(F1.tryGet(), A.at(0)) << "the element went to the live waiter";
+}
+
+TYPED_TEST(PoolTest, CancelRaceNeverLosesTheElement) {
+  Arena A(600);
+  for (int Round = 0; Round < 600; ++Round) {
+    TypeParam P;
+    auto F = P.take();
+    std::atomic<bool> Cancelled{false};
+    std::thread Put([&] { P.put(A.at(Round)); });
+    std::thread Cancel([&] { Cancelled.store(F.cancel()); });
+    Put.join();
+    Cancel.join();
+    if (Cancelled.load()) {
+      // The element must be back in the pool (refused resume re-inserts).
+      auto G = P.take();
+      EXPECT_EQ(G.blockingGet(), A.at(Round));
+    } else {
+      EXPECT_EQ(F.tryGet(), A.at(Round));
+    }
+  }
+}
+
+TYPED_TEST(PoolTest, ConservationUnderChurn) {
+  constexpr int Elements = 4;
+  constexpr int Threads = 6;
+  constexpr int OpsPerThread = 3000;
+  Arena A(Elements);
+  TypeParam P;
+  for (int I = 0; I < Elements; ++I)
+    P.put(A.at(I));
+
+  std::atomic<std::uint32_t> HeldMask{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < OpsPerThread; ++I) {
+        auto F = P.take();
+        std::optional<int *> E = F.blockingGet();
+        ASSERT_TRUE(E.has_value());
+        int Idx = static_cast<int>(*E - A.at(0));
+        ASSERT_GE(Idx, 0);
+        ASSERT_LT(Idx, Elements);
+        std::uint32_t Bit = 1u << Idx;
+        std::uint32_t Prev = HeldMask.fetch_or(Bit);
+        ASSERT_EQ(Prev & Bit, 0u) << "element " << Idx << " held twice";
+        HeldMask.fetch_and(~Bit);
+        P.put(*E);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+
+  // All elements must be retrievable exactly once at the end.
+  std::set<int *> Final;
+  for (int I = 0; I < Elements; ++I) {
+    auto F = P.take();
+    ASSERT_TRUE(F.isImmediate());
+    auto E = F.tryGet();
+    ASSERT_TRUE(E.has_value());
+    EXPECT_TRUE(Final.insert(*E).second) << "duplicate element";
+  }
+  EXPECT_EQ(Final.size(), static_cast<std::size_t>(Elements));
+}
+
+TYPED_TEST(PoolTest, ConservationUnderChurnWithCancellation) {
+  constexpr int Elements = 2;
+  constexpr int Threads = 6;
+  constexpr int OpsPerThread = 1500;
+  Arena A(Elements);
+  TypeParam P;
+  for (int I = 0; I < Elements; ++I)
+    P.put(A.at(I));
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&, T] {
+      SplitMix64 Rng(77 + T);
+      for (int I = 0; I < OpsPerThread; ++I) {
+        auto F = P.take();
+        if (!F.isImmediate() && Rng.chance(1, 2) && F.cancel())
+          continue; // aborted the wait; we own nothing
+        std::optional<int *> E = F.blockingGet();
+        ASSERT_TRUE(E.has_value());
+        P.put(*E);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+
+  std::set<int *> Final;
+  for (int I = 0; I < Elements; ++I) {
+    auto F = P.take();
+    auto E = F.blockingGet();
+    ASSERT_TRUE(E.has_value());
+    EXPECT_TRUE(Final.insert(*E).second);
+  }
+  EXPECT_EQ(Final.size(), static_cast<std::size_t>(Elements));
+}
+
+TYPED_TEST(PoolTest, TryTakeBasics) {
+  Arena A(2);
+  TypeParam P;
+  EXPECT_EQ(P.tryTake(), std::nullopt) << "empty pool";
+  P.put(A.at(0));
+  P.put(A.at(1));
+  auto E1 = P.tryTake();
+  auto E2 = P.tryTake();
+  ASSERT_TRUE(E1.has_value());
+  ASSERT_TRUE(E2.has_value());
+  EXPECT_NE(*E1, *E2);
+  EXPECT_EQ(P.tryTake(), std::nullopt);
+  P.put(*E1);
+  P.put(*E2);
+}
+
+TYPED_TEST(PoolTest, TryTakeNeverStealsFromWaiters) {
+  // An element handed directly to a suspended take() is assigned; tryTake
+  // must see the pool as empty, not race it away.
+  Arena A(1);
+  TypeParam P;
+  auto Waiter = P.take();
+  EXPECT_EQ(Waiter.status(), FutureStatus::Pending);
+  P.put(A.at(0));
+  EXPECT_EQ(Waiter.tryGet(), A.at(0));
+  EXPECT_EQ(P.tryTake(), std::nullopt);
+  P.put(A.at(0));
+  EXPECT_EQ(P.tryTake(), A.at(0));
+}
+
+TYPED_TEST(PoolTest, TryTakeConservationStress) {
+  constexpr int Elements = 3;
+  constexpr int Threads = 6;
+  Arena A(Elements);
+  TypeParam P;
+  for (int I = 0; I < Elements; ++I)
+    P.put(A.at(I));
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < 3000; ++I) {
+        auto E = P.tryTake();
+        if (E.has_value())
+          P.put(*E);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  std::set<int *> Final;
+  for (int I = 0; I < Elements; ++I) {
+    auto E = P.tryTake();
+    ASSERT_TRUE(E.has_value());
+    EXPECT_TRUE(Final.insert(*E).second);
+  }
+  EXPECT_EQ(P.tryTake(), std::nullopt);
+}
+
+TEST(StackPool, ReturnsHottestElementSequentially) {
+  Arena A(3);
+  StackBlockingPool<int *, 4> P;
+  P.put(A.at(0));
+  P.put(A.at(1));
+  P.put(A.at(2));
+  EXPECT_EQ(P.take().tryGet(), A.at(2)) << "LIFO: last inserted first";
+  EXPECT_EQ(P.take().tryGet(), A.at(1));
+  P.put(A.at(1));
+  EXPECT_EQ(P.take().tryGet(), A.at(1));
+  EXPECT_EQ(P.take().tryGet(), A.at(0));
+}
+
+TEST(QueuePool, DrainsInInsertionOrderSequentially) {
+  Arena A(3);
+  QueueBlockingPool<int *, 4> P;
+  P.put(A.at(0));
+  P.put(A.at(1));
+  P.put(A.at(2));
+  EXPECT_EQ(P.take().tryGet(), A.at(0));
+  EXPECT_EQ(P.take().tryGet(), A.at(1));
+  EXPECT_EQ(P.take().tryGet(), A.at(2));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

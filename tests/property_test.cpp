@@ -1,0 +1,295 @@
+//===- tests/property_test.cpp - parameterized invariant sweeps -----------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-style sweeps over the CQS configuration space:
+///
+///  - every segment size must preserve FIFO order, value conservation and
+///    cancellation bookkeeping (typed suite over SEGM_SIZE);
+///  - every (resumption mode x permits x threads) semaphore configuration
+///    must conserve permits under randomized cancellation (parameterized
+///    suite);
+///  - every (parties x cancel pattern) barrier configuration must release
+///    all live waiters;
+///  - randomized latch countDown/await/cancel interleavings must never
+///    strand a live waiter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cqs.h"
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+#include "sync/Barrier.h"
+#include "sync/CountDownLatch.h"
+#include "sync/Semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Typed sweep over segment sizes.
+// --------------------------------------------------------------------------
+
+template <typename CqsT> class SegmentSizeSweep : public ::testing::Test {};
+
+using SegmentSizes =
+    ::testing::Types<Cqs<int, ValueTraits<int>, 1>,
+                     Cqs<int, ValueTraits<int>, 2>,
+                     Cqs<int, ValueTraits<int>, 3>,
+                     Cqs<int, ValueTraits<int>, 16>,
+                     Cqs<int, ValueTraits<int>, 64>>;
+
+TYPED_TEST_SUITE(SegmentSizeSweep, SegmentSizes);
+
+TYPED_TEST(SegmentSizeSweep, FifoOrderAcrossManySegments) {
+  TypeParam Q;
+  std::vector<typename TypeParam::FutureType> Fs;
+  for (int I = 0; I < 200; ++I)
+    Fs.push_back(Q.suspend());
+  for (int I = 0; I < 200; ++I)
+    ASSERT_TRUE(Q.resume(I));
+  for (int I = 0; I < 200; ++I)
+    ASSERT_EQ(Fs[I].tryGet(), I);
+}
+
+TYPED_TEST(SegmentSizeSweep, EliminationAcrossManySegments) {
+  TypeParam Q;
+  for (int I = 0; I < 200; ++I) {
+    ASSERT_TRUE(Q.resume(I));
+    auto F = Q.suspend();
+    ASSERT_TRUE(F.isImmediate());
+    ASSERT_EQ(F.tryGet(), I);
+  }
+}
+
+TYPED_TEST(SegmentSizeSweep, SimpleCancellationBalance) {
+  TypeParam Q(CancellationMode::Simple, ResumptionMode::Async);
+  std::vector<typename TypeParam::FutureType> Fs;
+  for (int I = 0; I < 100; ++I)
+    Fs.push_back(Q.suspend());
+  // Cancel a mixed pattern: every cell of some segments, parts of others.
+  // Live waiters sit at indices I % 3 == 1; the last one is 97, so the
+  // resumes visit cells 0..97 and must fail exactly on the cancelled cells
+  // in that prefix (cancelled cells *behind* the last live waiter are
+  // never reached).
+  int Cancelled = 0, CancelledBeforeLastLive = 0;
+  const int LastLive = 97;
+  for (int I = 0; I < 100; ++I)
+    if (I % 3 != 1) {
+      ASSERT_TRUE(Fs[I].cancel());
+      ++Cancelled;
+      if (I < LastLive)
+        ++CancelledBeforeLastLive;
+    }
+  int Failed = 0, Succeeded = 0, Next = 0;
+  while (Succeeded < 100 - Cancelled) {
+    if (Q.resume(1000 + Next)) {
+      ++Succeeded;
+      ++Next;
+    } else {
+      ++Failed;
+    }
+  }
+  ASSERT_EQ(Failed, CancelledBeforeLastLive);
+  Next = 0;
+  for (int I = 0; I < 100; ++I) {
+    if (I % 3 == 1) {
+      ASSERT_EQ(Fs[I].tryGet(), 1000 + Next++);
+    }
+  }
+}
+
+template <typename CqsT>
+struct SkipAllHandler : CqsT::SmartCancellationHandler {
+  bool onCancellation() override { return true; }
+  void completeRefusedResume(int) override {}
+};
+
+TYPED_TEST(SegmentSizeSweep, SmartCancellationSkipsArbitraryPatterns) {
+  SkipAllHandler<TypeParam> H;
+  TypeParam Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+  std::vector<typename TypeParam::FutureType> Fs;
+  for (int I = 0; I < 120; ++I)
+    Fs.push_back(Q.suspend());
+  SplitMix64 Rng(2024);
+  std::vector<int> Alive;
+  for (int I = 0; I < 120; ++I) {
+    if (Rng.chance(2, 3))
+      ASSERT_TRUE(Fs[I].cancel());
+    else
+      Alive.push_back(I);
+  }
+  for (std::size_t K = 0; K < Alive.size(); ++K)
+    ASSERT_TRUE(Q.resume(static_cast<int>(K)));
+  for (std::size_t K = 0; K < Alive.size(); ++K)
+    ASSERT_EQ(Fs[Alive[K]].tryGet(), static_cast<int>(K))
+        << "live waiter " << Alive[K] << " got the wrong rank";
+}
+
+TYPED_TEST(SegmentSizeSweep, ConcurrentTransferConservesValues) {
+  TypeParam Q;
+  constexpr int N = 4000;
+  std::vector<std::atomic<int>> Seen(N);
+  for (auto &S : Seen)
+    S.store(0);
+  std::thread Producer([&] {
+    for (int I = 0; I < N; ++I)
+      ASSERT_TRUE(Q.resume(I));
+  });
+  std::thread Consumer([&] {
+    for (int I = 0; I < N; ++I) {
+      auto F = Q.suspend();
+      auto V = F.blockingGet();
+      ASSERT_TRUE(V.has_value());
+      Seen[*V].fetch_add(1);
+    }
+  });
+  Producer.join();
+  Consumer.join();
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Seen[I].load(), 1);
+}
+
+// --------------------------------------------------------------------------
+// Parameterized semaphore sweep: (resumption mode, permits, threads).
+// --------------------------------------------------------------------------
+
+class SemaphoreSweep
+    : public ::testing::TestWithParam<std::tuple<ResumptionMode, int, int>> {
+};
+
+TEST_P(SemaphoreSweep, PermitsConservedUnderRandomCancellation) {
+  const auto [RMode, Permits, Threads] = GetParam();
+  BasicSemaphore<4> S(Permits, RMode);
+  std::atomic<int> Held{0};
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&, T] {
+      SplitMix64 Rng(10 * T + 1);
+      for (int I = 0; I < 600; ++I) {
+        auto F = S.acquire();
+        if (!F.isImmediate() && Rng.chance(1, 3) && F.cancel())
+          continue;
+        ASSERT_TRUE(F.blockingGet().has_value());
+        int Now = Held.fetch_add(1) + 1;
+        ASSERT_LE(Now, Permits) << "permit invariant violated";
+        Held.fetch_sub(1);
+        S.release();
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(S.availablePermits(), Permits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SemaphoreSweep,
+    ::testing::Combine(::testing::Values(ResumptionMode::Async,
+                                         ResumptionMode::Sync),
+                       ::testing::Values(1, 2, 5),
+                       ::testing::Values(2, 4, 8)),
+    [](const auto &Info) {
+      ResumptionMode RMode = std::get<0>(Info.param);
+      int Permits = std::get<1>(Info.param);
+      int Threads = std::get<2>(Info.param);
+      return std::string(RMode == ResumptionMode::Async ? "Async" : "Sync") +
+             "_K" + std::to_string(Permits) + "_T" + std::to_string(Threads);
+    });
+
+// --------------------------------------------------------------------------
+// Parameterized barrier sweep: (parties, cancellation stride).
+// --------------------------------------------------------------------------
+
+class BarrierSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BarrierSweep, LiveWaitersAlwaysReleased) {
+  const auto [Parties, CancelStride] = GetParam();
+  BasicBarrier<4> B(Parties);
+  std::vector<BasicBarrier<4>::FutureType> Fs;
+  for (int I = 0; I < Parties - 1; ++I)
+    Fs.push_back(B.arrive());
+  for (int I = 0; I < Parties - 1; ++I) {
+    if (CancelStride > 0 && I % CancelStride == 0) {
+      ASSERT_TRUE(Fs[I].cancel());
+    }
+  }
+  auto Last = B.arrive();
+  ASSERT_TRUE(Last.isImmediate());
+  for (int I = 0; I < Parties - 1; ++I) {
+    if (CancelStride > 0 && I % CancelStride == 0)
+      ASSERT_EQ(Fs[I].status(), FutureStatus::Cancelled);
+    else
+      ASSERT_EQ(Fs[I].status(), FutureStatus::Completed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BarrierSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 8, 17),
+                                            ::testing::Values(0, 1, 2, 5)),
+                         [](const auto &Info) {
+                           return "P" + std::to_string(std::get<0>(Info.param)) +
+                                  "_C" + std::to_string(std::get<1>(Info.param));
+                         });
+
+// --------------------------------------------------------------------------
+// Randomized latch interleavings.
+// --------------------------------------------------------------------------
+
+class LatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatchSweep, RandomInterleavingNeverStrandsLiveWaiters) {
+  const int Seed = GetParam();
+  SplitMix64 Rng(Seed);
+  BasicCountDownLatch<4> L(8);
+  std::atomic<int> LiveWaiters{0};
+
+  std::thread Counters([&] {
+    for (int I = 0; I < 8; ++I) {
+      if (Rng.chance(1, 2))
+        std::this_thread::yield();
+      L.countDown();
+    }
+  });
+  std::vector<std::thread> Waiters;
+  for (int W = 0; W < 4; ++W) {
+    Waiters.emplace_back([&, W] {
+      SplitMix64 R(Seed * 131 + W);
+      for (int I = 0; I < 50; ++I) {
+        auto F = L.await();
+        if (!F.isImmediate() && R.chance(1, 3) && F.cancel())
+          continue;
+        LiveWaiters.fetch_add(1);
+        ASSERT_TRUE(F.blockingGet().has_value());
+      }
+    });
+  }
+  Counters.join();
+  for (auto &T : Waiters)
+    T.join();
+  EXPECT_EQ(L.count(), 0);
+  EXPECT_GT(LiveWaiters.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatchSweep, ::testing::Range(1, 11));
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

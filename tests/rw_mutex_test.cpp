@@ -1,0 +1,269 @@
+//===- tests/rw_mutex_test.cpp - readers-writer lock tests ----------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The fair abortable readers-writer lock (the paper's Section 3.1
+/// motivating scenario and Section 7 future-work item). Specification:
+/// readers never overlap a writer, writers never overlap anything, waiting
+/// readers are admitted as a cohort, and — the smart-cancellation payoff —
+/// an aborting last writer releases the readers it was blocking
+/// immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/RwMutex.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using SmallRw = BasicRwMutex</*SegmentSize=*/4>;
+
+TEST(RwMutex, ReadersShareFreely) {
+  SmallRw Rw;
+  auto R1 = Rw.readLock();
+  auto R2 = Rw.readLock();
+  auto R3 = Rw.readLock();
+  EXPECT_TRUE(R1.isImmediate());
+  EXPECT_TRUE(R2.isImmediate());
+  EXPECT_TRUE(R3.isImmediate());
+  EXPECT_EQ(Rw.activeReadersForTesting(), 3u);
+  Rw.readUnlock();
+  Rw.readUnlock();
+  Rw.readUnlock();
+  EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+}
+
+TEST(RwMutex, WriterExcludesReaders) {
+  SmallRw Rw;
+  auto W = Rw.writeLock();
+  EXPECT_TRUE(W.isImmediate());
+  auto R = Rw.readLock();
+  EXPECT_EQ(R.status(), FutureStatus::Pending);
+  Rw.writeUnlock();
+  EXPECT_EQ(R.status(), FutureStatus::Completed);
+  Rw.readUnlock();
+}
+
+TEST(RwMutex, ReadersExcludeWriter) {
+  SmallRw Rw;
+  auto R = Rw.readLock();
+  auto W = Rw.writeLock();
+  EXPECT_EQ(W.status(), FutureStatus::Pending);
+  Rw.readUnlock();
+  EXPECT_EQ(W.status(), FutureStatus::Completed);
+  EXPECT_TRUE(Rw.writerActiveForTesting());
+  Rw.writeUnlock();
+}
+
+TEST(RwMutex, WaitingWriterBlocksNewReaders) {
+  // Fairness: a reader arriving behind a waiting writer must queue, not
+  // barge past it.
+  SmallRw Rw;
+  auto R1 = Rw.readLock();
+  auto W = Rw.writeLock();
+  auto R2 = Rw.readLock();
+  EXPECT_EQ(R2.status(), FutureStatus::Pending)
+      << "reader barged past a waiting writer";
+  Rw.readUnlock();
+  EXPECT_EQ(W.status(), FutureStatus::Completed);
+  EXPECT_EQ(R2.status(), FutureStatus::Pending);
+  Rw.writeUnlock();
+  EXPECT_EQ(R2.status(), FutureStatus::Completed);
+  Rw.readUnlock();
+}
+
+TEST(RwMutex, WriteUnlockReleasesWholeReaderCohort) {
+  SmallRw Rw;
+  auto W = Rw.writeLock();
+  std::vector<SmallRw::FutureType> Rs;
+  for (int I = 0; I < 5; ++I)
+    Rs.push_back(Rw.readLock());
+  for (auto &R : Rs)
+    EXPECT_EQ(R.status(), FutureStatus::Pending);
+  Rw.writeUnlock();
+  for (auto &R : Rs)
+    EXPECT_EQ(R.status(), FutureStatus::Completed);
+  EXPECT_EQ(Rw.activeReadersForTesting(), 5u);
+  for (int I = 0; I < 5; ++I)
+    Rw.readUnlock();
+}
+
+TEST(RwMutex, WritersAlternateWithReaderCohorts) {
+  // Phase-fairness: W holds; readers and another writer queue; on unlock
+  // the reader cohort goes first, then the writer.
+  SmallRw Rw;
+  auto W1 = Rw.writeLock();
+  auto R1 = Rw.readLock();
+  auto W2 = Rw.writeLock();
+  auto R2 = Rw.readLock();
+  Rw.writeUnlock();
+  EXPECT_EQ(R1.status(), FutureStatus::Completed);
+  EXPECT_EQ(R2.status(), FutureStatus::Completed);
+  EXPECT_EQ(W2.status(), FutureStatus::Pending);
+  Rw.readUnlock();
+  Rw.readUnlock();
+  EXPECT_EQ(W2.status(), FutureStatus::Completed);
+  Rw.writeUnlock();
+}
+
+TEST(RwMutex, Section31Scenario_CancelledWriterWakesReaderImmediately) {
+  // The paper's motivating execution: (1) a reader takes the lock, (2) a
+  // writer suspends, (3) another reader suspends behind the writer,
+  // (4) the writer aborts -> the second reader must wake *immediately*,
+  // not at the next unlock.
+  SmallRw Rw;
+  auto R1 = Rw.readLock();
+  EXPECT_TRUE(R1.isImmediate());
+  auto W = Rw.writeLock();
+  EXPECT_EQ(W.status(), FutureStatus::Pending);
+  auto R2 = Rw.readLock();
+  EXPECT_EQ(R2.status(), FutureStatus::Pending);
+
+  EXPECT_TRUE(W.cancel());
+  EXPECT_EQ(R2.status(), FutureStatus::Completed)
+      << "smart cancellation must take effect immediately";
+  EXPECT_EQ(Rw.activeReadersForTesting(), 2u);
+  Rw.readUnlock();
+  Rw.readUnlock();
+}
+
+TEST(RwMutex, CancelledNonLastWriterKeepsOrder) {
+  SmallRw Rw;
+  auto R1 = Rw.readLock();
+  auto W1 = Rw.writeLock();
+  auto W2 = Rw.writeLock();
+  auto R2 = Rw.readLock();
+  EXPECT_TRUE(W1.cancel());
+  EXPECT_EQ(R2.status(), FutureStatus::Pending) << "W2 still waits";
+  Rw.readUnlock();
+  EXPECT_EQ(W2.status(), FutureStatus::Completed);
+  Rw.writeUnlock();
+  EXPECT_EQ(R2.status(), FutureStatus::Completed);
+  Rw.readUnlock();
+}
+
+TEST(RwMutex, CancelledReaderIsDeregistered) {
+  SmallRw Rw;
+  auto W = Rw.writeLock();
+  auto R1 = Rw.readLock();
+  auto R2 = Rw.readLock();
+  EXPECT_TRUE(R1.cancel());
+  Rw.writeUnlock();
+  EXPECT_EQ(R2.status(), FutureStatus::Completed);
+  EXPECT_EQ(Rw.activeReadersForTesting(), 1u);
+  Rw.readUnlock();
+  EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+}
+
+TEST(RwMutex, CancelRaceConservesTheLock) {
+  // Race a writer cancellation against the readUnlock that hands it the
+  // lock; whatever wins, the lock must end up fully free.
+  for (int Round = 0; Round < 400; ++Round) {
+    SmallRw Rw;
+    auto R = Rw.readLock();
+    auto W = Rw.writeLock();
+    std::atomic<bool> Cancelled{false};
+    std::thread A([&] { Rw.readUnlock(); });
+    std::thread B([&] { Cancelled.store(W.cancel()); });
+    A.join();
+    B.join();
+    if (!Cancelled.load()) {
+      EXPECT_TRUE(W.blockingGet().has_value());
+      Rw.writeUnlock();
+    }
+    EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+    EXPECT_FALSE(Rw.writerActiveForTesting());
+    EXPECT_EQ(Rw.waitingWritersForTesting(), 0u);
+    EXPECT_EQ(Rw.waitingReadersForTesting(), 0u);
+  }
+}
+
+TEST(RwMutex, ExclusionStress) {
+  constexpr int Threads = 8;
+  constexpr int OpsPerThread = 1500;
+  SmallRw Rw;
+  std::atomic<int> ActiveReaders{0};
+  std::atomic<int> ActiveWriters{0};
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&, T] {
+      SplitMix64 Rng(500 + T);
+      for (int I = 0; I < OpsPerThread; ++I) {
+        if (Rng.chance(1, 4)) {
+          ASSERT_TRUE(Rw.writeLock().blockingGet().has_value());
+          ASSERT_EQ(ActiveWriters.fetch_add(1), 0) << "two writers";
+          ASSERT_EQ(ActiveReaders.load(), 0) << "writer among readers";
+          ActiveWriters.fetch_sub(1);
+          Rw.writeUnlock();
+        } else {
+          ASSERT_TRUE(Rw.readLock().blockingGet().has_value());
+          ActiveReaders.fetch_add(1);
+          ASSERT_EQ(ActiveWriters.load(), 0) << "reader during writer";
+          ActiveReaders.fetch_sub(1);
+          Rw.readUnlock();
+        }
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+  EXPECT_FALSE(Rw.writerActiveForTesting());
+}
+
+TEST(RwMutex, ExclusionStressWithCancellation) {
+  constexpr int Threads = 6;
+  constexpr int OpsPerThread = 1200;
+  SmallRw Rw;
+  std::atomic<int> ActiveWriters{0};
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T) {
+    Ts.emplace_back([&, T] {
+      SplitMix64 Rng(900 + T);
+      for (int I = 0; I < OpsPerThread; ++I) {
+        bool Write = Rng.chance(1, 3);
+        auto F = Write ? Rw.writeLock() : Rw.readLock();
+        if (!F.isImmediate() && Rng.chance(1, 2) && F.cancel())
+          continue; // aborted while waiting
+        ASSERT_TRUE(F.blockingGet().has_value());
+        if (Write) {
+          ASSERT_EQ(ActiveWriters.fetch_add(1), 0);
+          ActiveWriters.fetch_sub(1);
+          Rw.writeUnlock();
+        } else {
+          ASSERT_EQ(ActiveWriters.load(), 0);
+          Rw.readUnlock();
+        }
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+  EXPECT_FALSE(Rw.writerActiveForTesting());
+  EXPECT_EQ(Rw.waitingWritersForTesting(), 0u);
+  EXPECT_EQ(Rw.waitingReadersForTesting(), 0u);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

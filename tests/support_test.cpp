@@ -1,0 +1,126 @@
+//===- tests/support_test.cpp - support-layer unit tests ------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Backoff.h"
+#include "support/CacheLine.h"
+#include "support/Rng.h"
+#include "support/TaggedWord.h"
+#include "support/ValueCodec.h"
+#include "support/WaitGroup.h"
+#include "support/Work.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+using namespace cqs;
+
+TEST(CachePadded, OccupiesFullLine) {
+  static_assert(sizeof(CachePadded<int>) >= CacheLineSize);
+  static_assert(alignof(CachePadded<int>) == CacheLineSize);
+  CachePadded<int> P(7);
+  EXPECT_EQ(*P, 7);
+}
+
+TEST(Backoff, DegradesToYield) {
+  Backoff B;
+  EXPECT_FALSE(B.isYielding());
+  for (unsigned I = 0; I <= Backoff::SpinLimitLog2; ++I)
+    B.pause();
+  EXPECT_TRUE(B.isYielding());
+  B.reset();
+  EXPECT_FALSE(B.isYielding());
+}
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(SplitMix64, BoundedSamplesStayInRange) {
+  SplitMix64 R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(GeometricWork, MeanIsRoughlyRight) {
+  GeometricWork W(/*Mean=*/100, /*Seed=*/123);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += static_cast<double>(W.nextAmount());
+  double Mean = Sum / N;
+  EXPECT_GT(Mean, 80.0);
+  EXPECT_LT(Mean, 120.0);
+}
+
+TEST(GeometricWork, ZeroMeanProducesNoWork) {
+  GeometricWork W(0, 1);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(W.nextAmount(), 0u);
+}
+
+TEST(WaitGroup, WaitsForAllDone) {
+  WaitGroup Wg;
+  Wg.add(3);
+  std::atomic<int> Done{0};
+  std::thread T([&] {
+    for (int I = 0; I < 3; ++I) {
+      Done.fetch_add(1);
+      Wg.done();
+    }
+  });
+  Wg.wait();
+  EXPECT_EQ(Done.load(), 3);
+  T.join();
+}
+
+TEST(WaitGroup, ZeroCountWaitReturnsImmediately) {
+  WaitGroup Wg;
+  Wg.wait();
+  SUCCEED();
+}
+
+TEST(TaggedWord, TokenRoundTrip) {
+  EXPECT_EQ(makeTokenWord(Token::Empty), 0u);
+  for (Token T : {Token::Empty, Token::Taken, Token::Broken, Token::Resumed,
+                  Token::Cancelled, Token::Refuse}) {
+    std::uint64_t W = makeTokenWord(T);
+    EXPECT_EQ(wordKind(W), WordKind::Token);
+    EXPECT_EQ(tokenOf(W), T);
+  }
+}
+
+TEST(TaggedWord, ValueRoundTrip) {
+  std::uint64_t W = encodeValueWord<int>(-12345);
+  EXPECT_EQ(wordKind(W), WordKind::Value);
+  EXPECT_EQ(decodeValueWord<int>(W), -12345);
+
+  std::uint64_t U = encodeValueWord<Unit>(Unit{});
+  EXPECT_EQ(wordKind(U), WordKind::Value);
+  EXPECT_NE(U, makeTokenWord(Token::Empty)) << "values must not look EMPTY";
+}
+
+TEST(TaggedWord, PointerRoundTrip) {
+  int X = 5;
+  std::uint64_t W = encodeValueWord<int *>(&X);
+  EXPECT_EQ(wordKind(W), WordKind::Value);
+  EXPECT_EQ(decodeValueWord<int *>(W), &X);
+
+  alignas(8) static int Obj;
+  std::uint64_t P = makePointerWord(&Obj);
+  EXPECT_EQ(wordKind(P), WordKind::Pointer);
+  EXPECT_EQ(pointerOf(P), &Obj);
+}
+
+TEST(TaggedWord, DistinctKindsNeverCollide) {
+  // A value word of payload 0 and the EMPTY token must differ.
+  EXPECT_NE(makeValueWord(0), makeTokenWord(Token::Empty));
+  // Tokens and values with equal numeric payloads differ by tag.
+  EXPECT_NE(makeValueWord(4), makeTokenWord(Token::Cancelled));
+}

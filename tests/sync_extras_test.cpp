@@ -1,0 +1,155 @@
+//===- tests/sync_extras_test.cpp - guards & cyclic barrier tests ---------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/CyclicBarrierCqs.h"
+#include "sync/Guards.h"
+
+#include "reclaim/Ebr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+TEST(Guards, LockGuardProtects) {
+  Mutex M;
+  long Counter = 0;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < 5000; ++I) {
+        LockGuard G(M);
+        ++Counter;
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Counter, 4L * 5000);
+  EXPECT_FALSE(M.isLocked());
+}
+
+TEST(Guards, PermitGuardBoundsParallelism) {
+  Semaphore S(2);
+  std::atomic<int> Held{0}, MaxSeen{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 6; ++T) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < 2000; ++I) {
+        PermitGuard G(S);
+        int Now = Held.fetch_add(1) + 1;
+        int Max = MaxSeen.load();
+        while (Now > Max && !MaxSeen.compare_exchange_weak(Max, Now)) {
+        }
+        Held.fetch_sub(1);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_LE(MaxSeen.load(), 2);
+  EXPECT_EQ(S.availablePermits(), 2);
+}
+
+TEST(Guards, ReadersShareWritersExclude) {
+  RwMutex Rw;
+  std::atomic<int> Readers{0}, Writers{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 6; ++T) {
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < 2000; ++I) {
+        if ((T + I) % 5 == 0) {
+          WriteGuard G(Rw);
+          ASSERT_EQ(Writers.fetch_add(1), 0);
+          ASSERT_EQ(Readers.load(), 0);
+          Writers.fetch_sub(1);
+        } else {
+          ReadGuard G(Rw);
+          Readers.fetch_add(1);
+          ASSERT_EQ(Writers.load(), 0);
+          Readers.fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+  EXPECT_FALSE(Rw.writerActiveForTesting());
+}
+
+TEST(CyclicCqsBarrier, RepeatedPhasesSynchronize) {
+  constexpr int Parties = 4;
+  constexpr int Phases = 500;
+  BasicCyclicBarrier<4> B(Parties);
+  std::vector<std::atomic<int>> PhaseOf(Parties);
+  for (auto &P : PhaseOf)
+    P.store(0);
+
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Parties; ++P) {
+    Ts.emplace_back([&, P] {
+      for (int Phase = 0; Phase < Phases; ++Phase) {
+        PhaseOf[P].store(Phase);
+        B.arriveAndWait();
+        // After release, nobody can still be in an earlier phase.
+        for (int Q = 0; Q < Parties; ++Q)
+          ASSERT_GE(PhaseOf[Q].load(), Phase) << "phase leak at " << Phase;
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+}
+
+TEST(CyclicCqsBarrier, SinglePartyNeverBlocks) {
+  BasicCyclicBarrier<4> B(1);
+  for (int I = 0; I < 100; ++I)
+    B.arriveAndWait();
+  SUCCEED();
+}
+
+TEST(CyclicCqsBarrier, TwoPartiesPingPong) {
+  BasicCyclicBarrier<4> B(2);
+  std::atomic<long> Sum{0};
+  auto Body = [&] {
+    for (int I = 0; I < 2000; ++I) {
+      Sum.fetch_add(1);
+      B.arriveAndWait();
+      ASSERT_EQ(Sum.load() % 2, 0u) << "odd total visible after a phase";
+      B.arriveAndWait();
+    }
+  };
+  std::thread A(Body), C(Body);
+  A.join();
+  C.join();
+  EXPECT_EQ(Sum.load(), 2L * 2000);
+}
+
+TEST(Barrier, TryArriveReportsOverArrival) {
+  BasicBarrier<4> B(2);
+  auto F1 = B.tryArrive();
+  EXPECT_TRUE(F1.valid());
+  auto F2 = B.tryArrive();
+  EXPECT_TRUE(F2.valid());
+  EXPECT_TRUE(F2.isImmediate());
+  auto F3 = B.tryArrive();
+  EXPECT_FALSE(F3.valid()) << "third arrival on a two-party barrier";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}
