@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latch_cancellation.dir/ablation_latch_cancellation.cpp.o"
+  "CMakeFiles/ablation_latch_cancellation.dir/ablation_latch_cancellation.cpp.o.d"
+  "ablation_latch_cancellation"
+  "ablation_latch_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latch_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_channel.dir/ext_channel.cpp.o"
+  "CMakeFiles/ext_channel.dir/ext_channel.cpp.o.d"
+  "ext_channel"
+  "ext_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fairness.dir/ext_fairness.cpp.o"
+  "CMakeFiles/ext_fairness.dir/ext_fairness.cpp.o.d"
+  "ext_fairness"
+  "ext_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

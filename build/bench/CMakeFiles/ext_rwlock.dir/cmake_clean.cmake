@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rwlock.dir/ext_rwlock.cpp.o"
+  "CMakeFiles/ext_rwlock.dir/ext_rwlock.cpp.o.d"
+  "ext_rwlock"
+  "ext_rwlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rwlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mutex_coroutines.dir/fig13_mutex_coroutines.cpp.o"
+  "CMakeFiles/fig13_mutex_coroutines.dir/fig13_mutex_coroutines.cpp.o.d"
+  "fig13_mutex_coroutines"
+  "fig13_mutex_coroutines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mutex_coroutines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

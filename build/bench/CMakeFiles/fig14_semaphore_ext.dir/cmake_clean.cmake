@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_semaphore_ext.dir/fig14_semaphore_ext.cpp.o"
+  "CMakeFiles/fig14_semaphore_ext.dir/fig14_semaphore_ext.cpp.o.d"
+  "fig14_semaphore_ext"
+  "fig14_semaphore_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_semaphore_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pools_ext.dir/fig15_pools_ext.cpp.o"
+  "CMakeFiles/fig15_pools_ext.dir/fig15_pools_ext.cpp.o.d"
+  "fig15_pools_ext"
+  "fig15_pools_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pools_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_barrier.dir/fig5_barrier.cpp.o"
+  "CMakeFiles/fig5_barrier.dir/fig5_barrier.cpp.o.d"
+  "fig5_barrier"
+  "fig5_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

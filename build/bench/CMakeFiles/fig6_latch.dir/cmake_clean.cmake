@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_latch.dir/fig6_latch.cpp.o"
+  "CMakeFiles/fig6_latch.dir/fig6_latch.cpp.o.d"
+  "fig6_latch"
+  "fig6_latch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_latch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_semaphore.dir/fig7_semaphore.cpp.o"
+  "CMakeFiles/fig7_semaphore.dir/fig7_semaphore.cpp.o.d"
+  "fig7_semaphore"
+  "fig7_semaphore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_semaphore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

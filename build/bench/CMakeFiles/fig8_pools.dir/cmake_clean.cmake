@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pools.dir/fig8_pools.cpp.o"
+  "CMakeFiles/fig8_pools.dir/fig8_pools.cpp.o.d"
+  "fig8_pools"
+  "fig8_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

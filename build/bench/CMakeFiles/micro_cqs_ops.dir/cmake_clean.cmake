@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cqs_ops.dir/micro_cqs_ops.cpp.o"
+  "CMakeFiles/micro_cqs_ops.dir/micro_cqs_ops.cpp.o.d"
+  "micro_cqs_ops"
+  "micro_cqs_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cqs_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

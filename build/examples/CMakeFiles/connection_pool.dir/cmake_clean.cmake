@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_pool.dir/connection_pool.cpp.o"
+  "CMakeFiles/connection_pool.dir/connection_pool.cpp.o.d"
+  "connection_pool"
+  "connection_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coroutine_pipeline.dir/coroutine_pipeline.cpp.o"
+  "CMakeFiles/coroutine_pipeline.dir/coroutine_pipeline.cpp.o.d"
+  "coroutine_pipeline"
+  "coroutine_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coroutine_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

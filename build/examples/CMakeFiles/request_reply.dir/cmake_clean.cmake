@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_reply.dir/request_reply.cpp.o"
+  "CMakeFiles/request_reply.dir/request_reply.cpp.o.d"
+  "request_reply"
+  "request_reply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_reply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

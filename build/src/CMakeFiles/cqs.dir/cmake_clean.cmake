@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqs.dir/reclaim/Ebr.cpp.o"
+  "CMakeFiles/cqs.dir/reclaim/Ebr.cpp.o.d"
+  "CMakeFiles/cqs.dir/task/Executor.cpp.o"
+  "CMakeFiles/cqs.dir/task/Executor.cpp.o.d"
+  "libcqs.a"
+  "libcqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_latch_test.dir/barrier_latch_test.cpp.o"
+  "CMakeFiles/barrier_latch_test.dir/barrier_latch_test.cpp.o.d"
+  "barrier_latch_test"
+  "barrier_latch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_latch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

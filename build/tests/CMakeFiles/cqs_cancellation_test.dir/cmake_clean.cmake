@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqs_cancellation_test.dir/cqs_cancellation_test.cpp.o"
+  "CMakeFiles/cqs_cancellation_test.dir/cqs_cancellation_test.cpp.o.d"
+  "cqs_cancellation_test"
+  "cqs_cancellation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqs_cancellation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqs_test.dir/cqs_test.cpp.o"
+  "CMakeFiles/cqs_test.dir/cqs_test.cpp.o.d"
+  "cqs_test"
+  "cqs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_test.dir/future_test.cpp.o"
+  "CMakeFiles/future_test.dir/future_test.cpp.o.d"
+  "future_test"
+  "future_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_coverage_test.dir/stats_coverage_test.cpp.o"
+  "CMakeFiles/stats_coverage_test.dir/stats_coverage_test.cpp.o.d"
+  "stats_coverage_test"
+  "stats_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

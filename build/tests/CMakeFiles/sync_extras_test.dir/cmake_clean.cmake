@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_extras_test.dir/sync_extras_test.cpp.o"
+  "CMakeFiles/sync_extras_test.dir/sync_extras_test.cpp.o.d"
+  "sync_extras_test"
+  "sync_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
