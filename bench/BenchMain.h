@@ -1,0 +1,312 @@
+//===- bench/BenchMain.h - common bench CLI & JSON reporting ---*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured-results layer shared by every bench binary:
+///
+///   - a common CLI (`--quick`, `--json=<path>`, `--reps=<n>`, `--help`)
+///     so `for b in build/bench/*; do $b --quick --json=...; done` works
+///     uniformly in CI;
+///   - a Reporter that records one BenchResult per measured cell — all
+///     repetition samples (not just the median), min/max/mean/stddev,
+///     host metadata, and the delta of the process-wide CqsStats counters
+///     around the measurement, so path coverage is attributable per data
+///     point — and serializes them with support/Json.h into the
+///     `cqs-bench-v1` schema consumed by tools/bench_compare.py.
+///
+/// The human-readable tables keep printing exactly as before; the JSON
+/// file is additive. `--quick` is the CI smoke mode: each binary shrinks
+/// its workload/sweeps to a seconds-scale run (same schema, fewer and
+/// smaller cells).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BENCH_BENCHMAIN_H
+#define CQS_BENCH_BENCHMAIN_H
+
+#include "Harness.h"
+
+#include "core/CqsStats.h"
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef CQS_BENCH_BUILD_TYPE
+#define CQS_BENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace cqs {
+namespace bench {
+
+/// Schema identifier written into every file; bump on breaking changes
+/// (tools/bench_compare.py validates it).
+inline constexpr const char *SchemaName = "cqs-bench-v1";
+
+/// Parsed common CLI options.
+struct BenchOptions {
+  bool Quick = false;       ///< CI smoke mode: tiny workloads, 3 reps.
+  std::string JsonPath;     ///< empty = no JSON output
+  int RepsOverride = 0;     ///< 0 = per-mode default
+};
+
+/// One measured cell. `Series` is the table column ("CQS async"),
+/// `Params` the sweep context ("permits=4"), `Direction` whether lower or
+/// higher values are better (timings are "lower"; fairness indices are
+/// "higher").
+struct BenchResult {
+  std::string Benchmark;
+  std::string Series;
+  std::string Params;
+  int Threads = 0;
+  std::string Unit;
+  std::string Direction = "lower";
+  SampleSet Samples;
+  CqsStatsSnapshot StatsDelta;
+  /// False for diagnostic series whose run-to-run variance is structural
+  /// (e.g. raw acquisition counts of a barging lock on one core); the
+  /// comparator reports but never gates on them.
+  bool Gated = true;
+};
+
+/// Collects BenchResults for one binary and writes the JSON file on
+/// finish(). Also owns the quick-mode knobs so each bench can scale its
+/// workload consistently.
+class Reporter {
+public:
+  /// Parses the common flags; exits on `--help` or unknown arguments so
+  /// CI failures are loud rather than silently ignoring a typo.
+  Reporter(std::string BenchName, std::string Description, int Argc,
+           char **Argv)
+      : Name(std::move(BenchName)), Desc(std::move(Description)) {
+    for (int I = 1; I < Argc; ++I) {
+      const char *A = Argv[I];
+      if (std::strcmp(A, "--quick") == 0) {
+        Opts.Quick = true;
+      } else if (std::strncmp(A, "--json=", 7) == 0) {
+        Opts.JsonPath = A + 7;
+      } else if (std::strncmp(A, "--reps=", 7) == 0) {
+        Opts.RepsOverride = std::atoi(A + 7);
+        if (Opts.RepsOverride <= 0) {
+          std::fprintf(stderr, "%s: bad --reps value '%s'\n", Name.c_str(),
+                       A + 7);
+          std::exit(2);
+        }
+      } else if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
+        usage(stdout);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown argument '%s'\n", Name.c_str(), A);
+        usage(stderr);
+        std::exit(2);
+      }
+    }
+  }
+
+  Reporter(const Reporter &) = delete;
+  Reporter &operator=(const Reporter &) = delete;
+
+  ~Reporter() { finish(); }
+
+  bool quick() const { return Opts.Quick; }
+  const std::string &jsonPath() const { return Opts.JsonPath; }
+
+  /// Repetitions for a cell: explicit --reps wins; --quick uses 3 — the
+  /// regression gate (tools/bench_compare.py) compares best-of-reps, and
+  /// a min needs a few draws to be meaningful on the noisy shared core —
+  /// otherwise the bench's own default.
+  int reps(int Default) const {
+    if (Opts.RepsOverride > 0)
+      return Opts.RepsOverride;
+    return Opts.Quick ? 3 : Default;
+  }
+
+  /// Workload size for the current mode.
+  int ops(int Full, int Quick) const { return Opts.Quick ? Quick : Full; }
+
+  /// Sets the sweep context ("workMean=100") recorded with subsequent
+  /// measurements.
+  void context(std::string Params) { CurrentParams = std::move(Params); }
+
+  /// Measures one cell: warmup + reps() repetitions of \p Sample
+  /// (seconds), each scaled by \p Scale into \p Unit; snapshots the
+  /// process-wide CqsStats delta across the measured repetitions (warmup
+  /// excluded) and records a BenchResult. Returns the median for the
+  /// human-readable table.
+  double measure(const std::string &Series, int Threads, const char *Unit,
+                 double Scale, int DefaultReps,
+                 const std::function<double()> &Sample) {
+    (void)Sample(); // warmup, outside the stats window
+    CqsStatsSnapshot Before = CqsStats::processSnapshot();
+    const int N = reps(DefaultReps);
+    std::vector<double> Xs;
+    Xs.reserve(N);
+    for (int R = 0; R < N; ++R)
+      Xs.push_back(Scale * Sample());
+    CqsStatsSnapshot After = CqsStats::processSnapshot();
+
+    BenchResult Res;
+    Res.Benchmark = Name;
+    Res.Series = Series;
+    Res.Params = CurrentParams;
+    Res.Threads = Threads;
+    Res.Unit = Unit;
+    Res.Samples = SampleSet::of(std::move(Xs));
+    Res.StatsDelta = After - Before;
+    Results.push_back(Res);
+    return Res.Samples.Median;
+  }
+
+  /// Records an externally computed metric (e.g. a fairness index) as a
+  /// single-sample result. \p Direction is "lower" or "higher" (which
+  /// way is better); \p Stats the attributed counter delta if the caller
+  /// tracked one.
+  void record(const std::string &Series, int Threads, const char *Unit,
+              const char *Direction, std::vector<double> Values,
+              const CqsStatsSnapshot &Stats = CqsStatsSnapshot(),
+              bool Gated = true) {
+    BenchResult Res;
+    Res.Benchmark = Name;
+    Res.Series = Series;
+    Res.Params = CurrentParams;
+    Res.Threads = Threads;
+    Res.Unit = Unit;
+    Res.Direction = Direction;
+    Res.Samples = SampleSet::of(std::move(Values));
+    Res.StatsDelta = Stats;
+    Res.Gated = Gated;
+    Results.push_back(Res);
+  }
+
+  void record(const std::string &Series, int Threads, const char *Unit,
+              const char *Direction, double Value,
+              const CqsStatsSnapshot &Stats = CqsStatsSnapshot(),
+              bool Gated = true) {
+    record(Series, Threads, Unit, Direction, std::vector<double>{Value},
+           Stats, Gated);
+  }
+
+  const std::vector<BenchResult> &results() const { return Results; }
+
+  /// Serializes all results into the cqs-bench-v1 schema.
+  std::string toJson() const {
+    json::Writer W;
+    W.beginObject();
+    W.key("schema");
+    W.value(SchemaName);
+    W.key("benchmark");
+    W.value(Name);
+    W.key("description");
+    W.value(Desc);
+    W.key("quick");
+    W.value(Opts.Quick);
+    W.key("host");
+    W.beginObject();
+    W.key("nproc");
+    W.value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    W.key("build_type");
+    W.value(CQS_BENCH_BUILD_TYPE);
+    W.key("compiler");
+    W.value(__VERSION__);
+    W.endObject();
+    W.key("results");
+    W.beginArray();
+    for (const BenchResult &R : Results) {
+      W.beginObject();
+      W.key("benchmark");
+      W.value(R.Benchmark);
+      W.key("series");
+      W.value(R.Series);
+      W.key("params");
+      W.value(R.Params);
+      W.key("threads");
+      W.value(R.Threads);
+      W.key("unit");
+      W.value(R.Unit);
+      W.key("direction");
+      W.value(R.Direction);
+      W.key("gated");
+      W.value(R.Gated);
+      W.key("reps");
+      W.value(static_cast<std::uint64_t>(R.Samples.Samples.size()));
+      W.key("samples");
+      W.beginArray();
+      for (double X : R.Samples.Samples)
+        W.value(X);
+      W.endArray();
+      W.key("median");
+      W.value(R.Samples.Median);
+      W.key("min");
+      W.value(R.Samples.Min);
+      W.key("max");
+      W.value(R.Samples.Max);
+      W.key("mean");
+      W.value(R.Samples.Mean);
+      W.key("stddev");
+      W.value(R.Samples.Stddev);
+      W.key("stats");
+      W.beginObject();
+      for (int I = 0; I < CqsStatsSnapshot::NumFields; ++I) {
+        W.key(CqsStatsSnapshot::fieldName(I));
+        W.value(R.StatsDelta.field(I));
+      }
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    return W.take();
+  }
+
+  /// Writes the JSON file if `--json=` was given. Idempotent; also run
+  /// by the destructor so a bench that forgets the explicit call still
+  /// produces its file.
+  void finish() {
+    if (Finished)
+      return;
+    Finished = true;
+    if (Opts.JsonPath.empty())
+      return;
+    std::ofstream Out(Opts.JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", Name.c_str(),
+                   Opts.JsonPath.c_str());
+      std::exit(1);
+    }
+    Out << toJson();
+    std::printf("\nwrote %zu results to %s\n", Results.size(),
+                Opts.JsonPath.c_str());
+  }
+
+private:
+  void usage(std::FILE *F) const {
+    std::fprintf(F,
+                 "%s — %s\n\n"
+                 "usage: %s [--quick] [--json=<path>] [--reps=<n>]\n"
+                 "  --quick       seconds-scale CI smoke sweep (3 reps, "
+                 "reduced workload)\n"
+                 "  --json=<path> write machine-readable results "
+                 "(schema %s)\n"
+                 "  --reps=<n>    override repetitions per cell\n",
+                 Name.c_str(), Desc.c_str(), Name.c_str(), SchemaName);
+  }
+
+  std::string Name;
+  std::string Desc;
+  BenchOptions Opts;
+  std::string CurrentParams;
+  std::vector<BenchResult> Results;
+  bool Finished = false;
+};
+
+} // namespace bench
+} // namespace cqs
+
+#endif // CQS_BENCH_BENCHMAIN_H

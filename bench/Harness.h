@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -58,16 +59,58 @@ inline double runThreadTeam(int Threads,
   return std::chrono::duration<double>(End - Start).count();
 }
 
-/// Runs \p Sample() Reps+1 times, discards the warmup run, and returns the
-/// median of the rest.
-inline double medianOfReps(int Reps, const std::function<double()> &Sample) {
+/// All repetitions of one measured cell plus the derived statistics the
+/// JSON schema reports (tools/bench_compare.py keys off Median but the
+/// full sample set travels with it, per EXPERIMENTS.md's noise notes).
+struct SampleSet {
+  std::vector<double> Samples; // in reported units, measurement order
+  double Median = 0;
+  double Min = 0;
+  double Max = 0;
+  double Mean = 0;
+  double Stddev = 0;
+
+  static SampleSet of(std::vector<double> Xs) {
+    SampleSet S;
+    S.Samples = std::move(Xs);
+    if (S.Samples.empty())
+      return S;
+    std::vector<double> Sorted = S.Samples;
+    std::sort(Sorted.begin(), Sorted.end());
+    S.Median = Sorted[Sorted.size() / 2];
+    S.Min = Sorted.front();
+    S.Max = Sorted.back();
+    double Sum = 0;
+    for (double X : Sorted)
+      Sum += X;
+    S.Mean = Sum / static_cast<double>(Sorted.size());
+    double Var = 0;
+    for (double X : Sorted)
+      Var += (X - S.Mean) * (X - S.Mean);
+    S.Stddev = Sorted.size() > 1
+                   ? std::sqrt(Var / static_cast<double>(Sorted.size() - 1))
+                   : 0;
+    return S;
+  }
+};
+
+/// Runs \p Sample() Reps+1 times, discards the warmup run, scales each
+/// repetition by \p Scale (e.g. 1e6 / Ops for "us per op"), and returns
+/// the full sample set.
+inline SampleSet sampleReps(int Reps, double Scale,
+                            const std::function<double()> &Sample) {
   (void)Sample(); // warmup
   std::vector<double> Xs;
   Xs.reserve(Reps);
   for (int R = 0; R < Reps; ++R)
-    Xs.push_back(Sample());
-  std::sort(Xs.begin(), Xs.end());
-  return Xs[Xs.size() / 2];
+    Xs.push_back(Scale * Sample());
+  return SampleSet::of(std::move(Xs));
+}
+
+/// Runs \p Sample() Reps+1 times, discards the warmup run, and returns the
+/// median of the rest.
+inline double medianOfReps(int Reps, const std::function<double()> &Sample) {
+  return sampleReps(Reps, 1.0, Sample).Median;
 }
 
 /// Fixed-width table output (the "rows/series" of the paper's plots).

@@ -16,7 +16,7 @@
 #ifndef CQS_BENCH_POOLBENCHCOMMON_H
 #define CQS_BENCH_POOLBENCHCOMMON_H
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "baseline/BlockingQueue.h"
 #include "support/Work.h"
@@ -28,7 +28,7 @@
 namespace cqs {
 namespace bench {
 
-constexpr int PoolTotalOps = 20000;
+inline int PoolTotalOps = 20000; // 4000 under --quick
 constexpr std::uint64_t PoolWorkMean = 100;
 constexpr int PoolReps = 3;
 
@@ -92,30 +92,32 @@ inline double lbqRun(int Threads, int Elements, std::vector<int> &Arena) {
       Threads, [&] { return Q.take(); }, [&](int *E) { Q.put(E); });
 }
 
-inline void poolSweep(int Elements, const std::vector<int> &ThreadCounts) {
+inline void poolSweep(Reporter &R, int Elements,
+                      const std::vector<int> &ThreadCounts) {
   std::printf("\n-- %d shared element(s); %d ops total; avg time per "
               "operation (us) --\n",
               Elements, PoolTotalOps);
+  R.context("elements=" + std::to_string(Elements));
+  const double Scale = 1e6 / PoolTotalOps; // us per operation
   std::vector<int> Arena(Elements);
   Table T({"threads", "CQS queue", "CQS stack", "ABQ fair", "ABQ unfair",
            "LBQ"});
   for (int Threads : ThreadCounts) {
     T.cell(std::to_string(Threads));
-    T.cell(1e6 * medianOfReps(PoolReps, [&] {
-             return cqsQueuePoolRun(Threads, Elements, Arena);
-           }) / PoolTotalOps);
-    T.cell(1e6 * medianOfReps(PoolReps, [&] {
-             return cqsStackPoolRun(Threads, Elements, Arena);
-           }) / PoolTotalOps);
-    T.cell(1e6 * medianOfReps(PoolReps, [&] {
-             return fairAbqRun(Threads, Elements, Arena);
-           }) / PoolTotalOps);
-    T.cell(1e6 * medianOfReps(PoolReps, [&] {
-             return unfairAbqRun(Threads, Elements, Arena);
-           }) / PoolTotalOps);
-    T.cell(1e6 * medianOfReps(PoolReps, [&] {
-             return lbqRun(Threads, Elements, Arena);
-           }) / PoolTotalOps);
+    T.cell(R.measure("CQS queue", Threads, "us/op", Scale, PoolReps, [&] {
+      return cqsQueuePoolRun(Threads, Elements, Arena);
+    }));
+    T.cell(R.measure("CQS stack", Threads, "us/op", Scale, PoolReps, [&] {
+      return cqsStackPoolRun(Threads, Elements, Arena);
+    }));
+    T.cell(R.measure("ABQ fair", Threads, "us/op", Scale, PoolReps, [&] {
+      return fairAbqRun(Threads, Elements, Arena);
+    }));
+    T.cell(R.measure("ABQ unfair", Threads, "us/op", Scale, PoolReps, [&] {
+      return unfairAbqRun(Threads, Elements, Arena);
+    }));
+    T.cell(R.measure("LBQ", Threads, "us/op", Scale, PoolReps,
+                     [&] { return lbqRun(Threads, Elements, Arena); }));
     T.endRow();
   }
 }

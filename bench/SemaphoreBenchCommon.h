@@ -15,7 +15,7 @@
 #ifndef CQS_BENCH_SEMAPHOREBENCHCOMMON_H
 #define CQS_BENCH_SEMAPHOREBENCHCOMMON_H
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "baseline/Aqs.h"
 #include "baseline/ClhLock.h"
@@ -29,7 +29,7 @@
 namespace cqs {
 namespace bench {
 
-constexpr int SemTotalOps = 20000;
+inline int SemTotalOps = 20000; // 4000 under --quick
 constexpr std::uint64_t SemWorkMean = 100;
 constexpr int SemReps = 3;
 
@@ -76,10 +76,13 @@ inline double mcsRun(int Threads) {
 
 /// One table for a given permit count; the mutex case (K = 1) adds the
 /// CLH/MCS series exactly as Figure 7's left plot does.
-inline void semaphoreSweep(int Permits, const std::vector<int> &ThreadCounts) {
+inline void semaphoreSweep(Reporter &R, int Permits,
+                           const std::vector<int> &ThreadCounts) {
   std::printf("\n-- %d permit(s)%s; %d ops total; avg time per operation "
               "(us) --\n",
               Permits, Permits == 1 ? " (mutex)" : "", SemTotalOps);
+  R.context("permits=" + std::to_string(Permits));
+  const double Scale = 1e6 / SemTotalOps; // us per operation
   std::vector<std::string> Cols = {"threads",   "CQS async", "CQS sync",
                                    "Java fair", "Java unfair"};
   if (Permits == 1) {
@@ -89,23 +92,23 @@ inline void semaphoreSweep(int Permits, const std::vector<int> &ThreadCounts) {
   Table T(Cols);
   for (int Threads : ThreadCounts) {
     T.cell(std::to_string(Threads));
-    T.cell(1e6 * medianOfReps(SemReps, [&] {
-             return cqsSemRun(Threads, Permits, ResumptionMode::Async);
-           }) / SemTotalOps);
-    T.cell(1e6 * medianOfReps(SemReps, [&] {
-             return cqsSemRun(Threads, Permits, ResumptionMode::Sync);
-           }) / SemTotalOps);
-    T.cell(1e6 * medianOfReps(SemReps, [&] {
-             return aqsSemRun(Threads, Permits, /*Fair=*/true);
-           }) / SemTotalOps);
-    T.cell(1e6 * medianOfReps(SemReps, [&] {
-             return aqsSemRun(Threads, Permits, /*Fair=*/false);
-           }) / SemTotalOps);
+    T.cell(R.measure("CQS async", Threads, "us/op", Scale, SemReps, [&] {
+      return cqsSemRun(Threads, Permits, ResumptionMode::Async);
+    }));
+    T.cell(R.measure("CQS sync", Threads, "us/op", Scale, SemReps, [&] {
+      return cqsSemRun(Threads, Permits, ResumptionMode::Sync);
+    }));
+    T.cell(R.measure("Java fair", Threads, "us/op", Scale, SemReps, [&] {
+      return aqsSemRun(Threads, Permits, /*Fair=*/true);
+    }));
+    T.cell(R.measure("Java unfair", Threads, "us/op", Scale, SemReps, [&] {
+      return aqsSemRun(Threads, Permits, /*Fair=*/false);
+    }));
     if (Permits == 1) {
-      T.cell(1e6 * medianOfReps(SemReps, [&] { return clhRun(Threads); }) /
-             SemTotalOps);
-      T.cell(1e6 * medianOfReps(SemReps, [&] { return mcsRun(Threads); }) /
-             SemTotalOps);
+      T.cell(R.measure("CLH", Threads, "us/op", Scale, SemReps,
+                       [&] { return clhRun(Threads); }));
+      T.cell(R.measure("MCS", Threads, "us/op", Scale, SemReps,
+                       [&] { return mcsRun(Threads); }));
     }
     T.endRow();
   }

@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "core/Cqs.h"
 #include "reclaim/Ebr.h"
@@ -66,20 +66,29 @@ double releaseAfterCancellations(CancellationMode Mode, int Cancelled) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("ablation_cancellation",
+             "release cost after N aborted waiters: simple is Theta(N), "
+             "smart is O(1) amortized",
+             argc, argv);
   banner("Ablation A", "release cost after N aborted waiters: simple is "
                        "Theta(N), smart is O(1) amortized");
   Table T({"cancelled N", "simple us", "smart us"});
-  for (int N : {16, 256, 4096, 65536}) {
+  const std::vector<int> Ns = R.quick() ? std::vector<int>{16, 1024}
+                                        : std::vector<int>{16, 256, 4096,
+                                                           65536};
+  for (int N : Ns) {
+    R.context("cancelled=" + std::to_string(N));
     T.cell(std::to_string(N));
-    T.cell(1e6 * medianOfReps(5, [&] {
-             return releaseAfterCancellations(CancellationMode::Simple, N);
-           }));
-    T.cell(1e6 * medianOfReps(5, [&] {
-             return releaseAfterCancellations(CancellationMode::Smart, N);
-           }));
+    T.cell(R.measure("simple", 1, "us/release", 1e6, 5, [&] {
+      return releaseAfterCancellations(CancellationMode::Simple, N);
+    }));
+    T.cell(R.measure("smart", 1, "us/release", 1e6, 5, [&] {
+      return releaseAfterCancellations(CancellationMode::Smart, N);
+    }));
     T.endRow();
   }
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

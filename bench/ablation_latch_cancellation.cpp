@@ -17,7 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "reclaim/Ebr.h"
 #include "sync/CountDownLatch.h"
@@ -58,7 +58,11 @@ double openingCountDownCost(CancellationMode Mode, int LiveWaiters,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("ablation_latch_cancellation",
+             "opening countDown() cost with aborted awaits: simple pays per "
+             "registered waiter, smart per live waiter",
+             argc, argv);
   banner("Ablation C", "opening countDown() cost with aborted awaits: "
                        "simple pays per registered waiter, smart per live "
                        "waiter");
@@ -66,19 +70,25 @@ int main() {
   struct Case {
     int Live, Cancelled;
   };
-  for (Case C : {Case{64, 0}, Case{64, 1024}, Case{64, 16384},
-                 Case{1024, 16384}}) {
+  const std::vector<Case> Cases =
+      R.quick() ? std::vector<Case>{Case{64, 0}, Case{64, 1024}}
+                : std::vector<Case>{Case{64, 0}, Case{64, 1024},
+                                    Case{64, 16384}, Case{1024, 16384}};
+  for (Case C : Cases) {
+    R.context("live=" + std::to_string(C.Live) +
+              ",cancelled=" + std::to_string(C.Cancelled));
     T.cell(std::to_string(C.Live) + "/" + std::to_string(C.Cancelled));
-    T.cell(1e6 * medianOfReps(5, [&] {
-             return openingCountDownCost(CancellationMode::Simple, C.Live,
-                                         C.Cancelled);
-           }));
-    T.cell(1e6 * medianOfReps(5, [&] {
-             return openingCountDownCost(CancellationMode::Smart, C.Live,
-                                         C.Cancelled);
-           }));
+    T.cell(R.measure("simple", 1, "us/open", 1e6, 5, [&] {
+      return openingCountDownCost(CancellationMode::Simple, C.Live,
+                                  C.Cancelled);
+    }));
+    T.cell(R.measure("smart", 1, "us/open", 1e6, 5, [&] {
+      return openingCountDownCost(CancellationMode::Smart, C.Live,
+                                  C.Cancelled);
+    }));
     T.endRow();
   }
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "core/Cqs.h"
 #include "reclaim/Ebr.h"
@@ -29,7 +29,7 @@ using namespace cqs::bench;
 
 namespace {
 
-constexpr int Ops = 200000;
+int Ops = 200000; // 20000 under --quick
 
 template <unsigned SegSize> double transferRun() {
   Cqs<int, ValueTraits<int>, SegSize> Q;
@@ -60,23 +60,33 @@ template <unsigned SegSize> double churnRun() {
   return std::chrono::duration<double>(End - Start).count();
 }
 
-template <unsigned SegSize> void row(Table &T) {
+template <unsigned SegSize> void row(Reporter &R, Table &T) {
+  R.context("segSize=" + std::to_string(SegSize));
+  const double Scale = 1e9 / Ops; // ns per op
   T.cell(std::to_string(SegSize));
-  T.cell(1e9 * medianOfReps(3, [] { return transferRun<SegSize>(); }) / Ops);
-  T.cell(1e9 * medianOfReps(3, [] { return churnRun<SegSize>(); }) / Ops);
+  T.cell(R.measure("transfer", 1, "ns/op", Scale, 3,
+                   [] { return transferRun<SegSize>(); }));
+  T.cell(R.measure("churn", 1, "ns/op", Scale, 3,
+                   [] { return churnRun<SegSize>(); }));
   T.endRow();
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("ablation_segment_size",
+             "segment size: ns per op on transfer and cancellation-churn "
+             "workloads",
+             argc, argv);
+  Ops = R.ops(200000, 20000);
   banner("Ablation B", "segment size: ns per op on transfer and "
                        "cancellation-churn workloads");
   Table T({"SEGM_SIZE", "transfer ns", "churn ns"});
-  row<2>(T);
-  row<8>(T);
-  row<16>(T);
-  row<64>(T);
+  row<2>(R, T);
+  row<8>(R, T);
+  row<16>(R, T);
+  row<64>(R, T);
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -13,7 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "baseline/BlockingQueue.h"
 #include "reclaim/Ebr.h"
@@ -21,13 +21,14 @@
 #include "sync/Channel.h"
 
 #include <string>
+#include <vector>
 
 using namespace cqs;
 using namespace cqs::bench;
 
 namespace {
 
-constexpr int TotalItems = 20000;
+int TotalItems = 20000; // 4000 under --quick
 constexpr std::uint64_t WorkMean = 50;
 constexpr int Reps = 3;
 
@@ -72,27 +73,36 @@ double unfairAbqRun(int Pairs, int Capacity) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("ext_channel",
+             "bounded-channel throughput: avg time per transferred item, "
+             "lower is better",
+             argc, argv);
+  TotalItems = R.ops(20000, 4000);
   banner("Extension: channel", "bounded-channel throughput: avg time per "
                                "transferred item, lower is better");
-  for (int Capacity : {0, 1, 4, 16}) {
+  const std::vector<int> Capacities =
+      R.quick() ? std::vector<int>{0, 1} : std::vector<int>{0, 1, 4, 16};
+  const std::vector<int> PairCounts =
+      R.quick() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const double Scale = 1e6 / TotalItems; // us per transferred item
+  for (int Capacity : Capacities) {
     std::printf("\n-- capacity %d%s --\n", Capacity,
                 Capacity == 0 ? " (rendezvous; ABQs clamped to 1)" : "");
+    R.context("capacity=" + std::to_string(Capacity));
     Table T({"prod/cons pairs", "CQS channel", "ABQ fair", "ABQ unfair"});
-    for (int Pairs : {1, 2, 4, 8}) {
+    for (int Pairs : PairCounts) {
       T.cell(std::to_string(Pairs));
-      T.cell(1e6 *
-             medianOfReps(Reps, [&] { return cqsChannelRun(Pairs, Capacity); }) /
-             TotalItems);
-      T.cell(1e6 *
-             medianOfReps(Reps, [&] { return fairAbqRun(Pairs, Capacity); }) /
-             TotalItems);
-      T.cell(1e6 *
-             medianOfReps(Reps, [&] { return unfairAbqRun(Pairs, Capacity); }) /
-             TotalItems);
+      T.cell(R.measure("CQS channel", 2 * Pairs, "us/item", Scale, Reps,
+                       [&] { return cqsChannelRun(Pairs, Capacity); }));
+      T.cell(R.measure("ABQ fair", 2 * Pairs, "us/item", Scale, Reps,
+                       [&] { return fairAbqRun(Pairs, Capacity); }));
+      T.cell(R.measure("ABQ unfair", 2 * Pairs, "us/item", Scale, Reps,
+                       [&] { return unfairAbqRun(Pairs, Capacity); }));
       T.endRow();
     }
   }
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

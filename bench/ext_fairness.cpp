@@ -22,7 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "baseline/Aqs.h"
 #include "baseline/ClhLock.h"
@@ -40,7 +40,7 @@ using namespace cqs::bench;
 namespace {
 
 constexpr int Threads = 8;
-constexpr auto Window = std::chrono::milliseconds(300);
+std::chrono::milliseconds Window(300); // 50ms under --quick
 
 struct FairnessResult {
   double JainIndex;
@@ -98,9 +98,45 @@ FairnessResult measure(LockFn Lock, UnlockFn Unlock) {
   return {Jain, LongestBurst.load(), Total};
 }
 
+/// Runs one lock's fairness window, prints its table row, and records
+/// the three metrics (with attributed CqsStats deltas) into the JSON
+/// report. Direction matters per metric: fairness index and throughput
+/// are higher-is-better, the monopolization burst is lower-is-better.
+template <typename LockFn, typename UnlockFn>
+void runSeries(Reporter &Rep, Table &T, const char *Name, LockFn Lock,
+               UnlockFn Unlock) {
+  CqsStatsSnapshot Before = CqsStats::processSnapshot();
+  FairnessResult R = measure(Lock, Unlock);
+  CqsStatsSnapshot Delta = CqsStats::processSnapshot() - Before;
+  T.cell(Name);
+  T.cell(R.JainIndex);
+  T.cell(static_cast<double>(R.LongestBurst));
+  T.cell(static_cast<double>(R.TotalAcquisitions));
+  T.endRow();
+  // All three metrics are diagnostics, not gates: the Jain index and the
+  // burst lengths conflate lock fairness with OS scheduling quanta when
+  // the host has fewer cores than threads, and raw acquisition counts
+  // are pure throughput luck. Fairness *properties* are asserted by the
+  // tier-1 tests; this bench quantifies them for human reading.
+  Rep.record(std::string(Name) + " Jain", Threads, "index", "higher",
+             R.JainIndex, Delta, /*Gated=*/false);
+  Rep.record(std::string(Name) + " burst", Threads, "acquisitions", "lower",
+             static_cast<double>(R.LongestBurst), Delta, /*Gated=*/false);
+  Rep.record(std::string(Name) + " acqs", Threads, "acquisitions", "higher",
+             static_cast<double>(R.TotalAcquisitions), Delta,
+             /*Gated=*/false);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter Rep("ext_fairness",
+               "Jain index of per-thread acquisitions (1.0 = fair) and "
+               "longest monopolization burst while others waited",
+               argc, argv);
+  if (Rep.quick())
+    Window = std::chrono::milliseconds(50);
+  Rep.context("window=" + std::to_string(Window.count()) + "ms");
   banner("Extension: fairness", "Jain index of per-thread acquisitions "
                                 "(1.0 = fair) and longest monopolization "
                                 "burst while others waited");
@@ -108,41 +144,22 @@ int main() {
 
   {
     Mutex M;
-    auto R = measure([&] { (void)M.lock().blockingGet(); },
-                     [&] { M.unlock(); });
-    T.cell("CQS fair");
-    T.cell(R.JainIndex);
-    T.cell(static_cast<double>(R.LongestBurst));
-    T.cell(static_cast<double>(R.TotalAcquisitions));
-    T.endRow();
+    runSeries(Rep, T, "CQS fair", [&] { (void)M.lock().blockingGet(); },
+              [&] { M.unlock(); });
   }
   {
     AqsLock L(/*Fair=*/true);
-    auto R = measure([&] { L.lock(); }, [&] { L.unlock(); });
-    T.cell("AQS fair");
-    T.cell(R.JainIndex);
-    T.cell(static_cast<double>(R.LongestBurst));
-    T.cell(static_cast<double>(R.TotalAcquisitions));
-    T.endRow();
+    runSeries(Rep, T, "AQS fair", [&] { L.lock(); }, [&] { L.unlock(); });
   }
   {
     AqsLock L(/*Fair=*/false);
-    auto R = measure([&] { L.lock(); }, [&] { L.unlock(); });
-    T.cell("AQS unfair");
-    T.cell(R.JainIndex);
-    T.cell(static_cast<double>(R.LongestBurst));
-    T.cell(static_cast<double>(R.TotalAcquisitions));
-    T.endRow();
+    runSeries(Rep, T, "AQS unfair", [&] { L.lock(); }, [&] { L.unlock(); });
   }
   {
     ClhLock L;
-    auto R = measure([&] { L.lock(); }, [&] { L.unlock(); });
-    T.cell("CLH");
-    T.cell(R.JainIndex);
-    T.cell(static_cast<double>(R.LongestBurst));
-    T.cell(static_cast<double>(R.TotalAcquisitions));
-    T.endRow();
+    runSeries(Rep, T, "CLH", [&] { L.lock(); }, [&] { L.unlock(); });
   }
+  Rep.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -11,7 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "reclaim/Ebr.h"
 #include "support/Rng.h"
@@ -22,13 +22,14 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 using namespace cqs;
 using namespace cqs::bench;
 
 namespace {
 
-constexpr int TotalOps = 20000;
+int TotalOps = 20000; // 4000 under --quick
 constexpr std::uint64_t WorkMean = 100;
 constexpr int Reps = 3;
 
@@ -89,28 +90,34 @@ double plainMutexRun(int Threads, int WritePercent) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("ext_rwlock",
+             "read/write mixes: avg time per operation, lower is better",
+             argc, argv);
+  TotalOps = R.ops(20000, 4000);
   banner("Extension: RW lock", "read/write mixes: avg time per operation, "
                                "lower is better");
-  for (int WritePercent : {0, 5, 50}) {
+  const std::vector<int> WriteMixes =
+      R.quick() ? std::vector<int>{5} : std::vector<int>{0, 5, 50};
+  const std::vector<int> ThreadCounts =
+      R.quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const double Scale = 1e6 / TotalOps; // us per operation
+  for (int WritePercent : WriteMixes) {
     std::printf("\n-- %d%% writes --\n", WritePercent);
+    R.context("writes=" + std::to_string(WritePercent) + "%");
     Table T({"threads", "CQS RwMutex", "std::shared_mutex", "CQS Mutex"});
-    for (int Threads : {1, 2, 4, 8}) {
+    for (int Threads : ThreadCounts) {
       T.cell(std::to_string(Threads));
-      T.cell(1e6 *
-             medianOfReps(Reps,
-                          [&] { return cqsRwRun(Threads, WritePercent); }) /
-             TotalOps);
-      T.cell(1e6 * medianOfReps(Reps, [&] {
-               return sharedMutexRun(Threads, WritePercent);
-             }) / TotalOps);
-      T.cell(1e6 *
-             medianOfReps(Reps,
-                          [&] { return plainMutexRun(Threads, WritePercent); }) /
-             TotalOps);
+      T.cell(R.measure("CQS RwMutex", Threads, "us/op", Scale, Reps,
+                       [&] { return cqsRwRun(Threads, WritePercent); }));
+      T.cell(R.measure("std::shared_mutex", Threads, "us/op", Scale, Reps,
+                       [&] { return sharedMutexRun(Threads, WritePercent); }));
+      T.cell(R.measure("CQS Mutex", Threads, "us/op", Scale, Reps,
+                       [&] { return plainMutexRun(Threads, WritePercent); }));
       T.endRow();
     }
   }
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

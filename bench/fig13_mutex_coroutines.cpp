@@ -13,7 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "baseline/LegacyMutex.h"
 #include "reclaim/Ebr.h"
@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <string>
+#include <vector>
 
 using namespace cqs;
 using namespace cqs::bench;
@@ -72,28 +73,34 @@ struct SyncCqsMutex : Mutex {
   SyncCqsMutex() : Mutex(ResumptionMode::Sync) {}
 };
 
-void runSweep(int Coroutines, int OpsPerCoroutine) {
+void runSweep(Reporter &R, int Coroutines, int OpsPerCoroutine) {
   std::printf("\n-- %d coroutines x %d lock/unlock ops --\n", Coroutines,
               OpsPerCoroutine);
+  R.context("coroutines=" + std::to_string(Coroutines) +
+            ",ops=" + std::to_string(OpsPerCoroutine));
   Table T({"sched threads", "Legacy ms", "CQS async ms", "CQS sync ms",
            "speedup async", "speedup sync"});
-  for (int Threads : {1, 2, 4}) {
-    double Legacy = medianOfReps(Reps, [&] {
+  const std::vector<int> SchedThreads =
+      R.quick() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  for (int Threads : SchedThreads) {
+    double Legacy = R.measure("Legacy", Threads, "ms/run", 1e3, Reps, [&] {
       return coroutineMutexRun<LegacyCoroutineMutex>(Threads, Coroutines,
                                                      OpsPerCoroutine);
     });
-    double Async = medianOfReps(Reps, [&] {
+    double Async = R.measure("CQS async", Threads, "ms/run", 1e3, Reps, [&] {
       return coroutineMutexRun<AsyncCqsMutex>(Threads, Coroutines,
                                               OpsPerCoroutine);
     });
-    double Sync = medianOfReps(Reps, [&] {
+    double Sync = R.measure("CQS sync", Threads, "ms/run", 1e3, Reps, [&] {
       return coroutineMutexRun<SyncCqsMutex>(Threads, Coroutines,
                                              OpsPerCoroutine);
     });
+    R.record("speedup async", Threads, "x", "higher", Legacy / Async);
+    R.record("speedup sync", Threads, "x", "higher", Legacy / Sync);
     T.cell(std::to_string(Threads));
-    T.cell(1e3 * Legacy);
-    T.cell(1e3 * Async);
-    T.cell(1e3 * Sync);
+    T.cell(Legacy);
+    T.cell(Async);
+    T.cell(Sync);
     T.cell(Legacy / Async);
     T.cell(Legacy / Sync);
     T.endRow();
@@ -102,11 +109,20 @@ void runSweep(int Coroutines, int OpsPerCoroutine) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("fig13_mutex_coroutines",
+             "mutex under coroutines: CQS vs pre-CQS Kotlin-style mutex; "
+             "speedup > 1 means CQS wins",
+             argc, argv);
   banner("Figure 13", "mutex under coroutines: CQS vs pre-CQS Kotlin-style "
                       "mutex; speedup > 1 means CQS wins");
-  runSweep(/*Coroutines=*/1000, /*OpsPerCoroutine=*/20);
-  runSweep(/*Coroutines=*/10000, /*OpsPerCoroutine=*/2);
+  if (R.quick()) {
+    runSweep(R, /*Coroutines=*/200, /*OpsPerCoroutine=*/5);
+  } else {
+    runSweep(R, /*Coroutines=*/1000, /*OpsPerCoroutine=*/20);
+    runSweep(R, /*Coroutines=*/10000, /*OpsPerCoroutine=*/2);
+  }
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -18,11 +18,18 @@
 using namespace cqs;
 using namespace cqs::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("fig14_semaphore_ext",
+             "semaphore: wide permit sweep, lower is better", argc, argv);
+  SemTotalOps = R.ops(20000, 4000);
   banner("Figure 14", "semaphore: wide permit sweep, lower is better");
-  const std::vector<int> Threads = {1, 2, 4, 8, 16};
-  for (int Permits : {1, 2, 4, 8, 16, 32})
-    semaphoreSweep(Permits, Threads);
+  const std::vector<int> Threads =
+      R.quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<int> PermitSweep =
+      R.quick() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32};
+  for (int Permits : PermitSweep)
+    semaphoreSweep(R, Permits, Threads);
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -18,11 +18,19 @@
 using namespace cqs;
 using namespace cqs::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("fig15_pools_ext",
+             "blocking pools: wide element sweep, lower is better", argc,
+             argv);
+  PoolTotalOps = R.ops(20000, 4000);
   banner("Figure 15", "blocking pools: wide element sweep, lower is better");
-  const std::vector<int> Threads = {1, 2, 4, 8, 16};
-  for (int Elements : {1, 2, 4, 8, 16, 32})
-    poolSweep(Elements, Threads);
+  const std::vector<int> Threads =
+      R.quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<int> ElementSweep =
+      R.quick() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32};
+  for (int Elements : ElementSweep)
+    poolSweep(R, Elements, Threads);
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -15,7 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "baseline/CyclicBarrier.h"
 #include "baseline/SpinBarrier.h"
@@ -32,8 +32,8 @@ using namespace cqs::bench;
 
 namespace {
 
-constexpr int Phases = 200;
 constexpr int Reps = 3;
+int Phases = 200; // 40 under --quick
 
 double cqsBarrierPhases(int Threads, std::uint64_t WorkMean) {
   // The CQS barrier is single-use (Listing 6); pre-create one per phase.
@@ -84,37 +84,43 @@ double counterBarrierPhases(int Threads, std::uint64_t WorkMean) {
   });
 }
 
-void runSweep(std::uint64_t WorkMean) {
+void runSweep(Reporter &R, std::uint64_t WorkMean) {
   std::printf("\n-- work mean = %llu uncontended loop iterations --\n",
               static_cast<unsigned long long>(WorkMean));
+  R.context("workMean=" + std::to_string(WorkMean));
+  const double Scale = 1e6 / Phases; // us per synchronization phase
   Table T({"threads", "CQS us", "CQS cyclic us", "Java us", "Counter us"});
-  for (int Threads : {1, 2, 4, 8, 16}) {
+  const std::vector<int> ThreadCounts =
+      R.quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  for (int Threads : ThreadCounts) {
     T.cell(std::to_string(Threads));
-    T.cell(1e6 *
-           medianOfReps(Reps,
-                        [&] { return cqsBarrierPhases(Threads, WorkMean); }) /
-           Phases);
-    T.cell(1e6 * medianOfReps(Reps, [&] {
-             return cqsCyclicBarrierPhases(Threads, WorkMean);
-           }) / Phases);
-    T.cell(1e6 *
-           medianOfReps(Reps,
-                        [&] { return javaBarrierPhases(Threads, WorkMean); }) /
-           Phases);
-    T.cell(1e6 * medianOfReps(Reps, [&] {
-             return counterBarrierPhases(Threads, WorkMean);
-           }) / Phases);
+    T.cell(R.measure("CQS", Threads, "us/phase", Scale, Reps,
+                     [&] { return cqsBarrierPhases(Threads, WorkMean); }));
+    T.cell(R.measure("CQS cyclic", Threads, "us/phase", Scale, Reps, [&] {
+      return cqsCyclicBarrierPhases(Threads, WorkMean);
+    }));
+    T.cell(R.measure("Java", Threads, "us/phase", Scale, Reps,
+                     [&] { return javaBarrierPhases(Threads, WorkMean); }));
+    T.cell(R.measure("Counter", Threads, "us/phase", Scale, Reps, [&] {
+      return counterBarrierPhases(Threads, WorkMean);
+    }));
     T.endRow();
   }
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("fig5_barrier",
+             "barrier: avg time per synchronization phase, lower is better",
+             argc, argv);
+  Phases = R.ops(200, 40);
   banner("Figure 5", "barrier: avg time per synchronization phase, lower "
                      "is better");
-  runSweep(100);
-  runSweep(1000);
+  runSweep(R, 100);
+  if (!R.quick())
+    runSweep(R, 1000);
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

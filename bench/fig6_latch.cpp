@@ -12,7 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "Harness.h"
+#include "BenchMain.h"
 
 #include "baseline/Aqs.h"
 #include "reclaim/Ebr.h"
@@ -20,14 +20,15 @@
 #include "sync/CountDownLatch.h"
 
 #include <string>
+#include <vector>
 
 using namespace cqs;
 using namespace cqs::bench;
 
 namespace {
 
-constexpr int TotalCountDowns = 8000;
 constexpr int Reps = 3;
+int TotalCountDowns = 8000; // 2000 under --quick
 
 double cqsLatchRun(int Threads, std::uint64_t WorkMean) {
   CountDownLatch L(TotalCountDowns);
@@ -67,30 +68,39 @@ double noLatchRun(int Threads, std::uint64_t WorkMean) {
   });
 }
 
-void runSweep(std::uint64_t WorkMean) {
+void runSweep(Reporter &R, std::uint64_t WorkMean) {
   std::printf("\n-- work mean = %llu uncontended loop iterations, %d "
               "countDown()s total --\n",
               static_cast<unsigned long long>(WorkMean), TotalCountDowns);
+  R.context("workMean=" + std::to_string(WorkMean));
   Table T({"threads", "CQS us", "Java us", "Baseline us"});
-  for (int Threads : {1, 2, 4, 8, 16}) {
+  const std::vector<int> ThreadCounts =
+      R.quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  for (int Threads : ThreadCounts) {
     T.cell(std::to_string(Threads));
-    T.cell(1e6 *
-           medianOfReps(Reps, [&] { return cqsLatchRun(Threads, WorkMean); }));
-    T.cell(1e6 *
-           medianOfReps(Reps, [&] { return aqsLatchRun(Threads, WorkMean); }));
-    T.cell(1e6 *
-           medianOfReps(Reps, [&] { return noLatchRun(Threads, WorkMean); }));
+    T.cell(R.measure("CQS", Threads, "us/run", 1e6, Reps,
+                     [&] { return cqsLatchRun(Threads, WorkMean); }));
+    T.cell(R.measure("Java", Threads, "us/run", 1e6, Reps,
+                     [&] { return aqsLatchRun(Threads, WorkMean); }));
+    T.cell(R.measure("Baseline", Threads, "us/run", 1e6, Reps,
+                     [&] { return noLatchRun(Threads, WorkMean); }));
     T.endRow();
   }
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("fig6_latch",
+             "count-down-latch: total workload time, lower is better",
+             argc, argv);
+  TotalCountDowns = R.ops(8000, 2000);
   banner("Figure 6", "count-down-latch: total workload time, lower is "
                      "better (Baseline = work only, no latch)");
-  runSweep(50);
-  runSweep(200);
+  runSweep(R, 50);
+  if (!R.quick())
+    runSweep(R, 200);
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -18,13 +18,21 @@
 using namespace cqs;
 using namespace cqs::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("fig7_semaphore",
+             "semaphore/mutex: avg time per acquire-work-release operation, "
+             "lower is better",
+             argc, argv);
+  SemTotalOps = R.ops(20000, 4000);
   banner("Figure 7", "semaphore/mutex: avg time per acquire-work-release "
                      "operation, lower is better");
-  const std::vector<int> Threads = {1, 2, 4, 8, 16};
-  semaphoreSweep(1, Threads);
-  semaphoreSweep(4, Threads);
-  semaphoreSweep(16, Threads);
+  const std::vector<int> Threads =
+      R.quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  semaphoreSweep(R, 1, Threads);
+  semaphoreSweep(R, 4, Threads);
+  if (!R.quick())
+    semaphoreSweep(R, 16, Threads);
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

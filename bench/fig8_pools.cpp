@@ -17,13 +17,21 @@
 using namespace cqs;
 using namespace cqs::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Reporter R("fig8_pools",
+             "blocking pools: avg time per take-work-put operation, lower "
+             "is better",
+             argc, argv);
+  PoolTotalOps = R.ops(20000, 4000);
   banner("Figure 8", "blocking pools: avg time per take-work-put operation, "
                      "lower is better");
-  const std::vector<int> Threads = {1, 2, 4, 8, 16};
-  poolSweep(1, Threads);
-  poolSweep(4, Threads);
-  poolSweep(16, Threads);
+  const std::vector<int> Threads =
+      R.quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  poolSweep(R, 1, Threads);
+  poolSweep(R, 4, Threads);
+  if (!R.quick())
+    poolSweep(R, 16, Threads);
+  R.finish();
   ebr::drainForTesting();
   return 0;
 }

@@ -24,8 +24,83 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 namespace cqs {
+
+struct CqsStats;
+
+/// A plain, copyable snapshot of one CqsStats block (or of the whole
+/// process, see CqsStats::processSnapshot). Field order mirrors CqsStats;
+/// the name/field tables let generic code (the benchmark JSON exporter,
+/// tests) iterate without hand-listing counters in a second place.
+struct CqsStatsSnapshot {
+  static constexpr int NumFields = 13;
+
+  std::uint64_t Suspensions = 0;
+  std::uint64_t Eliminations = 0;
+  std::uint64_t SuspendFailures = 0;
+  std::uint64_t Completions = 0;
+  std::uint64_t ValueDeposits = 0;
+  std::uint64_t BrokenCells = 0;
+  std::uint64_t SimpleFailures = 0;
+  std::uint64_t SkippedCells = 0;
+  std::uint64_t SegmentSkips = 0;
+  std::uint64_t Delegations = 0;
+  std::uint64_t RefusedResumes = 0;
+  std::uint64_t Cancellations = 0;
+  std::uint64_t RefuseVerdicts = 0;
+
+  static const char *fieldName(int I) {
+    static const char *const Names[NumFields] = {
+        "suspensions",   "eliminations", "suspend_failures",
+        "completions",   "value_deposits", "broken_cells",
+        "simple_failures", "skipped_cells", "segment_skips",
+        "delegations",   "refused_resumes", "cancellations",
+        "refuse_verdicts"};
+    return Names[I];
+  }
+
+  std::uint64_t field(int I) const {
+    const std::uint64_t *Fields[NumFields] = {
+        &Suspensions,   &Eliminations,  &SuspendFailures, &Completions,
+        &ValueDeposits, &BrokenCells,   &SimpleFailures,  &SkippedCells,
+        &SegmentSkips,  &Delegations,   &RefusedResumes,  &Cancellations,
+        &RefuseVerdicts};
+    return *Fields[I];
+  }
+
+  std::uint64_t &field(int I) {
+    std::uint64_t *Fields[NumFields] = {
+        &Suspensions,   &Eliminations,  &SuspendFailures, &Completions,
+        &ValueDeposits, &BrokenCells,   &SimpleFailures,  &SkippedCells,
+        &SegmentSkips,  &Delegations,   &RefusedResumes,  &Cancellations,
+        &RefuseVerdicts};
+    return *Fields[I];
+  }
+
+  CqsStatsSnapshot &operator+=(const CqsStatsSnapshot &O) {
+    for (int I = 0; I < NumFields; ++I)
+      field(I) += O.field(I);
+    return *this;
+  }
+
+  /// Counter-wise delta (saturating at zero; counters are monotone, so a
+  /// negative delta only appears if the caller mixed up before/after).
+  CqsStatsSnapshot operator-(const CqsStatsSnapshot &O) const {
+    CqsStatsSnapshot D;
+    for (int I = 0; I < NumFields; ++I)
+      D.field(I) = field(I) >= O.field(I) ? field(I) - O.field(I) : 0;
+    return D;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t T = 0;
+    for (int I = 0; I < NumFields; ++I)
+      T += field(I);
+    return T;
+  }
+};
 
 /// Counter block embedded in every Cqs instance.
 struct CqsStats {
@@ -62,6 +137,86 @@ struct CqsStats {
   static std::uint64_t read(const std::atomic<std::uint64_t> &C) {
     return C.load(std::memory_order_relaxed);
   }
+
+  /// Relaxed snapshot of this block. Exact at quiescence; during
+  /// concurrent traffic each counter is individually coherent but the set
+  /// is not an atomic cut (fine for attribution/telemetry).
+  CqsStatsSnapshot snapshot() const {
+    CqsStatsSnapshot S;
+    S.Suspensions = read(Suspensions);
+    S.Eliminations = read(Eliminations);
+    S.SuspendFailures = read(SuspendFailures);
+    S.Completions = read(Completions);
+    S.ValueDeposits = read(ValueDeposits);
+    S.BrokenCells = read(BrokenCells);
+    S.SimpleFailures = read(SimpleFailures);
+    S.SkippedCells = read(SkippedCells);
+    S.SegmentSkips = read(SegmentSkips);
+    S.Delegations = read(Delegations);
+    S.RefusedResumes = read(RefusedResumes);
+    S.Cancellations = read(Cancellations);
+    S.RefuseVerdicts = read(RefuseVerdicts);
+    return S;
+  }
+
+  /// Every live CqsStats block is linked into a process-wide registry so
+  /// the benchmark pipeline can attribute CQS path traffic to a measured
+  /// sample without plumbing every primitive's instance outward:
+  /// processSnapshot() = counters retired by destroyed instances + the
+  /// live instances' current counters. Registration is a mutex-guarded
+  /// cold-path operation (instance construction/destruction); the hot
+  /// paths are untouched.
+  CqsStats() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Next = R.Head;
+    Prev = nullptr;
+    if (R.Head)
+      R.Head->Prev = this;
+    R.Head = this;
+  }
+
+  CqsStats(const CqsStats &) = delete;
+  CqsStats &operator=(const CqsStats &) = delete;
+
+  ~CqsStats() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Retired += snapshot();
+    if (Prev)
+      Prev->Next = Next;
+    else
+      R.Head = Next;
+    if (Next)
+      Next->Prev = Prev;
+  }
+
+  /// Aggregate of all CQS traffic in this process so far (live + retired
+  /// instances). Deltas of this around a benchmark sample attribute path
+  /// coverage to that data point.
+  static CqsStatsSnapshot processSnapshot() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    CqsStatsSnapshot S = R.Retired;
+    for (CqsStats *I = R.Head; I; I = I->Next)
+      S += I->snapshot();
+    return S;
+  }
+
+private:
+  struct Registry {
+    std::mutex Mu;
+    CqsStats *Head = nullptr;
+    CqsStatsSnapshot Retired;
+  };
+
+  static Registry &registry() {
+    static Registry R;
+    return R;
+  }
+
+  CqsStats *Prev = nullptr;
+  CqsStats *Next = nullptr;
 };
 
 /// Relaxed increment helper keeping call sites one-liners.

@@ -1,0 +1,497 @@
+//===- support/Json.h - dependency-free JSON writer & parser ---*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny JSON layer for the benchmark pipeline (bench/BenchMain.h): the
+/// writer serializes BenchResult records into the machine-readable files
+/// consumed by tools/bench_compare.py, and the parser lets the tests
+/// round-trip what the writer produced without any external dependency.
+///
+/// Scope is deliberately small: UTF-8 pass-through (no \uXXXX surrogate
+/// decoding beyond copying the escape's code point as-is is not attempted —
+/// \u escapes are parsed into UTF-8), numbers are doubles, object key
+/// order is preserved. That is exactly what the bench schema needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_JSON_H
+#define CQS_SUPPORT_JSON_H
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cqs {
+namespace json {
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+/// Streaming writer producing pretty-printed (2-space indented) JSON.
+/// Usage follows the document structure:
+///
+///   Writer W;
+///   W.beginObject();
+///   W.key("name"); W.value("fig5_barrier");
+///   W.key("samples"); W.beginArray(); W.value(1.5); W.endArray();
+///   W.endObject();
+///   std::string S = W.take();
+///
+/// The writer tracks nesting and comma placement; it does not validate
+/// that keys are only written inside objects (garbage in, garbage out).
+class Writer {
+public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  void key(const std::string &K) {
+    comma();
+    appendQuoted(K);
+    Out += ": ";
+    JustWroteKey = true;
+  }
+
+  void value(const std::string &V) {
+    comma();
+    appendQuoted(V);
+  }
+  void value(const char *V) { value(std::string(V)); }
+  void value(double V) {
+    comma();
+    appendNumber(V);
+  }
+  void value(std::uint64_t V) {
+    comma();
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+  void value(int V) {
+    comma();
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "%d", V);
+    Out += Buf;
+  }
+  void value(bool V) {
+    comma();
+    Out += V ? "true" : "false";
+  }
+  void null() {
+    comma();
+    Out += "null";
+  }
+
+  /// Finishes the document and hands the buffer over.
+  std::string take() {
+    Out += '\n';
+    return std::move(Out);
+  }
+
+private:
+  void open(char C) {
+    comma();
+    Out += C;
+    ++Depth;
+    NeedComma = false;
+    Fresh = true;
+  }
+
+  void close(char C) {
+    --Depth;
+    if (!Fresh) {
+      Out += '\n';
+      indent();
+    }
+    Out += C;
+    NeedComma = true;
+    Fresh = false;
+  }
+
+  /// Emits the separator (comma + newline + indent) due before any value
+  /// or key, except directly after a key (the value shares its line).
+  void comma() {
+    if (JustWroteKey) {
+      JustWroteKey = false;
+      return;
+    }
+    if (NeedComma)
+      Out += ',';
+    if (Depth > 0) {
+      Out += '\n';
+      indent();
+    }
+    NeedComma = true;
+    Fresh = false;
+  }
+
+  void indent() { Out.append(static_cast<std::size_t>(Depth) * 2, ' '); }
+
+  void appendQuoted(const std::string &S) {
+    Out += '"';
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(C)));
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    Out += '"';
+  }
+
+  void appendNumber(double V) {
+    if (!std::isfinite(V)) { // JSON has no inf/nan; null is the convention.
+      Out += "null";
+      return;
+    }
+    char Buf[40];
+    // %.17g round-trips doubles; trim to the shortest representation that
+    // still round-trips so the files stay diffable by humans.
+    for (int Prec : {6, 9, 12, 17}) {
+      std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, V);
+      double Back = 0;
+      std::sscanf(Buf, "%lf", &Back);
+      if (Back == V)
+        break;
+    }
+    Out += Buf;
+  }
+
+  std::string Out;
+  int Depth = 0;
+  bool NeedComma = false;
+  bool JustWroteKey = false;
+  bool Fresh = true;
+};
+
+//===----------------------------------------------------------------------===//
+// Value & parser
+//===----------------------------------------------------------------------===//
+
+/// A parsed JSON document node. Objects preserve insertion order (the
+/// bench schema is small enough that linear key lookup is fine).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &items() const { return Items; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &M : Members)
+      if (M.first == Key)
+        return &M.second;
+    return nullptr;
+  }
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool V) {
+    Value X;
+    X.K = Kind::Bool;
+    X.B = V;
+    return X;
+  }
+  static Value makeNumber(double V) {
+    Value X;
+    X.K = Kind::Number;
+    X.Num = V;
+    return X;
+  }
+  static Value makeString(std::string V) {
+    Value X;
+    X.K = Kind::String;
+    X.Str = std::move(V);
+    return X;
+  }
+  static Value makeArray() {
+    Value X;
+    X.K = Kind::Array;
+    return X;
+  }
+  static Value makeObject() {
+    Value X;
+    X.K = Kind::Object;
+    return X;
+  }
+
+  std::vector<Value> &itemsMut() { return Items; }
+  std::vector<std::pair<std::string, Value>> &membersMut() { return Members; }
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Recursive-descent parser. Returns true and fills \p Out on success;
+/// on failure returns false and, if \p Err is non-null, a message with a
+/// byte offset.
+class Parser {
+public:
+  static bool parse(const std::string &Text, Value &Out,
+                    std::string *Err = nullptr) {
+    Parser P(Text);
+    if (!P.parseValue(Out) || !P.atEndAfterSpace()) {
+      if (Err)
+        *Err = P.Error.empty() ? P.fail("trailing garbage") : P.Error;
+      return false;
+    }
+    return true;
+  }
+
+private:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  std::string fail(const char *Msg) {
+    if (Error.empty())
+      Error = std::string(Msg) + " at byte " + std::to_string(Pos);
+    return Error;
+  }
+
+  void skipSpace() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool atEndAfterSpace() {
+    skipSpace();
+    return Pos == S.size();
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(Value &Out) {
+    skipSpace();
+    if (Pos >= S.size())
+      return fail("unexpected end of input"), false;
+    char C = S[Pos];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '"') {
+      std::string Str;
+      if (!parseString(Str))
+        return false;
+      Out = Value::makeString(std::move(Str));
+      return true;
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword(Out);
+    if (C == 'n')
+      return parseKeyword(Out);
+    return parseNumber(Out);
+  }
+
+  bool parseKeyword(Value &Out) {
+    auto Match = [&](const char *W) {
+      std::size_t L = std::char_traits<char>::length(W);
+      if (S.compare(Pos, L, W) == 0) {
+        Pos += L;
+        return true;
+      }
+      return false;
+    };
+    if (Match("true")) {
+      Out = Value::makeBool(true);
+      return true;
+    }
+    if (Match("false")) {
+      Out = Value::makeBool(false);
+      return true;
+    }
+    if (Match("null")) {
+      Out = Value::makeNull();
+      return true;
+    }
+    return fail("invalid keyword"), false;
+  }
+
+  bool parseNumber(Value &Out) {
+    std::size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E' || S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value"), false;
+    double V = 0;
+    if (std::sscanf(S.substr(Start, Pos - Start).c_str(), "%lf", &V) != 1)
+      return fail("malformed number"), false;
+    Out = Value::makeNumber(V);
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    skipSpace();
+    if (Pos >= S.size() || S[Pos] != '"')
+      return fail("expected '\"'"), false;
+    ++Pos;
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        break;
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail("truncated \\u escape"), false;
+        unsigned Code = 0;
+        if (std::sscanf(S.substr(Pos, 4).c_str(), "%4x", &Code) != 1)
+          return fail("malformed \\u escape"), false;
+        Pos += 4;
+        // Encode the code point as UTF-8 (surrogate pairs not recombined;
+        // the writer never emits them).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape"), false;
+      }
+    }
+    return fail("unterminated string"), false;
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Out = Value::makeArray();
+    if (consume(']'))
+      return true;
+    while (true) {
+      Value Item;
+      if (!parseValue(Item))
+        return false;
+      Out.itemsMut().push_back(std::move(Item));
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or ']'"), false;
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Out = Value::makeObject();
+    if (consume('}'))
+      return true;
+    while (true) {
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!consume(':'))
+        return fail("expected ':'"), false;
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Out.membersMut().emplace_back(std::move(Key), std::move(V));
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or '}'"), false;
+    }
+  }
+
+  const std::string &S;
+  std::size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace json
+} // namespace cqs
+
+#endif // CQS_SUPPORT_JSON_H

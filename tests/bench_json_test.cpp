@@ -1,0 +1,233 @@
+//===- tests/bench_json_test.cpp - JSON writer & bench schema tests -------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tier-1 coverage for the structured-results pipeline: the dependency-free
+/// JSON writer/parser in support/Json.h must round-trip, and a real
+/// in-process `--quick` Reporter sweep must emit the cqs-bench-v1 schema —
+/// every key present, sample count equal to the repetition count, and the
+/// per-result stats snapshot consistent with the CQS traffic the sample
+/// function actually generated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchMain.h"
+
+#include "core/Cqs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriter, ScalarsAndNesting) {
+  json::Writer W;
+  W.beginObject();
+  W.key("str");
+  W.value("a\"b\\c\n\t\x01");
+  W.key("int");
+  W.value(static_cast<std::uint64_t>(42));
+  W.key("neg");
+  W.value(-7);
+  W.key("pi");
+  W.value(3.25);
+  W.key("yes");
+  W.value(true);
+  W.key("nothing");
+  W.null();
+  W.key("arr");
+  W.beginArray();
+  W.value(1);
+  W.value(2);
+  W.endArray();
+  W.key("empty_obj");
+  W.beginObject();
+  W.endObject();
+  W.endObject();
+  std::string Text = W.take();
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::Parser::parse(Text, V, &Err)) << Err << "\n" << Text;
+  ASSERT_EQ(V.kind(), json::Value::Kind::Object);
+  EXPECT_EQ(V.find("str")->asString(), "a\"b\\c\n\t\x01");
+  EXPECT_EQ(V.find("int")->asNumber(), 42);
+  EXPECT_EQ(V.find("neg")->asNumber(), -7);
+  EXPECT_EQ(V.find("pi")->asNumber(), 3.25);
+  EXPECT_TRUE(V.find("yes")->asBool());
+  EXPECT_EQ(V.find("nothing")->kind(), json::Value::Kind::Null);
+  ASSERT_EQ(V.find("arr")->items().size(), 2u);
+  EXPECT_EQ(V.find("arr")->items()[1].asNumber(), 2);
+  EXPECT_TRUE(V.find("empty_obj")->members().empty());
+  EXPECT_EQ(V.find("missing"), nullptr);
+}
+
+TEST(JsonWriter, DoublesSurviveRoundTrip) {
+  const double Cases[] = {0.0,    1.0,        -1.5,          0.1,
+                          1e-9,   1234.5678,  8.73e17,       -2.25e-3,
+                          1.0 / 3.0, 6.02214076e23};
+  for (double X : Cases) {
+    json::Writer W;
+    W.beginArray();
+    W.value(X);
+    W.endArray();
+    json::Value V;
+    std::string Err;
+    ASSERT_TRUE(json::Parser::parse(W.take(), V, &Err)) << Err;
+    EXPECT_DOUBLE_EQ(V.items()[0].asNumber(), X);
+  }
+}
+
+TEST(JsonParser, RejectsMalformed) {
+  const char *Bad[] = {"",       "{",        "[1,]",     "{\"a\":}",
+                       "tru",    "{\"a\" 1}", "[1 2]",   "\"unterminated",
+                       "{}extra"};
+  for (const char *Text : Bad) {
+    json::Value V;
+    std::string Err;
+    EXPECT_FALSE(json::Parser::parse(Text, V, &Err)) << Text;
+    EXPECT_FALSE(Err.empty()) << Text;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reporter / cqs-bench-v1 schema
+//===----------------------------------------------------------------------===//
+
+/// Runs a minimal in-process `--quick` sweep whose sample function drives
+/// real CQS traffic, then parses the Reporter's JSON.
+class BenchSchemaTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Path = ::testing::TempDir() + "bench_json_test_out.json";
+    std::string JsonArg = "--json=" + Path;
+    const char *Argv[] = {"bench_json_test", "--quick", JsonArg.c_str()};
+    Reporter R("schema_probe", "in-process schema round-trip probe", 3,
+               const_cast<char **>(Argv));
+    EXPECT_TRUE(R.quick());
+    Reps = R.reps(/*Default=*/10); // quick mode: 3
+    EXPECT_EQ(Reps, 3);
+    EXPECT_EQ(R.ops(/*Full=*/1000, /*Quick=*/10), 10);
+
+    R.context("pairs=" + std::to_string(Pairs));
+    Median = R.measure("suspend/resume", /*Threads=*/1, "us/pair", 1e6,
+                       /*DefaultReps=*/10, [this] {
+                         auto Start = std::chrono::steady_clock::now();
+                         Cqs<int> Q;
+                         for (int I = 0; I < Pairs; ++I) {
+                           auto F = Q.suspend();
+                           (void)Q.resume(I);
+                           (void)F.tryGet();
+                         }
+                         return std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - Start)
+                             .count();
+                       });
+    R.record("jain", /*Threads=*/4, "index", "higher", 0.97,
+             CqsStatsSnapshot(), /*Gated=*/false);
+    R.finish();
+
+    std::string Text = slurp(Path);
+    ASSERT_FALSE(Text.empty());
+    std::string Err;
+    ASSERT_TRUE(json::Parser::parse(Text, Doc, &Err)) << Err;
+  }
+
+  void TearDown() override { std::remove(Path.c_str()); }
+
+  static std::string slurp(const std::string &P) {
+    std::ifstream In(P);
+    return std::string(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static constexpr int Pairs = 16;
+  std::string Path;
+  int Reps = 0;
+  double Median = 0;
+  json::Value Doc;
+};
+
+TEST_F(BenchSchemaTest, TopLevelKeys) {
+  ASSERT_EQ(Doc.kind(), json::Value::Kind::Object);
+  EXPECT_EQ(Doc.find("schema")->asString(), SchemaName);
+  EXPECT_EQ(Doc.find("benchmark")->asString(), "schema_probe");
+  EXPECT_TRUE(Doc.find("quick")->asBool());
+  const json::Value *Host = Doc.find("host");
+  ASSERT_NE(Host, nullptr);
+  for (const char *K : {"nproc", "build_type", "compiler"})
+    EXPECT_NE(Host->find(K), nullptr) << K;
+  ASSERT_NE(Doc.find("results"), nullptr);
+  EXPECT_EQ(Doc.find("results")->items().size(), 2u);
+}
+
+TEST_F(BenchSchemaTest, ResultShape) {
+  const json::Value &R = Doc.find("results")->items()[0];
+  for (const char *K :
+       {"benchmark", "series", "params", "threads", "unit", "direction",
+        "gated", "reps", "samples", "median", "min", "max", "mean", "stddev",
+        "stats"})
+    ASSERT_NE(R.find(K), nullptr) << K;
+  EXPECT_EQ(R.find("series")->asString(), "suspend/resume");
+  EXPECT_EQ(R.find("params")->asString(), "pairs=16");
+  EXPECT_EQ(R.find("threads")->asNumber(), 1);
+  EXPECT_EQ(R.find("unit")->asString(), "us/pair");
+  EXPECT_EQ(R.find("direction")->asString(), "lower");
+  EXPECT_TRUE(R.find("gated")->asBool());
+
+  // Sample count == repetitions, and the aggregates describe the samples.
+  const auto &Samples = R.find("samples")->items();
+  ASSERT_EQ(static_cast<int>(Samples.size()), Reps);
+  EXPECT_EQ(R.find("reps")->asNumber(), Reps);
+  EXPECT_DOUBLE_EQ(R.find("median")->asNumber(), Median);
+  double Min = Samples[0].asNumber(), Max = Min;
+  for (const json::Value &S : Samples) {
+    Min = std::min(Min, S.asNumber());
+    Max = std::max(Max, S.asNumber());
+  }
+  EXPECT_DOUBLE_EQ(R.find("min")->asNumber(), Min);
+  EXPECT_DOUBLE_EQ(R.find("max")->asNumber(), Max);
+  EXPECT_LE(Min, R.find("median")->asNumber());
+  EXPECT_GE(Max, R.find("median")->asNumber());
+}
+
+TEST_F(BenchSchemaTest, StatsSnapshotMatchesTraffic) {
+  const json::Value &R = Doc.find("results")->items()[0];
+  const json::Value *Stats = R.find("stats");
+  ASSERT_NE(Stats, nullptr);
+  for (int I = 0; I < CqsStatsSnapshot::NumFields; ++I)
+    EXPECT_NE(Stats->find(CqsStatsSnapshot::fieldName(I)), nullptr)
+        << CqsStatsSnapshot::fieldName(I);
+  // The sample suspends then resumes Pairs times per repetition; warmup
+  // runs outside the stats window, so the delta is exactly Reps sweeps.
+  // (Single-threaded, so no elimination races can steal iterations.)
+  EXPECT_EQ(Stats->find("suspensions")->asNumber(), Reps * Pairs);
+  EXPECT_EQ(Stats->find("completions")->asNumber(), Reps * Pairs);
+  EXPECT_EQ(Stats->find("eliminations")->asNumber(), 0);
+
+  // The externally recorded diagnostic carries an all-zero snapshot and
+  // its gated=false marker.
+  const json::Value &Diag = Doc.find("results")->items()[1];
+  EXPECT_EQ(Diag.find("series")->asString(), "jain");
+  EXPECT_EQ(Diag.find("direction")->asString(), "higher");
+  EXPECT_FALSE(Diag.find("gated")->asBool());
+  EXPECT_EQ(Diag.find("reps")->asNumber(), 1);
+  EXPECT_EQ(Diag.find("stats")->find("suspensions")->asNumber(), 0);
+}
+
+} // namespace

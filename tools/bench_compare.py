@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Compare two cqs-bench-v1 JSON files and gate on regressions.
+
+Usage:
+    tools/bench_compare.py BENCH_1.json merged.json
+    tools/bench_compare.py --threshold=0.5 --report-only base.json new.json
+
+Each result is keyed by (benchmark, series, params, threads, unit). The
+gate statistic is best-of-reps, not the median: on the shared single-core
+host the *best* repetition is what the code can do, while medians absorb
+scheduler preemption luck. For a "lower is better" metric, NEW regresses
+against BASE when
+
+    new.min > base.min * (1 + threshold)   AND   new.median > base.median
+
+i.e. even the best new repetition is beyond the threshold *and* the
+median agrees on the direction — one unlucky draw cannot trip the gate.
+"higher is better" metrics mirror the test with max. Results that carry
+"gated": false (diagnostic series whose variance is structural, e.g. raw
+acquisition counts of a barging lock) are reported but never gate.
+
+The default threshold is 0.5 (50%). EXPERIMENTS.md documents ±20%
+run-to-run noise on the shared single-core CI host (occasional scheduler
+spikes more): two runs can legitimately sit 20% low and 20% high, so a
+meaningful gate must clear roughly twice the noise floor. 50% leaves
+headroom for the spikes while still catching any real complexity or
+fast-path regression (those show up as 2-100x, see the ablations).
+
+Exit codes: 0 = clean (or --report-only), 1 = regressions found,
+2 = usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cqs-bench-v1"
+
+
+def die(msg):
+    """Usage/schema error: print and exit 2 (1 is reserved for regressions)."""
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+# Series measured in very small absolute units can flip percentages on
+# scheduler jitter alone; ignore deltas where both sides are below this
+# floor (in the result's own unit).
+ABS_FLOOR = 1e-3
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        die(f"bench_compare: {path}: expected schema {SCHEMA!r}, "
+            f"got {doc.get('schema')!r}")
+    results = {}
+    for r in doc.get("results", []):
+        key = (r.get("benchmark", ""), r.get("series", ""),
+               r.get("params", ""), int(r.get("threads", 0)),
+               r.get("unit", ""))
+        results[key] = r
+    return doc, results
+
+
+def fmt_key(key):
+    bench, series, params, threads, unit = key
+    ctx = f" [{params}]" if params else ""
+    return f"{bench}: {series}{ctx} @{threads}t ({unit})"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="See EXPERIMENTS.md ('Benchmark JSON schema & regression "
+               "gating') for how the threshold relates to the documented "
+               "noise floor.")
+    ap.add_argument("baseline", help="baseline JSON (e.g. BENCH_1.json)")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument("--threshold", type=float, default=0.5,
+                    help="relative regression threshold (default 0.5 = 50%%, "
+                         "vs the documented +/-20%% run-to-run noise)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison but always exit 0")
+    ap.add_argument("--show-all", action="store_true",
+                    help="list every compared key, not just notable deltas")
+    args = ap.parse_args()
+    if args.threshold <= 0:
+        die("bench_compare: --threshold must be positive")
+
+    _, base = load(args.baseline)
+    _, cur = load(args.current)
+
+    regressions, improvements, compared = [], [], 0
+    for key, b in sorted(base.items()):
+        c = cur.get(key)
+        if c is None:
+            continue
+        compared += 1
+        direction = b.get("direction", "lower")
+        gated = bool(b.get("gated", True)) and bool(c.get("gated", True))
+        bmed, cmed = float(b["median"]), float(c["median"])
+        bmin = float(b.get("min", bmed))
+        bmax = float(b.get("max", bmed))
+        cmin = float(c.get("min", cmed))
+        cmax = float(c.get("max", cmed))
+
+        if direction == "lower":
+            ref, new = bmin, cmin
+            is_reg = (ref > 0 and new > ref * (1 + args.threshold)
+                      and cmed > bmed)
+            is_imp = ref > 0 and new < ref / (1 + args.threshold)
+            if abs(ref) < ABS_FLOOR and abs(new) < ABS_FLOOR:
+                is_reg = is_imp = False
+        else:
+            ref, new = bmax, cmax
+            is_reg = (ref > 0 and new < ref / (1 + args.threshold)
+                      and cmed < bmed)
+            is_imp = ref > 0 and new > ref * (1 + args.threshold)
+        if not gated:
+            is_reg = False
+        rel = (new - ref) / abs(ref) if ref else 0.0
+
+        row = (key, ref, new, rel)
+        if is_reg:
+            regressions.append(row)
+        elif is_imp:
+            improvements.append(row)
+        if args.show_all:
+            flag = "REG " if is_reg else ("imp " if is_imp else "    ")
+            gmark = "" if gated else " (ungated)"
+            print(f"{flag}{fmt_key(key)}: best {ref:.4g} -> {new:.4g} "
+                  f"({rel:+.1%}){gmark}")
+
+    missing = sorted(set(base) - set(cur))
+    new_keys = sorted(set(cur) - set(base))
+
+    print(f"compared {compared} keys "
+          f"({len(missing)} only in baseline, {len(new_keys)} new)")
+    if improvements:
+        print(f"\n{len(improvements)} improvement(s) beyond "
+              f"{args.threshold:.0%} (best-of-reps):")
+        for key, ref, new, rel in sorted(improvements, key=lambda r: r[3]):
+            print(f"  {fmt_key(key)}: best {ref:.4g} -> {new:.4g} "
+                  f"({rel:+.1%})")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} (best-of-reps):")
+        for key, ref, new, rel in sorted(regressions,
+                                         key=lambda r: -abs(r[3])):
+            print(f"  {fmt_key(key)}: best {ref:.4g} -> {new:.4g} "
+                  f"({rel:+.1%})")
+    else:
+        print("no regressions beyond the threshold")
+    if missing and not args.report_only:
+        # Disappearing coverage is worth a loud note but not a gate trip:
+        # sweeps legitimately shrink when a bench is retuned.
+        print(f"\nnote: {len(missing)} baseline key(s) not measured this "
+              f"run, e.g. {fmt_key(missing[0])}")
+
+    if regressions and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

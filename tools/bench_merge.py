@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Merge per-binary cqs-bench-v1 JSON files into one aggregate file.
+
+Usage:
+    tools/bench_merge.py out/*.json > merged.json
+    tools/bench_merge.py --output=BENCH_1.json out/*.json
+
+The aggregate keeps the schema marker, the union of all results (each
+result already carries its "benchmark" name), the host block of the first
+input (all inputs come from one machine in practice), and the list of
+contributing benchmarks. CI uploads this file as the run artifact and
+feeds it to bench_compare.py.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cqs-bench-v1"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="+", help="per-binary JSON files")
+    ap.add_argument("--output", default="-", help="output path (default stdout)")
+    args = ap.parse_args()
+
+    merged = {
+        "schema": SCHEMA,
+        "benchmark": "merged",
+        "quick": False,
+        "host": None,
+        "benchmarks": [],
+        "results": [],
+    }
+    for path in args.inputs:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != SCHEMA:
+            print(f"{path}: unexpected schema {doc.get('schema')!r}",
+                  file=sys.stderr)
+            return 2
+        if merged["host"] is None:
+            merged["host"] = doc.get("host")
+        merged["quick"] = merged["quick"] or bool(doc.get("quick"))
+        merged["benchmarks"].append(doc.get("benchmark", path))
+        merged["results"].extend(doc.get("results", []))
+
+    text = json.dumps(merged, indent=2) + "\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"merged {len(args.inputs)} files, {len(merged['results'])} "
+              f"results -> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
