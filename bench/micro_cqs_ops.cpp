@@ -52,6 +52,27 @@ void BM_ResumeThenSuspendElimination(benchmark::State &State) {
 }
 BENCHMARK(BM_ResumeThenSuspendElimination);
 
+// Allocation pressure: hold Depth suspensions outstanding, then resume
+// them all in FIFO order. Depth spans one cell up to many segments, so the
+// series measures how per-op cost scales with live-request/segment churn:
+// with pooling every request and segment is served from the freelists once
+// warm, without it each batch pays Depth allocations plus segment churn.
+void BM_SuspendResumeBatch(benchmark::State &State) {
+  const int Depth = static_cast<int>(State.range(0));
+  IntCqs Q;
+  std::vector<IntCqs::FutureType> Fs;
+  Fs.reserve(Depth);
+  for (auto _ : State) {
+    for (int I = 0; I < Depth; ++I)
+      Fs.push_back(Q.suspend());
+    for (int I = 0; I < Depth; ++I)
+      benchmark::DoNotOptimize(Q.resume(I));
+    Fs.clear();
+  }
+  State.SetItemsProcessed(State.iterations() * Depth * 2);
+}
+BENCHMARK(BM_SuspendResumeBatch)->Arg(1)->Arg(16)->Arg(256)->Arg(2048);
+
 void BM_SuspendCancelSmart(benchmark::State &State) {
   struct Handler : IntCqs::SmartCancellationHandler {
     bool onCancellation() override { return true; }
@@ -114,7 +135,7 @@ BENCHMARK(BM_EbrRetireAmortized);
 
 void BM_RequestCreateCompleteGet(benchmark::State &State) {
   for (auto _ : State) {
-    auto *R = new Request<int>(/*InitialRefs=*/1);
+    auto *R = Request<int>::acquire(/*InitialRefs=*/1);
     benchmark::DoNotOptimize(R->complete(7));
     benchmark::DoNotOptimize(R->tryGet());
     R->release();
@@ -124,7 +145,7 @@ BENCHMARK(BM_RequestCreateCompleteGet);
 
 void BM_RequestCancelWithHandler(benchmark::State &State) {
   for (auto _ : State) {
-    auto *R = new Request<int>(/*InitialRefs=*/1);
+    auto *R = Request<int>::acquire(/*InitialRefs=*/1);
     R->bindCancellation([](void *, void *, std::uint32_t) {}, nullptr,
                         nullptr, 0);
     benchmark::DoNotOptimize(R->cancel());

@@ -114,7 +114,7 @@ public:
       : CMode(CMode), RMode(RMode), Handler(Handler) {
     assert((CMode != CancellationMode::Smart || Handler) &&
            "smart cancellation requires a handler");
-    auto *First = new Seg(0, nullptr, /*InitialPointers=*/2);
+    auto *First = Seg::create(0, nullptr, /*InitialPointers=*/2);
     SuspendSegm->store(First, std::memory_order_relaxed);
     ResumeSegm->store(First, std::memory_order_relaxed);
   }
@@ -138,7 +138,7 @@ public:
           static_cast<RequestType *>(pointerOf(W))->release();
       }
       if (!Cur->isRetiredForTesting())
-        delete Cur;
+        Seg::disposeUnpublished(Cur); // quiescent: nobody references it
       Cur = Next;
     }
   }
@@ -166,9 +166,9 @@ public:
     // segment.
     assert(S->Id == SegId && "suspend() segment was removed prematurely");
 
-    // Try to install a fresh request. Created with 2 refs: one for the
-    // cell, one for the Future we hand back.
-    auto *Req = new RequestType(/*InitialRefs=*/2);
+    // Try to install a request (pooled when available). Created with 2
+    // refs: one for the cell, one for the Future we hand back.
+    auto *Req = RequestType::acquire(/*InitialRefs=*/2);
     Req->bindCancellation(&Cqs::cancellationCallback, this, S, CellIdx);
     std::uint64_t Expected = makeTokenWord(Token::Empty);
     if (S->Cells[CellIdx].compare_exchange_strong(
@@ -179,9 +179,9 @@ public:
     }
 
     // The cell is not empty: a racing resume(..) got there first. The
-    // request was never published; discard both references.
-    Req->release();
-    Req->release();
+    // request was never published, so it can skip the EBR grace period and
+    // go straight back to the pool.
+    Req->recycleUnpublished();
 
     // Either a value awaits us (elimination) or the cell is broken (SYNC
     // mode). Listing 11: replace with TAKEN via exchange.
@@ -303,8 +303,9 @@ private:
       std::uint64_t Cur = Cell.load(std::memory_order_acquire);
 
       if (isToken(Cur, Token::Empty)) {
-        // Elimination: we arrived before suspend().
-        if (!Cell.compare_exchange_strong(
+        // Elimination: we arrived before suspend(). Weak CAS — the loop
+        // re-dispatches on the freshly loaded word either way.
+        if (!Cell.compare_exchange_weak(
                 Cur, encodeValueWord<T, Traits>(Value),
                 std::memory_order_acq_rel, std::memory_order_acquire))
           continue;
@@ -339,8 +340,9 @@ private:
           continue;
         }
         // ASYNC + smart: delegate the rest of this resume(..) to the
-        // cancellation handler by swapping in the value (Figure 4).
-        if (Cell.compare_exchange_strong(
+        // cancellation handler by swapping in the value (Figure 4). Weak
+        // CAS — the outer loop re-dispatches on failure.
+        if (Cell.compare_exchange_weak(
                 Cur, encodeValueWord<T, Traits>(Value),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           Req->release(); // the cell no longer references the waiter

@@ -22,6 +22,8 @@
 #ifndef CQS_CORE_CQSSTATS_H
 #define CQS_CORE_CQSSTATS_H
 
+#include "support/ObjectPool.h"
+
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -34,8 +36,13 @@ struct CqsStats;
 /// process, see CqsStats::processSnapshot). Field order mirrors CqsStats;
 /// the name/field tables let generic code (the benchmark JSON exporter,
 /// tests) iterate without hand-listing counters in a second place.
+///
+/// The six pool fields (request/segment hits, misses, recycled) are
+/// process-wide — the pools are shared, not per-instance — so they are
+/// zero in per-instance snapshots and only populated by processSnapshot(),
+/// which is what the benchmark JSON exporter deltas.
 struct CqsStatsSnapshot {
-  static constexpr int NumFields = 13;
+  static constexpr int NumFields = 19;
 
   std::uint64_t Suspensions = 0;
   std::uint64_t Eliminations = 0;
@@ -50,6 +57,12 @@ struct CqsStatsSnapshot {
   std::uint64_t RefusedResumes = 0;
   std::uint64_t Cancellations = 0;
   std::uint64_t RefuseVerdicts = 0;
+  std::uint64_t RequestPoolHits = 0;
+  std::uint64_t RequestPoolMisses = 0;
+  std::uint64_t RequestsRecycled = 0;
+  std::uint64_t SegmentPoolHits = 0;
+  std::uint64_t SegmentPoolMisses = 0;
+  std::uint64_t SegmentsRecycled = 0;
 
   static const char *fieldName(int I) {
     static const char *const Names[NumFields] = {
@@ -57,25 +70,33 @@ struct CqsStatsSnapshot {
         "completions",   "value_deposits", "broken_cells",
         "simple_failures", "skipped_cells", "segment_skips",
         "delegations",   "refused_resumes", "cancellations",
-        "refuse_verdicts"};
+        "refuse_verdicts", "request_pool_hits", "request_pool_misses",
+        "requests_recycled", "segment_pool_hits", "segment_pool_misses",
+        "segments_recycled"};
     return Names[I];
   }
 
   std::uint64_t field(int I) const {
     const std::uint64_t *Fields[NumFields] = {
-        &Suspensions,   &Eliminations,  &SuspendFailures, &Completions,
-        &ValueDeposits, &BrokenCells,   &SimpleFailures,  &SkippedCells,
-        &SegmentSkips,  &Delegations,   &RefusedResumes,  &Cancellations,
-        &RefuseVerdicts};
+        &Suspensions,      &Eliminations,      &SuspendFailures,
+        &Completions,      &ValueDeposits,     &BrokenCells,
+        &SimpleFailures,   &SkippedCells,      &SegmentSkips,
+        &Delegations,      &RefusedResumes,    &Cancellations,
+        &RefuseVerdicts,   &RequestPoolHits,   &RequestPoolMisses,
+        &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
+        &SegmentsRecycled};
     return *Fields[I];
   }
 
   std::uint64_t &field(int I) {
     std::uint64_t *Fields[NumFields] = {
-        &Suspensions,   &Eliminations,  &SuspendFailures, &Completions,
-        &ValueDeposits, &BrokenCells,   &SimpleFailures,  &SkippedCells,
-        &SegmentSkips,  &Delegations,   &RefusedResumes,  &Cancellations,
-        &RefuseVerdicts};
+        &Suspensions,      &Eliminations,      &SuspendFailures,
+        &Completions,      &ValueDeposits,     &BrokenCells,
+        &SimpleFailures,   &SkippedCells,      &SegmentSkips,
+        &Delegations,      &RefusedResumes,    &Cancellations,
+        &RefuseVerdicts,   &RequestPoolHits,   &RequestPoolMisses,
+        &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
+        &SegmentsRecycled};
     return *Fields[I];
   }
 
@@ -192,14 +213,26 @@ struct CqsStats {
   }
 
   /// Aggregate of all CQS traffic in this process so far (live + retired
-  /// instances). Deltas of this around a benchmark sample attribute path
-  /// coverage to that data point.
+  /// instances), plus the process-wide object-pool counters. Deltas of
+  /// this around a benchmark sample attribute path coverage *and* pool
+  /// behavior to that data point.
   static CqsStatsSnapshot processSnapshot() {
     Registry &R = registry();
     std::lock_guard<std::mutex> Lock(R.Mu);
     CqsStatsSnapshot S = R.Retired;
     for (CqsStats *I = R.Head; I; I = I->Next)
       S += I->snapshot();
+    auto ReadPool = [](const std::atomic<std::uint64_t> &C) {
+      return C.load(std::memory_order_relaxed);
+    };
+    const pool::PoolStats &Req = pool::stats(pool::PoolKind::Request);
+    const pool::PoolStats &Seg = pool::stats(pool::PoolKind::Segment);
+    S.RequestPoolHits = ReadPool(Req.Hits);
+    S.RequestPoolMisses = ReadPool(Req.Misses);
+    S.RequestsRecycled = ReadPool(Req.Recycled);
+    S.SegmentPoolHits = ReadPool(Seg.Hits);
+    S.SegmentPoolMisses = ReadPool(Seg.Misses);
+    S.SegmentsRecycled = ReadPool(Seg.Recycled);
     return S;
   }
 

@@ -31,11 +31,13 @@
 
 #include "reclaim/Ebr.h"
 #include "support/CacheLine.h"
+#include "support/ObjectPool.h"
 #include "support/TaggedWord.h"
 
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <new>
 #include <utility>
 
 namespace cqs {
@@ -59,11 +61,44 @@ template <unsigned Size> class alignas(CacheLineSize) Segment {
 public:
   /// Creates the segment with \p InitialPointers segment-pointer references
   /// (2 for the very first segment, 0 for appended ones, matching
-  /// "Initialized with (2, 0) for the first segment").
+  /// "Initialized with (2, 0) for the first segment"). Prefer create(),
+  /// which reuses a recycled segment when one is available.
   Segment(std::uint64_t Id, Segment *Prev, std::uint32_t InitialPointers)
       : Id(Id), PrevLink(Prev), State(InitialPointers * PointerUnit) {}
 
+  /// Pool-aware factory for the append path: reconstructs a recycled
+  /// segment in place — placement new over the old life, which resets every
+  /// member including the const Id (C++20 permits reusing storage of
+  /// objects with const members; we always use the returned pointer) — or
+  /// allocates a fresh one.
+  static Segment *create(std::uint64_t Id, Segment *Prev,
+                         std::uint32_t InitialPointers) {
+    if constexpr (pool::PoolingEnabled)
+      if (Segment *S = Pool::tryAcquire())
+        return new (S) Segment(Id, Prev, InitialPointers);
+    return new Segment(Id, Prev, InitialPointers);
+  }
+
+  /// Disposal for a segment no other thread can reference (findSegment lost
+  /// the append race before publishing, or quiescent CQS teardown): no
+  /// grace period is needed, the segment goes straight back to the pool.
+  static void disposeUnpublished(Segment *S) {
+    if constexpr (pool::PoolingEnabled)
+      Pool::recycle(S);
+    else
+      delete S;
+  }
+
+  /// EBR deleter (ebr::retireRecycle): the grace period has elapsed, so no
+  /// thread can reach this segment any more; pool it for reuse. The stale
+  /// state is left in place — create() reconstructs with placement new.
+  static void recycleFromEbr(Segment *S) { Pool::recycle(S); }
+
   const std::uint64_t Id;
+
+  /// Pool freelist link (support/ObjectPool.h); meaningful only while the
+  /// segment sits in the pool.
+  Segment *NextFree = nullptr;
 
   /// Tagged cell words; see support/TaggedWord.h for the encoding. Fresh
   /// cells are zero, i.e. Token::Empty.
@@ -149,9 +184,15 @@ public:
         continue;
 
       // Success. Hand the memory to EBR exactly once; concurrent remove()
-      // calls for the same segment are allowed by the protocol.
-      if (!RetireFlag.test_and_set(std::memory_order_acq_rel))
-        ebr::retireObject(this);
+      // calls for the same segment are allowed by the protocol. With
+      // pooling the deleter recycles instead of freeing — still strictly
+      // after the three-epoch rule fires.
+      if (!RetireFlag.test_and_set(std::memory_order_acq_rel)) {
+        if constexpr (pool::PoolingEnabled)
+          ebr::retireRecycle(this);
+        else
+          ebr::retireObject(this);
+      }
       return;
     }
   }
@@ -200,6 +241,8 @@ public:
 private:
   template <unsigned S> friend class SegmentList;
 
+  using Pool = pool::ObjectPool<Segment, pool::PoolKind::Segment>;
+
   static bool isRemovedState(std::uint32_t S) {
     return (S & CancelledMask) == Size && (S >> 16) == 0;
   }
@@ -224,8 +267,10 @@ public:
     while (Cur->Id < Id || Cur->isRemoved()) {
       Seg *Next = Cur->NextLink.load(std::memory_order_acquire);
       if (!Next) {
-        // Reached the tail: append a successor.
-        Seg *Fresh = new Seg(Cur->Id + 1, Cur, /*InitialPointers=*/0);
+        // Reached the tail: append a successor. The CAS stays strong — its
+        // failure path consumes Expected as the new tail, so a spurious
+        // failure would hand back null.
+        Seg *Fresh = Seg::create(Cur->Id + 1, Cur, /*InitialPointers=*/0);
         Seg *Expected = nullptr;
         if (Cur->NextLink.compare_exchange_strong(Expected, Fresh,
                                                   std::memory_order_acq_rel,
@@ -236,7 +281,7 @@ public:
             Cur->remove();
           Next = Fresh;
         } else {
-          delete Fresh; // lost the race; never published
+          Seg::disposeUnpublished(Fresh); // lost the race; never published
           Next = Expected;
         }
       }
@@ -255,9 +300,11 @@ public:
         return true;
       if (!To->tryIncPointers())
         return false;
-      if (SegmentPtr.compare_exchange_strong(Cur, To,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
+      // Weak CAS: we are in a retry loop and the failure path (giving the
+      // reference back, reloading) is correct for spurious failures too.
+      if (SegmentPtr.compare_exchange_weak(Cur, To,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
         if (Cur->decPointers())
           Cur->remove();
         return true;

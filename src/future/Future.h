@@ -26,7 +26,10 @@
 #define CQS_FUTURE_FUTURE_H
 
 #include "future/Ref.h"
+#include "reclaim/Ebr.h"
+#include "support/Backoff.h"
 #include "support/Futex.h"
+#include "support/ObjectPool.h"
 #include "support/TaggedWord.h"
 
 #include <atomic>
@@ -42,6 +45,7 @@ namespace cqs {
 /// paper: null (pending), a value (completed), or bottom (cancelled).
 enum class FutureStatus { Pending, Completed, Cancelled };
 
+
 /// A suspended blocking request awaiting resume(..) (Listing 9's Request).
 ///
 /// The result slot is a tagged word: Token::Empty while pending,
@@ -49,6 +53,16 @@ enum class FutureStatus { Pending, Completed, Cancelled };
 /// completed. complete() and cancel() race through a single CAS, so exactly
 /// one of them takes effect — the property the formal specification calls
 /// "a Future cannot be both cancelled and completed" (Appendix G.2).
+///
+/// Requests are the hottest allocation in the framework (one per
+/// suspension), so they are pooled: when the reference count hits zero the
+/// object is retired through EBR with a *recycle* deleter that scrubs it
+/// back to the pending state and hands it to support/ObjectPool.h instead
+/// of freeing. The EBR grace period is what makes reuse sound — a
+/// concurrent resume(..) may still hold a raw pointer it read from a cell,
+/// and its (failing) complete() must land on the intact old life, never on
+/// a recycled one. A generation parity tag (even = live, odd = pooled)
+/// asserts that invariant on every state transition. DESIGN.md §6.
 template <typename T, typename Traits = ValueTraits<T>>
 class Request final : public RefCounted<Request<T, Traits>> {
   static constexpr std::uint64_t PendingWord = makeTokenWord(Token::Empty);
@@ -74,9 +88,70 @@ public:
   };
 
   /// Creates a pending request with \p InitialRefs owners. suspend() uses 2
-  /// (the cell + the returned Future).
+  /// (the cell + the returned Future). Prefer acquire(), which reuses a
+  /// pooled request when one is available.
   explicit Request(std::uint32_t InitialRefs)
       : RefCounted<Request<T, Traits>>(InitialRefs) {}
+
+  /// Pool-aware factory: pops a recycled request (already scrubbed back to
+  /// the pending state by recycleFromEbr) when available, otherwise
+  /// allocates. The hot suspend() path goes through here.
+  static Request *acquire(std::uint32_t InitialRefs) {
+    if constexpr (pool::PoolingEnabled) {
+      if (Request *R = Pool::tryAcquire()) {
+        assert((R->Gen.load(std::memory_order_relaxed) & 1) == 1 &&
+               "request from the pool must carry a pooled (odd) generation");
+        R->Gen.fetch_add(1, std::memory_order_relaxed); // odd -> even: live
+        R->resetRefsForReuse(InitialRefs);
+        return R;
+      }
+    }
+    return new Request(InitialRefs);
+  }
+
+  /// RefCounted disposal hook: dead requests are retired through EBR with a
+  /// recycle deleter rather than freed. A concurrent resume(..) may still
+  /// hold this pointer (read from a cell before a cancellation won the
+  /// race), so the scrub must wait out the grace period; the Guard makes
+  /// the retire legal from any thread (it is reentrant under an existing
+  /// pin).
+  void disposeThis() const {
+    if constexpr (pool::PoolingEnabled) {
+      ebr::Guard Guard;
+      ebr::retireRecycle(const_cast<Request *>(this));
+    } else {
+      delete this;
+    }
+  }
+
+  /// EBR deleter (ebr::retireRecycle): runs once the grace period has
+  /// elapsed, so no thread can reach the request any more.
+  static void recycleFromEbr(Request *R) {
+    R->scrubForReuse();
+    Pool::recycle(R);
+  }
+
+  /// Fast-path disposal for a request that was never published to another
+  /// thread (suspend() lost the install race): no grace period is needed,
+  /// so the EBR detour and the two reference decrements are skipped.
+  /// Consumes both initial references.
+  void recycleUnpublished() {
+    if constexpr (pool::PoolingEnabled) {
+      assert(this->refCountForTesting() == 2 &&
+             "recycleUnpublished() consumes exactly the two initial refs");
+      this->resetRefsForReuse(0);
+      scrubForReuse();
+      Pool::recycle(this);
+    } else {
+      this->release();
+      this->release();
+    }
+  }
+
+  /// Reuse generation parity: even = live, odd = pooled; tests only.
+  std::uint64_t generationForTesting() const {
+    return Gen.load(std::memory_order_relaxed);
+  }
 
   /// Binds the cancellation handler. Must happen before the request is
   /// returned to user code; the CQS knows the target cell when it creates
@@ -92,6 +167,8 @@ public:
   /// Completes the request with \p V. Returns false iff the request was
   /// already cancelled (resume(..) uses this to detect aborted waiters).
   bool complete(T V) {
+    assert((Gen.load(std::memory_order_relaxed) & 1) == 0 &&
+           "complete() on a recycled Request (use-after-recycle/ABA)");
     std::uint64_t Expected = PendingWord;
     if (!Result.compare_exchange_strong(Expected,
                                         encodeValueWord<T, Traits>(V),
@@ -110,6 +187,8 @@ public:
   /// runs the bound cancellation handler in the caller's thread, exactly as
   /// Listing 9's cancel() does.
   bool cancel() {
+    assert((Gen.load(std::memory_order_relaxed) & 1) == 0 &&
+           "cancel() on a recycled Request (use-after-recycle/ABA)");
     std::uint64_t Expected = PendingWord;
     if (!Result.compare_exchange_strong(Expected, CancelledWord,
                                         std::memory_order_acq_rel,
@@ -142,12 +221,18 @@ public:
   /// Parks the calling thread until completion or cancellation; nullopt iff
   /// cancelled. This is the thread-waiter mode the paper's JVM benchmarks
   /// use ("we use threads as waiters in CQS", Section 6).
+  ///
+  /// Parkers announce themselves in the Parked counter so finish() can
+  /// issue exactly the wake-ups needed (usually one, often none) instead
+  /// of an unconditional wake-all syscall.
   std::optional<T> blockingGet() const {
+    // Keep this wrapper tiny: many fast paths call blockingGet() on
+    // futures that are already (or almost) complete, and the wait
+    // machinery below is big enough to wreck the caller's inlining.
+    if (DoneFlag.load(std::memory_order_acquire) == 0)
+      blockUntilDone();
     std::uint64_t W = Result.load(std::memory_order_acquire);
-    while (W == PendingWord) {
-      Result.wait(PendingWord, std::memory_order_acquire);
-      W = Result.load(std::memory_order_acquire);
-    }
+    assert(W != PendingWord && "DoneFlag set while Result still pending");
     if (W == CancelledWord)
       return std::nullopt;
     return decodeValueWord<T, Traits>(W);
@@ -164,15 +249,18 @@ public:
   /// \endcode
   FutureStatus waitFor(std::chrono::nanoseconds Timeout) const {
     auto Deadline = std::chrono::steady_clock::now() + Timeout;
-    for (;;) {
-      FutureStatus St = status();
-      if (St != FutureStatus::Pending)
-        return St;
+    FutureStatus St = status();
+    if (St != FutureStatus::Pending)
+      return St;
+    Parked.fetch_add(1, std::memory_order_seq_cst);
+    while (DoneFlag.load(std::memory_order_seq_cst) == 0) {
       auto Now = std::chrono::steady_clock::now();
       if (Now >= Deadline)
-        return status();
+        break;
       futexWait(DoneFlag, 0, Deadline - Now);
     }
+    Parked.fetch_sub(1, std::memory_order_relaxed);
+    return status();
   }
 
   /// Attaches \p C, to be invoked on completion/cancellation. Returns false
@@ -196,31 +284,81 @@ public:
   }
 
 private:
+  /// Out-of-line cold slow path of blockingGet(). The actual spin/park
+  /// loop lives in futexSpinThenWait (compiled once into the library, see
+  /// Futex.h) so this template member stays a bare tail-call and callers'
+  /// code layout does not depend on the wait tuning.
+  [[gnu::noinline]] [[gnu::cold]] void blockUntilDone() const {
+    futexSpinThenWait(DoneFlag, Parked);
+  }
+
   static void *doneSentinel() {
     return reinterpret_cast<void *>(static_cast<std::uintptr_t>(1));
   }
 
   /// Common completion tail: wake parked threads and fire the continuation.
+  ///
+  /// Dekker pair with the parkers: a parker increments Parked (seq_cst)
+  /// *before* re-checking DoneFlag; we publish DoneFlag (seq_cst) *before*
+  /// reading Parked. At least one side observes the other, and the
+  /// kernel-side futex revalidation of DoneFlag closes the remaining
+  /// about-to-sleep window — so skipping the syscall on Parked == 0 and
+  /// waking exactly one thread on Parked == 1 never strands a waiter.
   void finish() {
-    DoneFlag.store(1, std::memory_order_release);
-    futexWakeAll(DoneFlag);
-    Result.notify_all();
+    DoneFlag.store(1, std::memory_order_seq_cst);
+    std::uint32_t NParked = Parked.load(std::memory_order_seq_cst);
+    if (NParked == 1)
+      futexWakeOne(DoneFlag);
+    else if (NParked > 1)
+      futexWakeAll(DoneFlag);
     void *Old = ContSlot.exchange(doneSentinel(), std::memory_order_acq_rel);
     if (Old && Old != doneSentinel())
       static_cast<Continuation *>(Old)->invoke(
           Result.load(std::memory_order_acquire));
   }
 
+  /// Resets every field to the freshly-constructed pending state. Runs
+  /// strictly after the EBR grace period, so no concurrent accessor
+  /// exists; relaxed stores suffice (the pool hand-off publishes them).
+  void scrubForReuse() {
+    assert(this->refCountForTesting() == 0 && "scrubbing a live request");
+    assert(Parked.load(std::memory_order_relaxed) == 0 &&
+           "scrubbing a request that still has parked waiters");
+    Result.store(PendingWord, std::memory_order_relaxed);
+    DoneFlag.store(0, std::memory_order_relaxed);
+    ContSlot.store(nullptr, std::memory_order_relaxed);
+    CancelHandler = nullptr;
+    CancelCqs = nullptr;
+    CancelSegment = nullptr;
+    CancelCellIdx = 0;
+    Gen.fetch_add(1, std::memory_order_relaxed); // even (live) -> odd
+  }
+
+  using Pool = pool::ObjectPool<Request, pool::PoolKind::Request>;
+
   mutable std::atomic<std::uint64_t> Result{PendingWord};
   /// 32-bit completion flag for futex-based timed waits (futexes operate
   /// on 32-bit words; Result is 64 bits wide).
   std::atomic<std::uint32_t> DoneFlag{0};
+  /// Number of threads parked (or about to park) on DoneFlag; lets
+  /// finish() size its wake-up instead of always waking all.
+  mutable std::atomic<std::uint32_t> Parked{0};
+  /// Reuse generation: even = live, odd = pooled. EBR already guarantees
+  /// no accessor can span a recycle; the parity is a cheap second line of
+  /// defense that turns any latent use-after-recycle into a deterministic
+  /// assertion failure instead of silent ABA.
+  std::atomic<std::uint64_t> Gen{0};
   std::atomic<void *> ContSlot{nullptr};
 
   CancelFn CancelHandler = nullptr;
   void *CancelCqs = nullptr;
   void *CancelSegment = nullptr;
   std::uint32_t CancelCellIdx = 0;
+
+public:
+  /// Pool freelist link (support/ObjectPool.h); meaningful only while the
+  /// request sits in the pool.
+  Request *NextFree = nullptr;
 };
 
 /// User-facing result of a potentially blocking operation.

@@ -27,6 +27,11 @@ namespace cqs {
 /// CRTP base providing an atomic reference count. Objects start with the
 /// count given to the constructor (callers that immediately publish the
 /// object to N owners can start at N and skip N-1 atomic increments).
+///
+/// When the count hits zero the object is *disposed*: by default with
+/// `delete`, but a Derived may shadow `disposeThis()` to route dead objects
+/// elsewhere — Request futures recycle themselves through an EBR-deferred
+/// object pool instead of freeing (DESIGN.md §6).
 template <typename Derived> class RefCounted {
 public:
   explicit RefCounted(std::uint32_t InitialRefs) : Refs(InitialRefs) {}
@@ -40,8 +45,11 @@ public:
     std::uint32_t Prev = Refs.fetch_sub(1, std::memory_order_acq_rel);
     assert(Prev > 0 && "over-release of RefCounted object");
     if (Prev == 1)
-      delete static_cast<const Derived *>(this);
+      static_cast<const Derived *>(this)->disposeThis();
   }
+
+  /// Default disposal; Derived may shadow this to pool instead of free.
+  void disposeThis() const { delete static_cast<const Derived *>(this); }
 
   /// For tests: current reference count (racy by nature).
   std::uint32_t refCountForTesting() const {
@@ -50,6 +58,13 @@ public:
 
 protected:
   ~RefCounted() = default;
+
+  /// Re-arms the count on an object being resurrected from a pool. Only
+  /// legal after disposeThis() ran (count is zero and no owner remains);
+  /// plain store — publication of the reused object provides the ordering.
+  void resetRefsForReuse(std::uint32_t InitialRefs) const {
+    Refs.store(InitialRefs, std::memory_order_relaxed);
+  }
 
 private:
   mutable std::atomic<std::uint32_t> Refs;

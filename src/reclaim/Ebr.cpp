@@ -99,10 +99,18 @@ void collectBags(ThreadRecord *Rec, std::uint64_t Global) {
   for (unsigned I = 0; I < 3; ++I) {
     if (Rec->BagEpoch[I] == 0 || Rec->BagEpoch[I] + 2 > Global)
       continue;
-    for (const Retired &G : Rec->Bags[I])
-      G.Deleter(G.Ptr);
-    Rec->Bags[I].clear();
+    // Swap the bag out before running deleters: a recycle deleter may drop
+    // nested references and re-enter retire(), which must not push into
+    // the vector being iterated.
+    std::vector<Retired> Doomed;
+    Doomed.swap(Rec->Bags[I]);
     Rec->BagEpoch[I] = 0;
+    for (const Retired &G : Doomed)
+      G.Deleter(G.Ptr);
+    // Hand the capacity back so steady-state retires stay allocation-free.
+    Doomed.clear();
+    if (Rec->Bags[I].empty())
+      Rec->Bags[I].swap(Doomed);
   }
 }
 
@@ -179,12 +187,14 @@ void ebr::drainForTesting() {
            "drainForTesting called while a thread is pinned");
     collectBags(R, Global);
     // After three advances with no pinned threads every bag is collectable;
-    // force-free any remainder.
+    // force-free any remainder (swapped out for the same reentrancy reason
+    // as collectBags).
     for (unsigned I = 0; I < 3; ++I) {
-      for (const Retired &G : R->Bags[I])
-        G.Deleter(G.Ptr);
-      R->Bags[I].clear();
+      std::vector<Retired> Doomed;
+      Doomed.swap(R->Bags[I]);
       R->BagEpoch[I] = 0;
+      for (const Retired &G : Doomed)
+        G.Deleter(G.Ptr);
     }
   }
 }

@@ -91,6 +91,15 @@ template <typename T> void retireObject(T *Ptr) {
   retire(Ptr, [](void *P) { delete static_cast<T *>(P); });
 }
 
+/// Like retireObject, but instead of freeing, hands the object to
+/// `T::recycleFromEbr(T *)` once the grace period elapses. This is the hook
+/// the object pools (support/ObjectPool.h) use: the scrub-and-reuse runs
+/// strictly after the three-epoch rule fires, so no pinned reader can still
+/// dereference the object when it is reinitialized for its next life.
+template <typename T> void retireRecycle(T *Ptr) {
+  retire(Ptr, [](void *P) { T::recycleFromEbr(static_cast<T *>(P)); });
+}
+
 /// Returns true if the calling thread currently holds a Guard.
 bool isPinned();
 

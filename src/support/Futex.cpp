@@ -1,0 +1,40 @@
+//===- support/Futex.cpp - out-of-line blocking wait ----------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Futex.h"
+#include "support/Backoff.h"
+
+#include <thread>
+
+namespace cqs {
+
+void futexSpinThenWait(const std::atomic<std::uint32_t> &Word,
+                       std::atomic<std::uint32_t> &Parked) {
+  // Spin briefly before sleeping: on an oversubscribed host the finisher
+  // usually shares the core, so yielding lets it run and the park (a futex
+  // sleep/wake syscall pair plus a context switch on both sides) is almost
+  // always avoided. Longer relax ramps are counterproductive for the same
+  // reason: spinning steals the very cycles the finisher needs.
+  for (int Tries = 0;
+       Tries < 20 && Word.load(std::memory_order_acquire) == 0; ++Tries) {
+    if (Tries < 4)
+      cpuRelax();
+    else
+      std::this_thread::yield();
+  }
+  if (Word.load(std::memory_order_acquire) != 0)
+    return;
+
+  // Dekker pair with the finisher (see Request::finish()): register in
+  // Parked with seq_cst *before* re-checking the flag, so either we see
+  // the flag set or the finisher sees our registration and wakes us.
+  Parked.fetch_add(1, std::memory_order_seq_cst);
+  while (Word.load(std::memory_order_seq_cst) == 0)
+    futexWait(Word, 0, std::chrono::nanoseconds(-1));
+  Parked.fetch_sub(1, std::memory_order_relaxed);
+}
+
+} // namespace cqs

@@ -68,6 +68,28 @@ inline void futexWakeAll(const std::atomic<std::uint32_t> &Word) {
 #endif
 }
 
+/// Slow-path blocking wait used by Request::blockingGet(): spins very
+/// briefly (yielding, so a finisher sharing the core can run), then
+/// registers in \p Parked and sleeps on \p Word until it leaves zero.
+/// Deliberately compiled once into the library rather than defined here:
+/// the spin/park loop is instantiated from templates all over the tree,
+/// and keeping its body out of callers' translation units keeps their
+/// code layout independent of how the wait is tuned.
+void futexSpinThenWait(const std::atomic<std::uint32_t> &Word,
+                       std::atomic<std::uint32_t> &Parked);
+
+/// Wakes at most one waiter blocked in futexWait on \p Word. Correct only
+/// when the caller knows a single wake-up suffices (e.g. it counted the
+/// parked threads); wakeAll is the safe default.
+inline void futexWakeOne(const std::atomic<std::uint32_t> &Word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t *>(&Word),
+          FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+#else
+  Word.notify_one();
+#endif
+}
+
 } // namespace cqs
 
 #endif // CQS_SUPPORT_FUTEX_H

@@ -1,0 +1,235 @@
+//===- support/ObjectPool.h - reclamation-aware object pools ---*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Freelist pools for the two objects the CQS hot path allocates: Request
+/// futures (one per suspend()) and segments (one per SEGM_SIZE operations).
+/// The paper's Kotlin implementation amortizes both through the JVM's
+/// generational GC; without pooling, our C++ port pays a global-allocator
+/// round trip on every suspension, which dominates the per-operation cost
+/// at high thread counts (EXPERIMENTS.md, micro_cqs_ops).
+///
+/// Structure (a miniature magazine allocator):
+///   - a per-thread *magazine* — a singly-linked freelist threaded through
+///     the objects themselves (`T::NextFree`), so pushes and pops on the
+///     hot path are two plain pointer writes with no synchronization;
+///   - a mutex-guarded *global overflow list* that magazines spill into and
+///     refill from in batches, so objects recycled on one thread serve
+///     acquisitions on another (EBR runs deleters on the retiring thread,
+///     which is not necessarily the allocating one);
+///   - a global capacity valve beyond which spilled batches are freed for
+///     real, bounding the pool footprint after a burst.
+///
+/// The pool itself never allocates: a failed tryAcquire() is a *miss* and
+/// the caller constructs with plain `new`; the object enters the pool on
+/// its first recycle. Reclamation safety is the caller's contract — an
+/// object must only be recycled once no thread can still dereference it.
+/// Both clients route shared objects through EBR (ebr::retireRecycle) so
+/// the scrub-and-reuse happens strictly after the three-epoch rule fires;
+/// see DESIGN.md §6 for the full argument.
+///
+/// CQS_DISABLE_POOLING (CMake option) compiles the pools down to
+/// always-miss stubs so sanitizer jobs can exercise the plain new/delete
+/// lifetime story as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_OBJECTPOOL_H
+#define CQS_SUPPORT_OBJECTPOOL_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace cqs {
+namespace pool {
+
+#if defined(CQS_DISABLE_POOLING) && CQS_DISABLE_POOLING
+inline constexpr bool PoolingEnabled = false;
+#else
+inline constexpr bool PoolingEnabled = true;
+#endif
+
+/// Which hot-path object a pool serves; selects the process-wide stats
+/// block so CqsStats::processSnapshot() can attribute pool behaviour to
+/// benchmark data points without knowing the pooled types.
+enum class PoolKind { Request = 0, Segment = 1 };
+
+inline constexpr int NumPoolKinds = 2;
+
+/// Process-wide effectiveness counters per PoolKind (all instantiations of
+/// a kind — e.g. every Request<T, Traits> — share one block).
+struct PoolStats {
+  /// tryAcquire() served from a magazine or the overflow list.
+  std::atomic<std::uint64_t> Hits{0};
+  /// tryAcquire() found nothing; the caller fell back to `new`.
+  std::atomic<std::uint64_t> Misses{0};
+  /// Objects returned to the pool instead of being freed.
+  std::atomic<std::uint64_t> Recycled{0};
+};
+
+inline PoolStats &stats(PoolKind K) {
+  static PoolStats S[NumPoolKinds];
+  return S[static_cast<int>(K)];
+}
+
+/// Freelist pool over already-constructed objects of \p T.
+///
+/// \p T must expose a `T *NextFree` member: the link storage the freelist
+/// threads through pooled objects. It is only meaningful while the object
+/// is inside the pool; clients that reconstruct in place (placement new)
+/// may freely clobber it on acquisition.
+///
+/// Thread safety: magazines are strictly thread-local; ownership hand-off
+/// between threads goes through the overflow mutex, which provides the
+/// happens-before edge between a recycler's scrub and the next owner's
+/// reinitialization.
+template <typename T, PoolKind Kind> class ObjectPool {
+public:
+  /// Per-thread cache depth. Sized to absorb an EBR collection burst
+  /// (bags drain in batches of ~64 retires, see Ebr.cpp's advance pacing)
+  /// without bouncing the overflow mutex on every recycle.
+  static constexpr unsigned MagazineCapacity = 128;
+  /// Objects moved per magazine<->overflow transfer.
+  static constexpr unsigned TransferBatch = MagazineCapacity / 2;
+  /// Overflow objects beyond this are freed for real, bounding the
+  /// steady-state footprint after a burst (valve, not a hot path).
+  static constexpr std::size_t GlobalCapacity = 8192;
+
+  /// Pops a recycled object, or returns null (a *miss*: the caller
+  /// constructs a fresh object with `new`, which joins the pool on its
+  /// first recycle).
+  static T *tryAcquire() {
+    if constexpr (!PoolingEnabled)
+      return nullptr;
+    Magazine &M = magazine();
+    if (!M.Head)
+      refill(M);
+    if (T *Obj = M.Head) {
+      M.Head = Obj->NextFree;
+      --M.Count;
+      stats(Kind).Hits.fetch_add(1, std::memory_order_relaxed);
+      return Obj;
+    }
+    stats(Kind).Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Returns \p Obj to the pool. The caller guarantees no thread can still
+  /// reach the object (unpublished, or past its EBR grace period) and that
+  /// it has been scrubbed into its reusable state. With pooling disabled
+  /// this degenerates to `delete` so call sites need no second gate.
+  static void recycle(T *Obj) {
+    if constexpr (!PoolingEnabled) {
+      delete Obj;
+      return;
+    }
+    stats(Kind).Recycled.fetch_add(1, std::memory_order_relaxed);
+    Magazine &M = magazine();
+    Obj->NextFree = M.Head;
+    M.Head = Obj;
+    if (++M.Count >= MagazineCapacity)
+      spill(M);
+  }
+
+  /// Approximate pooled-object count (magazines excluded); tests only.
+  static std::size_t overflowSizeForTesting() {
+    Global &G = global();
+    std::lock_guard<std::mutex> Lock(G.Mu);
+    return G.Count;
+  }
+
+private:
+  struct Global {
+    std::mutex Mu;
+    T *Head = nullptr;
+    std::size_t Count = 0;
+  };
+
+  struct Magazine {
+    T *Head = nullptr;
+    unsigned Count = 0;
+
+    /// A dying thread donates its magazine to the overflow list so the
+    /// objects keep circulating (and stay reachable for leak checkers).
+    ~Magazine() {
+      if (!Head)
+        return;
+      T *Tail = Head;
+      while (Tail->NextFree)
+        Tail = Tail->NextFree;
+      Global &G = global();
+      std::lock_guard<std::mutex> Lock(G.Mu);
+      Tail->NextFree = G.Head;
+      G.Head = Head;
+      G.Count += Count;
+    }
+  };
+
+  /// Leaked on purpose (same idiom as the EBR domain): pooled objects may
+  /// be donated by detached threads during process teardown, and keeping
+  /// the list reachable from a static keeps LeakSanitizer quiet about the
+  /// intentionally retained objects.
+  static Global &global() {
+    static Global *G = new Global();
+    return *G;
+  }
+
+  static Magazine &magazine() {
+    thread_local Magazine M;
+    return M;
+  }
+
+  /// Moves TransferBatch objects magazine -> overflow; frees them instead
+  /// when the overflow list is already at capacity.
+  static void spill(Magazine &M) {
+    T *ChainHead = M.Head;
+    T *Tail = ChainHead;
+    for (unsigned I = 1; I < TransferBatch; ++I)
+      Tail = Tail->NextFree;
+    M.Head = Tail->NextFree;
+    M.Count -= TransferBatch;
+    Tail->NextFree = nullptr;
+    {
+      Global &G = global();
+      std::lock_guard<std::mutex> Lock(G.Mu);
+      if (G.Count < GlobalCapacity) {
+        Tail->NextFree = G.Head;
+        G.Head = ChainHead;
+        G.Count += TransferBatch;
+        return;
+      }
+    }
+    // Valve: the process holds more free objects than any workload phase
+    // will re-acquire; give this batch back to the allocator.
+    while (ChainHead) {
+      T *Next = ChainHead->NextFree;
+      delete ChainHead;
+      ChainHead = Next;
+    }
+  }
+
+  /// Pulls up to TransferBatch objects overflow -> magazine.
+  static void refill(Magazine &M) {
+    Global &G = global();
+    std::lock_guard<std::mutex> Lock(G.Mu);
+    while (G.Head && M.Count < TransferBatch) {
+      T *Obj = G.Head;
+      G.Head = Obj->NextFree;
+      --G.Count;
+      Obj->NextFree = M.Head;
+      M.Head = Obj;
+      ++M.Count;
+    }
+  }
+};
+
+} // namespace pool
+} // namespace cqs
+
+#endif // CQS_SUPPORT_OBJECTPOOL_H

@@ -40,19 +40,28 @@ inline void spinWork(std::uint64_t Iters) {
 class GeometricWork {
 public:
   /// \p Mean is the expected number of loop iterations; 0 disables work.
+  ///
+  /// The success test is a compare against a precomputed threshold rather
+  /// than Rng.chance(1, Mean): chance() divides by Mean on every trial,
+  /// and whether that division folds into a multiply depends on the
+  /// optimizer const-propagating Mean through however much of the caller
+  /// got inlined — which made the *same* workload measure up to 2x slower
+  /// in series whose critical-section lambdas were too big to inline.
+  /// The threshold form costs one generator step and one compare per
+  /// trial no matter what the inliner does.
   GeometricWork(std::uint64_t Mean, std::uint64_t Seed)
-      : Mean(Mean), Rng(Seed) {}
+      : Mean(Mean), Threshold(Mean ? ~0ull / Mean : 0), Rng(Seed) {}
 
   /// Draws one geometric sample (support {0, 1, 2, ...}, mean ~Mean).
   std::uint64_t nextAmount() {
     if (Mean == 0)
       return 0;
     // Geometric via inversion on a coarse grid: count trials until a
-    // success with probability 1/Mean. Bounded to 32*Mean to keep the
+    // success with probability ~1/Mean. Bounded to 32*Mean to keep the
     // tail from producing pathological benchmark iterations.
     std::uint64_t N = 0;
     const std::uint64_t Limit = 32 * Mean;
-    while (N < Limit && !Rng.chance(1, Mean))
+    while (N < Limit && Rng.next() >= Threshold)
       ++N;
     return N;
   }
@@ -62,6 +71,7 @@ public:
 
 private:
   std::uint64_t Mean;
+  std::uint64_t Threshold;
   SplitMix64 Rng;
 };
 

@@ -50,7 +50,7 @@ template <typename E, unsigned SegmentSize = 16> class QueuePoolStorage {
 
 public:
   QueuePoolStorage() {
-    auto *First = new Seg(0, nullptr, /*InitialPointers=*/2);
+    auto *First = Seg::create(0, nullptr, /*InitialPointers=*/2);
     InsertSegm->store(First, std::memory_order_relaxed);
     RetrieveSegm->store(First, std::memory_order_relaxed);
   }
@@ -65,7 +65,7 @@ public:
     while (Cur) {
       Seg *Next = Cur->next();
       if (!Cur->isRetiredForTesting())
-        delete Cur;
+        Seg::disposeUnpublished(Cur); // quiescent: nobody references it
       Cur = Next;
     }
   }

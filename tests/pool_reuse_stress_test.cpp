@@ -1,0 +1,152 @@
+//===- tests/pool_reuse_stress_test.cpp - reuse under cancellation --------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Hammers the pooled-request lifecycle with the nastiest client available:
+// smart cancellation plus timed-out waits on a fair semaphore. Every
+// cancelled acquire() retires its request through EBR into the pool while
+// a racing release() may still hold the raw pointer it read from the cell
+// — exactly the use-after-recycle/ABA window the EBR grace period and the
+// generation parity tag close. Run under the CQS_SANITIZE TSan and
+// ASan/UBSan CI jobs (and with CQS_DISABLE_POOLING) to keep that argument
+// honest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/Ebr.h"
+#include "support/ObjectPool.h"
+#include "sync/Semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace cqs;
+
+std::uint64_t requestsRecycled() {
+  return pool::stats(pool::PoolKind::Request)
+      .Recycled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t segmentsRecycled() {
+  return pool::stats(pool::PoolKind::Segment)
+      .Recycled.load(std::memory_order_relaxed);
+}
+
+// Smart cancellation + timed-out resumes hammering pooled requests. A
+// 1-permit semaphore makes suspension deterministic even on a single-core
+// host: whoever holds the permit and acquires *again* must suspend, its
+// timed wait must expire (nobody else can release), and its cancel() must
+// win — while the other threads' waiters queue up behind it, time out,
+// and race their cancels against the final release() through the
+// delegation/REFUSE machinery.
+TEST(PoolReuseStress, SmartCancellationWithTimedWaiters) {
+  const std::uint64_t RecycledBefore = requestsRecycled();
+
+  // Tiny segments so cancelled waves also exercise segment removal.
+  BasicSemaphore<8> Sem(1);
+  constexpr int Threads = 8;
+  constexpr int Iters = 1000;
+
+  std::atomic<std::uint64_t> Granted{0};
+  std::atomic<std::uint64_t> Cancelled{0};
+  std::atomic<int> Failures{0};
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&] {
+      constexpr auto Wait = std::chrono::microseconds(20);
+      for (int I = 0; I < Iters; ++I) {
+        auto F1 = Sem.acquire();
+        if (F1.isImmediate()) {
+          // We hold the only permit, so this second acquire suspends and
+          // its wait times out: guaranteed cancelled-after-timeout cycle.
+          auto F2 = Sem.acquire();
+          if (!F2.isImmediate()) {
+            if (F2.waitFor(Wait) == FutureStatus::Pending && F2.cancel()) {
+              Cancelled.fetch_add(1, std::memory_order_relaxed);
+            } else if (F2.blockingGet().has_value()) {
+              Sem.release(); // a refused resume returned the permit to us
+            } else {
+              Failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            Sem.release(); // raced a cancellation's returned reservation
+          }
+          Granted.fetch_add(1, std::memory_order_relaxed);
+          Sem.release();
+        } else {
+          // Queued behind the current holder: time out and withdraw, or
+          // consume the permit if the resume wins the race.
+          if (F1.waitFor(Wait) == FutureStatus::Pending && F1.cancel()) {
+            Cancelled.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (!F1.blockingGet().has_value()) {
+            Failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          Granted.fetch_add(1, std::memory_order_relaxed);
+          Sem.release();
+        }
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(Sem.availablePermits(), 1) << "permit conservation violated";
+  EXPECT_GT(Granted.load(), 0u);
+  EXPECT_GT(Cancelled.load(), 0u)
+      << "stress ran without exercising cancellation";
+  if (pool::PoolingEnabled) {
+    EXPECT_GT(requestsRecycled(), RecycledBefore)
+        << "cancelled requests should have entered the pool";
+  }
+}
+
+// Deterministic segment churn: cancel whole waves of waiters so every
+// segment becomes fully dead, is removed, retires through EBR, and comes
+// back out of the pool for the next wave.
+TEST(PoolReuseStress, CancelledWavesRecycleSegments) {
+  const std::uint64_t RecycledBefore = segmentsRecycled();
+
+  BasicSemaphore<4> Sem(1);
+  auto Hold = Sem.acquire(); // pin the only permit: every acquire suspends
+  ASSERT_TRUE(Hold.isImmediate());
+
+  for (int Round = 0; Round < 200; ++Round) {
+    std::vector<BasicSemaphore<4>::FutureType> Waves;
+    Waves.reserve(16);
+    for (int I = 0; I < 16; ++I)
+      Waves.push_back(Sem.acquire());
+    for (auto &F : Waves)
+      ASSERT_TRUE(F.cancel());
+  }
+
+  Sem.release();
+  EXPECT_EQ(Sem.availablePermits(), 1);
+  if (pool::PoolingEnabled) {
+    EXPECT_GT(segmentsRecycled(), RecycledBefore)
+        << "fully-cancelled segments should have entered the pool";
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}
