@@ -37,7 +37,7 @@
 #include "reclaim/Ebr.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -46,18 +46,18 @@ namespace cqs {
 /// Synchronizer framework: FIFO waiter queue + policy-controlled state.
 ///
 /// \tparam Policy provides:
-///   static bool tryAcquire(std::atomic<std::int64_t> &State, std::int64_t);
-///   static bool tryRelease(std::atomic<std::int64_t> &State, std::int64_t);
+///   static bool tryAcquire(Atomic<std::int64_t> &State, std::int64_t);
+///   static bool tryRelease(Atomic<std::int64_t> &State, std::int64_t);
 ///     (returns true when a waiter should be woken)
-///   static bool shouldPropagate(const std::atomic<std::int64_t> &State);
+///   static bool shouldPropagate(const Atomic<std::int64_t> &State);
 ///     (after a successful queued acquire: wake the next waiter too?)
 template <typename Policy> class Aqs {
   /// Waiter node; the queue is Michael-Scott-style with a dummy head, which
   /// keeps dequeueing on the "I am first" path a single store, like AQS's
   /// setHead.
   struct Node {
-    std::atomic<Node *> Next{nullptr};
-    std::atomic<std::uint32_t> Signal{0};
+    Atomic<Node *> Next{nullptr};
+    Atomic<std::uint32_t> Signal{0};
   };
 
 public:
@@ -100,12 +100,12 @@ public:
     return Policy::tryAcquire(State.Value, Arg);
   }
 
-  std::int64_t stateForTesting() const { return State.Value.load(); }
+  std::int64_t stateForTesting() const { return State.Value.load(std::memory_order_seq_cst); }
 
   bool hasWaiters() const {
     ebr::Guard Guard;
-    Node *D = Head.Value.load();
-    return D->Next.load() != nullptr;
+    Node *D = Head.Value.load(std::memory_order_seq_cst);
+    return D->Next.load(std::memory_order_seq_cst) != nullptr;
   }
 
 private:
@@ -119,8 +119,8 @@ private:
       bool AmFirst;
       {
         ebr::Guard Guard;
-        Node *D = Head.Value.load();
-        AmFirst = D->Next.load() == N;
+        Node *D = Head.Value.load(std::memory_order_seq_cst);
+        AmFirst = D->Next.load(std::memory_order_seq_cst) == N;
       }
       if (AmFirst && Policy::tryAcquire(State.Value, Arg)) {
         ebr::Guard Guard;
@@ -132,21 +132,21 @@ private:
       // Park. The releaser stores Signal=1 before notifying, so a store
       // that lands between our check and the wait is not lost.
       N->Signal.wait(0);
-      N->Signal.store(0);
+      N->Signal.store(0, std::memory_order_seq_cst);
     }
   }
 
   void enqueue(Node *N) {
     for (;;) {
-      Node *T = Tail.Value.load();
-      Node *Next = T->Next.load();
+      Node *T = Tail.Value.load(std::memory_order_seq_cst);
+      Node *Next = T->Next.load(std::memory_order_seq_cst);
       if (Next) { // help swing the lagging tail
-        Tail.Value.compare_exchange_weak(T, Next);
+        Tail.Value.compare_exchange_weak(T, Next, std::memory_order_seq_cst);
         continue;
       }
       Node *Expected = nullptr;
-      if (T->Next.compare_exchange_strong(Expected, N)) {
-        Tail.Value.compare_exchange_strong(T, N);
+      if (T->Next.compare_exchange_strong(Expected, N, std::memory_order_seq_cst)) {
+        Tail.Value.compare_exchange_strong(T, N, std::memory_order_seq_cst);
         return;
       }
     }
@@ -155,13 +155,13 @@ private:
   /// Makes \p N (the first real node, owned by the caller) the new dummy.
   /// Pops are serialized by construction: only the front thread pops.
   void popFirst(Node *N) {
-    Node *D = Head.Value.load();
-    assert(D->Next.load() == N && "popFirst by a non-front thread");
+    Node *D = Head.Value.load(std::memory_order_seq_cst);
+    assert(D->Next.load(std::memory_order_seq_cst) == N && "popFirst by a non-front thread");
     // Never retire a node the tail still points to (MS-queue discipline).
-    Node *T = Tail.Value.load();
+    Node *T = Tail.Value.load(std::memory_order_seq_cst);
     if (T == D)
-      Tail.Value.compare_exchange_strong(T, N);
-    Head.Value.store(N);
+      Tail.Value.compare_exchange_strong(T, N, std::memory_order_seq_cst);
+    Head.Value.store(N, std::memory_order_seq_cst);
     ebr::retireObject(D);
   }
 
@@ -170,58 +170,58 @@ private:
   /// retry so the wake-up is never lost. Must run under an EBR guard.
   void unparkFirst() {
     for (;;) {
-      Node *D = Head.Value.load();
-      Node *F = D->Next.load();
+      Node *D = Head.Value.load(std::memory_order_seq_cst);
+      Node *F = D->Next.load(std::memory_order_seq_cst);
       if (!F)
         return;
-      F->Signal.store(1);
+      F->Signal.store(1, std::memory_order_seq_cst);
       F->Signal.notify_all();
-      if (Head.Value.load() == D)
+      if (Head.Value.load(std::memory_order_seq_cst) == D)
         return;
     }
   }
 
-  CachePadded<std::atomic<std::int64_t>> State;
-  CachePadded<std::atomic<Node *>> Head{nullptr};
-  CachePadded<std::atomic<Node *>> Tail{nullptr};
+  CachePadded<Atomic<std::int64_t>> State;
+  CachePadded<Atomic<Node *>> Head{nullptr};
+  CachePadded<Atomic<Node *>> Tail{nullptr};
 };
 
 /// Semaphore policy: state = available permits (Java Semaphore.Sync).
 struct AqsSemaphorePolicy {
-  static bool tryAcquire(std::atomic<std::int64_t> &State, std::int64_t Arg) {
-    std::int64_t C = State.load();
+  static bool tryAcquire(Atomic<std::int64_t> &State, std::int64_t Arg) {
+    std::int64_t C = State.load(std::memory_order_seq_cst);
     while (C >= Arg) {
-      if (State.compare_exchange_weak(C, C - Arg))
+      if (State.compare_exchange_weak(C, C - Arg, std::memory_order_seq_cst))
         return true;
     }
     return false;
   }
-  static bool tryRelease(std::atomic<std::int64_t> &State, std::int64_t Arg) {
-    State.fetch_add(Arg);
+  static bool tryRelease(Atomic<std::int64_t> &State, std::int64_t Arg) {
+    State.fetch_add(Arg, std::memory_order_seq_cst);
     return true;
   }
-  static bool shouldPropagate(const std::atomic<std::int64_t> &State) {
-    return State.load() > 0;
+  static bool shouldPropagate(const Atomic<std::int64_t> &State) {
+    return State.load(std::memory_order_seq_cst) > 0;
   }
 };
 
 /// Latch policy: state = remaining count; await is a shared acquire that
 /// succeeds once the count hits zero (Java CountDownLatch.Sync).
 struct AqsLatchPolicy {
-  static bool tryAcquire(std::atomic<std::int64_t> &State, std::int64_t) {
-    return State.load() == 0;
+  static bool tryAcquire(Atomic<std::int64_t> &State, std::int64_t) {
+    return State.load(std::memory_order_seq_cst) == 0;
   }
-  static bool tryRelease(std::atomic<std::int64_t> &State, std::int64_t) {
-    std::int64_t C = State.load();
+  static bool tryRelease(Atomic<std::int64_t> &State, std::int64_t) {
+    std::int64_t C = State.load(std::memory_order_seq_cst);
     for (;;) {
       if (C == 0)
         return false; // already open; nothing to signal
-      if (State.compare_exchange_weak(C, C - 1))
+      if (State.compare_exchange_weak(C, C - 1, std::memory_order_seq_cst))
         return C == 1; // we opened the latch
     }
   }
-  static bool shouldPropagate(const std::atomic<std::int64_t> &State) {
-    return State.load() == 0;
+  static bool shouldPropagate(const Atomic<std::int64_t> &State) {
+    return State.load(std::memory_order_seq_cst) == 0;
   }
 };
 

@@ -24,7 +24,7 @@
 #include "baseline/Aqs.h"
 #include "reclaim/Ebr.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <condition_variable>
 #include <cstdint>
@@ -38,7 +38,7 @@ namespace cqs {
 /// per-node atomic wait. Mesa semantics: callers re-check their predicate.
 class AqsCondition {
   struct WaitNode {
-    std::atomic<std::uint32_t> Signal{0};
+    Atomic<std::uint32_t> Signal{0};
     WaitNode *Next = nullptr;
   };
 
@@ -53,7 +53,7 @@ public:
       Head = N;
     Tail = N;
     Lock.unlock();
-    while (N->Signal.load() == 0)
+    while (N->Signal.load(std::memory_order_seq_cst) == 0)
       N->Signal.wait(0);
     {
       // The signaller may still be notifying; free through EBR.
@@ -72,7 +72,7 @@ public:
     if (!Head)
       Tail = nullptr;
     ebr::Guard Guard;
-    N->Signal.store(1);
+    N->Signal.store(1, std::memory_order_seq_cst);
     N->Signal.notify_all();
   }
 
@@ -188,7 +188,7 @@ public:
       std::lock_guard<std::mutex> L(PutLock);
       Tail->Next = N;
       Tail = N;
-      OldCount = Count.fetch_add(1);
+      OldCount = Count.fetch_add(1, std::memory_order_seq_cst);
     }
     if (OldCount == 0) {
       // The queue was empty: waiters may be parked on NotEmpty.
@@ -202,12 +202,12 @@ public:
     std::int64_t OldCount;
     {
       std::unique_lock<std::mutex> L(TakeLock);
-      NotEmpty.wait(L, [&] { return Count.load() > 0; });
+      NotEmpty.wait(L, [&] { return Count.load(std::memory_order_seq_cst) > 0; });
       Node *First = Head->Next;
       V = First->Item;
       delete Head; // old dummy; only take-side touches it
       Head = First;
-      OldCount = Count.fetch_sub(1);
+      OldCount = Count.fetch_sub(1, std::memory_order_seq_cst);
       if (OldCount > 1)
         NotEmpty.notify_one(); // cascade to the next waiting take
     }
@@ -218,7 +218,7 @@ private:
   std::mutex PutLock, TakeLock;
   std::condition_variable NotEmpty;
   Node *Head, *Tail;
-  std::atomic<std::int64_t> Count{0};
+  Atomic<std::int64_t> Count{0};
 };
 
 } // namespace cqs

@@ -19,7 +19,7 @@
 #include "support/Backoff.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 
 namespace cqs {
@@ -27,7 +27,7 @@ namespace cqs {
 /// Fair spin lock with local spinning on the predecessor's node.
 class ClhLock {
   struct alignas(CacheLineSize) Node {
-    std::atomic<bool> Locked{true};
+    Atomic<bool> Locked{true};
   };
 
 public:
@@ -64,7 +64,7 @@ public:
   }
 
 private:
-  CachePadded<std::atomic<Node *>> Tail{nullptr};
+  CachePadded<Atomic<Node *>> Tail{nullptr};
   Node *Owner = nullptr;
 };
 

@@ -29,7 +29,7 @@
 #include "support/Backoff.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -40,7 +40,7 @@ class LegacyCoroutineMutex {
   using RequestType = Request<Unit>;
 
   struct Node {
-    std::atomic<Node *> Next{nullptr};
+    Atomic<Node *> Next{nullptr};
     RequestType *Waiter = nullptr;
   };
 
@@ -71,15 +71,15 @@ public:
   /// future completed by the releasing unlock().
   FutureType lock() {
     for (;;) {
-      std::int64_t S = State.Value.load();
+      std::int64_t S = State.Value.load(std::memory_order_seq_cst);
       if (S > 0) {
         // Free: take it with a CAS (the legacy design's contended hot spot).
-        if (State.Value.compare_exchange_weak(S, S - 1))
+        if (State.Value.compare_exchange_weak(S, S - 1, std::memory_order_seq_cst))
           return FutureType::immediate(Unit{});
         continue;
       }
       // Held: register as one more waiter.
-      if (!State.Value.compare_exchange_weak(S, S - 1))
+      if (!State.Value.compare_exchange_weak(S, S - 1, std::memory_order_seq_cst))
         continue;
       auto *R = new RequestType(/*InitialRefs=*/2); // queue + caller
       enqueue(R);
@@ -90,9 +90,9 @@ public:
   /// Releases the mutex, handing it to the longest waiting lock() if any.
   void unlock() {
     for (;;) {
-      std::int64_t S = State.Value.load();
+      std::int64_t S = State.Value.load(std::memory_order_seq_cst);
       assert(S <= 0 && "unlock() of a free LegacyCoroutineMutex");
-      if (!State.Value.compare_exchange_weak(S, S + 1))
+      if (!State.Value.compare_exchange_weak(S, S + 1, std::memory_order_seq_cst))
         continue;
       if (S == 0)
         return; // no waiter
@@ -106,7 +106,7 @@ public:
     }
   }
 
-  bool isLockedForTesting() const { return State.Value.load() <= 0; }
+  bool isLockedForTesting() const { return State.Value.load(std::memory_order_seq_cst) <= 0; }
 
 private:
   void enqueue(RequestType *R) {
@@ -114,15 +114,15 @@ private:
     N->Waiter = R;
     ebr::Guard Guard;
     for (;;) {
-      Node *T = Tail.Value.load();
-      Node *Next = T->Next.load();
+      Node *T = Tail.Value.load(std::memory_order_seq_cst);
+      Node *Next = T->Next.load(std::memory_order_seq_cst);
       if (Next) {
-        Tail.Value.compare_exchange_weak(T, Next);
+        Tail.Value.compare_exchange_weak(T, Next, std::memory_order_seq_cst);
         continue;
       }
       Node *Expected = nullptr;
-      if (T->Next.compare_exchange_strong(Expected, N)) {
-        Tail.Value.compare_exchange_strong(T, N);
+      if (T->Next.compare_exchange_strong(Expected, N, std::memory_order_seq_cst)) {
+        Tail.Value.compare_exchange_strong(T, N, std::memory_order_seq_cst);
         return;
       }
     }
@@ -135,18 +135,18 @@ private:
     ebr::Guard Guard;
     Backoff B;
     for (;;) {
-      Node *D = Head.Value.load();
-      Node *F = D->Next.load();
+      Node *D = Head.Value.load(std::memory_order_seq_cst);
+      Node *F = D->Next.load(std::memory_order_seq_cst);
       if (!F) {
         B.pause();
         continue;
       }
-      if (!Head.Value.compare_exchange_strong(D, F))
+      if (!Head.Value.compare_exchange_strong(D, F, std::memory_order_seq_cst))
         continue;
       // Keep the MS-queue discipline: never retire the tail.
-      Node *T = Tail.Value.load();
+      Node *T = Tail.Value.load(std::memory_order_seq_cst);
       if (T == D)
-        Tail.Value.compare_exchange_strong(T, F);
+        Tail.Value.compare_exchange_strong(T, F, std::memory_order_seq_cst);
       RequestType *R = F->Waiter;
       F->Waiter = nullptr; // F is the new dummy
       ebr::retireObject(D);
@@ -154,9 +154,9 @@ private:
     }
   }
 
-  CachePadded<std::atomic<std::int64_t>> State{1};
-  CachePadded<std::atomic<Node *>> Head{nullptr};
-  CachePadded<std::atomic<Node *>> Tail{nullptr};
+  CachePadded<Atomic<std::int64_t>> State{1};
+  CachePadded<Atomic<Node *>> Head{nullptr};
+  CachePadded<Atomic<Node *>> Tail{nullptr};
 };
 
 } // namespace cqs

@@ -17,7 +17,7 @@
 #include "support/Backoff.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 
 namespace cqs {
@@ -25,8 +25,8 @@ namespace cqs {
 /// Fair spin lock with purely local spinning.
 class McsLock {
   struct alignas(CacheLineSize) Node {
-    std::atomic<Node *> Next{nullptr};
-    std::atomic<bool> Locked{false};
+    Atomic<Node *> Next{nullptr};
+    Atomic<bool> Locked{false};
   };
 
 public:
@@ -74,7 +74,7 @@ public:
   }
 
 private:
-  CachePadded<std::atomic<Node *>> Tail{nullptr};
+  CachePadded<Atomic<Node *>> Tail{nullptr};
   Node *Owner = nullptr;
 };
 

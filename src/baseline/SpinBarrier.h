@@ -18,7 +18,7 @@
 #include "support/Backoff.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -51,8 +51,8 @@ public:
 
 private:
   const std::int64_t Parties;
-  CachePadded<std::atomic<std::int64_t>> Remaining{0};
-  CachePadded<std::atomic<std::uint64_t>> Generation{0};
+  CachePadded<Atomic<std::int64_t>> Remaining{0};
+  CachePadded<Atomic<std::uint64_t>> Generation{0};
 };
 
 } // namespace cqs

@@ -46,7 +46,7 @@
 #include "support/CacheLine.h"
 #include "support/TaggedWord.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -297,7 +297,7 @@ private:
   /// The per-cell state machine of Listing 13 (covers both resumption and
   /// both cancellation modes).
   CellResult processResumeCell(Seg *S, unsigned CellIdx, T Value) {
-    std::atomic<std::uint64_t> &Cell = S->Cells[CellIdx];
+    Atomic<std::uint64_t> &Cell = S->Cells[CellIdx];
     Backoff B;
     for (;;) {
       std::uint64_t Cur = Cell.load(std::memory_order_acquire);
@@ -380,7 +380,7 @@ private:
 
   /// SYNC-mode tail of the elimination path: wait (bounded) for the paired
   /// suspend() to take the value; break the cell on timeout (Listing 11).
-  CellResult rendezvousOrBreak(std::atomic<std::uint64_t> &Cell, T Value) {
+  CellResult rendezvousOrBreak(Atomic<std::uint64_t> &Cell, T Value) {
     Backoff B;
     for (unsigned Spin = 0; Spin < MaxSpinCycles; ++Spin) {
       if (isToken(Cell.load(std::memory_order_acquire), Token::Taken))
@@ -411,7 +411,7 @@ private:
 
   void onRequestCancelled(Seg *S, unsigned CellIdx) {
     bump(Stats.Cancellations);
-    std::atomic<std::uint64_t> &Cell = S->Cells[CellIdx];
+    Atomic<std::uint64_t> &Cell = S->Cells[CellIdx];
 
     if (CMode == CancellationMode::Simple) {
       // Mark the cell CANCELLED; resume(..) processing it will fail. Only
@@ -473,10 +473,10 @@ private:
   SmartCancellationHandler *const Handler;
   CqsStats Stats;
 
-  CachePadded<std::atomic<std::uint64_t>> SuspendIdx{0};
-  CachePadded<std::atomic<std::uint64_t>> ResumeIdx{0};
-  CachePadded<std::atomic<Seg *>> SuspendSegm{nullptr};
-  CachePadded<std::atomic<Seg *>> ResumeSegm{nullptr};
+  CachePadded<Atomic<std::uint64_t>> SuspendIdx{0};
+  CachePadded<Atomic<std::uint64_t>> ResumeIdx{0};
+  CachePadded<Atomic<Seg *>> SuspendSegm{nullptr};
+  CachePadded<Atomic<Seg *>> ResumeSegm{nullptr};
 };
 
 } // namespace cqs

@@ -24,7 +24,7 @@
 
 #include "support/ObjectPool.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cstdint>
 #include <mutex>
 
@@ -126,36 +126,36 @@ struct CqsStatsSnapshot {
 /// Counter block embedded in every Cqs instance.
 struct CqsStats {
   /// suspend() installed a waiter into an empty cell.
-  std::atomic<std::uint64_t> Suspensions{0};
+  PlainAtomic<std::uint64_t> Suspensions{0};
   /// suspend() found a value (resume-before-suspend elimination).
-  std::atomic<std::uint64_t> Eliminations{0};
+  PlainAtomic<std::uint64_t> Eliminations{0};
   /// suspend() met a broken cell and failed (SYNC mode).
-  std::atomic<std::uint64_t> SuspendFailures{0};
+  PlainAtomic<std::uint64_t> SuspendFailures{0};
   /// resume() completed a stored waiter.
-  std::atomic<std::uint64_t> Completions{0};
+  PlainAtomic<std::uint64_t> Completions{0};
   /// resume() deposited its value into an empty cell (ASYNC elimination
   /// hand-off or SYNC rendezvous attempt).
-  std::atomic<std::uint64_t> ValueDeposits{0};
+  PlainAtomic<std::uint64_t> ValueDeposits{0};
   /// SYNC-mode resume() timed out and broke the cell.
-  std::atomic<std::uint64_t> BrokenCells{0};
+  PlainAtomic<std::uint64_t> BrokenCells{0};
   /// resume() failed on a cancelled waiter (simple mode).
-  std::atomic<std::uint64_t> SimpleFailures{0};
+  PlainAtomic<std::uint64_t> SimpleFailures{0};
   /// resume() skipped a CANCELLED cell (smart mode, per cell).
-  std::atomic<std::uint64_t> SkippedCells{0};
+  PlainAtomic<std::uint64_t> SkippedCells{0};
   /// resume() jumped over one or more removed segments in one hop.
-  std::atomic<std::uint64_t> SegmentSkips{0};
+  PlainAtomic<std::uint64_t> SegmentSkips{0};
   /// resume() delegated its completion to the cancellation handler by
   /// overwriting a FUTURE_CANCELLED cell with its value (Figure 4).
-  std::atomic<std::uint64_t> Delegations{0};
+  PlainAtomic<std::uint64_t> Delegations{0};
   /// resume() met REFUSE and ran completeRefusedResume.
-  std::atomic<std::uint64_t> RefusedResumes{0};
+  PlainAtomic<std::uint64_t> RefusedResumes{0};
   /// Cancellation handler runs (simple + smart).
-  std::atomic<std::uint64_t> Cancellations{0};
+  PlainAtomic<std::uint64_t> Cancellations{0};
   /// Smart cancellation verdicts that refused the incoming resume.
-  std::atomic<std::uint64_t> RefuseVerdicts{0};
+  PlainAtomic<std::uint64_t> RefuseVerdicts{0};
 
   /// Relaxed read of a counter (tests call these at quiescence).
-  static std::uint64_t read(const std::atomic<std::uint64_t> &C) {
+  static std::uint64_t read(const PlainAtomic<std::uint64_t> &C) {
     return C.load(std::memory_order_relaxed);
   }
 
@@ -222,7 +222,7 @@ struct CqsStats {
     CqsStatsSnapshot S = R.Retired;
     for (CqsStats *I = R.Head; I; I = I->Next)
       S += I->snapshot();
-    auto ReadPool = [](const std::atomic<std::uint64_t> &C) {
+    auto ReadPool = [](const PlainAtomic<std::uint64_t> &C) {
       return C.load(std::memory_order_relaxed);
     };
     const pool::PoolStats &Req = pool::stats(pool::PoolKind::Request);
@@ -253,7 +253,7 @@ private:
 };
 
 /// Relaxed increment helper keeping call sites one-liners.
-inline void bump(std::atomic<std::uint64_t> &C) {
+inline void bump(PlainAtomic<std::uint64_t> &C) {
   C.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -34,7 +34,7 @@
 #include "support/ObjectPool.h"
 #include "support/TaggedWord.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 #include <new>
@@ -102,7 +102,7 @@ public:
 
   /// Tagged cell words; see support/TaggedWord.h for the encoding. Fresh
   /// cells are zero, i.e. Token::Empty.
-  std::atomic<std::uint64_t> Cells[Size] = {};
+  Atomic<std::uint64_t> Cells[Size] = {};
 
   Segment *next() const { return NextLink.load(std::memory_order_acquire); }
   Segment *prev() const { return PrevLink.load(std::memory_order_acquire); }
@@ -247,10 +247,10 @@ private:
     return (S & CancelledMask) == Size && (S >> 16) == 0;
   }
 
-  std::atomic<Segment *> NextLink{nullptr};
-  std::atomic<Segment *> PrevLink;
-  std::atomic<std::uint32_t> State;
-  std::atomic_flag RetireFlag = ATOMIC_FLAG_INIT;
+  Atomic<Segment *> NextLink{nullptr};
+  Atomic<Segment *> PrevLink;
+  Atomic<std::uint32_t> State;
+  AtomicFlag RetireFlag;
 };
 
 /// Stateless operations over the segment list; the CQS owns the two segment
@@ -293,7 +293,7 @@ public:
   /// Moves \p SegmentPtr forward to \p To unless it already references a
   /// segment at least as far; returns false iff \p To got logically removed
   /// first (Listing 15, moveForwardResume).
-  static bool moveForward(std::atomic<Seg *> &SegmentPtr, Seg *To) {
+  static bool moveForward(Atomic<Seg *> &SegmentPtr, Seg *To) {
     for (;;) {
       Seg *Cur = SegmentPtr.load(std::memory_order_acquire);
       if (Cur->Id >= To->Id)
@@ -317,7 +317,7 @@ public:
 
   /// findSegment + moveForward, restarted until the pointer is advanced
   /// past a non-removed segment (Listing 15, findAndMoveForwardResume).
-  static Seg *findAndMoveForward(std::atomic<Seg *> &SegmentPtr, Seg *Start,
+  static Seg *findAndMoveForward(Atomic<Seg *> &SegmentPtr, Seg *Start,
                                  std::uint64_t Id) {
     for (;;) {
       Seg *S = findSegment(Start, Id);

@@ -32,7 +32,7 @@
 #include "support/ObjectPool.h"
 #include "support/TaggedWord.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <chrono>
 #include <cstdint>
@@ -336,19 +336,19 @@ private:
 
   using Pool = pool::ObjectPool<Request, pool::PoolKind::Request>;
 
-  mutable std::atomic<std::uint64_t> Result{PendingWord};
+  mutable Atomic<std::uint64_t> Result{PendingWord};
   /// 32-bit completion flag for futex-based timed waits (futexes operate
   /// on 32-bit words; Result is 64 bits wide).
-  std::atomic<std::uint32_t> DoneFlag{0};
+  Atomic<std::uint32_t> DoneFlag{0};
   /// Number of threads parked (or about to park) on DoneFlag; lets
   /// finish() size its wake-up instead of always waking all.
-  mutable std::atomic<std::uint32_t> Parked{0};
+  mutable Atomic<std::uint32_t> Parked{0};
   /// Reuse generation: even = live, odd = pooled. EBR already guarantees
   /// no accessor can span a recycle; the parity is a cheap second line of
   /// defense that turns any latent use-after-recycle into a deterministic
   /// assertion failure instead of silent ABA.
-  std::atomic<std::uint64_t> Gen{0};
-  std::atomic<void *> ContSlot{nullptr};
+  Atomic<std::uint64_t> Gen{0};
+  Atomic<void *> ContSlot{nullptr};
 
   CancelFn CancelHandler = nullptr;
   void *CancelCqs = nullptr;

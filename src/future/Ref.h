@@ -17,7 +17,7 @@
 #ifndef CQS_FUTURE_REF_H
 #define CQS_FUTURE_REF_H
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -67,7 +67,7 @@ protected:
   }
 
 private:
-  mutable std::atomic<std::uint32_t> Refs;
+  mutable Atomic<std::uint32_t> Refs;
 };
 
 /// Owning handle to a RefCounted object.

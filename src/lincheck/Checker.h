@@ -34,12 +34,16 @@
 #include "support/Backoff.h"
 #include "support/Rng.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+#include "schedcheck/Sched.h"
+#endif
 
 namespace cqs {
 namespace lincheck {
@@ -69,6 +73,54 @@ public:
 
   /// Executes \p S against a fresh Shared from \p MakeShared and verifies
   /// the observed results against a fresh Model from \p MakeModel.
+  ///
+  /// Under CQS_SCHEDCHECK the concurrent phase runs inside the schedcheck
+  /// explorer instead of on free-running OS threads: one explore() call
+  /// tries many deterministic interleavings of the same scenario, the SC
+  /// verification runs inside each explored execution, and a failure
+  /// report carries the replay seed (set CQS_SCHEDCHECK_SEED to reproduce
+  /// the exact interleaving).
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+  static Verdict
+  checkOnce(const std::function<Shared *()> &MakeShared,
+            const std::function<Model()> &MakeModel, const Scenario &S) {
+    sc::Options O;
+    O.Strat = sc::Strategy::Random;
+    O.Iterations = 64; // per scenario; env overrides via optionsFromEnv
+    sc::Result R = sc::explore(O, [&] {
+      Shared *Structure = MakeShared();
+      std::vector<std::vector<std::int64_t>> Observed(S.size());
+      std::vector<sc::Thread> Ts;
+      for (std::size_t T = 0; T < S.size(); ++T) {
+        Observed[T].resize(S[T].size());
+        // Plain (non-atomic) writes to Observed are safe: the scheduler
+        // serializes logical threads with happens-before at every handoff.
+        Ts.push_back(sc::spawn([&, T] {
+          for (std::size_t I = 0; I < S[T].size(); ++I)
+            Observed[T][I] = S[T][I].Concurrent(*Structure);
+        }));
+      }
+      for (auto &T : Ts)
+        T.join();
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdelete-non-virtual-dtor"
+#endif
+      delete Structure;
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+      std::vector<std::size_t> Pos(S.size(), 0);
+      if (!dfs(S, Observed, Pos, MakeModel()))
+        sc::check(false, explain(S, Observed).c_str());
+    });
+    Verdict V;
+    V.Ok = R.Ok;
+    if (!R.Ok)
+      V.Explanation = R.Report;
+    return V;
+  }
+#else
   static Verdict
   checkOnce(const std::function<Shared *()> &MakeShared,
             const std::function<Model()> &MakeModel, const Scenario &S) {
@@ -76,13 +128,13 @@ public:
     std::vector<std::vector<std::int64_t>> Observed(S.size());
 
     // Concurrent phase: synchronized start, per-thread program order.
-    std::atomic<int> Ready{0};
-    std::atomic<bool> Go{false};
+    Atomic<int> Ready{0};
+    Atomic<bool> Go{false};
     std::vector<std::thread> Ts;
     for (std::size_t T = 0; T < S.size(); ++T) {
       Observed[T].resize(S[T].size());
       Ts.emplace_back([&, T] {
-        Ready.fetch_add(1);
+        Ready.fetch_add(1, std::memory_order_seq_cst);
         Backoff B;
         while (!Go.load(std::memory_order_acquire))
           B.pause();
@@ -91,7 +143,7 @@ public:
       });
     }
     Backoff B;
-    while (Ready.load() != static_cast<int>(S.size()))
+    while (Ready.load(std::memory_order_seq_cst) != static_cast<int>(S.size()))
       B.pause();
     Go.store(true, std::memory_order_release);
     for (auto &T : Ts)
@@ -116,6 +168,7 @@ public:
       return Verdict{};
     return Verdict{false, explain(S, Observed)};
   }
+#endif // CQS_SCHEDCHECK
 
   /// Runs \p Rounds independent executions of scenarios drawn by
   /// \p MakeScenario(seed); returns the first failing verdict, if any.
@@ -124,6 +177,12 @@ public:
             const std::function<Model()> &MakeModel,
             const std::function<Scenario(std::uint64_t)> &MakeScenario,
             int Rounds, std::uint64_t Seed = 1) {
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+    // Each modelled checkOnce already explores ~64 interleavings of its
+    // scenario, so fewer distinct scenarios keep the wall clock comparable
+    // to the stress-mode run it replaces.
+    Rounds = Rounds > 20 ? Rounds / 20 : 1;
+#endif
     for (int R = 0; R < Rounds; ++R) {
       Verdict V = checkOnce(MakeShared, MakeModel, MakeScenario(Seed + R));
       if (!V.Ok)

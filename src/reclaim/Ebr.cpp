@@ -18,8 +18,8 @@ namespace {
 /// domains.
 struct Domain {
   /// Epochs start at 1 so that BagEpoch == 0 means "empty bag".
-  std::atomic<std::uint64_t> GlobalEpoch{1};
-  std::atomic<ThreadRecord *> Head{nullptr};
+  Atomic<std::uint64_t> GlobalEpoch{1};
+  Atomic<ThreadRecord *> Head{nullptr};
 
   ThreadRecord *acquire();
   void release(ThreadRecord *Rec);
@@ -196,7 +196,23 @@ void ebr::drainForTesting() {
       for (const Retired &G : Doomed)
         G.Deleter(G.Ptr);
     }
+    // Hermeticity (schedcheck): the pacing counter must not carry work
+    // from one explored execution into the next.
+    R->RetiresSinceAdvance = 0;
   }
+  // Rewind the epoch clock: all bags are empty and nobody is pinned, so the
+  // absolute epoch value carries no information — resetting it makes two
+  // executions separated by a drain byte-identical, traces included.
+  D.GlobalEpoch.store(1, std::memory_order_release);
+}
+
+bool ebr::tryAdvanceForTesting() {
+  Domain &D = domain();
+  std::uint64_t Global = D.GlobalEpoch.load(std::memory_order_acquire);
+  bool Advanced = D.tryAdvance(Global);
+  if (ThreadRecord *Rec = Local.Rec)
+    collectBags(Rec, D.GlobalEpoch.load(std::memory_order_acquire));
+  return Advanced;
 }
 
 std::size_t ebr::pendingForTesting() {

@@ -38,7 +38,8 @@
 #ifndef CQS_RECLAIM_EBR_H
 #define CQS_RECLAIM_EBR_H
 
-#include <atomic>
+#include "support/Atomic.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -58,9 +59,9 @@ struct Retired {
 class ThreadRecord {
 public:
   /// Low bit: pinned flag; upper bits: the epoch observed at pin time.
-  std::atomic<std::uint64_t> EpochAndPin{0};
+  Atomic<std::uint64_t> EpochAndPin{0};
   /// True while some live thread owns this record.
-  std::atomic<bool> InUse{false};
+  Atomic<bool> InUse{false};
   /// Next record in the global registry (push-only list).
   ThreadRecord *Next = nullptr;
 
@@ -103,9 +104,18 @@ template <typename T> void retireRecycle(T *Ptr) {
 /// Returns true if the calling thread currently holds a Guard.
 bool isPinned();
 
-/// Frees all retired garbage. Only safe when no thread is pinned (test
-/// teardown / quiescent points); asserts that this is the case.
+/// Frees all retired garbage and resets the domain to its initial state
+/// (global epoch back to 1, retire-pacing counters to 0) so that runs
+/// separated by a drain are indistinguishable — the hermeticity the
+/// schedcheck model checker's seed replay depends on. Only safe when no
+/// thread is pinned (test teardown / quiescent points); asserts that.
 void drainForTesting();
+
+/// One epoch-advance attempt followed by a collection of the calling
+/// thread's bags, without the 64-retire pacing. Lets model-check scenarios
+/// (tests/schedcheck_ebr_test.cpp) race an advance against a pinned reader
+/// deterministically. Returns true if the epoch moved.
+bool tryAdvanceForTesting();
 
 /// Number of allocations currently awaiting reclamation (approximate; for
 /// tests and leak diagnostics).

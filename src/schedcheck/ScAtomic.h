@@ -1,0 +1,215 @@
+//===- schedcheck/ScAtomic.h - instrumented atomics ------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedcheck build's stand-ins for std::atomic / std::atomic_flag,
+/// selected by support/Atomic.h when CQS_SCHEDCHECK is on. Every access is
+/// bracketed by sc::preOp (a scheduling point that may hand the gate to
+/// another logical thread, and records thread/op/address/location into the
+/// replayable trace) and sc::postOp (records the observed value).
+///
+/// The operation itself still executes on a real std::atomic: modelled
+/// threads are serialized by the scheduler so for them this is equivalent
+/// to the sequentially-consistent abstract machine, while *non-modelled*
+/// threads (a regular test binary compiled in a schedcheck build, or a
+/// teardown path running after explore() returned) degrade gracefully to
+/// ordinary atomics instead of racing on plain memory.
+///
+/// Model honesty (DESIGN.md §7): memory_order arguments are accepted and
+/// *ignored* — schedcheck explores sequentially-consistent interleavings
+/// only; compare_exchange_weak never fails spuriously. Bugs that require a
+/// genuinely weak memory ordering to surface are out of scope (TSan legs
+/// keep hunting those); bugs caused by *interleaving* — the CQS state
+/// machines' failure mode — are found deterministically.
+///
+/// Source locations are captured with __builtin_FILE/__builtin_LINE
+/// default arguments, so a trace line points at the CQS call site (e.g.
+/// core/Cqs.h:174), not at this shim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SCHEDCHECK_SCATOMIC_H
+#define CQS_SCHEDCHECK_SCATOMIC_H
+
+#include "schedcheck/Sched.h"
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace cqs {
+namespace sc {
+
+namespace detail {
+/// Values are traced as uint64; pointers via uintptr_t.
+template <typename T> std::uint64_t toTrace(T V) {
+  if constexpr (std::is_pointer_v<T>)
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(V));
+  else if constexpr (std::is_enum_v<T>)
+    return static_cast<std::uint64_t>(
+        static_cast<std::underlying_type_t<T>>(V));
+  else
+    return static_cast<std::uint64_t>(V);
+}
+} // namespace detail
+
+#define CQS_SC_LOC const char *File = __builtin_FILE(), \
+                   int Line = __builtin_LINE()
+
+/// Drop-in for std::atomic<T> whose every access is a schedule point.
+template <typename T> class Atomic {
+public:
+  Atomic() noexcept = default;
+  constexpr Atomic(T V) noexcept : Val(V) {}
+
+  Atomic(const Atomic &) = delete;
+  Atomic &operator=(const Atomic &) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst, CQS_SC_LOC) const {
+    preOp(&Val, "load", 0, File, Line);
+    T V = Val.load(std::memory_order_seq_cst);
+    postOp(detail::toTrace(V));
+    return V;
+  }
+
+  void store(T V, std::memory_order = std::memory_order_seq_cst,
+             CQS_SC_LOC) {
+    preOp(&Val, "store", detail::toTrace(V), File, Line);
+    Val.store(V, std::memory_order_seq_cst);
+    postOp(detail::toTrace(V));
+  }
+
+  T exchange(T V, std::memory_order = std::memory_order_seq_cst,
+             CQS_SC_LOC) {
+    preOp(&Val, "exchange", detail::toTrace(V), File, Line);
+    T Old = Val.exchange(V, std::memory_order_seq_cst);
+    postOp(detail::toTrace(Old));
+    return Old;
+  }
+
+  bool compare_exchange_strong(T &Expected, T Desired, std::memory_order,
+                               std::memory_order, CQS_SC_LOC) {
+    preOp(&Val, "cas", detail::toTrace(Desired), File, Line);
+    bool Ok = Val.compare_exchange_strong(Expected, Desired,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst);
+    postOp(Ok ? detail::toTrace(Desired) : detail::toTrace(Expected));
+    return Ok;
+  }
+
+  /// Modelled as strong: the scheduler serializes threads, so the spurious
+  /// failures hardware may produce are not part of the explored space.
+  bool compare_exchange_weak(T &Expected, T Desired, std::memory_order S,
+                             std::memory_order F, CQS_SC_LOC) {
+    return compare_exchange_strong(Expected, Desired, S, F, File, Line);
+  }
+
+  bool compare_exchange_strong(T &Expected, T Desired, std::memory_order O,
+                               CQS_SC_LOC) {
+    return compare_exchange_strong(Expected, Desired, O, O, File, Line);
+  }
+
+  bool compare_exchange_weak(T &Expected, T Desired, std::memory_order O,
+                             CQS_SC_LOC) {
+    return compare_exchange_strong(Expected, Desired, O, O, File, Line);
+  }
+
+  bool compare_exchange_strong(T &Expected, T Desired, CQS_SC_LOC) {
+    return compare_exchange_strong(Expected, Desired,
+                                   std::memory_order_seq_cst,
+                                   std::memory_order_seq_cst, File, Line);
+  }
+
+  bool compare_exchange_weak(T &Expected, T Desired, CQS_SC_LOC) {
+    return compare_exchange_strong(Expected, Desired,
+                                   std::memory_order_seq_cst,
+                                   std::memory_order_seq_cst, File, Line);
+  }
+
+  T fetch_add(T D, std::memory_order = std::memory_order_seq_cst,
+              CQS_SC_LOC) {
+    preOp(&Val, "fetch_add", detail::toTrace(D), File, Line);
+    T Old = Val.fetch_add(D, std::memory_order_seq_cst);
+    postOp(detail::toTrace(Old));
+    return Old;
+  }
+
+  T fetch_sub(T D, std::memory_order = std::memory_order_seq_cst,
+              CQS_SC_LOC) {
+    preOp(&Val, "fetch_sub", detail::toTrace(D), File, Line);
+    T Old = Val.fetch_sub(D, std::memory_order_seq_cst);
+    postOp(detail::toTrace(Old));
+    return Old;
+  }
+
+  /// C++20 atomic wait, modelled like a futex: block until the value is
+  /// observed different from \p Old (or a notify / spurious wake).
+  void wait(T Old, std::memory_order = std::memory_order_seq_cst,
+            CQS_SC_LOC) const {
+    if (!inModelledThread()) {
+      Val.wait(Old, std::memory_order_seq_cst);
+      return;
+    }
+    blockOnWord(&Val, detail::toTrace(Old), &sample, File, Line);
+  }
+
+  void notify_one() const { wakeWord(&Val); }
+  void notify_all() const { wakeWord(&Val); }
+
+  /// Raw storage; the scheduler samples it to re-evaluate block predicates.
+  const std::atomic<T> *raw() const { return &Val; }
+
+private:
+  static std::uint64_t sample(const void *P) {
+    return detail::toTrace(
+        static_cast<const std::atomic<T> *>(P)->load(
+            std::memory_order_seq_cst));
+  }
+
+  std::atomic<T> Val{};
+};
+
+/// Drop-in for std::atomic_flag (C++20 surface: test_and_set/test/clear).
+class AtomicFlag {
+public:
+  AtomicFlag() noexcept = default;
+
+  AtomicFlag(const AtomicFlag &) = delete;
+  AtomicFlag &operator=(const AtomicFlag &) = delete;
+
+  bool test_and_set(std::memory_order = std::memory_order_seq_cst,
+                    CQS_SC_LOC) {
+    preOp(&Val, "test_and_set", 1, File, Line);
+    bool Old = Val.exchange(true, std::memory_order_seq_cst);
+    postOp(Old ? 1 : 0);
+    return Old;
+  }
+
+  bool test(std::memory_order = std::memory_order_seq_cst,
+            CQS_SC_LOC) const {
+    preOp(&Val, "flag_test", 0, File, Line);
+    bool V = Val.load(std::memory_order_seq_cst);
+    postOp(V ? 1 : 0);
+    return V;
+  }
+
+  void clear(std::memory_order = std::memory_order_seq_cst,
+             CQS_SC_LOC) {
+    preOp(&Val, "flag_clear", 0, File, Line);
+    Val.store(false, std::memory_order_seq_cst);
+    postOp(0);
+  }
+
+private:
+  std::atomic<bool> Val{false};
+};
+
+#undef CQS_SC_LOC
+
+} // namespace sc
+} // namespace cqs
+
+#endif // CQS_SCHEDCHECK_SCATOMIC_H

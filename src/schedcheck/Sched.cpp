@@ -1,0 +1,1040 @@
+//===- schedcheck/Sched.cpp - deterministic interleaving explorer --------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Logical threads are carried by real OS threads but serialized through a
+// scheduler gate (Mu/Cv/Active): exactly one logical thread executes between
+// schedule points, and it hands the gate over explicitly. Compared to
+// ucontext fibers this costs one OS thread per logical thread per execution
+// (tens of microseconds), but thread_local state — EBR records, pool
+// magazines — works per-logical-thread with no special handling, and there
+// are no hand-rolled stacks to corrupt.
+//
+// Determinism contract: given the same scenario body, the same sequence of
+// scheduling choices yields the same sequence of instrumented operations.
+// Two things could break that across executions inside one explore() call,
+// and both are neutralized in runOne():
+//  - object pools would hand back different (or no) cached objects depending
+//    on the previous execution → pool::drainAllForTesting() empties them;
+//  - EBR bags and the retire-pacing counter would carry over → a
+//    drainForTesting() between executions resets them, and one serial
+//    *warmup* execution stabilizes the thread-record registry size before
+//    exploration starts (records are reused afterwards).
+//
+//===----------------------------------------------------------------------===//
+
+#include "schedcheck/Sched.h"
+
+#include "reclaim/Ebr.h"
+#include "support/ObjectPool.h"
+
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace cqs {
+namespace sc {
+
+namespace {
+
+constexpr unsigned MaxThreads = 16;
+constexpr std::uint64_t PayloadMask = (1ull << 60) - 1;
+
+/// Thrown (only) out of blocking primitives to unwind a logical thread that
+/// can never be woken once the run is aborting. Never thrown from preOp, so
+/// it cannot propagate through a destructor's atomic access.
+struct Aborted {};
+
+/// Local splitmix64 so this file has no dependency on support/Rng.h.
+struct Mix64 {
+  std::uint64_t X = 0;
+  std::uint64_t next() {
+    std::uint64_t Z = (X += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+};
+
+struct Event {
+  std::uint64_t Idx = 0;
+  unsigned Tid = 0;
+  const char *Op = "";
+  unsigned AddrId = ~0u; // stable per-run id; ~0u = no address
+  std::uint64_t Arg = 0;
+  std::uint64_t Res = 0;
+  bool HasRes = false;
+  const char *File = "";
+  int Line = 0;
+};
+
+struct LogicalThread {
+  enum class St { Runnable, BlockedWord, BlockedJoin, Done };
+
+  unsigned Tid = 0;
+  std::function<void()> Fn;
+  std::thread Os;
+  St State = St::Runnable;
+  // BlockedWord bookkeeping: enabled again once Sample(WaitAddr) !=
+  // WaitExpected or a notify arrived (sticky until the thread next runs).
+  const void *WaitAddr = nullptr;
+  std::uint64_t WaitExpected = 0;
+  std::uint64_t (*WaitSample)(const void *) = nullptr;
+  bool WokenByNotify = false;
+  const char *WaitFile = "";
+  int WaitLine = 0;
+  unsigned JoinTarget = 0;
+};
+
+const char *stratName(Strategy S) {
+  switch (S) {
+  case Strategy::Dfs:
+    return "dfs";
+  case Strategy::Random:
+    return "random";
+  case Strategy::Pct:
+    return "pct";
+  }
+  return "?";
+}
+
+/// Trim an absolute __builtin_FILE path down to the repo-relative part so
+/// trace lines are stable across checkouts.
+const char *trimPath(const char *F) {
+  if (!F)
+    return "";
+  const char *Best = nullptr;
+  for (const char *Pat : {"/src/", "/tests/"})
+    if (const char *P = std::strstr(F, Pat))
+      if (!Best || P > Best)
+        Best = P;
+  return Best ? Best + 1 : F;
+}
+
+bool decodeSeed(std::uint64_t Seed, Strategy &S, std::uint64_t &Payload) {
+  unsigned Top = static_cast<unsigned>(Seed >> 60);
+  if (Top < 1 || Top > 3)
+    return false;
+  S = static_cast<Strategy>(Top - 1);
+  Payload = Seed & PayloadMask;
+  return true;
+}
+
+class Run;
+// ---- abort hook ----------------------------------------------------------
+// Scenario code can abort outside sc::check — assert() in a Debug build is
+// the common case. The message is pre-formatted per execution (snprintf is
+// not async-signal-safe; write() is), so even an assert failure prints the
+// seed that deterministically reproduces it.
+char AbortMsg[192];
+int AbortMsgLen = 0;
+
+#if defined(__unix__) || defined(__APPLE__)
+extern "C" void abortSeedHandler(int Sig) {
+  if (AbortMsgLen > 0)
+    (void)!write(2, AbortMsg, (std::size_t)AbortMsgLen);
+  std::signal(Sig, SIG_DFL);
+  std::raise(Sig);
+}
+
+void (*PrevAbortHandler)(int) = nullptr;
+
+void installAbortHook() { PrevAbortHandler = std::signal(SIGABRT, abortSeedHandler); }
+
+void uninstallAbortHook() {
+  std::signal(SIGABRT, PrevAbortHandler ? PrevAbortHandler : SIG_DFL);
+  AbortMsgLen = 0;
+}
+#else
+void installAbortHook() {}
+void uninstallAbortHook() { AbortMsgLen = 0; }
+#endif
+
+Run *GRun = nullptr;
+thread_local LogicalThread *TlsLT = nullptr;
+
+/// Exploration order at a decision point, shared by DFS (choice index
+/// enumerates this order), the serial chooser (always index 0... for yield
+/// points) and trace semantics:
+///  - normal point: current thread first (if enabled), then the others in
+///    ascending-cyclic tid order — so choice 0 never costs a preemption;
+///  - yield point (or the current thread is blocked/exiting): the *others*
+///    in ascending-cyclic order, current thread last and only if nobody
+///    else can run. A yield always switching away when possible is what
+///    keeps spin loops from generating unbounded "stay" schedules; the
+///    skipped interleavings are reachable anyway through the loop's own
+///    atomic-load points.
+void candidateOrder(std::uint32_t Mask, unsigned Cur, bool CurEnabled,
+                    bool Yield, std::vector<unsigned> &Out) {
+  Out.clear();
+  if (!Yield && CurEnabled)
+    Out.push_back(Cur);
+  for (unsigned I = 1; I < MaxThreads; ++I) {
+    unsigned T = (Cur + I) % MaxThreads;
+    if (Mask & (1u << T))
+      Out.push_back(T);
+  }
+  if (Yield && CurEnabled && Out.empty())
+    Out.push_back(Cur);
+}
+
+struct DfsFrame {
+  std::uint32_t Mask = 0;
+  unsigned Cur = 0;
+  bool CurEnabled = false;
+  bool Yield = false;
+  unsigned ChoiceIdx = 0;
+  int PreemptionsBefore = 0;
+};
+
+int switchCost(const DfsFrame &F, unsigned Choice) {
+  return (!F.Yield && F.CurEnabled && Choice != F.Cur) ? 1 : 0;
+}
+
+struct DfsState {
+  // Persistent across executions: the choice-index prefix the next
+  // execution must follow. Rebuilt by nextPrefix() after each run.
+  std::vector<unsigned> Prefix;
+  // Per-execution: the decision points actually taken.
+  std::vector<DfsFrame> Stack;
+  unsigned DecisionIdx = 0;
+  int Preemptions = 0;
+
+  void beginRun() {
+    Stack.clear();
+    DecisionIdx = 0;
+    Preemptions = 0;
+  }
+
+  /// Backtrack: find the deepest frame with an untried admissible
+  /// alternative, set Prefix to replay up to it. False = space exhausted.
+  bool nextPrefix(int Bound) {
+    std::vector<unsigned> Cands;
+    while (!Stack.empty()) {
+      const DfsFrame &F = Stack.back();
+      candidateOrder(F.Mask, F.Cur, F.CurEnabled, F.Yield, Cands);
+      for (unsigned I = F.ChoiceIdx + 1; I < Cands.size(); ++I) {
+        if (F.PreemptionsBefore + switchCost(F, Cands[I]) <= Bound) {
+          Prefix.clear();
+          for (std::size_t K = 0; K + 1 < Stack.size(); ++K)
+            Prefix.push_back(Stack[K].ChoiceIdx);
+          Prefix.push_back(I);
+          return true;
+        }
+      }
+      Stack.pop_back();
+    }
+    return false;
+  }
+};
+
+enum class Mode { Serial, Strategy };
+
+class Run {
+public:
+  explicit Run(const Options &O) : Opts(O), Strat(O.Strat) {}
+
+  Options Opts;
+  Strategy Strat;
+
+  // ---- scheduler gate -------------------------------------------------
+  std::mutex Mu;
+  std::condition_variable Cv;
+  int Active = -1;
+  std::atomic<bool> Aborting{false};
+  bool ExecDone = false;
+  std::vector<std::unique_ptr<LogicalThread>> Threads;
+
+  // ---- per-execution state -------------------------------------------
+  Mode RunMode = Mode::Serial;
+  std::uint64_t RunSeed = 0;
+  std::uint64_t Steps = 0;
+  bool TruncatedRun = false;
+  std::vector<Event> Ring;
+  std::size_t RingPos = 0;
+  std::size_t LastSlot = 0;
+  std::uint64_t EventCount = 0;
+  std::vector<const void *> AddrIds;
+
+  // ---- strategy state -------------------------------------------------
+  DfsState Dfs;
+  Mix64 Rng;
+  std::uint64_t PctPri[MaxThreads] = {};
+  std::vector<std::uint64_t> PctChange;
+
+  // ---- aggregate / failure state -------------------------------------
+  std::uint64_t Executions = 0;
+  std::uint64_t TruncatedCount = 0;
+  bool Failed = false;
+  std::uint64_t FailSeed = 0;
+  std::string FailReport;
+  std::string FailTrace;
+
+  // =====================================================================
+
+  unsigned addrId(const void *P) {
+    if (!P)
+      return ~0u;
+    for (std::size_t I = 0; I < AddrIds.size(); ++I)
+      if (AddrIds[I] == P)
+        return static_cast<unsigned>(I);
+    AddrIds.push_back(P);
+    return static_cast<unsigned>(AddrIds.size() - 1);
+  }
+
+  // Mu held.
+  void recordEvent(unsigned Tid, const char *Op, const void *Addr,
+                   std::uint64_t Arg, const char *File, int Line) {
+    Event E;
+    E.Idx = EventCount++;
+    E.Tid = Tid;
+    E.Op = Op;
+    E.AddrId = addrId(Addr);
+    E.Arg = Arg;
+    E.File = File ? File : "";
+    E.Line = Line;
+    std::size_t Cap = Opts.TraceTail > 0 ? (std::size_t)Opts.TraceTail : 1;
+    if (Ring.size() < Cap) {
+      LastSlot = Ring.size();
+      Ring.push_back(E);
+    } else {
+      LastSlot = RingPos;
+      Ring[RingPos] = E;
+      RingPos = (RingPos + 1) % Cap;
+    }
+  }
+
+  // Mu held. Counts a schedule point; flips to round-robin past MaxSteps
+  // and hard-aborts the process if even round-robin cannot finish the run
+  // (a modelling bug or a genuine livelock in library code).
+  void bumpStep() {
+    ++Steps;
+    std::uint64_t HardCap = (std::uint64_t)Opts.MaxSteps * 20 + 10000;
+    if (Steps > HardCap) {
+      std::fprintf(stderr,
+                   "schedcheck: hard livelock cap hit (%llu schedule points); "
+                   "seed=0x%016llx — replay with CQS_SCHEDCHECK_SEED\n",
+                   (unsigned long long)Steps, (unsigned long long)RunSeed);
+      std::fflush(stderr);
+      std::abort();
+    }
+    if (Steps > (std::uint64_t)Opts.MaxSteps && !TruncatedRun) {
+      TruncatedRun = true;
+      ++TruncatedCount;
+    }
+  }
+
+  // Mu held. Sampling the waited-on words is safe here: only the gate
+  // holder executes instrumented operations, and it is inside the
+  // scheduler right now.
+  std::uint32_t enabledMask() const {
+    std::uint32_t M = 0;
+    for (const auto &T : Threads) {
+      bool En = false;
+      switch (T->State) {
+      case LogicalThread::St::Runnable:
+        En = true;
+        break;
+      case LogicalThread::St::BlockedWord:
+        En = T->WokenByNotify ||
+             (T->WaitSample && T->WaitSample(T->WaitAddr) != T->WaitExpected);
+        break;
+      case LogicalThread::St::BlockedJoin:
+        En = Threads[T->JoinTarget]->State == LogicalThread::St::Done;
+        break;
+      case LogicalThread::St::Done:
+        break;
+      }
+      if (En)
+        M |= 1u << T->Tid;
+    }
+    return M;
+  }
+
+  // Mu held.
+  void promote(LogicalThread &T) {
+    if (T.State == LogicalThread::St::BlockedWord ||
+        T.State == LogicalThread::St::BlockedJoin) {
+      T.State = LogicalThread::St::Runnable;
+      T.WokenByNotify = false;
+    }
+  }
+
+  /// Pure round-robin: the next enabled thread after Cur in cyclic order
+  /// (possibly Cur itself when alone). Switch-first keeps truncated runs
+  /// and the warmup free of spin-loop livelocks.
+  unsigned serialChoose(std::uint32_t Mask, unsigned Cur) const {
+    for (unsigned I = 1; I <= MaxThreads; ++I) {
+      unsigned T = (Cur + I) % MaxThreads;
+      if (Mask & (1u << T))
+        return T;
+    }
+    return Cur;
+  }
+
+  unsigned dfsChoose(std::uint32_t Mask, unsigned Cur, bool CurEnabled,
+                     bool Yield) {
+    std::vector<unsigned> Cands;
+    candidateOrder(Mask, Cur, CurEnabled, Yield, Cands);
+    unsigned Idx = 0;
+    if (Dfs.DecisionIdx < Dfs.Prefix.size()) {
+      Idx = Dfs.Prefix[Dfs.DecisionIdx];
+      if (Idx >= Cands.size()) // defensive: determinism violation
+        Idx = static_cast<unsigned>(Cands.size()) - 1;
+    }
+    DfsFrame F;
+    F.Mask = Mask;
+    F.Cur = Cur;
+    F.CurEnabled = CurEnabled;
+    F.Yield = Yield;
+    F.ChoiceIdx = Idx;
+    F.PreemptionsBefore = Dfs.Preemptions;
+    Dfs.Stack.push_back(F);
+    Dfs.Preemptions += switchCost(F, Cands[Idx]);
+    ++Dfs.DecisionIdx;
+    return Cands[Idx];
+  }
+
+  unsigned randomChoose(std::uint32_t Mask, unsigned Cur, bool CurEnabled,
+                        bool Yield) {
+    std::vector<unsigned> Cands;
+    candidateOrder(Mask, Cur, CurEnabled, Yield, Cands);
+    return Cands[Rng.next() % Cands.size()];
+  }
+
+  unsigned pctChoose(std::uint32_t Mask, unsigned Cur, bool CurEnabled,
+                     bool Yield) {
+    // Priority-change points: when the step counter crosses the k-th
+    // pre-drawn point, the *currently scheduled* thread drops to low
+    // priority k, forcing a context switch at an adversarial depth.
+    for (std::size_t K = 0; K < PctChange.size(); ++K)
+      if (Steps == PctChange[K])
+        PctPri[Cur] = K;
+    std::vector<unsigned> Cands;
+    candidateOrder(Mask, Cur, CurEnabled, Yield, Cands);
+    unsigned Best = Cands[0];
+    for (unsigned T : Cands)
+      if (PctPri[T] > PctPri[Best])
+        Best = T;
+    return Best;
+  }
+
+  // Mu held.
+  unsigned chooseNext(std::uint32_t Mask, unsigned Cur, bool CurEnabled,
+                      bool Yield) {
+    if (RunMode == Mode::Serial || TruncatedRun)
+      return serialChoose(Mask, Cur);
+    switch (Strat) {
+    case Strategy::Dfs:
+      return dfsChoose(Mask, Cur, CurEnabled, Yield);
+    case Strategy::Random:
+      return randomChoose(Mask, Cur, CurEnabled, Yield);
+    case Strategy::Pct:
+      return pctChoose(Mask, Cur, CurEnabled, Yield);
+    }
+    return serialChoose(Mask, Cur);
+  }
+
+  // Mu held (as L). Hands the gate to Next and parks until reactivated.
+  // Never throws: an aborting run releases the parked thread to free-run.
+  void handTo(std::unique_lock<std::mutex> &L, LogicalThread *Self,
+              unsigned Next) {
+    if (Next == Self->Tid)
+      return;
+    Active = static_cast<int>(Next);
+    promote(*Threads[Next]);
+    Cv.notify_all();
+    Cv.wait(L, [&] {
+      return Active == static_cast<int>(Self->Tid) ||
+             Aborting.load(std::memory_order_relaxed);
+    });
+  }
+
+  /// A plain schedule point (atomic access, yield, spawn). Returns false
+  /// when the run is aborting and the caller is free-running.
+  bool schedulePoint(LogicalThread *Self, const char *Op, const void *Addr,
+                     std::uint64_t Arg, const char *File, int Line,
+                     bool Yield) {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Aborting.load(std::memory_order_relaxed))
+      return false;
+    recordEvent(Self->Tid, Op, Addr, Arg, File, Line);
+    bumpStep();
+    std::uint32_t Mask = enabledMask();
+    unsigned Next = chooseNext(Mask, Self->Tid, /*CurEnabled=*/true, Yield);
+    handTo(L, Self, Next);
+    return true;
+  }
+
+  // Mu held. First failure wins; later ones (including the deadlock that
+  // often follows a check failure) keep the original report.
+  void fail(const std::string &Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    FailSeed = RunSeed;
+    FailTrace = formatTrace();
+    FailReport = buildReport(Msg);
+  }
+
+  // Mu held. No enabled thread but not everyone is Done: record, then
+  // switch the run to the aborting free-run/unwind regime.
+  void declareDeadlock() {
+    std::string Msg = "deadlock: no logical thread is enabled (";
+    char Buf[128];
+    for (const auto &T : Threads) {
+      const char *St = "runnable";
+      switch (T->State) {
+      case LogicalThread::St::BlockedWord:
+        St = "blocked";
+        break;
+      case LogicalThread::St::BlockedJoin:
+        St = "join";
+        break;
+      case LogicalThread::St::Done:
+        St = "done";
+        break;
+      default:
+        break;
+      }
+      std::snprintf(Buf, sizeof(Buf), "%sT%u=%s", T->Tid ? " " : "", T->Tid,
+                    St);
+      Msg += Buf;
+      if (T->State == LogicalThread::St::BlockedWord && T->WaitFile[0]) {
+        std::snprintf(Buf, sizeof(Buf), "@%s:%d", trimPath(T->WaitFile),
+                      T->WaitLine);
+        Msg += Buf;
+      }
+    }
+    Msg += ")";
+    fail(Msg);
+    Aborting.store(true, std::memory_order_relaxed);
+    Cv.notify_all();
+  }
+
+  void blockOn(LogicalThread *Self, const void *Addr, std::uint64_t Expected,
+               std::uint64_t (*Sample)(const void *), const char *File,
+               int Line) {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Aborting.load(std::memory_order_relaxed))
+      return; // spurious return; caller re-checks and takes the real path
+    recordEvent(Self->Tid, "wait", Addr, Expected, File, Line);
+    bumpStep();
+    if (Sample(Addr) != Expected) {
+      // Would not block: still a schedule point, but stay enabled.
+      std::uint32_t Mask = enabledMask();
+      unsigned Next = chooseNext(Mask, Self->Tid, true, false);
+      handTo(L, Self, Next);
+      return;
+    }
+    Self->State = LogicalThread::St::BlockedWord;
+    Self->WaitAddr = Addr;
+    Self->WaitExpected = Expected;
+    Self->WaitSample = Sample;
+    Self->WokenByNotify = false;
+    Self->WaitFile = File ? File : "";
+    Self->WaitLine = Line;
+    std::uint32_t Mask = enabledMask();
+    if (!Mask) {
+      declareDeadlock();
+      throw Aborted{};
+    }
+    unsigned Next = chooseNext(Mask, Self->Tid, /*CurEnabled=*/false,
+                               /*Yield=*/true);
+    Active = static_cast<int>(Next);
+    promote(*Threads[Next]);
+    Cv.notify_all();
+    Cv.wait(L, [&] {
+      return Active == static_cast<int>(Self->Tid) ||
+             Aborting.load(std::memory_order_relaxed);
+    });
+    if (Aborting.load(std::memory_order_relaxed) &&
+        Active != static_cast<int>(Self->Tid))
+      throw Aborted{}; // woken only to unwind
+  }
+
+  void wake(LogicalThread *Self, const void *Addr) {
+    std::lock_guard<std::mutex> G(Mu);
+    if (Aborting.load(std::memory_order_relaxed))
+      return;
+    recordEvent(Self->Tid, "notify", Addr, 0, "", 0);
+    for (auto &T : Threads)
+      if (T->State == LogicalThread::St::BlockedWord && T->WaitAddr == Addr)
+        T->WokenByNotify = true;
+  }
+
+  void joinOn(LogicalThread *Self, unsigned Target) {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Target >= Threads.size() || Target == Self->Tid)
+      return;
+    if (Aborting.load(std::memory_order_relaxed)) {
+      // Free-run join: still wait for the logical thread to finish so the
+      // caller can safely destroy state its body references.
+      Cv.wait(L, [&] {
+        return Threads[Target]->State == LogicalThread::St::Done;
+      });
+      return;
+    }
+    recordEvent(Self->Tid, "join", nullptr, Target, "", 0);
+    bumpStep();
+    if (Threads[Target]->State == LogicalThread::St::Done) {
+      std::uint32_t Mask = enabledMask();
+      unsigned Next = chooseNext(Mask, Self->Tid, true, false);
+      handTo(L, Self, Next);
+      return;
+    }
+    Self->State = LogicalThread::St::BlockedJoin;
+    Self->JoinTarget = Target;
+    std::uint32_t Mask = enabledMask();
+    if (!Mask) {
+      declareDeadlock();
+      throw Aborted{};
+    }
+    unsigned Next = chooseNext(Mask, Self->Tid, false, true);
+    Active = static_cast<int>(Next);
+    promote(*Threads[Next]);
+    Cv.notify_all();
+    Cv.wait(L, [&] {
+      return Active == static_cast<int>(Self->Tid) ||
+             Aborting.load(std::memory_order_relaxed);
+    });
+    if (Aborting.load(std::memory_order_relaxed) &&
+        Active != static_cast<int>(Self->Tid))
+      throw Aborted{};
+  }
+
+  void finishThread(LogicalThread *Self) {
+    std::unique_lock<std::mutex> L(Mu);
+    Self->State = LogicalThread::St::Done;
+    bool All = true;
+    for (const auto &T : Threads)
+      All = All && T->State == LogicalThread::St::Done;
+    if (All) {
+      ExecDone = true;
+      Cv.notify_all();
+      return;
+    }
+    if (Aborting.load(std::memory_order_relaxed)) {
+      Cv.notify_all(); // free-run joiners recheck Done states
+      return;
+    }
+    recordEvent(Self->Tid, "exit", nullptr, 0, "", 0);
+    bumpStep();
+    std::uint32_t Mask = enabledMask();
+    if (!Mask) {
+      declareDeadlock();
+      return; // we are exiting anyway; blocked victims unwind themselves
+    }
+    unsigned Next = chooseNext(Mask, Self->Tid, /*CurEnabled=*/false,
+                               /*Yield=*/true);
+    Active = static_cast<int>(Next);
+    promote(*Threads[Next]);
+    Cv.notify_all();
+  }
+
+  void trampoline(LogicalThread *LT) {
+    TlsLT = LT;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      Cv.wait(L, [&] {
+        return Active == static_cast<int>(LT->Tid) ||
+               Aborting.load(std::memory_order_relaxed);
+      });
+    }
+    try {
+      LT->Fn();
+    } catch (const Aborted &) {
+      // Expected unwind path of an aborting run.
+    } catch (...) {
+      std::lock_guard<std::mutex> G(Mu);
+      fail("unexpected exception escaped a scenario thread");
+    }
+    finishThread(LT);
+    TlsLT = nullptr;
+  }
+
+  /// One execution of the scenario under one choice sequence.
+  void runOne(const std::function<void()> &Body, std::uint64_t SeedEnc,
+              Mode M, std::uint64_t Payload) {
+    Steps = 0;
+    TruncatedRun = false;
+    Ring.clear();
+    RingPos = 0;
+    LastSlot = 0;
+    EventCount = 0;
+    AddrIds.clear();
+    ExecDone = false;
+    Aborting.store(false, std::memory_order_relaxed);
+    Active = -1;
+    RunMode = M;
+    RunSeed = SeedEnc;
+    AbortMsgLen = std::snprintf(
+        AbortMsg, sizeof(AbortMsg),
+        "\nschedcheck: execution aborted under the scheduler\n"
+        "  seed   0x%016llx\n"
+        "  replay re-run this test with CQS_SCHEDCHECK_SEED=0x%016llx\n",
+        (unsigned long long)SeedEnc, (unsigned long long)SeedEnc);
+    Dfs.beginRun();
+    if (M == Mode::Strategy && Strat != Strategy::Dfs) {
+      Rng.X = Payload ^ 0xcb24d0a5c88e37c1ull;
+      if (Strat == Strategy::Pct) {
+        for (unsigned I = 0; I < MaxThreads; ++I)
+          PctPri[I] = 1000000 + (Rng.next() & 0xffffffffull);
+        PctChange.clear();
+        for (int K = 0; K + 1 < Opts.PctDepth; ++K)
+          PctChange.push_back(1 + Rng.next() % (std::uint64_t)Opts.MaxSteps);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      auto LT = std::make_unique<LogicalThread>();
+      LT->Tid = 0;
+      LT->Fn = Body;
+      LogicalThread *P = LT.get();
+      Threads.push_back(std::move(LT));
+      P->Os = std::thread([this, P] { trampoline(P); });
+      Active = 0;
+      Cv.notify_all();
+      Cv.wait(L, [&] { return ExecDone; });
+    }
+    for (auto &T : Threads)
+      if (T->Os.joinable())
+        T->Os.join();
+    Threads.clear();
+    ++Executions;
+    // Hermetic reset: every execution must start from the same heap and
+    // reclamation state or seeds would not replay.
+    ebr::drainForTesting();
+    pool::drainAllForTesting();
+  }
+
+  // ---- reporting ------------------------------------------------------
+
+  // Mu held.
+  std::string formatTrace() const {
+    char Buf[256];
+    std::string Out;
+    std::size_t N = Ring.size();
+    std::size_t Cap = Opts.TraceTail > 0 ? (std::size_t)Opts.TraceTail : 1;
+    std::snprintf(Buf, sizeof(Buf), "  trace (last %zu of %llu events):\n", N,
+                  (unsigned long long)EventCount);
+    Out += Buf;
+    std::size_t Start = N < Cap ? 0 : RingPos;
+    for (std::size_t I = 0; I < N; ++I) {
+      const Event &E = Ring[(Start + I) % N];
+      std::snprintf(Buf, sizeof(Buf), "    #%-5llu T%u %-13s",
+                    (unsigned long long)E.Idx, E.Tid, E.Op);
+      Out += Buf;
+      if (E.AddrId != ~0u) {
+        std::snprintf(Buf, sizeof(Buf), " a%-3u", E.AddrId);
+        Out += Buf;
+      } else {
+        Out += "     ";
+      }
+      if (E.File[0]) {
+        std::snprintf(Buf, sizeof(Buf), " %s:%d", trimPath(E.File), E.Line);
+        Out += Buf;
+      }
+      std::snprintf(Buf, sizeof(Buf), " arg=0x%llx",
+                    (unsigned long long)E.Arg);
+      Out += Buf;
+      if (E.HasRes) {
+        std::snprintf(Buf, sizeof(Buf), " -> 0x%llx",
+                      (unsigned long long)E.Res);
+        Out += Buf;
+      }
+      Out += "\n";
+    }
+    return Out;
+  }
+
+  // Mu held.
+  std::string buildReport(const std::string &Msg) const {
+    char Buf[256];
+    std::string Out = "schedcheck FAILURE: " + Msg + "\n";
+    std::uint64_t Payload = RunSeed & PayloadMask;
+    char Desc[64];
+    if (Payload == PayloadMask)
+      std::snprintf(Desc, sizeof(Desc), "serial warmup");
+    else if (Strat == Strategy::Dfs)
+      std::snprintf(Desc, sizeof(Desc), "execution %llu",
+                    (unsigned long long)Payload);
+    else
+      std::snprintf(Desc, sizeof(Desc), "run-seed 0x%llx",
+                    (unsigned long long)Payload);
+    std::snprintf(Buf, sizeof(Buf), "  seed   0x%016llx (strategy=%s, %s)\n",
+                  (unsigned long long)RunSeed, stratName(Strat), Desc);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  replay re-run this test with "
+                  "CQS_SCHEDCHECK_SEED=0x%016llx\n",
+                  (unsigned long long)RunSeed);
+    Out += Buf;
+    Out += formatTrace();
+    return Out;
+  }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Instrumentation hooks
+// ---------------------------------------------------------------------------
+
+void preOp(const void *Addr, const char *Op, std::uint64_t Arg,
+           const char *File, int Line) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  R->schedulePoint(Self, Op, Addr, Arg, File, Line, /*Yield=*/false);
+}
+
+void postOp(std::uint64_t Result) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  std::lock_guard<std::mutex> G(R->Mu);
+  if (R->Aborting.load(std::memory_order_relaxed) || R->Ring.empty())
+    return;
+  // Serialized threads: the latest recorded event is this thread's preOp.
+  Event &E = R->Ring[R->LastSlot];
+  if (E.Tid == Self->Tid) {
+    E.Res = Result;
+    E.HasRes = true;
+  }
+}
+
+void blockOnWord(const void *Addr, std::uint64_t Expected,
+                 std::uint64_t (*Sample)(const void *), const char *File,
+                 int Line) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  R->blockOn(Self, Addr, Expected, Sample, File, Line);
+}
+
+void wakeWord(const void *Addr) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  R->wake(Self, Addr);
+}
+
+void yield() {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self) {
+    std::this_thread::yield();
+    return;
+  }
+  if (!R->schedulePoint(Self, "yield", nullptr, 0, "", 0, /*Yield=*/true))
+    std::this_thread::yield(); // aborting free-run: stay polite on one core
+}
+
+// ---------------------------------------------------------------------------
+// Scenario API
+// ---------------------------------------------------------------------------
+
+Thread spawn(std::function<void()> Fn) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self) {
+    std::fprintf(stderr, "schedcheck: sc::spawn outside an explore() body\n");
+    std::abort();
+  }
+  unsigned Tid;
+  {
+    std::lock_guard<std::mutex> G(R->Mu);
+    Tid = static_cast<unsigned>(R->Threads.size());
+    if (Tid >= MaxThreads) {
+      std::fprintf(stderr, "schedcheck: more than %u logical threads\n",
+                   MaxThreads);
+      std::abort();
+    }
+    auto LT = std::make_unique<LogicalThread>();
+    LT->Tid = Tid;
+    LT->Fn = std::move(Fn);
+    LogicalThread *P = LT.get();
+    R->Threads.push_back(std::move(LT));
+    P->Os = std::thread([R, P] { R->trampoline(P); });
+  }
+  R->schedulePoint(Self, "spawn", nullptr, Tid, "", 0, /*Yield=*/false);
+  Thread H;
+  H.Tid = Tid;
+  return H;
+}
+
+void Thread::join() {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  R->joinOn(Self, Tid);
+}
+
+bool check(bool Cond, const char *Msg) {
+  if (Cond)
+    return true;
+  Run *R = GRun;
+  if (R && TlsLT) {
+    std::lock_guard<std::mutex> G(R->Mu);
+    R->fail(std::string("check failed: ") + (Msg ? Msg : ""));
+  }
+  return false;
+}
+
+unsigned threadId() { return TlsLT ? TlsLT->Tid : ~0u; }
+
+bool inModelledThread() {
+  Run *R = GRun;
+  return TlsLT != nullptr && R != nullptr &&
+         !R->Aborting.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+std::uint64_t encodeSeed(Strategy S, std::uint64_t Payload) {
+  return ((static_cast<std::uint64_t>(S) + 1) << 60) | (Payload & PayloadMask);
+}
+
+Options optionsFromEnv(Options Base) {
+  if (const char *E = std::getenv("CQS_SCHEDCHECK_SEED"))
+    Base.ReplaySeed = std::strtoull(E, nullptr, 0);
+  if (const char *E = std::getenv("CQS_SCHEDCHECK_ITERS"))
+    if (std::uint64_t V = std::strtoull(E, nullptr, 0))
+      Base.Iterations = V;
+  if (const char *E = std::getenv("CQS_SCHEDCHECK_STRATEGY")) {
+    if (!std::strcmp(E, "dfs"))
+      Base.Strat = Strategy::Dfs;
+    else if (!std::strcmp(E, "random"))
+      Base.Strat = Strategy::Random;
+    else if (!std::strcmp(E, "pct"))
+      Base.Strat = Strategy::Pct;
+  }
+  return Base;
+}
+
+Result explore(const Options &Base, const std::function<void()> &Body) {
+  Options O = optionsFromEnv(Base);
+  Result Res;
+  if (GRun) {
+    Res.Ok = false;
+    Res.Report = "schedcheck: explore() is not reentrant";
+    return Res;
+  }
+  Run R(O);
+  GRun = &R;
+  installAbortHook();
+  bool Exhausted = false;
+
+  auto finish = [&]() -> Result {
+    uninstallAbortHook();
+    GRun = nullptr;
+    Res.Executions = R.Executions;
+    Res.Truncated = R.TruncatedCount;
+    Res.Exhausted = Exhausted && R.TruncatedCount == 0 && !R.Failed;
+    if (R.Failed) {
+      Res.Ok = false;
+      Res.FailSeed = R.FailSeed;
+      Res.Report = R.FailReport;
+      Res.Trace = R.FailTrace;
+    }
+    return Res;
+  };
+
+  if (O.ReplaySeed) {
+    Strategy S;
+    std::uint64_t Payload;
+    if (!decodeSeed(O.ReplaySeed, S, Payload)) {
+      uninstallAbortHook();
+      GRun = nullptr;
+      Res.Ok = false;
+      Res.Report = "schedcheck: malformed replay seed";
+      return Res;
+    }
+    R.Strat = S;
+    if (Payload == PayloadMask) { // the warmup itself failed originally
+      R.runOne(Body, O.ReplaySeed, Mode::Serial, 0);
+      return finish();
+    }
+    // The warmup stabilizes EBR/pool state exactly as the original
+    // exploration did, so the replayed execution starts from the same
+    // baseline.
+    R.runOne(Body, encodeSeed(S, PayloadMask), Mode::Serial, 0);
+    if (R.Failed)
+      return finish();
+    if (S == Strategy::Dfs) {
+      // DFS seeds are execution indices: prefixes evolve run to run, so
+      // march the enumeration forward to the target index.
+      R.Dfs.Prefix.clear();
+      for (std::uint64_t Idx = 0;; ++Idx) {
+        R.runOne(Body, encodeSeed(S, Idx), Mode::Strategy, 0);
+        if (R.Failed || Idx == Payload)
+          return finish();
+        if (!R.Dfs.nextPrefix(O.PreemptionBound))
+          return finish(); // target index no longer reachable
+      }
+    }
+    R.runOne(Body, O.ReplaySeed, Mode::Strategy, Payload);
+    return finish();
+  }
+
+  // Serial warmup: catches single-interleaving bugs immediately and
+  // stabilizes cross-execution state (EBR thread-record registry).
+  R.runOne(Body, encodeSeed(R.Strat, PayloadMask), Mode::Serial, 0);
+  if (R.Failed)
+    return finish();
+
+  switch (R.Strat) {
+  case Strategy::Dfs: {
+    R.Dfs.Prefix.clear();
+    for (std::uint64_t Idx = 0;; ++Idx) {
+      R.runOne(Body, encodeSeed(Strategy::Dfs, Idx), Mode::Strategy, 0);
+      if (R.Failed)
+        return finish();
+      if (!R.Dfs.nextPrefix(O.PreemptionBound)) {
+        Exhausted = true;
+        return finish();
+      }
+      if (Idx + 1 >= O.Iterations)
+        return finish(); // iteration cap; space not exhausted
+    }
+  }
+  case Strategy::Random:
+  case Strategy::Pct: {
+    Mix64 Stream{O.Seed};
+    for (std::uint64_t I = 0; I < O.Iterations; ++I) {
+      std::uint64_t Payload = Stream.next() & PayloadMask;
+      if (Payload == PayloadMask)
+        Payload ^= 1; // keep the warmup sentinel unique
+      R.runOne(Body, encodeSeed(R.Strat, Payload), Mode::Strategy, Payload);
+      if (R.Failed)
+        return finish();
+    }
+    return finish();
+  }
+  }
+  return finish();
+}
+
+} // namespace sc
+} // namespace cqs

@@ -1,0 +1,165 @@
+//===- schedcheck/Sched.h - deterministic interleaving explorer -*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedcheck model checker: a deterministic concurrency scheduler in
+/// the relacy/loom mold, standing in for Lincheck's model-checking mode that
+/// validated the production CQS (Koval et al., PLDI 2023 §6).
+///
+/// A *scenario* is a callable run as logical thread 0; it spawns further
+/// logical threads with sc::spawn and asserts invariants with sc::check.
+/// Logical threads are carried by real OS threads but execution is
+/// serialized through a scheduler gate: exactly one logical thread runs at
+/// any instant, and it hands the gate over only at *schedule points* —
+/// every access to a cqs::Atomic (see support/Atomic.h), every
+/// Backoff::pause, every futex wait. Given the sequence of scheduling
+/// choices, an execution is therefore fully deterministic, which is what
+/// makes seed replay and exhaustive enumeration possible. The model is
+/// sequential consistency: weaker memory orders are accepted and ignored
+/// (see DESIGN.md §7 for what this does and does not guarantee).
+///
+/// Three exploration strategies (Options::Strat):
+///  - Dfs: bounded-exhaustive enumeration with preemption bounding —
+///    context switches at points where the running thread stays enabled
+///    are capped at PreemptionBound; within that bound the schedule space
+///    of a small scenario is explored *completely* (Result::Exhausted).
+///  - Random: uniform choice among enabled threads at every point.
+///  - Pct: priority-based probabilistic concurrency testing (Burckhardt et
+///    al., ASPLOS 2010) — random thread priorities plus PctDepth-1 random
+///    priority-change points; finds depth-d bugs with known probability.
+///
+/// Every execution is identified by a 64-bit seed which encodes the
+/// strategy and either the per-run RNG seed (Random/Pct) or the execution
+/// index (Dfs). A failure report prints that seed; re-running with
+/// Options::ReplaySeed (or the CQS_SCHEDCHECK_SEED environment variable,
+/// see optionsFromEnv) reproduces the identical failing trace, event for
+/// event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SCHEDCHECK_SCHED_H
+#define CQS_SCHEDCHECK_SCHED_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cqs {
+namespace sc {
+
+/// Exploration strategy; encoded into the top bits of every run seed.
+enum class Strategy : unsigned { Dfs = 0, Random = 1, Pct = 2 };
+
+struct Options {
+  Strategy Strat = Strategy::Random;
+  /// Base seed; per-execution seeds are derived from it (Random/Pct).
+  std::uint64_t Seed = 1;
+  /// Number of executions (upper bound for Dfs, exact for Random/Pct).
+  std::uint64_t Iterations = 1000;
+  /// Dfs: maximum context switches away from a still-enabled thread.
+  int PreemptionBound = 2;
+  /// Schedule points per execution before the scheduler stops exploring
+  /// and falls back to round-robin to finish the run (counted in
+  /// Result::Truncated; an exhaustive verdict requires zero truncations).
+  int MaxSteps = 5000;
+  /// Pct: number of priority-change points + 1 (the bug depth d).
+  int PctDepth = 3;
+  /// Nonzero: skip exploration and replay exactly this run seed.
+  std::uint64_t ReplaySeed = 0;
+  /// Number of trailing trace events included in a failure report.
+  int TraceTail = 64;
+};
+
+struct Result {
+  bool Ok = true;
+  /// Dfs only: the bounded schedule space was fully enumerated (no
+  /// truncated executions, iteration cap not hit).
+  bool Exhausted = false;
+  std::uint64_t Executions = 0;
+  std::uint64_t Truncated = 0;
+  /// Seed of the failing execution (0 if Ok). Feed to Options::ReplaySeed.
+  std::uint64_t FailSeed = 0;
+  /// Human-readable failure report: message, seed, and the event trace.
+  std::string Report;
+  /// Just the event trace of the failing execution (a suffix of Report).
+  /// Replay tests compare this field across runs; addresses are printed as
+  /// stable per-run ids (a0, a1, ...) so two runs of the same schedule
+  /// produce byte-identical traces up to heap pointer *values*.
+  std::string Trace;
+};
+
+/// Handle to a spawned logical thread.
+class Thread {
+public:
+  /// Blocks (as a modelled operation) until the thread finishes.
+  void join();
+
+private:
+  friend Thread spawn(std::function<void()> Fn);
+  unsigned Tid = 0;
+};
+
+/// Runs \p Body under the scheduler once per explored schedule. Everything
+/// the scenario shares must be created inside \p Body (thread 0): the state
+/// snapshot at the top of Body is part of what makes runs replayable.
+/// Not reentrant; call from a non-modelled (test main) thread only.
+Result explore(const Options &O, const std::function<void()> &Body);
+
+/// Starts a new logical thread. Only valid inside an explore() body.
+Thread spawn(std::function<void()> Fn);
+
+/// Voluntary schedule point (Backoff::pause routes here). The scheduler
+/// prefers switching away, so yield-loops waiting on a peer make progress.
+void yield();
+
+/// Scenario assertion: on failure records \p Msg plus the current seed and
+/// trace into the run's failure report. Returns \p Cond. The execution
+/// continues (scenarios are finite), so cleanup still happens.
+bool check(bool Cond, const char *Msg);
+
+/// Logical id of the calling thread (0 = the explore body). Only
+/// meaningful inside an explore() body.
+unsigned threadId();
+
+/// True iff the calling OS thread is a logical thread of a live run.
+bool inModelledThread();
+
+/// Reads CQS_SCHEDCHECK_SEED (replay), CQS_SCHEDCHECK_ITERS, and
+/// CQS_SCHEDCHECK_STRATEGY=dfs|random|pct into a copy of \p Base, so any
+/// schedcheck gtest binary supports seed replay without test-local plumbing.
+Options optionsFromEnv(Options Base);
+
+/// Packs/unpacks (strategy, payload) into the public 64-bit seed.
+std::uint64_t encodeSeed(Strategy S, std::uint64_t Payload);
+
+// -------------------------------------------------------------------------
+// Instrumentation hooks — called by schedcheck/ScAtomic.h, support/Futex.*
+// and support/Backoff.h. Not for direct use in scenarios.
+// -------------------------------------------------------------------------
+
+/// Schedule point before a modelled operation; may switch logical threads.
+/// No-op when the caller is not a modelled thread.
+void preOp(const void *Addr, const char *Op, std::uint64_t Arg,
+           const char *File, int Line);
+
+/// Records the result of the operation announced by the latest preOp.
+void postOp(std::uint64_t Result);
+
+/// Blocks the calling logical thread until the 32/64-bit word at \p Addr
+/// (sampled via \p Sample) is observed != \p Expected, or a wake/abort
+/// arrives. Models futexWait and atomic wait; spurious returns are allowed.
+void blockOnWord(const void *Addr, std::uint64_t Expected,
+                 std::uint64_t (*Sample)(const void *), const char *File,
+                 int Line);
+
+/// Wakes every logical thread blocked on \p Addr (models futexWake).
+void wakeWord(const void *Addr);
+
+} // namespace sc
+} // namespace cqs
+
+#endif // CQS_SCHEDCHECK_SCHED_H

@@ -1,0 +1,59 @@
+//===- support/Atomic.h - the one atomics indirection ----------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every atomic in the library goes through the aliases defined here; raw
+/// `std::atomic` outside this header is rejected by tools/atomics_lint.py.
+/// The indirection is what makes the schedcheck model checker possible:
+///
+///  - In normal builds `Atomic<T>` *is* `std::atomic<T>` (an alias, not a
+///    wrapper), so there is zero overhead — alloc_count_test and the bench
+///    smoke leg verify the hot paths are unchanged.
+///  - With -DCQS_SCHEDCHECK=ON (CMake option) `Atomic<T>` becomes
+///    `sc::Atomic<T>` (schedcheck/ScAtomic.h): every access is a scheduling
+///    point of the deterministic interleaving explorer in
+///    schedcheck/Sched.h, and is recorded in its replayable event trace.
+///
+/// `PlainAtomic<T>` stays `std::atomic<T>` in *all* builds. It is reserved
+/// for observational state that is deliberately outside the model —
+/// statistics counters (core/CqsStats.h, support/ObjectPool.h) whose
+/// increments would only blow up the schedule space without adding
+/// interleavings of interest, and which must never introduce scheduling
+/// points inside pool-internal critical sections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_ATOMIC_H
+#define CQS_SUPPORT_ATOMIC_H
+
+#include <atomic>
+
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+#include "schedcheck/ScAtomic.h"
+#endif
+
+namespace cqs {
+
+/// Observational atomics: never instrumented, never a scheduling point.
+template <typename T> using PlainAtomic = std::atomic<T>;
+
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+
+/// Model-checked atomics: every access is a schedcheck scheduling point.
+template <typename T> using Atomic = sc::Atomic<T>;
+using AtomicFlag = sc::AtomicFlag;
+
+#else
+
+template <typename T> using Atomic = std::atomic<T>;
+/// C++20 std::atomic_flag default-constructs clear, so no ATOMIC_FLAG_INIT.
+using AtomicFlag = std::atomic_flag;
+
+#endif
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_ATOMIC_H

@@ -20,6 +20,10 @@
 #include <cstdint>
 #include <thread>
 
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+#include "schedcheck/Sched.h"
+#endif
+
 namespace cqs {
 
 /// Emits a CPU pause/relax hint.
@@ -49,6 +53,18 @@ public:
   /// Spins for the current step (doubling each call) or yields once the
   /// spin budget is exhausted.
   void pause() {
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+    if (sc::inModelledThread()) {
+      // Spinning has no meaning under the model (nothing runs until the
+      // scheduler says so); every pause becomes one voluntary schedule
+      // point. Step still advances so isYielding() keeps its contract and
+      // park-fallback paths stay reachable in explored schedules.
+      if (Step <= SpinLimitLog2)
+        ++Step;
+      sc::yield();
+      return;
+    }
+#endif
     if (Step <= SpinLimitLog2) {
       for (std::uint32_t I = 0; I < (1u << Step); ++I)
         cpuRelax();

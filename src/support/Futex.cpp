@@ -11,22 +11,33 @@
 
 namespace cqs {
 
-void futexSpinThenWait(const std::atomic<std::uint32_t> &Word,
-                       std::atomic<std::uint32_t> &Parked) {
-  // Spin briefly before sleeping: on an oversubscribed host the finisher
-  // usually shares the core, so yielding lets it run and the park (a futex
-  // sleep/wake syscall pair plus a context switch on both sides) is almost
-  // always avoided. Longer relax ramps are counterproductive for the same
-  // reason: spinning steals the very cycles the finisher needs.
-  for (int Tries = 0;
-       Tries < 20 && Word.load(std::memory_order_acquire) == 0; ++Tries) {
-    if (Tries < 4)
-      cpuRelax();
-    else
-      std::this_thread::yield();
+void futexSpinThenWait(const Atomic<std::uint32_t> &Word,
+                       Atomic<std::uint32_t> &Parked) {
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+  // Under the model the spin phase is pure noise — it would only multiply
+  // the schedule space with equivalent executions — so modelled threads go
+  // straight to the Dekker protocol below (whose loads/waits are the
+  // schedule points the explorer actually needs).
+  bool Spin = !sc::inModelledThread();
+#else
+  constexpr bool Spin = true;
+#endif
+  if (Spin) {
+    // Spin briefly before sleeping: on an oversubscribed host the finisher
+    // usually shares the core, so yielding lets it run and the park (a
+    // futex sleep/wake syscall pair plus a context switch on both sides) is
+    // almost always avoided. Longer relax ramps are counterproductive for
+    // the same reason: spinning steals the very cycles the finisher needs.
+    for (int Tries = 0;
+         Tries < 20 && Word.load(std::memory_order_acquire) == 0; ++Tries) {
+      if (Tries < 4)
+        cpuRelax();
+      else
+        std::this_thread::yield();
+    }
+    if (Word.load(std::memory_order_acquire) != 0)
+      return;
   }
-  if (Word.load(std::memory_order_acquire) != 0)
-    return;
 
   // Dekker pair with the finisher (see Request::finish()): register in
   // Parked with seq_cst *before* re-checking the flag, so either we see

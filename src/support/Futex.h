@@ -11,13 +11,24 @@
 /// waitFor API backed by FUTEX_WAIT with a timeout. This mirrors how
 /// java.util.concurrent's parkNanos underlies its timed acquires.
 ///
+/// Under CQS_SCHEDCHECK these waits are *modelled*: a logical thread that
+/// would sleep in the kernel instead blocks inside the schedcheck scheduler
+/// (sc::blockOnWord), which keeps the whole execution deterministic and
+/// lets the explorer treat "waiter parked" as just another state. Timed
+/// waits are modelled as a yield followed by a spurious return — callers
+/// already re-check their predicate and deadline in a loop, and wall-clock
+/// deadlines are outside the model (DESIGN.md §7). Non-modelled threads
+/// (regular tests in a schedcheck build, teardown) fall through to the real
+/// syscall path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CQS_SUPPORT_FUTEX_H
 #define CQS_SUPPORT_FUTEX_H
 
+#include "support/Atomic.h"
+
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -31,12 +42,51 @@
 
 namespace cqs {
 
+namespace detail {
+
+/// The raw std::atomic behind a possibly-instrumented word: the address the
+/// kernel futex calls operate on, and the address schedcheck keys waiter
+/// lists by (it matches what sc::Atomic passes to its own hooks).
+inline const std::atomic<std::uint32_t> * // atomics-lint: allow(std-atomic)
+futexWord(const Atomic<std::uint32_t> &Word) {
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+  return Word.raw();
+#else
+  return &Word;
+#endif
+}
+
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+/// Sampler the scheduler uses to re-evaluate a blocked thread's predicate.
+inline std::uint64_t sampleFutexWord(const void *P) {
+  return static_cast<const std::atomic<std::uint32_t> *>( // atomics-lint: allow(std-atomic)
+             P)
+      ->load(std::memory_order_seq_cst);
+}
+#endif
+
+} // namespace detail
+
 /// Blocks while `*Word == Expected`, up to \p Timeout (forever if the
 /// timeout is negative). Returns on wake-up, timeout, value change, or
 /// spuriously — callers re-check their predicate in a loop.
-inline void futexWait(const std::atomic<std::uint32_t> &Word,
+inline void futexWait(const Atomic<std::uint32_t> &Word,
                       std::uint32_t Expected,
                       std::chrono::nanoseconds Timeout) {
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+  if (sc::inModelledThread()) {
+    if (Timeout.count() < 0) {
+      sc::blockOnWord(detail::futexWord(Word), Expected,
+                      &detail::sampleFutexWord, __builtin_FILE(),
+                      __builtin_LINE());
+    } else {
+      // Timed waits return spuriously under the model; the yield gives the
+      // peer that will satisfy (or outlive) the deadline a chance to run.
+      sc::yield();
+    }
+    return;
+  }
+#endif
 #if defined(__linux__)
   struct timespec Ts;
   struct timespec *TsPtr = nullptr;
@@ -45,13 +95,14 @@ inline void futexWait(const std::atomic<std::uint32_t> &Word,
     Ts.tv_nsec = static_cast<long>(Timeout.count() % 1000000000);
     TsPtr = &Ts;
   }
-  syscall(SYS_futex, reinterpret_cast<const std::uint32_t *>(&Word),
+  syscall(SYS_futex,
+          reinterpret_cast<const std::uint32_t *>(detail::futexWord(Word)),
           FUTEX_WAIT_PRIVATE, Expected, TsPtr, nullptr, 0);
 #else
   // Portable fallback: untimed atomic wait when no deadline was given,
   // otherwise a short sleep so the caller's deadline loop makes progress.
   if (Timeout.count() < 0)
-    Word.wait(Expected, std::memory_order_acquire);
+    detail::futexWord(Word)->wait(Expected, std::memory_order_acquire);
   else
     std::this_thread::sleep_for(
         std::min(Timeout, std::chrono::nanoseconds(100000)));
@@ -59,12 +110,19 @@ inline void futexWait(const std::atomic<std::uint32_t> &Word,
 }
 
 /// Wakes every waiter blocked in futexWait on \p Word.
-inline void futexWakeAll(const std::atomic<std::uint32_t> &Word) {
+inline void futexWakeAll(const Atomic<std::uint32_t> &Word) {
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+  if (sc::inModelledThread()) {
+    sc::wakeWord(detail::futexWord(Word));
+    return;
+  }
+#endif
 #if defined(__linux__)
-  syscall(SYS_futex, reinterpret_cast<const std::uint32_t *>(&Word),
+  syscall(SYS_futex,
+          reinterpret_cast<const std::uint32_t *>(detail::futexWord(Word)),
           FUTEX_WAKE_PRIVATE, INT32_MAX, nullptr, nullptr, 0);
 #else
-  Word.notify_all();
+  detail::futexWord(Word)->notify_all();
 #endif
 }
 
@@ -75,18 +133,28 @@ inline void futexWakeAll(const std::atomic<std::uint32_t> &Word) {
 /// the spin/park loop is instantiated from templates all over the tree,
 /// and keeping its body out of callers' translation units keeps their
 /// code layout independent of how the wait is tuned.
-void futexSpinThenWait(const std::atomic<std::uint32_t> &Word,
-                       std::atomic<std::uint32_t> &Parked);
+void futexSpinThenWait(const Atomic<std::uint32_t> &Word,
+                       Atomic<std::uint32_t> &Parked);
 
 /// Wakes at most one waiter blocked in futexWait on \p Word. Correct only
 /// when the caller knows a single wake-up suffices (e.g. it counted the
-/// parked threads); wakeAll is the safe default.
-inline void futexWakeOne(const std::atomic<std::uint32_t> &Word) {
+/// parked threads); wakeAll is the safe default. Under the model a wake
+/// marks *every* waiter on the word runnable — the scheduler treats wakes
+/// as permissions to re-check, which over-approximates FUTEX_WAKE(1)
+/// soundly (more interleavings, all of them possible spurious-wake-wise).
+inline void futexWakeOne(const Atomic<std::uint32_t> &Word) {
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+  if (sc::inModelledThread()) {
+    sc::wakeWord(detail::futexWord(Word));
+    return;
+  }
+#endif
 #if defined(__linux__)
-  syscall(SYS_futex, reinterpret_cast<const std::uint32_t *>(&Word),
+  syscall(SYS_futex,
+          reinterpret_cast<const std::uint32_t *>(detail::futexWord(Word)),
           FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
 #else
-  Word.notify_one();
+  detail::futexWord(Word)->notify_one();
 #endif
 }
 

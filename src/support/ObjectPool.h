@@ -40,11 +40,13 @@
 #ifndef CQS_SUPPORT_OBJECTPOOL_H
 #define CQS_SUPPORT_OBJECTPOOL_H
 
-#include <atomic>
+#include "support/Atomic.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 namespace cqs {
 namespace pool {
@@ -64,18 +66,60 @@ inline constexpr int NumPoolKinds = 2;
 
 /// Process-wide effectiveness counters per PoolKind (all instantiations of
 /// a kind — e.g. every Request<T, Traits> — share one block).
+/// PlainAtomic on purpose: these are observational counters bumped inside
+/// pool internals (including under the overflow mutex), and must never
+/// become schedcheck scheduling points.
 struct PoolStats {
   /// tryAcquire() served from a magazine or the overflow list.
-  std::atomic<std::uint64_t> Hits{0};
+  PlainAtomic<std::uint64_t> Hits{0};
   /// tryAcquire() found nothing; the caller fell back to `new`.
-  std::atomic<std::uint64_t> Misses{0};
+  PlainAtomic<std::uint64_t> Misses{0};
   /// Objects returned to the pool instead of being freed.
-  std::atomic<std::uint64_t> Recycled{0};
+  PlainAtomic<std::uint64_t> Recycled{0};
 };
 
 inline PoolStats &stats(PoolKind K) {
   static PoolStats S[NumPoolKinds];
   return S[static_cast<int>(K)];
+}
+
+namespace detail {
+
+/// Registry of per-instantiation drain functions, populated lazily when a
+/// pool's global state is first constructed. Exists for the schedcheck
+/// model checker: emptying every pool between explored executions is part
+/// of what makes a run seed replayable (same heap state, same schedule).
+struct DrainRegistry {
+  std::mutex Mu;
+  std::vector<void (*)()> Fns;
+};
+
+inline DrainRegistry &drainRegistry() {
+  // Leaked for the same teardown reason as the pools themselves.
+  static DrainRegistry *R = new DrainRegistry();
+  return *R;
+}
+
+inline void registerDrainer(void (*F)()) {
+  DrainRegistry &R = drainRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Fns.push_back(F);
+}
+
+} // namespace detail
+
+/// Frees the calling thread's magazines and the global overflow lists of
+/// every pool instantiation used so far. Only safe when no other thread is
+/// acquiring or recycling (test teardown / between schedcheck executions).
+inline void drainAllForTesting() {
+  std::vector<void (*)()> Fns;
+  {
+    detail::DrainRegistry &R = detail::drainRegistry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Fns = R.Fns;
+  }
+  for (void (*F)() : Fns)
+    F();
 }
 
 /// Freelist pool over already-constructed objects of \p T.
@@ -144,6 +188,29 @@ public:
     return G.Count;
   }
 
+  /// Frees the calling thread's magazine and the global overflow list.
+  /// Registered with pool::drainAllForTesting(); see its safety contract.
+  /// Threads that died before the call already donated their magazines to
+  /// the overflow list, so between schedcheck executions (all logical
+  /// threads joined) this empties the pool completely.
+  static void drainForTesting() {
+    if constexpr (!PoolingEnabled)
+      return;
+    Magazine &M = magazine();
+    while (T *Obj = M.Head) {
+      M.Head = Obj->NextFree;
+      delete Obj;
+    }
+    M.Count = 0;
+    Global &G = global();
+    std::lock_guard<std::mutex> Lock(G.Mu);
+    while (T *Obj = G.Head) {
+      G.Head = Obj->NextFree;
+      delete Obj;
+    }
+    G.Count = 0;
+  }
+
 private:
   struct Global {
     std::mutex Mu;
@@ -175,8 +242,17 @@ private:
   /// be donated by detached threads during process teardown, and keeping
   /// the list reachable from a static keeps LeakSanitizer quiet about the
   /// intentionally retained objects.
+  ///
+  /// Registration happens here rather than in a dedicated once-flag so the
+  /// hot paths stay untouched; every object enters circulation through
+  /// tryAcquire(), whose empty-magazine refill constructs the global state
+  /// before the first recycle can cache anything.
   static Global &global() {
-    static Global *G = new Global();
+    static Global *G = [] {
+      auto *P = new Global();
+      detail::registerDrainer(&ObjectPool::drainForTesting);
+      return P;
+    }();
     return *G;
   }
 

@@ -14,7 +14,7 @@
 #ifndef CQS_SUPPORT_WAITGROUP_H
 #define CQS_SUPPORT_WAITGROUP_H
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -50,7 +50,7 @@ public:
   }
 
 private:
-  std::atomic<std::uint32_t> Count;
+  Atomic<std::uint32_t> Count;
 };
 
 } // namespace cqs

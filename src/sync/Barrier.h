@@ -26,7 +26,7 @@
 #include "future/Future.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -90,7 +90,7 @@ public:
 
 private:
   CqsType Q;
-  CachePadded<std::atomic<std::int64_t>> Remaining;
+  CachePadded<Atomic<std::int64_t>> Remaining;
   const std::int64_t Parties;
 };
 

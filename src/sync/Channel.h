@@ -51,7 +51,7 @@
 #include "support/CacheLine.h"
 #include "sync/Pool.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 #include <optional>
@@ -197,7 +197,7 @@ private:
   ReceiversCqs Receivers;
   SendersCqs Senders;
   QueuePoolStorage<E, SegmentSize> Storage;
-  CachePadded<std::atomic<std::int64_t>> Balance{0};
+  CachePadded<Atomic<std::int64_t>> Balance{0};
   const std::int64_t Capacity;
 };
 

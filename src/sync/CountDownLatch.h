@@ -25,7 +25,7 @@
 #include "future/Future.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -112,8 +112,8 @@ private:
   void completeRefusedResume(Unit) override {}
 
   CqsType Q;
-  CachePadded<std::atomic<std::int64_t>> Count;
-  CachePadded<std::atomic<std::uint32_t>> Waiters{0};
+  CachePadded<Atomic<std::int64_t>> Count;
+  CachePadded<Atomic<std::uint32_t>> Waiters{0};
 };
 
 using CountDownLatch = BasicCountDownLatch<>;

@@ -21,7 +21,7 @@
 #include "support/Backoff.h"
 #include "sync/Barrier.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -86,7 +86,7 @@ public:
 
 private:
   const std::int64_t Parties;
-  std::atomic<Gen *> Current{nullptr};
+  Atomic<Gen *> Current{nullptr};
 };
 
 using CyclicCqsBarrier = BasicCyclicBarrier<>;

@@ -34,7 +34,7 @@
 #include "reclaim/Ebr.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 #include <optional>
@@ -96,7 +96,7 @@ public:
     // Our slot cannot be in a removed segment: a slot only dies when its
     // unique retrieve index is consumed, and that is us.
     assert(S->Id == Idx / SegmentSize && "retrieve slot vanished");
-    std::atomic<std::uint64_t> &Cell = S->Cells[Idx % SegmentSize];
+    Atomic<std::uint64_t> &Cell = S->Cells[Idx % SegmentSize];
     std::uint64_t Old =
         Cell.exchange(makeTokenWord(Token::Broken), std::memory_order_acq_rel);
     // Either way this slot is finished; let the segment be reclaimed.
@@ -109,10 +109,10 @@ public:
   }
 
 private:
-  CachePadded<std::atomic<std::uint64_t>> InsertIdx{0};
-  CachePadded<std::atomic<std::uint64_t>> RetrieveIdx{0};
-  CachePadded<std::atomic<Seg *>> InsertSegm{nullptr};
-  CachePadded<std::atomic<Seg *>> RetrieveSegm{nullptr};
+  CachePadded<Atomic<std::uint64_t>> InsertIdx{0};
+  CachePadded<Atomic<std::uint64_t>> RetrieveIdx{0};
+  CachePadded<Atomic<Seg *>> InsertSegm{nullptr};
+  CachePadded<Atomic<Seg *>> RetrieveSegm{nullptr};
 };
 
 /// Stack-backed storage (Listing 18, right): a Treiber stack whose nodes
@@ -197,7 +197,7 @@ public:
   }
 
 private:
-  std::atomic<Node *> Top{nullptr};
+  Atomic<Node *> Top{nullptr};
 };
 
 /// The abstract blocking pool of Listing 17, parameterized by storage.
@@ -282,7 +282,7 @@ private:
 
   CqsType Q;
   Storage Store;
-  CachePadded<std::atomic<std::int64_t>> Size{0};
+  CachePadded<Atomic<std::int64_t>> Size{0};
 };
 
 /// Queue-based blocking pool (FAA on the contended path; Listing 18 left).

@@ -44,7 +44,7 @@
 #include "future/Future.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -284,7 +284,7 @@ private:
   WritersCancellation WritersHandler;
   CqsType Readers;
   CqsType Writers;
-  CachePadded<std::atomic<std::uint64_t>> State{0};
+  CachePadded<Atomic<std::uint64_t>> State{0};
 };
 
 using RwMutex = BasicRwMutex<>;

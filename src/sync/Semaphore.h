@@ -31,7 +31,7 @@
 #include "future/Future.h"
 #include "support/CacheLine.h"
 
-#include <atomic>
+#include "support/Atomic.h"
 #include <cassert>
 #include <cstdint>
 
@@ -122,7 +122,7 @@ private:
   void completeRefusedResume(Unit) override {}
 
   CqsType Q;
-  CachePadded<std::atomic<std::int64_t>> State;
+  CachePadded<Atomic<std::int64_t>> State;
   [[maybe_unused]] const std::int64_t MaxPermits;
 };
 

@@ -235,35 +235,71 @@ TEST(Lincheck, SemaphoreDrainIsConsistent) {
   EXPECT_TRUE(V.Ok) << V.Explanation;
 }
 
+/// Model for the acquire/release scenario: permit count plus who holds
+/// one. Per-thread held state must live *in the model* (not in captured
+/// locals) so the verifier's DFS snapshots stay branch-independent.
+struct SemHoldModel {
+  std::int64_t Permits = 2;
+  bool Holds[3] = {false, false, false};
+};
+
+using SemHoldChecker = ScChecker<SyncSem, SemHoldModel>;
+
 TEST(Lincheck, SemaphoreTryAcquireReleaseIsConsistent) {
-  // Well-formedness: each thread releases only what it acquired; since
-  // tryAcquire can fail, pair each tryAcquire with a release *conditioned
-  // on the acquisition result* — encode as a combined op so the scenario
-  // stays total.
-  auto AcqRel = SemChecker::OpT{
-      "tryAcquire+release",
-      [](SyncSem &S) -> std::int64_t {
-        if (!S.tryAcquire())
-          return 0;
-        S.release();
-        return 1;
-      },
-      [](SemModel &M) -> std::int64_t {
-        return M.Permits > 0 ? 1 : 0; // net zero effect
-      }};
+  // Well-formedness: each thread releases only what it acquired. Acquire
+  // and release are *separate* ops — each is a single linearization point
+  // (one CAS / one fetch_add), so the sequential model is faithful. (An
+  // earlier combined tryAcquire+release op was modelled as one atomic
+  // step and the schedcheck explorer promptly found the interleaving —
+  // both peers inside their acquire→release window — that the atomic
+  // model cannot explain. The bug was in the scenario, not the
+  // semaphore.) The concurrent side threads its held-state through a
+  // per-thread flag that program order re-initializes every execution.
   auto MakeScenario = [&](std::uint64_t Seed) {
     SplitMix64 Rng(Seed);
-    SemChecker::Scenario S(3);
-    for (auto &Thread : S) {
-      int Len = 2 + static_cast<int>(Rng.nextBelow(3));
-      for (int I = 0; I < Len; ++I)
-        Thread.push_back(AcqRel);
+    SemHoldChecker::Scenario S(3);
+    for (std::size_t T = 0; T < S.size(); ++T) {
+      auto Held = std::make_shared<bool>(false);
+      auto Acq = SemHoldChecker::OpT{
+          "tryAcquire",
+          [Held](SyncSem &Sem) -> std::int64_t {
+            *Held = Sem.tryAcquire();
+            return *Held ? 1 : 0;
+          },
+          [T](SemHoldModel &M) -> std::int64_t {
+            if (M.Permits <= 0)
+              return 0;
+            --M.Permits;
+            M.Holds[T] = true;
+            return 1;
+          }};
+      auto Rel = SemHoldChecker::OpT{
+          "releaseIfHeld",
+          [Held](SyncSem &Sem) -> std::int64_t {
+            if (!*Held)
+              return 0;
+            Sem.release();
+            *Held = false;
+            return 1;
+          },
+          [T](SemHoldModel &M) -> std::int64_t {
+            if (!M.Holds[T])
+              return 0;
+            ++M.Permits;
+            M.Holds[T] = false;
+            return 1;
+          }};
+      int Pairs = 1 + static_cast<int>(Rng.nextBelow(2));
+      for (int I = 0; I < Pairs; ++I) {
+        S[T].push_back(Acq);
+        S[T].push_back(Rel);
+      }
     }
     return S;
   };
-  Verdict V = SemChecker::checkMany(
+  Verdict V = SemHoldChecker::checkMany(
       [] { return new SyncSem(2, ResumptionMode::Sync); },
-      [] { return SemModel{}; }, MakeScenario, /*Rounds=*/400);
+      [] { return SemHoldModel{}; }, MakeScenario, /*Rounds=*/400);
   EXPECT_TRUE(V.Ok) << V.Explanation;
 }
 
@@ -274,12 +310,15 @@ TEST(Lincheck, SemaphoreTryAcquireReleaseIsConsistent) {
 /// Deliberately lossy counter: incAndGet reads and writes in two separate
 /// atomic steps with a yield between them, so concurrent increments are
 /// lost — producing results no interleaving of a correct counter explains.
+/// Uses cqs::Atomic so the schedcheck build can preempt between the load
+/// and the store (raw std::atomic would be invisible to the model and the
+/// race would never strike there).
 struct LossyCounter {
-  std::atomic<std::int64_t> C{0};
+  Atomic<std::int64_t> C{0};
   std::int64_t incAndGet() {
-    std::int64_t V = C.load();
+    std::int64_t V = C.load(std::memory_order_seq_cst);
     std::this_thread::yield();
-    C.store(V + 1);
+    C.store(V + 1, std::memory_order_seq_cst);
     return V + 1;
   }
 };

@@ -28,8 +28,10 @@ using List2 = SegmentList<2>;
 
 /// Small harness owning a chain like the CQS does.
 struct Chain {
-  std::atomic<Seg2 *> PtrA;
-  std::atomic<Seg2 *> PtrB;
+  // cqs::Atomic so the pointers can be handed to the library's
+  // findSegment/moveForward in schedcheck builds too.
+  Atomic<Seg2 *> PtrA;
+  Atomic<Seg2 *> PtrB;
 
   Chain() {
     auto *First = new Seg2(0, nullptr, /*InitialPointers=*/2);

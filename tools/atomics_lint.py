@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Repo-local atomics lint.
+
+Two rules, both rooted in the schedcheck model checker (DESIGN.md §7):
+
+1. no-raw-atomic: `std::atomic` / `std::atomic_flag` / `ATOMIC_FLAG_INIT`
+   must not appear in library code outside the indirection header
+   `src/support/Atomic.h` and the checker's own internals under
+   `src/schedcheck/`. Everything else goes through `cqs::Atomic<T>` /
+   `cqs::AtomicFlag` / `cqs::PlainAtomic<T>` so a schedcheck build can
+   instrument every access. A line may opt out with the marker comment
+   `atomics-lint: allow(std-atomic)` when it genuinely needs the raw type
+   (e.g. the futex syscall shim handing addresses to the kernel).
+
+2. explicit-order: atomic operations must spell out their memory_order
+   instead of relying on the implicit seq_cst default. The codebase treats
+   orders as documentation of the algorithm's requirements; an implicit
+   order usually means nobody thought about it. (Orders are *semantically*
+   ignored under schedcheck — it explores SC interleavings only — but the
+   annotations document what the real build relies on.)
+
+Usage: tools/atomics_lint.py [--root DIR]
+Exit status 1 if any finding is reported, 0 otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+ALLOW_MARKER = "atomics-lint: allow(std-atomic)"
+
+# Files/dirs (relative to the repo root) where rule 1 does not apply.
+RAW_ATOMIC_ALLOWED = (
+    "src/support/Atomic.h",
+    "src/schedcheck/",
+)
+
+RAW_ATOMIC_RE = re.compile(r"std\s*::\s*atomic\b|\bATOMIC_FLAG_INIT\b")
+
+# Operations whose argument list must mention a memory_order. Deliberately
+# excludes `.clear()`/`.test()`/`.wait()` (too many false positives from
+# containers and condition variables) — those surfaces are rare and audited
+# by review instead.
+ORDERED_OPS_RE = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_or|fetch_and"
+    r"|fetch_xor|compare_exchange_weak|compare_exchange_strong"
+    r"|test_and_set)\s*\("
+)
+
+
+def strip_comments(text):
+    """Blank out // and /* */ comments and string literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != quote else c)
+        i += 1
+    return "".join(out)
+
+
+def call_args(code, open_paren_idx):
+    """Return the argument text of the call whose '(' is at open_paren_idx,
+    or None if the parens never balance (macro soup)."""
+    depth = 0
+    for j in range(open_paren_idx, len(code)):
+        if code[j] == "(":
+            depth += 1
+        elif code[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren_idx + 1 : j]
+    return None
+
+
+def lint_file(path, rel, findings):
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments(raw)
+    raw_lines = raw.splitlines()
+
+    raw_ok = any(
+        rel == allowed or (allowed.endswith("/") and rel.startswith(allowed))
+        for allowed in RAW_ATOMIC_ALLOWED
+    )
+
+    if not raw_ok:
+        for m in RAW_ATOMIC_RE.finditer(code):
+            line_no = code.count("\n", 0, m.start()) + 1
+            line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            if ALLOW_MARKER in line:
+                continue
+            findings.append(
+                f"{rel}:{line_no}: no-raw-atomic: use cqs::Atomic/"
+                f"cqs::PlainAtomic from support/Atomic.h instead of "
+                f"std::atomic"
+            )
+
+    for m in ORDERED_OPS_RE.finditer(code):
+        args = call_args(code, m.end() - 1)
+        if args is None or "memory_order" in args:
+            continue
+        line_no = code.count("\n", 0, m.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if ALLOW_MARKER in line:
+            continue
+        findings.append(
+            f"{rel}:{line_no}: explicit-order: spell out the memory_order "
+            f"on .{m.group(1)}() instead of the implicit seq_cst default"
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    findings = []
+    for sub in ("src",):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".hpp", ".cpp", ".cc"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            lint_file(path, rel, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"atomics_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("atomics_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
