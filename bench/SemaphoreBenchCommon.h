@@ -20,9 +20,11 @@
 #include "baseline/Aqs.h"
 #include "baseline/ClhLock.h"
 #include "baseline/McsLock.h"
+#include "support/Rng.h"
 #include "support/Work.h"
 #include "sync/Semaphore.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,38 @@ inline double cqsSemRun(int Threads, int Permits, ResumptionMode RMode) {
       Threads, [&] { (void)S.acquire().blockingGet(); }, [&] { S.release(); });
 }
 
+/// Per-operation deadline for the timed-mix series: mostly generous (50ms,
+/// effectively always met) with 1-in-8 tiny (200ns, frequently expiring
+/// under contention) — the mix exercises timedAwait's cancel-vs-resume
+/// plumbing on the hot path without turning the run into pure timeouts.
+inline std::chrono::nanoseconds timedMixDeadline(SplitMix64 &Rng) {
+  using namespace std::chrono;
+  return (Rng.next() & 7) == 0 ? nanoseconds(200)
+                               : duration_cast<nanoseconds>(milliseconds(50));
+}
+
+/// The standard workload with every acquisition routed through
+/// tryAcquireFor. A timed-out operation falls back to a blocking acquire,
+/// so each operation still completes exactly once and the us/op totals
+/// stay directly comparable with the untimed series: the delta IS the
+/// deadline layer's overhead (plus timeout-retry traffic).
+inline double cqsSemTimedRun(int Threads, int Permits) {
+  Semaphore S(Permits, ResumptionMode::Async);
+  const int PerThread = SemTotalOps / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Prep(SemWorkMean, 555 + T);
+    GeometricWork Critical(SemWorkMean, 777 + T);
+    SplitMix64 Rng(0x7157 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      Prep.run();
+      if (!S.tryAcquireFor(timedMixDeadline(Rng)))
+        (void)S.acquire().blockingGet();
+      Critical.run();
+      S.release();
+    }
+  });
+}
+
 inline double aqsSemRun(int Threads, int Permits, bool Fair) {
   AqsSemaphore S(Permits, Fair);
   return semaphoreWorkload(
@@ -83,8 +117,9 @@ inline void semaphoreSweep(Reporter &R, int Permits,
               Permits, Permits == 1 ? " (mutex)" : "", SemTotalOps);
   R.context("permits=" + std::to_string(Permits));
   const double Scale = 1e6 / SemTotalOps; // us per operation
-  std::vector<std::string> Cols = {"threads",   "CQS async", "CQS sync",
-                                   "Java fair", "Java unfair"};
+  std::vector<std::string> Cols = {"threads", "CQS async", "CQS sync",
+                                   "CQS timed-mix", "Java fair",
+                                   "Java unfair"};
   if (Permits == 1) {
     Cols.push_back("CLH");
     Cols.push_back("MCS");
@@ -98,6 +133,8 @@ inline void semaphoreSweep(Reporter &R, int Permits,
     T.cell(R.measure("CQS sync", Threads, "us/op", Scale, SemReps, [&] {
       return cqsSemRun(Threads, Permits, ResumptionMode::Sync);
     }));
+    T.cell(R.measure("CQS timed-mix", Threads, "us/op", Scale, SemReps,
+                     [&] { return cqsSemTimedRun(Threads, Permits); }));
     T.cell(R.measure("Java fair", Threads, "us/op", Scale, SemReps, [&] {
       return aqsSemRun(Threads, Permits, /*Fair=*/true);
     }));

@@ -17,9 +17,11 @@
 
 #include "baseline/BlockingQueue.h"
 #include "reclaim/Ebr.h"
+#include "support/Rng.h"
 #include "support/Work.h"
 #include "sync/Channel.h"
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,42 @@ double cqsChannelRun(int Pairs, int Capacity) {
       [&] { (void)Ch.receive().blockingGet(); });
 }
 
+/// Per-operation deadline mix for the timed series: mostly generous 50ms
+/// with 1-in-8 tiny 200ns deadlines that frequently expire under load.
+std::chrono::nanoseconds timedMixDeadline(SplitMix64 &Rng) {
+  using namespace std::chrono;
+  return (Rng.next() & 7) == 0 ? nanoseconds(200)
+                               : duration_cast<nanoseconds>(milliseconds(50));
+}
+
+/// Timed-mix variant: every transfer first tries the deadline-bounded
+/// sendFor/receiveFor, falling back to the blocking operation on timeout
+/// so exactly TotalItems still cross the channel and us/item totals stay
+/// comparable with the untimed series. Exercises the sendFor no-commit
+/// doorbell (full buffer / rendezvous) and receiveFor's smart-cancel
+/// timeout path under real producer/consumer traffic.
+double cqsChannelTimedRun(int Pairs, int Capacity) {
+  BufferedChannel<int> Ch(Capacity);
+  const int PerThread = TotalItems / Pairs;
+  return runThreadTeam(2 * Pairs, [&](int T) {
+    GeometricWork Work(WorkMean, 71 + T);
+    SplitMix64 Rng(0x517 + T);
+    if (T % 2 == 0) { // producer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        if (!Ch.sendFor(I, timedMixDeadline(Rng)))
+          (void)Ch.send(I).blockingGet();
+      }
+    } else { // consumer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        if (!Ch.receiveFor(timedMixDeadline(Rng)))
+          (void)Ch.receive().blockingGet();
+      }
+    }
+  });
+}
+
 double fairAbqRun(int Pairs, int Capacity) {
   FairArrayBlockingQueue<int> Q(std::max(Capacity, 1));
   return channelWorkload(
@@ -90,11 +128,14 @@ int main(int argc, char **argv) {
     std::printf("\n-- capacity %d%s --\n", Capacity,
                 Capacity == 0 ? " (rendezvous; ABQs clamped to 1)" : "");
     R.context("capacity=" + std::to_string(Capacity));
-    Table T({"prod/cons pairs", "CQS channel", "ABQ fair", "ABQ unfair"});
+    Table T({"prod/cons pairs", "CQS channel", "CQS timed-mix", "ABQ fair",
+             "ABQ unfair"});
     for (int Pairs : PairCounts) {
       T.cell(std::to_string(Pairs));
       T.cell(R.measure("CQS channel", 2 * Pairs, "us/item", Scale, Reps,
                        [&] { return cqsChannelRun(Pairs, Capacity); }));
+      T.cell(R.measure("CQS timed-mix", 2 * Pairs, "us/item", Scale, Reps,
+                       [&] { return cqsChannelTimedRun(Pairs, Capacity); }));
       T.cell(R.measure("ABQ fair", 2 * Pairs, "us/item", Scale, Reps,
                        [&] { return fairAbqRun(Pairs, Capacity); }));
       T.cell(R.measure("ABQ unfair", 2 * Pairs, "us/item", Scale, Reps,

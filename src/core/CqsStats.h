@@ -40,9 +40,11 @@ struct CqsStats;
 /// The six pool fields (request/segment hits, misses, recycled) are
 /// process-wide — the pools are shared, not per-instance — so they are
 /// zero in per-instance snapshots and only populated by processSnapshot(),
-/// which is what the benchmark JSON exporter deltas.
+/// which is what the benchmark JSON exporter deltas. The three timed-wait
+/// fields (future/TimedAwait.h and the channel's timed send) follow the
+/// same pattern: the deadline layer sits above any single CQS instance.
 struct CqsStatsSnapshot {
-  static constexpr int NumFields = 19;
+  static constexpr int NumFields = 22;
 
   std::uint64_t Suspensions = 0;
   std::uint64_t Eliminations = 0;
@@ -63,6 +65,9 @@ struct CqsStatsSnapshot {
   std::uint64_t SegmentPoolHits = 0;
   std::uint64_t SegmentPoolMisses = 0;
   std::uint64_t SegmentsRecycled = 0;
+  std::uint64_t TimedWaits = 0;
+  std::uint64_t TimedTimeouts = 0;
+  std::uint64_t TimedRescues = 0;
 
   static const char *fieldName(int I) {
     static const char *const Names[NumFields] = {
@@ -72,7 +77,8 @@ struct CqsStatsSnapshot {
         "delegations",   "refused_resumes", "cancellations",
         "refuse_verdicts", "request_pool_hits", "request_pool_misses",
         "requests_recycled", "segment_pool_hits", "segment_pool_misses",
-        "segments_recycled"};
+        "segments_recycled", "timed_waits", "timed_timeouts",
+        "timed_rescues"};
     return Names[I];
   }
 
@@ -84,7 +90,8 @@ struct CqsStatsSnapshot {
         &Delegations,      &RefusedResumes,    &Cancellations,
         &RefuseVerdicts,   &RequestPoolHits,   &RequestPoolMisses,
         &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
-        &SegmentsRecycled};
+        &SegmentsRecycled, &TimedWaits,        &TimedTimeouts,
+        &TimedRescues};
     return *Fields[I];
   }
 
@@ -96,7 +103,8 @@ struct CqsStatsSnapshot {
         &Delegations,      &RefusedResumes,    &Cancellations,
         &RefuseVerdicts,   &RequestPoolHits,   &RequestPoolMisses,
         &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
-        &SegmentsRecycled};
+        &SegmentsRecycled, &TimedWaits,        &TimedTimeouts,
+        &TimedRescues};
     return *Fields[I];
   }
 
@@ -122,6 +130,23 @@ struct CqsStatsSnapshot {
     return T;
   }
 };
+
+/// Process-wide counters for the deadline layer (future/TimedAwait.h and
+/// Channel::sendFor). One block for the whole process, like the object
+/// pools: a timed wait spans the caller and the primitive, so it is not
+/// attributable to a single CQS instance. Rescues count failed cancel()s —
+/// the resume won the race and the operation reported success at the
+/// deadline; tests assert this path was actually exercised.
+struct TimedWaitStats {
+  PlainAtomic<std::uint64_t> Waits{0};
+  PlainAtomic<std::uint64_t> Timeouts{0};
+  PlainAtomic<std::uint64_t> Rescues{0};
+};
+
+inline TimedWaitStats &timedWaitStats() {
+  static TimedWaitStats S;
+  return S;
+}
 
 /// Counter block embedded in every Cqs instance.
 struct CqsStats {
@@ -233,6 +258,10 @@ struct CqsStats {
     S.SegmentPoolHits = ReadPool(Seg.Hits);
     S.SegmentPoolMisses = ReadPool(Seg.Misses);
     S.SegmentsRecycled = ReadPool(Seg.Recycled);
+    const TimedWaitStats &TW = timedWaitStats();
+    S.TimedWaits = ReadPool(TW.Waits);
+    S.TimedTimeouts = ReadPool(TW.Timeouts);
+    S.TimedRescues = ReadPool(TW.Rescues);
     return S;
   }
 

@@ -240,12 +240,16 @@ public:
 
   /// Timed wait: parks until completion/cancellation or until \p Timeout
   /// elapses. Returns the status observed on return — Pending means the
-  /// wait timed out, after which callers typically cancel():
+  /// wait timed out. Most callers should not use waitFor directly but go
+  /// through timedAwait (future/TimedAwait.h), which also handles the
+  /// subtle followup: after a timeout, cancel() can *fail* because a
+  /// resume won the result-word race, and then the operation completed and
+  /// its value must be consumed, not dropped:
   /// \code
-  ///   if (F.waitFor(50ms) == FutureStatus::Pending && F.cancel())
-  ///     ...timed out, request withdrawn...
+  ///   if (std::optional<Unit> Grant = timedAwait(F, 50ms))
+  ///     ...completed (possibly by winning the cancel-vs-resume race)...
   ///   else
-  ///     ...use *F.tryGet() or observe cancellation...
+  ///     ...timed out, request withdrawn...
   /// \endcode
   FutureStatus waitFor(std::chrono::nanoseconds Timeout) const {
     auto Deadline = std::chrono::steady_clock::now() + Timeout;

@@ -1,0 +1,81 @@
+//===- future/TimedAwait.h - deadline layer over futures -------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared deadline helper behind every timed primitive operation
+/// (Semaphore::tryAcquireFor, Mutex::tryLockFor, Channel::receiveFor, ...).
+/// It encapsulates the one subtle race all of them share: waitFor() reports
+/// Pending at the deadline, cancel() is *attempted*, and the two outcomes
+/// of that attempt mean opposite things:
+///
+///  - cancel() succeeds: the request was withdrawn before any resume
+///    reached it. The cancellation handler the CQS installed has already
+///    returned the reservation (smart mode) or marked the cell (simple
+///    mode), so the operation genuinely timed out and owns nothing.
+///  - cancel() fails: a resume won the single result-word CAS first
+///    (Appendix G.2: "a Future cannot be both cancelled and completed").
+///    The operation COMPLETED — the caller owns the granted resource
+///    (permit, element, lock) exactly as if no timeout had happened, and
+///    reporting a timeout here would leak it. timedAwait() therefore
+///    consumes the published value and reports success.
+///
+/// Returning the value through one helper keeps that rule in one place;
+/// primitives translate the optional into their own result type (bool for
+/// locks/permits, optional<E> for element carriers). See DESIGN.md §8 for
+/// the full deadline-semantics contract, including the barrier's.
+///
+/// A non-positive timeout never parks: waitFor() observes the deadline
+/// already passed, so timedAwait degenerates to one status poll plus the
+/// cancel-vs-resume race — handy both as a try-operation with rollback and
+/// for deterministic schedcheck scenarios of the race itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_FUTURE_TIMEDAWAIT_H
+#define CQS_FUTURE_TIMEDAWAIT_H
+
+#include "core/CqsStats.h"
+#include "future/Future.h"
+
+#include <cassert>
+#include <chrono>
+#include <optional>
+
+namespace cqs {
+
+/// Waits on \p F up to \p Timeout. Returns the completion value when the
+/// operation finished in time *or* its resume beat our cancel() to the
+/// result word; std::nullopt only when the request was truly withdrawn
+/// (the deadline passed and cancel() won) or a third party cancelled it.
+template <typename T, typename Traits>
+std::optional<T> timedAwait(Future<T, Traits> &F,
+                            std::chrono::nanoseconds Timeout) {
+  assert(F.valid() && "timedAwait() on an invalid future");
+  if (F.isImmediate())
+    return F.tryGet();
+  TimedWaitStats &TS = timedWaitStats();
+  bump(TS.Waits);
+  FutureStatus St = F.waitFor(Timeout);
+  if (St == FutureStatus::Pending) {
+    if (F.cancel()) {
+      bump(TS.Timeouts);
+      return std::nullopt;
+    }
+    // cancel() lost the result-word CAS: the resume already won, so the
+    // value is published and the resource is ours to consume.
+    bump(TS.Rescues);
+    std::optional<T> V = F.tryGet();
+    assert(V.has_value() && "failed cancel() implies a completed resume");
+    return V;
+  }
+  if (St == FutureStatus::Cancelled)
+    return std::nullopt; // cancelled by a third party while we waited
+  return F.tryGet();
+}
+
+} // namespace cqs
+
+#endif // CQS_FUTURE_TIMEDAWAIT_H

@@ -53,6 +53,13 @@ namespace {
 constexpr unsigned MaxThreads = 16;
 constexpr std::uint64_t PayloadMask = (1ull << 60) - 1;
 
+/// Schedule points a *timed* block stays parked before its modelled
+/// deadline expires and the thread becomes runnable again (spuriously, as
+/// far as the caller can tell — it re-checks predicate and deadline).
+/// Small enough that DFS enumeration stays tractable, large enough that
+/// the peer expected to satisfy the wait usually gets there first.
+constexpr std::uint64_t TimedBlockBudget = 12;
+
 /// Thrown (only) out of blocking primitives to unwind a logical thread that
 /// can never be woken once the run is aborting. Never thrown from preOp, so
 /// it cannot propagate through a destructor's atomic access.
@@ -90,10 +97,14 @@ struct LogicalThread {
   St State = St::Runnable;
   // BlockedWord bookkeeping: enabled again once Sample(WaitAddr) !=
   // WaitExpected or a notify arrived (sticky until the thread next runs).
+  // A timed block is additionally enabled once the run's step counter
+  // reaches TimedWakeStep (modelled deadline expiry).
   const void *WaitAddr = nullptr;
   std::uint64_t WaitExpected = 0;
   std::uint64_t (*WaitSample)(const void *) = nullptr;
   bool WokenByNotify = false;
+  bool TimedWait = false;
+  std::uint64_t TimedWakeStep = 0;
   const char *WaitFile = "";
   int WaitLine = 0;
   unsigned JoinTarget = 0;
@@ -350,7 +361,8 @@ public:
         break;
       case LogicalThread::St::BlockedWord:
         En = T->WokenByNotify ||
-             (T->WaitSample && T->WaitSample(T->WaitAddr) != T->WaitExpected);
+             (T->WaitSample && T->WaitSample(T->WaitAddr) != T->WaitExpected) ||
+             (T->TimedWait && Steps >= T->TimedWakeStep);
         break;
       case LogicalThread::St::BlockedJoin:
         En = Threads[T->JoinTarget]->State == LogicalThread::St::Done;
@@ -370,7 +382,31 @@ public:
         T.State == LogicalThread::St::BlockedJoin) {
       T.State = LogicalThread::St::Runnable;
       T.WokenByNotify = false;
+      T.TimedWait = false;
     }
+  }
+
+  // Mu held. enabledMask(), but when nothing is enabled and timed waiters
+  // exist, fast-forwards the step counter to the nearest modelled deadline
+  // (virtual time advances when everyone sleeps) and recomputes. Only a
+  // fully *untimed* blocked set is a real deadlock.
+  std::uint32_t enabledMaskAdvancingTime() {
+    std::uint32_t M = enabledMask();
+    if (M)
+      return M;
+    bool Have = false;
+    std::uint64_t Nearest = 0;
+    for (const auto &T : Threads)
+      if (T->State == LogicalThread::St::BlockedWord && T->TimedWait &&
+          (!Have || T->TimedWakeStep < Nearest)) {
+        Nearest = T->TimedWakeStep;
+        Have = true;
+      }
+    if (!Have)
+      return 0;
+    if (Nearest > Steps)
+      Steps = Nearest;
+    return enabledMask();
   }
 
   /// Pure round-robin: the next enabled thread after Cur in cyclic order
@@ -527,11 +563,12 @@ public:
 
   void blockOn(LogicalThread *Self, const void *Addr, std::uint64_t Expected,
                std::uint64_t (*Sample)(const void *), const char *File,
-               int Line) {
+               int Line, bool Timed) {
     std::unique_lock<std::mutex> L(Mu);
     if (Aborting.load(std::memory_order_relaxed))
       return; // spurious return; caller re-checks and takes the real path
-    recordEvent(Self->Tid, "wait", Addr, Expected, File, Line);
+    recordEvent(Self->Tid, Timed ? "twait" : "wait", Addr, Expected, File,
+                Line);
     bumpStep();
     if (Sample(Addr) != Expected) {
       // Would not block: still a schedule point, but stay enabled.
@@ -545,14 +582,19 @@ public:
     Self->WaitExpected = Expected;
     Self->WaitSample = Sample;
     Self->WokenByNotify = false;
+    Self->TimedWait = Timed;
+    Self->TimedWakeStep = Steps + TimedBlockBudget;
     Self->WaitFile = File ? File : "";
     Self->WaitLine = Line;
-    std::uint32_t Mask = enabledMask();
+    std::uint32_t Mask = enabledMaskAdvancingTime();
     if (!Mask) {
       declareDeadlock();
       throw Aborted{};
     }
-    unsigned Next = chooseNext(Mask, Self->Tid, /*CurEnabled=*/false,
+    // A time fast-forward can re-enable *us* (our own expiry was the
+    // nearest); candidateOrder still prefers handing to somebody else.
+    bool SelfEnabled = (Mask >> Self->Tid) & 1;
+    unsigned Next = chooseNext(Mask, Self->Tid, SelfEnabled,
                                /*Yield=*/true);
     Active = static_cast<int>(Next);
     promote(*Threads[Next]);
@@ -598,7 +640,7 @@ public:
     }
     Self->State = LogicalThread::St::BlockedJoin;
     Self->JoinTarget = Target;
-    std::uint32_t Mask = enabledMask();
+    std::uint32_t Mask = enabledMaskAdvancingTime();
     if (!Mask) {
       declareDeadlock();
       throw Aborted{};
@@ -633,7 +675,7 @@ public:
     }
     recordEvent(Self->Tid, "exit", nullptr, 0, "", 0);
     bumpStep();
-    std::uint32_t Mask = enabledMask();
+    std::uint32_t Mask = enabledMaskAdvancingTime();
     if (!Mask) {
       declareDeadlock();
       return; // we are exiting anyway; blocked victims unwind themselves
@@ -826,7 +868,17 @@ void blockOnWord(const void *Addr, std::uint64_t Expected,
   LogicalThread *Self = TlsLT;
   if (!R || !Self)
     return;
-  R->blockOn(Self, Addr, Expected, Sample, File, Line);
+  R->blockOn(Self, Addr, Expected, Sample, File, Line, /*Timed=*/false);
+}
+
+void blockOnWordTimed(const void *Addr, std::uint64_t Expected,
+                      std::uint64_t (*Sample)(const void *), const char *File,
+                      int Line) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  R->blockOn(Self, Addr, Expected, Sample, File, Line, /*Timed=*/true);
 }
 
 void wakeWord(const void *Addr) {

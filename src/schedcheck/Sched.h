@@ -156,6 +156,17 @@ void blockOnWord(const void *Addr, std::uint64_t Expected,
                  std::uint64_t (*Sample)(const void *), const char *File,
                  int Line);
 
+/// Like blockOnWord, but models a *timed* wait: the blocked thread stays
+/// wakeable by wakeWord/word-change exactly like an untimed waiter, and
+/// additionally becomes runnable again after a bounded number of schedule
+/// points — deadline expiry without wall-clock time. When every thread is
+/// blocked but timed waiters exist, the scheduler fast-forwards its step
+/// counter to the nearest expiry instead of declaring a deadlock. Spurious
+/// returns are allowed; callers re-check predicate and deadline in a loop.
+void blockOnWordTimed(const void *Addr, std::uint64_t Expected,
+                      std::uint64_t (*Sample)(const void *), const char *File,
+                      int Line);
+
 /// Wakes every logical thread blocked on \p Addr (models futexWake).
 void wakeWord(const void *Addr);
 

@@ -15,11 +15,15 @@
 /// would sleep in the kernel instead blocks inside the schedcheck scheduler
 /// (sc::blockOnWord), which keeps the whole execution deterministic and
 /// lets the explorer treat "waiter parked" as just another state. Timed
-/// waits are modelled as a yield followed by a spurious return — callers
-/// already re-check their predicate and deadline in a loop, and wall-clock
-/// deadlines are outside the model (DESIGN.md §7). Non-modelled threads
-/// (regular tests in a schedcheck build, teardown) fall through to the real
-/// syscall path.
+/// waits use the scheduler's *timed block* (sc::blockOnWordTimed): the
+/// thread stays wakeable by wakeWord/word-change exactly like an untimed
+/// waiter, but additionally becomes runnable again after a bounded number
+/// of schedule points — modelling deadline expiry without wall-clock time,
+/// so a deadline loop neither busy-spins through the schedule space nor
+/// deadlocks the model (DESIGN.md §7). Callers already re-check their
+/// predicate and deadline in a loop, so the spurious early return is
+/// sound. Non-modelled threads (regular tests in a schedcheck build,
+/// teardown) fall through to the real syscall path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,9 +84,12 @@ inline void futexWait(const Atomic<std::uint32_t> &Word,
                       &detail::sampleFutexWord, __builtin_FILE(),
                       __builtin_LINE());
     } else {
-      // Timed waits return spuriously under the model; the yield gives the
-      // peer that will satisfy (or outlive) the deadline a chance to run.
-      sc::yield();
+      // Timed block: parked like an untimed waiter (wakeable by wakeWord
+      // or a word change), but also runnable again after a bounded number
+      // of schedule points — the model's stand-in for deadline expiry.
+      sc::blockOnWordTimed(detail::futexWord(Word), Expected,
+                           &detail::sampleFutexWord, __builtin_FILE(),
+                           __builtin_LINE());
     }
     return;
   }
@@ -100,12 +107,19 @@ inline void futexWait(const Atomic<std::uint32_t> &Word,
           FUTEX_WAIT_PRIVATE, Expected, TsPtr, nullptr, 0);
 #else
   // Portable fallback: untimed atomic wait when no deadline was given,
-  // otherwise a short sleep so the caller's deadline loop makes progress.
-  if (Timeout.count() < 0)
+  // otherwise a short sleep slice so the caller's deadline loop makes
+  // progress. A notify cannot interrupt sleep_for, so re-check the word
+  // first — a waker that already changed it must not cost us a full
+  // slice — and keep the slice short (10µs) to bound the wake-up latency
+  // of a wake that lands mid-sleep.
+  if (Timeout.count() < 0) {
     detail::futexWord(Word)->wait(Expected, std::memory_order_acquire);
-  else
+  } else {
+    if (detail::futexWord(Word)->load(std::memory_order_acquire) != Expected)
+      return;
     std::this_thread::sleep_for(
-        std::min(Timeout, std::chrono::nanoseconds(100000)));
+        std::min(Timeout, std::chrono::nanoseconds(10000)));
+  }
 #endif
 }
 

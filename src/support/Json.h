@@ -10,10 +10,12 @@
 /// consumed by tools/bench_compare.py, and the parser lets the tests
 /// round-trip what the writer produced without any external dependency.
 ///
-/// Scope is deliberately small: UTF-8 pass-through (no \uXXXX surrogate
-/// decoding beyond copying the escape's code point as-is is not attempted —
-/// \u escapes are parsed into UTF-8), numbers are doubles, object key
-/// order is preserved. That is exactly what the bench schema needs.
+/// Scope is deliberately small: the writer passes non-ASCII bytes through
+/// as UTF-8 (it only \u-escapes control characters); the parser decodes
+/// \uXXXX escapes to UTF-8, combining UTF-16 surrogate pairs into their
+/// astral code point and rejecting unpaired surrogates; numbers are
+/// doubles; object key order is preserved. That is exactly what the bench
+/// schema needs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -382,6 +384,29 @@ private:
     return true;
   }
 
+  /// Consumes exactly four hex digits of a \uXXXX escape (strict: sscanf
+  /// would accept leading whitespace or fewer digits).
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > S.size())
+      return fail("truncated \\u escape"), false;
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = S[Pos + static_cast<std::size_t>(I)];
+      unsigned D;
+      if (C >= '0' && C <= '9')
+        D = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = static_cast<unsigned>(C - 'a') + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = static_cast<unsigned>(C - 'A') + 10;
+      else
+        return fail("malformed \\u escape"), false;
+      Code = (Code << 4) | D;
+    }
+    Pos += 4;
+    return true;
+  }
+
   bool parseString(std::string &Out) {
     skipSpace();
     if (Pos >= S.size() || S[Pos] != '"')
@@ -420,21 +445,37 @@ private:
         Out += '\t';
         break;
       case 'u': {
-        if (Pos + 4 > S.size())
-          return fail("truncated \\u escape"), false;
         unsigned Code = 0;
-        if (std::sscanf(S.substr(Pos, 4).c_str(), "%4x", &Code) != 1)
-          return fail("malformed \\u escape"), false;
-        Pos += 4;
-        // Encode the code point as UTF-8 (surrogate pairs not recombined;
-        // the writer never emits them).
+        if (!parseHex4(Code))
+          return false;
+        if (Code >= 0xDC00 && Code <= 0xDFFF)
+          return fail("unpaired low surrogate in \\u escape"), false;
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          // High surrogate: JSON encodes astral code points as a UTF-16
+          // pair, so the matching \uDC00-\uDFFF must follow immediately.
+          if (Pos + 2 > S.size() || S[Pos] != '\\' || S[Pos + 1] != 'u')
+            return fail("unpaired high surrogate in \\u escape"), false;
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("unpaired high surrogate in \\u escape"), false;
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        }
+        // Encode the code point as UTF-8 (1-4 bytes).
         if (Code < 0x80) {
           Out += static_cast<char>(Code);
         } else if (Code < 0x800) {
           Out += static_cast<char>(0xC0 | (Code >> 6));
           Out += static_cast<char>(0x80 | (Code & 0x3F));
-        } else {
+        } else if (Code < 0x10000) {
           Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xF0 | (Code >> 18));
+          Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
           Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
           Out += static_cast<char>(0x80 | (Code & 0x3F));
         }

@@ -17,6 +17,12 @@
 /// (simple cancellation: a failed resume corresponds to exactly one
 /// cancelled waiter, so nothing is retried).
 ///
+/// The arrive() futures compose with timedAwait (future/TimedAwait.h)
+/// under exactly these semantics: a timed-out waiter's arrival stands, the
+/// barrier is never "broken", and when the final resume beats the timeout's
+/// cancel the wait reports completion. CyclicBarrierCqs::awaitFor builds on
+/// this.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CQS_SYNC_BARRIER_H

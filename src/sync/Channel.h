@@ -32,6 +32,10 @@
 ///    abandons the backpressure acknowledgement. (Full bidirectional
 ///    cancellation requires fusing element and waiter into one cell — the
 ///    design of the Koval et al. channel paper — and is out of scope.)
+///    sendFor() therefore takes the *no-commit* route instead: it never
+///    enqueues the element until a slot is known to fit it, parking on a
+///    slot-free doorbell between trySend attempts, so a timed-out send
+///    provably left nothing in the channel.
 ///  - Backpressure is counter-matched like the semaphore: each receive
 ///    that drains the balance below capacity wakes the longest-blocked
 ///    sender. Identity pairing between a specific element and a specific
@@ -48,11 +52,14 @@
 
 #include "core/Cqs.h"
 #include "future/Future.h"
+#include "future/TimedAwait.h"
 #include "support/CacheLine.h"
+#include "support/Futex.h"
 #include "sync/Pool.h"
 
 #include "support/Atomic.h"
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 
@@ -102,6 +109,8 @@ public:
   ReceiveFuture receive() {
     for (;;) {
       std::int64_t S = Balance->fetch_sub(1, std::memory_order_acq_rel);
+      if (S == Capacity)
+        ringSlotFree(); // balance dropped below capacity: sendFor can land
       if (S <= 0)
         return Receivers.suspend();
       E V;
@@ -150,6 +159,8 @@ public:
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire))
         continue;
+      if (S == Capacity)
+        ringSlotFree();
       E V;
       if (!Storage.tryRetrieve(V))
         continue; // paired send not inserted yet; retry whole op
@@ -157,6 +168,58 @@ public:
         (void)Senders.resume(Unit{});
       return V;
     }
+  }
+
+  /// Deadline-bounded receive: the next element, or std::nullopt when none
+  /// arrived within \p Timeout. A timed-out receive deregisters itself via
+  /// smart cancellation; when a send beats the cancel to the result word
+  /// the element is consumed and returned, and a refused resume is
+  /// re-delivered — either way no element is lost (future/TimedAwait.h).
+  std::optional<E> receiveFor(std::chrono::nanoseconds Timeout) {
+    ReceiveFuture F = receive();
+    return timedAwait(F, Timeout);
+  }
+
+  /// Deadline-bounded send: true iff \p V entered the channel (rendezvous
+  /// hand-off or buffer slot) within \p Timeout; false means the element
+  /// was never in the channel — nothing to roll back. Because cancelling a
+  /// *suspended* send is unsupported (see file comment), sendFor never
+  /// commits the element up front: it loops on trySend(), parking on the
+  /// slot-free doorbell between attempts. Timed senders are therefore not
+  /// FIFO-ordered relative to blocked send() callers, whose elements are
+  /// already queued and keep their positions.
+  bool sendFor(E V, std::chrono::nanoseconds Timeout) {
+    if (trySend(V))
+      return true;
+    TimedWaitStats &TS = timedWaitStats();
+    bump(TS.Waits);
+    if (Timeout.count() <= 0) {
+      bump(TS.Timeouts);
+      return false;
+    }
+    const auto Deadline = std::chrono::steady_clock::now() + Timeout;
+    // Dekker pairing with ringSlotFree(): publish the waiter count before
+    // sampling the epoch, so either the ringer sees us and wakes, or our
+    // epoch sample predates its bump and futexWait refuses to park.
+    SendWaiters->fetch_add(1, std::memory_order_seq_cst);
+    bool Sent = false;
+    for (;;) {
+      std::uint32_t Epoch = SlotEpoch->load(std::memory_order_seq_cst);
+      if (trySend(V)) {
+        Sent = true;
+        break;
+      }
+      auto Now = std::chrono::steady_clock::now();
+      if (Now >= Deadline)
+        break;
+      futexWait(*SlotEpoch, Epoch,
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Deadline - Now));
+    }
+    SendWaiters->fetch_sub(1, std::memory_order_relaxed);
+    if (!Sent)
+      bump(TS.Timeouts);
+    return Sent;
   }
 
   /// Buffered elements (negative: waiting receivers; above Capacity:
@@ -194,10 +257,24 @@ private:
     }
   }
 
+  /// Doorbell for sendFor(): every balance transition Capacity ->
+  /// Capacity-1 — a buffer slot freed, or (rendezvous) a receiver newly
+  /// waiting — bumps the epoch and wakes parked timed senders. Bumping
+  /// before checking the waiter count is the Dekker mirror of sendFor's
+  /// publish-then-sample; the futex revalidates the epoch before parking,
+  /// which closes the remaining park-vs-ring race.
+  void ringSlotFree() {
+    SlotEpoch->fetch_add(1, std::memory_order_seq_cst);
+    if (SendWaiters->load(std::memory_order_seq_cst) != 0)
+      futexWakeAll(*SlotEpoch);
+  }
+
   ReceiversCqs Receivers;
   SendersCqs Senders;
   QueuePoolStorage<E, SegmentSize> Storage;
   CachePadded<Atomic<std::int64_t>> Balance{0};
+  CachePadded<Atomic<std::uint32_t>> SlotEpoch{0};
+  CachePadded<Atomic<std::uint32_t>> SendWaiters{0};
   const std::int64_t Capacity;
 };
 

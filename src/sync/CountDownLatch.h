@@ -23,10 +23,12 @@
 
 #include "core/Cqs.h"
 #include "future/Future.h"
+#include "future/TimedAwait.h"
 #include "support/CacheLine.h"
 
 #include "support/Atomic.h"
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 
 namespace cqs {
@@ -80,6 +82,17 @@ public:
     if ((W & DoneBit) != 0)
       return FutureType::immediate(Unit{});
     return Q.suspend();
+  }
+
+  /// Deadline-bounded await: true iff the latch opened within \p Timeout.
+  /// A timed-out waiter deregisters itself (smart cancellation), so the
+  /// opening countDown() does not pay for it; when the opening resume wins
+  /// the race against the cancel, true is reported — the latch *did* open.
+  /// Requires the (default) smart cancellation mode: under Simple a latch
+  /// built for the ablation bench has no deregistration path.
+  bool awaitFor(std::chrono::nanoseconds Timeout) {
+    FutureType F = await();
+    return timedAwait(F, Timeout).has_value();
   }
 
 private:

@@ -17,12 +17,14 @@
 #ifndef CQS_SYNC_CYCLICBARRIERCQS_H
 #define CQS_SYNC_CYCLICBARRIERCQS_H
 
+#include "future/TimedAwait.h"
 #include "reclaim/Ebr.h"
 #include "support/Backoff.h"
 #include "sync/Barrier.h"
 
 #include "support/Atomic.h"
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 
 namespace cqs {
@@ -50,28 +52,9 @@ public:
   void arriveAndWait() {
     Backoff B;
     for (;;) {
-      typename Gen::Arrival A;
-      {
-        // The EBR guard covers only the access to the (possibly retired)
-        // generation object — never the park below, which would stall
-        // reclamation process-wide.
-        ebr::Guard Guard;
-        Gen *G = Current.load(std::memory_order_acquire);
-        A = G->tryArriveTagged();
-        if (A.Last) {
-          // The Last tag, not isImmediate(), identifies the roller: a
-          // non-last arriver can also complete immediately through the
-          // CQS elimination path when its wake-up outruns its suspend.
-          Gen *Fresh = new Gen(Parties);
-          [[maybe_unused]] Gen *Expected = G;
-          [[maybe_unused]] bool Rolled = Current.compare_exchange_strong(
-              Expected, Fresh, std::memory_order_acq_rel,
-              std::memory_order_acquire);
-          assert(Rolled && "only the last arriver rolls the generation");
-          ebr::retireObject(G);
-          return;
-        }
-      }
+      typename Gen::Arrival A = arriveOnce();
+      if (A.Last)
+        return;
       if (!A.Future.valid()) {
         // We raced ahead of the roll: this generation is already complete
         // and its last arriver is about to install the next one.
@@ -84,7 +67,72 @@ public:
     }
   }
 
+  /// Deadline-bounded arriveAndWait: true iff the generation completed
+  /// within \p Timeout. Semantics differ deliberately from
+  /// java.util.concurrent.CyclicBarrier's broken-barrier model: a timeout
+  /// does NOT break the barrier, and the arrival STANDS — the Listing 6
+  /// barrier *ignores* cancellation (a cancelled waiter has already
+  /// arrived), so the remaining parties still proceed and the generation
+  /// still completes once all of them show up. Consequently a timed-out
+  /// caller must not re-arrive in the same generation (it would exceed the
+  /// Parties contract); treat false as "stop participating until the next
+  /// generation". When the last arrival's resume beats our cancel to the
+  /// result word, true is returned — the generation completed in time.
+  bool awaitFor(std::chrono::nanoseconds Timeout) {
+    const auto Deadline = std::chrono::steady_clock::now() + Timeout;
+    Backoff B;
+    for (;;) {
+      typename Gen::Arrival A = arriveOnce();
+      if (A.Last)
+        return true;
+      if (!A.Future.valid()) {
+        // The generation already completed; its roller is mid-install.
+        // This resolves promptly (no party to wait for), but honor an
+        // already-expired deadline rather than spinning past it.
+        if (std::chrono::steady_clock::now() >= Deadline)
+          return false;
+        B.pause();
+        continue;
+      }
+      auto Now = std::chrono::steady_clock::now();
+      std::chrono::nanoseconds Left =
+          Now < Deadline
+              ? std::chrono::duration_cast<std::chrono::nanoseconds>(Deadline -
+                                                                     Now)
+              : std::chrono::nanoseconds(0);
+      return timedAwait(A.Future, Left).has_value();
+    }
+  }
+
 private:
+  /// One arrival attempt on the current generation, shared by
+  /// arriveAndWait() and awaitFor(): covers the (possibly retired)
+  /// generation with an EBR guard, and when this call is the last arrival
+  /// rolls the barrier to a fresh generation. Never parks; an invalid
+  /// Future in the result means the caller raced ahead of the roll and
+  /// should back off and retry.
+  typename Gen::Arrival arriveOnce() {
+    // The EBR guard covers only the access to the (possibly retired)
+    // generation object — never any park in the caller, which would
+    // stall reclamation process-wide.
+    ebr::Guard Guard;
+    Gen *G = Current.load(std::memory_order_acquire);
+    typename Gen::Arrival A = G->tryArriveTagged();
+    if (A.Last) {
+      // The Last tag, not isImmediate(), identifies the roller: a
+      // non-last arriver can also complete immediately through the
+      // CQS elimination path when its wake-up outruns its suspend.
+      Gen *Fresh = new Gen(Parties);
+      [[maybe_unused]] Gen *Expected = G;
+      [[maybe_unused]] bool Rolled = Current.compare_exchange_strong(
+          Expected, Fresh, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+      assert(Rolled && "only the last arriver rolls the generation");
+      ebr::retireObject(G);
+    }
+    return A;
+  }
+
   const std::int64_t Parties;
   Atomic<Gen *> Current{nullptr};
 };

@@ -39,6 +39,13 @@ public:
   /// the synchronous resumption mode).
   bool tryLock() { return Sem.tryAcquire(); }
 
+  /// Deadline-bounded lock: true if the lock was obtained within
+  /// \p Timeout, in which case the caller must unlock(). Works in any
+  /// resumption mode (unlike tryLock) — see Semaphore::tryAcquireFor.
+  bool tryLockFor(std::chrono::nanoseconds Timeout) {
+    return Sem.tryAcquireFor(Timeout);
+  }
+
   /// True if the mutex is currently held by someone.
   bool isLocked() const { return Sem.availablePermits() <= 0; }
 

@@ -31,11 +31,13 @@
 
 #include "core/Cqs.h"
 #include "future/Future.h"
+#include "future/TimedAwait.h"
 #include "reclaim/Ebr.h"
 #include "support/CacheLine.h"
 
 #include "support/Atomic.h"
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 
@@ -259,6 +261,16 @@ public:
       // Raced with an in-flight put (its slot broke); the put restarts
       // and re-increments, so retry the whole operation.
     }
+  }
+
+  /// Deadline-bounded take: an element obtained within \p Timeout, or
+  /// std::nullopt. A timed-out waiter deregisters via onCancellation();
+  /// when a put() beats the cancel to the result word, the element is
+  /// already assigned to us and is returned (a refused resume would have
+  /// re-inserted it — either way nothing is lost, see future/TimedAwait.h).
+  std::optional<E> retrieveFor(std::chrono::nanoseconds Timeout) {
+    FutureType F = take();
+    return timedAwait(F, Timeout);
   }
 
   /// Elements currently stored (negative: waiters), racy diagnostic.

@@ -42,10 +42,12 @@
 
 #include "core/Cqs.h"
 #include "future/Future.h"
+#include "future/TimedAwait.h"
 #include "support/CacheLine.h"
 
 #include "support/Atomic.h"
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 
 namespace cqs {
@@ -200,6 +202,26 @@ public:
                                        std::memory_order_acquire))
         return;
     }
+  }
+
+  /// Deadline-bounded read lock: true if the shared lock was obtained
+  /// within \p Timeout (pair with readUnlock()). The timeout path is a
+  /// smart cancellation that deregisters the waiting reader; when a cohort
+  /// release beats the cancel, the grant is a live read lock and is kept —
+  /// success is reported instead of a leak (future/TimedAwait.h).
+  bool tryLockSharedFor(std::chrono::nanoseconds Timeout) {
+    FutureType F = readLock();
+    return timedAwait(F, Timeout).has_value();
+  }
+
+  /// Deadline-bounded write lock: true if the exclusive lock was obtained
+  /// within \p Timeout (pair with writeUnlock()). When the aborting writer
+  /// was the last one queued, its cancellation immediately releases any
+  /// waiting readers (the Section 3.1 scenario) — a timed-out writeLock
+  /// never strands the reader cohort.
+  bool tryLockFor(std::chrono::nanoseconds Timeout) {
+    FutureType F = writeLock();
+    return timedAwait(F, Timeout).has_value();
   }
 
   /// Diagnostics (racy snapshots).

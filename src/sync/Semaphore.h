@@ -29,10 +29,12 @@
 
 #include "core/Cqs.h"
 #include "future/Future.h"
+#include "future/TimedAwait.h"
 #include "support/CacheLine.h"
 
 #include "support/Atomic.h"
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 
 namespace cqs {
@@ -100,6 +102,18 @@ public:
         return true;
     }
     return false;
+  }
+
+  /// Deadline-bounded acquire: true if a permit was obtained within
+  /// \p Timeout. Unlike tryAcquire() this works in *any* resumption mode —
+  /// the timeout path is a smart cancellation that hands the reservation
+  /// back via onCancellation(), and when a release() beats the cancel to
+  /// the result word the permit is ours and we report success (see
+  /// future/TimedAwait.h). A successful call must be paired with exactly
+  /// one release(); a failed one owns nothing.
+  bool tryAcquireFor(std::chrono::nanoseconds Timeout) {
+    FutureType F = acquire();
+    return timedAwait(F, Timeout).has_value();
   }
 
   /// Permits currently available (non-positive while waiters exist).

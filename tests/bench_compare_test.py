@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py's exit-code contract.
+
+Focus: the missing-series gate. A whole (benchmark, series) pair present
+in the baseline but absent from the current results must fail loudly
+(exit 2 with a stderr listing), while key-level shrinkage (the series
+survives with fewer sweep points) stays a note, and --report-only always
+exits 0 but still prints the warning.
+
+Run directly (python3 tests/bench_compare_test.py) or through ctest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+COMPARE = os.path.join(REPO_ROOT, "tools", "bench_compare.py")
+
+
+def result(benchmark, series, threads=1, params="", median=1.0):
+    return {
+        "benchmark": benchmark,
+        "series": series,
+        "params": params,
+        "threads": threads,
+        "unit": "us/op",
+        "direction": "lower",
+        "gated": True,
+        "reps": 3,
+        "samples": [median, median, median],
+        "median": median,
+        "min": median,
+        "max": median,
+        "mean": median,
+        "stddev": 0.0,
+    }
+
+
+def doc(results):
+    return {"schema": "cqs-bench-v1", "benchmark": "t", "results": results}
+
+
+class BenchCompareGateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, document):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(document, f)
+        return path
+
+    def run_compare(self, base, cur, *flags):
+        return subprocess.run(
+            [sys.executable, COMPARE, *flags, base, cur],
+            capture_output=True, text=True)
+
+    def test_identical_results_pass(self):
+        base = self.write("base.json", doc([result("fig7", "CQS")]))
+        cur = self.write("cur.json", doc([result("fig7", "CQS")]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_missing_series_exits_2(self):
+        base = self.write("base.json", doc([
+            result("fig7", "CQS"),
+            result("fig7", "baseline"),
+        ]))
+        cur = self.write("cur.json", doc([result("fig7", "CQS")]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 2,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        self.assertIn("fig7: baseline", proc.stderr)
+        self.assertIn("missing", proc.stderr)
+
+    def test_missing_series_report_only_warns_but_passes(self):
+        base = self.write("base.json", doc([
+            result("fig7", "CQS"),
+            result("fig7", "baseline"),
+        ]))
+        cur = self.write("cur.json", doc([result("fig7", "CQS")]))
+        proc = self.run_compare(base, cur, "--report-only")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("fig7: baseline", proc.stderr)
+
+    def test_key_level_shrink_is_tolerated(self):
+        # The series survives at one thread count; dropping the other
+        # sweep points is legitimate (e.g. --quick) and must not gate.
+        base = self.write("base.json", doc([
+            result("fig7", "CQS", threads=1),
+            result("fig7", "CQS", threads=4),
+        ]))
+        cur = self.write("cur.json", doc([result("fig7", "CQS", threads=1)]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_regression_still_exits_1(self):
+        # Exit 1 (regression) must take precedence over any notes, and a
+        # 3x slowdown clears the 50% default threshold.
+        base = self.write("base.json", doc([result("fig7", "CQS",
+                                                   median=1.0)]))
+        cur = self.write("cur.json", doc([result("fig7", "CQS",
+                                                 median=3.0)]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_regression_and_missing_series_prefers_1(self):
+        base = self.write("base.json", doc([
+            result("fig7", "CQS", median=1.0),
+            result("fig7", "baseline"),
+        ]))
+        cur = self.write("cur.json", doc([result("fig7", "CQS",
+                                                 median=3.0)]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        # The missing-series listing is still printed alongside.
+        self.assertIn("fig7: baseline", proc.stderr)
+
+    def test_new_series_do_not_gate(self):
+        # New current-only series (e.g. the timed-mix additions) must not
+        # trip anything against an older baseline.
+        base = self.write("base.json", doc([result("fig7", "CQS")]))
+        cur = self.write("cur.json", doc([
+            result("fig7", "CQS"),
+            result("fig7", "CQS timed-mix"),
+        ]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

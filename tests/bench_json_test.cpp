@@ -105,6 +105,50 @@ TEST(JsonParser, RejectsMalformed) {
   }
 }
 
+TEST(JsonParser, UnicodeEscapes) {
+  // BMP escapes decode to the expected UTF-8 sequences.
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::Parser::parse("\"\\u0041\\u00e9\\u20ac\"", V, &Err))
+      << Err;
+  EXPECT_EQ(V.asString(), "A\xC3\xA9\xE2\x82\xAC"); // A, é, €
+
+  // A surrogate pair combines into one astral code point (U+1F600,
+  // 4-byte UTF-8) — not two garbage 3-byte sequences.
+  ASSERT_TRUE(json::Parser::parse("\"\\ud83d\\ude00\"", V, &Err)) << Err;
+  EXPECT_EQ(V.asString(), "\xF0\x9F\x98\x80");
+
+  // Uppercase hex digits work, and the decoded text round-trips through
+  // the writer (which emits the UTF-8 bytes verbatim).
+  ASSERT_TRUE(json::Parser::parse("\"\\uD83D\\uDE00x\"", V, &Err)) << Err;
+  json::Writer W;
+  W.beginArray();
+  W.value(V.asString());
+  W.endArray();
+  json::Value Back;
+  ASSERT_TRUE(json::Parser::parse(W.take(), Back, &Err)) << Err;
+  EXPECT_EQ(Back.items()[0].asString(), "\xF0\x9F\x98\x80x");
+}
+
+TEST(JsonParser, RejectsBadUnicodeEscapes) {
+  const char *Bad[] = {
+      "\"\\ud83d\"",        // lone high surrogate at end of string
+      "\"\\ud83dx\"",       // high surrogate followed by a plain char
+      "\"\\ud83d\\n\"",     // high surrogate followed by another escape
+      "\"\\ud83d\\u0041\"", // high surrogate followed by a non-low escape
+      "\"\\ude00\"",        // lone low surrogate
+      "\"\\u12\"",          // truncated escape
+      "\"\\u12g4\"",        // non-hex digit
+      "\"\\u 123\"",        // sscanf would have skipped the space
+  };
+  for (const char *Text : Bad) {
+    json::Value V;
+    std::string Err;
+    EXPECT_FALSE(json::Parser::parse(Text, V, &Err)) << Text;
+    EXPECT_FALSE(Err.empty()) << Text;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Reporter / cqs-bench-v1 schema
 //===----------------------------------------------------------------------===//

@@ -23,6 +23,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -299,6 +301,64 @@ TEST(Lincheck, SemaphoreTryAcquireReleaseIsConsistent) {
   };
   Verdict V = SemHoldChecker::checkMany(
       [] { return new SyncSem(2, ResumptionMode::Sync); },
+      [] { return SemHoldModel{}; }, MakeScenario, /*Rounds=*/400);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
+TEST(Lincheck, TimedAcquireZeroDeadlineIsConsistent) {
+  // The timeout-vs-resume race as a linearizability question: a
+  // zero-deadline tryAcquireFor never parks, so it is one reservation
+  // attempt plus the cancel-vs-resume CAS race against concurrent
+  // release()s. Whichever side wins, the op must read as an atomic
+  // "acquire iff a permit was available" at *some* point — a rescue
+  // (cancel lost) linearizes after the release that beat it, a refused
+  // resume returns the permit to the counter. Async resumption mode on
+  // purpose: that is the mode tryAcquire() cannot support, and the mode
+  // where only the timed path provides a non-blocking acquire.
+  auto MakeScenario = [&](std::uint64_t Seed) {
+    SplitMix64 Rng(Seed);
+    SemHoldChecker::Scenario S(3);
+    for (std::size_t T = 0; T < S.size(); ++T) {
+      auto Held = std::make_shared<bool>(false);
+      auto Acq = SemHoldChecker::OpT{
+          "tryAcquireFor(0)",
+          [Held](SyncSem &Sem) -> std::int64_t {
+            *Held = Sem.tryAcquireFor(std::chrono::nanoseconds(0));
+            return *Held ? 1 : 0;
+          },
+          [T](SemHoldModel &M) -> std::int64_t {
+            if (M.Permits <= 0)
+              return 0;
+            --M.Permits;
+            M.Holds[T] = true;
+            return 1;
+          }};
+      auto Rel = SemHoldChecker::OpT{
+          "releaseIfHeld",
+          [Held](SyncSem &Sem) -> std::int64_t {
+            if (!*Held)
+              return 0;
+            Sem.release();
+            *Held = false;
+            return 1;
+          },
+          [T](SemHoldModel &M) -> std::int64_t {
+            if (!M.Holds[T])
+              return 0;
+            ++M.Permits;
+            M.Holds[T] = false;
+            return 1;
+          }};
+      int Pairs = 1 + static_cast<int>(Rng.nextBelow(2));
+      for (int I = 0; I < Pairs; ++I) {
+        S[T].push_back(Acq);
+        S[T].push_back(Rel);
+      }
+    }
+    return S;
+  };
+  Verdict V = SemHoldChecker::checkMany(
+      [] { return new SyncSem(2, ResumptionMode::Async); },
       [] { return SemHoldModel{}; }, MakeScenario, /*Rounds=*/400);
   EXPECT_TRUE(V.Ok) << V.Explanation;
 }

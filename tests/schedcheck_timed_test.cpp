@@ -1,0 +1,291 @@
+//===- tests/schedcheck_timed_test.cpp - model-checked timed operations ---===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The timeout-vs-resume race under the deterministic scheduler. Two
+/// scenario disciplines keep DFS verdicts exhaustive:
+///
+///  - zero-deadline scenarios: timedAwait() with a non-positive timeout
+///    never parks, so the whole operation is one status poll plus the
+///    cancel-vs-resume CAS race — every interleaving against a concurrent
+///    resumer is explored without any timed block in the state space;
+///  - generous-deadline scenarios: a 10s deadline with a *guaranteed*
+///    resumer exercises the scheduler's timed-block support
+///    (sc::blockOnWordTimed — bounded wake budget, virtual-time
+///    fast-forward when every thread is blocked) on the park path, and the
+///    operation must always succeed.
+///
+/// Conservation is the oracle throughout: a true return owns exactly one
+/// permit/element, a false return owns nothing, and refused resumes must
+/// re-deliver (SMART) or silently vanish (SIMPLE barrier) — never leak.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/Ebr.h"
+#include "schedcheck/Sched.h"
+#include "sync/Channel.h"
+#include "sync/CountDownLatch.h"
+#include "sync/CyclicBarrierCqs.h"
+#include "sync/Semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+using namespace cqs;
+using namespace std::chrono_literals;
+
+namespace {
+
+using SmallSem = BasicSemaphore<2>;
+using SmallLatch = BasicCountDownLatch<2>;
+using SmallBarrier = BasicCyclicBarrier<2>;
+using SmallRendezvous = RendezvousChannel<int, 2>;
+
+// --------------------------------------------------------------------------
+// Semaphore (SMART): zero-deadline cancel vs release's resume.
+// --------------------------------------------------------------------------
+
+/// The permit is held by the scenario body; T1 polls with a zero deadline
+/// exactly while T2 releases. Whatever wins the result-word CAS, the
+/// permit count must balance: success owns it, timeout returned it.
+void semaphoreTimedZeroDeadlineRace() {
+  auto *Sem = new SmallSem(1, ResumptionMode::Async);
+  auto F0 = Sem->acquire();
+  sc::check(F0.isImmediate(), "first acquire must take the free permit");
+  bool Got = false;
+  sc::Thread T1 = sc::spawn([&] { Got = Sem->tryAcquireFor(0ns); });
+  sc::Thread T2 = sc::spawn([&] { Sem->release(); });
+  T1.join();
+  T2.join();
+  sc::check(Sem->availablePermits() == (Got ? 0 : 1),
+            "permit lost or duplicated across the timeout/resume race");
+  if (Got)
+    Sem->release();
+  sc::check(Sem->availablePermits() == 1, "drain failed");
+  delete Sem;
+}
+
+TEST(SchedcheckTimed, SemaphoreZeroDeadlineRaceExhaustive) {
+  // TimedWaitStats is PlainAtomic on purpose: invisible to the model, so
+  // it can witness which branches the exploration reached.
+  const TimedWaitStats &TS = timedWaitStats();
+  std::uint64_t Timeouts0 = TS.Timeouts.load(std::memory_order_relaxed);
+  std::uint64_t Rescues0 = TS.Rescues.load(std::memory_order_relaxed);
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, semaphoreTimedZeroDeadlineRace);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+  // Exhaustive DFS must have visited BOTH outcomes of the race: cancel
+  // winning (a timeout) and cancel losing to the release's resume (a
+  // rescue — the branch wall-clock stress cannot reliably reach).
+  EXPECT_GT(TS.Timeouts.load(std::memory_order_relaxed), Timeouts0)
+      << "no execution took the cancel-wins branch";
+  EXPECT_GT(TS.Rescues.load(std::memory_order_relaxed), Rescues0)
+      << "no execution took the resume-wins (rescue) branch";
+}
+
+TEST(SchedcheckTimed, SemaphoreZeroDeadlineRaceRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 3;
+  O.Iterations = 1500;
+  sc::Result R = sc::explore(O, semaphoreTimedZeroDeadlineRace);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+// --------------------------------------------------------------------------
+// Semaphore (SMART): generous deadline parks on the modelled timed futex.
+// --------------------------------------------------------------------------
+
+/// T1 must park (the permit is held) and the guaranteed release must reach
+/// it long before 10 real seconds pass — including through the scheduler's
+/// all-blocked virtual-time fast-forward and spurious timed wakes, which
+/// waitFor() absorbs by re-checking word and deadline.
+void semaphoreTimedParkAndRelease() {
+  auto *Sem = new SmallSem(1, ResumptionMode::Async);
+  auto F0 = Sem->acquire();
+  sc::check(F0.isImmediate(), "first acquire must take the free permit");
+  bool Got = false;
+  sc::Thread T1 = sc::spawn([&] { Got = Sem->tryAcquireFor(10s); });
+  sc::Thread T2 = sc::spawn([&] { Sem->release(); });
+  T1.join();
+  T2.join();
+  sc::check(Got, "a guaranteed release must beat a 10s deadline");
+  Sem->release();
+  sc::check(Sem->availablePermits() == 1, "permit count off after handoff");
+  delete Sem;
+}
+
+TEST(SchedcheckTimed, SemaphoreParkAndReleaseExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, semaphoreTimedParkAndRelease);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckTimed, SemaphoreParkAndReleasePctSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Pct;
+  O.Seed = 5;
+  O.Iterations = 1000;
+  sc::Result R = sc::explore(O, semaphoreTimedParkAndRelease);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+// --------------------------------------------------------------------------
+// CountDownLatch (SMART): awaitFor(0) vs the opening countDown.
+// --------------------------------------------------------------------------
+
+/// When T1's cancel wins, the opening resume is refused (and dropped — a
+/// latch transfers no data); when the resume wins, awaitFor must report
+/// true even though the deadline had passed. Either way the latch ends
+/// open and a later zero-deadline await is immediate.
+void latchTimedZeroVsCountDown() {
+  auto *L = new SmallLatch(1);
+  bool Got = false;
+  sc::Thread T1 = sc::spawn([&] { Got = L->awaitFor(0ns); });
+  sc::Thread T2 = sc::spawn([&] { L->countDown(); });
+  T1.join();
+  T2.join();
+  sc::check(L->count() == 0, "countDown did not close the count");
+  sc::check(L->awaitFor(0ns), "open latch must answer immediately");
+  (void)Got; // both outcomes are legal; conservation is the checks above
+  delete L;
+}
+
+TEST(SchedcheckTimed, LatchZeroDeadlineVsCountDownExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, latchTimedZeroVsCountDown);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+// --------------------------------------------------------------------------
+// CyclicBarrier (SIMPLE): awaitFor(0) vs the completing arrival.
+// --------------------------------------------------------------------------
+
+/// The barrier ignores cancellation (an aborted waiter has already
+/// arrived), so T1's standing arrival lets T2's plain arriveAndWait
+/// complete the generation in every schedule — T1 merely may or may not
+/// learn of the completion before its zero deadline.
+void barrierTimedZeroVsArrive() {
+  auto *B = new SmallBarrier(2);
+  bool Got = false;
+  sc::Thread T1 = sc::spawn([&] { Got = B->awaitFor(0ns); });
+  sc::Thread T2 = sc::spawn([&] { B->arriveAndWait(); });
+  T1.join();
+  T2.join();
+  (void)Got; // termination of both threads IS the property under test
+  delete B;
+}
+
+TEST(SchedcheckTimed, BarrierZeroDeadlineVsArriveExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, barrierTimedZeroVsArrive);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+// --------------------------------------------------------------------------
+// Rendezvous channel: zero-deadline receive vs sendFor, and the parked
+// doorbell path.
+// --------------------------------------------------------------------------
+
+/// Zero deadlines on both sides: sendFor succeeds only against an already
+/// waiting receiver, and that receiver's cancel may still beat the
+/// element's resume — the refused element is then re-buffered, never lost.
+void channelZeroDeadlineRace() {
+  auto *Ch = new SmallRendezvous();
+  bool SendOk = false;
+  std::optional<int> Rx;
+  sc::Thread T1 = sc::spawn([&] { Rx = Ch->receiveFor(0ns); });
+  sc::Thread T2 = sc::spawn([&] { SendOk = Ch->sendFor(5, 0ns); });
+  T1.join();
+  T2.join();
+  std::optional<int> Leftover = Ch->tryReceive();
+  if (SendOk) {
+    // The element entered the channel exactly once: with the receiver
+    // (resume won) or as a refused-resume re-delivery (cancel won).
+    sc::check((Rx == 5 && !Leftover) || (!Rx && Leftover == 5),
+              "sent element lost or duplicated");
+  } else {
+    sc::check(!Rx && !Leftover, "timeout-refused send left an element");
+  }
+  sc::check(!Ch->tryReceive(), "phantom element in the channel");
+  delete Ch;
+}
+
+TEST(SchedcheckTimed, ChannelZeroDeadlineRaceExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, channelZeroDeadlineRace);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+/// Generous deadlines on both sides: the timed sender may park on the
+/// slot-free doorbell (futex epoch + waiter count under the model) and the
+/// receiver's arrival must ring it; the pair always meets.
+void channelSendForParksOnDoorbell() {
+  auto *Ch = new SmallRendezvous();
+  bool SendOk = false;
+  std::optional<int> Rx;
+  sc::Thread T1 = sc::spawn([&] { SendOk = Ch->sendFor(7, 10s); });
+  sc::Thread T2 = sc::spawn([&] { Rx = Ch->receiveFor(10s); });
+  T1.join();
+  T2.join();
+  sc::check(SendOk, "guaranteed receiver must beat a 10s send deadline");
+  sc::check(Rx == 7, "guaranteed sender must beat a 10s receive deadline");
+  sc::check(Ch->balanceForTesting() == 0, "rendezvous left residue");
+  delete Ch;
+}
+
+TEST(SchedcheckTimed, ChannelDoorbellRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 3;
+  O.Iterations = 800;
+  sc::Result R = sc::explore(O, channelSendForParksOnDoorbell);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+TEST(SchedcheckTimed, ChannelDoorbellPctSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Pct;
+  O.Seed = 5;
+  O.Iterations = 600;
+  sc::Result R = sc::explore(O, channelSendForParksOnDoorbell);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

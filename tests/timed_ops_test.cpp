@@ -1,0 +1,310 @@
+//===- tests/timed_ops_test.cpp - deadline-bounded operation tests --------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Functional coverage for the timed variants every primitive gained on top
+/// of timedAwait() (future/TimedAwait.h): immediate success, genuine
+/// timeout (the reservation is handed back — no leaked permit, element, or
+/// lock), zero-timeout polling, and late success when a resumer shows up
+/// within the deadline. The cancel-vs-resume *race* itself is covered
+/// exhaustively by schedcheck_timed_test and statistically by
+/// timed_stress_test; this file pins the deterministic contracts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/Channel.h"
+#include "sync/CountDownLatch.h"
+#include "sync/CyclicBarrierCqs.h"
+#include "sync/Mutex.h"
+#include "sync/Pool.h"
+#include "sync/RwMutex.h"
+#include "sync/Semaphore.h"
+
+#include "reclaim/Ebr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// Long enough that a parked waiter always outlives its resumer's sleep on
+/// a loaded CI host, short enough to bound a hung test.
+constexpr auto Generous = 10s;
+/// Short enough to keep genuine-timeout tests fast.
+constexpr auto Short = 10ms;
+
+//===----------------------------------------------------------------------===//
+// Semaphore
+//===----------------------------------------------------------------------===//
+
+TEST(SemaphoreTimed, ImmediateTimeoutAndConservation) {
+  for (ResumptionMode RMode :
+       {ResumptionMode::Async, ResumptionMode::Sync}) {
+    Semaphore S(2, RMode);
+    // Permits available: even a zero timeout succeeds (immediate future).
+    EXPECT_TRUE(S.tryAcquireFor(0ns));
+    EXPECT_TRUE(S.tryAcquireFor(Short));
+    // Exhausted: a short deadline elapses and the reservation goes back.
+    EXPECT_FALSE(S.tryAcquireFor(Short));
+    EXPECT_FALSE(S.tryAcquireFor(0ns));
+    S.release();
+    S.release();
+    EXPECT_EQ(S.availablePermits(), 2) << "timed-out acquire leaked";
+  }
+}
+
+TEST(SemaphoreTimed, WaiterSucceedsWhenReleasedInTime) {
+  for (ResumptionMode RMode :
+       {ResumptionMode::Async, ResumptionMode::Sync}) {
+    Semaphore S(1, RMode);
+    ASSERT_TRUE(S.tryAcquireFor(0ns));
+    std::thread Releaser([&] {
+      std::this_thread::sleep_for(20ms);
+      S.release();
+    });
+    // Parks in the CQS, then the release resumes it well inside the
+    // deadline; tryAcquireFor must consume that permit and report true.
+    EXPECT_TRUE(S.tryAcquireFor(Generous));
+    Releaser.join();
+    S.release();
+    EXPECT_EQ(S.availablePermits(), 1);
+  }
+}
+
+TEST(SemaphoreTimed, StatsCountWaitsAndTimeouts) {
+  const TimedWaitStats &TS = timedWaitStats();
+  std::uint64_t Waits0 = TS.Waits.load(std::memory_order_relaxed);
+  std::uint64_t Timeouts0 = TS.Timeouts.load(std::memory_order_relaxed);
+  Semaphore S(1);
+  ASSERT_TRUE(S.tryAcquireFor(0ns)); // immediate: no timed wait recorded
+  EXPECT_FALSE(S.tryAcquireFor(1ms));
+  EXPECT_GE(TS.Waits.load(std::memory_order_relaxed), Waits0 + 1);
+  EXPECT_GE(TS.Timeouts.load(std::memory_order_relaxed), Timeouts0 + 1);
+  // The process-wide counters surface through every stats snapshot.
+  CqsStatsSnapshot Snap = CqsStats::processSnapshot();
+  EXPECT_GE(Snap.TimedWaits, Waits0 + 1);
+  EXPECT_GE(Snap.TimedTimeouts, Timeouts0 + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutex
+//===----------------------------------------------------------------------===//
+
+TEST(MutexTimed, TryLockForTimesOutAndRecovers) {
+  Mutex M;
+  ASSERT_TRUE(M.tryLockFor(0ns));
+  std::atomic<bool> TimedOut{false};
+  std::thread T([&] { TimedOut.store(M.tryLockFor(Short) ? false : true); });
+  T.join();
+  EXPECT_TRUE(TimedOut.load());
+  EXPECT_TRUE(M.isLocked()) << "loser's timeout must not unlock the owner";
+  M.unlock();
+  EXPECT_TRUE(M.tryLockFor(0ns));
+  M.unlock();
+  EXPECT_FALSE(M.isLocked());
+}
+
+//===----------------------------------------------------------------------===//
+// RwMutex
+//===----------------------------------------------------------------------===//
+
+TEST(RwMutexTimed, SharedAndExclusiveDeadlines) {
+  RwMutex Rw;
+  ASSERT_TRUE(Rw.tryLockSharedFor(0ns));
+  // Readers share: a second timed shared lock is immediate.
+  ASSERT_TRUE(Rw.tryLockSharedFor(0ns));
+  Rw.readUnlock();
+  // A writer cannot get in while a reader holds the lock.
+  EXPECT_FALSE(Rw.tryLockFor(Short));
+  Rw.readUnlock();
+  EXPECT_TRUE(Rw.tryLockFor(Short));
+  // The held write lock shuts out timed readers.
+  EXPECT_FALSE(Rw.tryLockSharedFor(Short));
+  Rw.writeUnlock();
+  EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+  EXPECT_FALSE(Rw.writerActiveForTesting());
+  EXPECT_EQ(Rw.waitingWritersForTesting(), 0u);
+  EXPECT_EQ(Rw.waitingReadersForTesting(), 0u);
+}
+
+TEST(RwMutexTimed, TimedOutWriterReleasesWaitingReaders) {
+  // The Section 3.1 scenario with the writer's abort caused by a deadline:
+  // R1 holds the lock, a writer waits with a short timeout, R2 queues
+  // behind the writer with a generous one. The writer's timeout must admit
+  // R2 immediately — long before R1 lets go.
+  RwMutex Rw;
+  ASSERT_TRUE(Rw.tryLockSharedFor(0ns)); // R1
+  std::atomic<bool> WriterDone{false};
+  std::thread Writer([&] {
+    EXPECT_FALSE(Rw.tryLockFor(50ms));
+    WriterDone.store(true);
+  });
+  // Give the writer time to register before queueing the reader.
+  std::this_thread::sleep_for(10ms);
+  std::thread R2([&] {
+    EXPECT_TRUE(Rw.tryLockSharedFor(Generous));
+    Rw.readUnlock();
+  });
+  Writer.join();
+  R2.join();
+  EXPECT_TRUE(WriterDone.load());
+  Rw.readUnlock(); // R1
+  EXPECT_EQ(Rw.activeReadersForTesting(), 0u);
+  EXPECT_EQ(Rw.waitingReadersForTesting(), 0u);
+  EXPECT_EQ(Rw.waitingWritersForTesting(), 0u);
+  EXPECT_FALSE(Rw.writerActiveForTesting());
+}
+
+//===----------------------------------------------------------------------===//
+// CountDownLatch
+//===----------------------------------------------------------------------===//
+
+TEST(LatchTimed, AwaitForTimesOutThenOpens) {
+  CountDownLatch L(1);
+  EXPECT_FALSE(L.awaitFor(0ns));
+  EXPECT_FALSE(L.awaitFor(Short));
+  std::thread Waiter([&] { EXPECT_TRUE(L.awaitFor(Generous)); });
+  std::this_thread::sleep_for(20ms);
+  L.countDown();
+  Waiter.join();
+  // Open latch: awaitFor is immediate regardless of the deadline.
+  EXPECT_TRUE(L.awaitFor(0ns));
+  EXPECT_EQ(L.count(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Pool
+//===----------------------------------------------------------------------===//
+
+TEST(PoolTimed, RetrieveForTimesOutAndDelivers) {
+  QueueBlockingPool<int> P;
+  EXPECT_EQ(P.retrieveFor(Short), std::nullopt);
+  EXPECT_EQ(P.retrieveFor(0ns), std::nullopt);
+  P.put(42);
+  EXPECT_EQ(P.retrieveFor(0ns), std::optional<int>(42));
+  std::thread Taker([&] { EXPECT_EQ(P.retrieveFor(Generous), 7); });
+  std::this_thread::sleep_for(20ms);
+  P.put(7);
+  Taker.join();
+  EXPECT_EQ(P.sizeForTesting(), 0) << "timed takes must conserve elements";
+}
+
+//===----------------------------------------------------------------------===//
+// Channel
+//===----------------------------------------------------------------------===//
+
+TEST(ChannelTimed, ReceiveForTimesOutAndDelivers) {
+  BufferedChannel<int> Ch(2);
+  EXPECT_EQ(Ch.receiveFor(Short), std::nullopt);
+  EXPECT_EQ(Ch.receiveFor(0ns), std::nullopt);
+  ASSERT_TRUE(Ch.trySend(5));
+  EXPECT_EQ(Ch.receiveFor(0ns), std::optional<int>(5));
+  std::thread Rx([&] { EXPECT_EQ(Ch.receiveFor(Generous), 6); });
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(Ch.trySend(6));
+  Rx.join();
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+TEST(ChannelTimed, SendForNeverCommitsOnTimeout) {
+  BufferedChannel<int> Ch(1);
+  ASSERT_TRUE(Ch.sendFor(1, 0ns)); // room: behaves like trySend
+  EXPECT_FALSE(Ch.sendFor(2, Short)) << "buffer full, no receiver";
+  EXPECT_FALSE(Ch.sendFor(2, 0ns));
+  // The no-commit contract: the timed-out element is NOT in the channel.
+  EXPECT_EQ(Ch.tryReceive(), std::optional<int>(1));
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt)
+      << "timed-out sendFor left its element behind";
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+TEST(ChannelTimed, SendForLandsWhenSlotFrees) {
+  BufferedChannel<int> Ch(1);
+  ASSERT_TRUE(Ch.sendFor(1, 0ns));
+  std::thread Rx([&] {
+    std::this_thread::sleep_for(20ms);
+    // Draining the buffer rings the slot-free doorbell for the parked
+    // timed sender.
+    EXPECT_EQ(Ch.receiveFor(Generous), std::optional<int>(1));
+  });
+  EXPECT_TRUE(Ch.sendFor(2, Generous));
+  Rx.join();
+  EXPECT_EQ(Ch.tryReceive(), std::optional<int>(2));
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+TEST(ChannelTimed, RendezvousSendForAndReceiveFor) {
+  RendezvousChannel<int> Ch;
+  // No partner: both directions time out, and the failed send left
+  // nothing a later receiver could see.
+  EXPECT_FALSE(Ch.sendFor(9, Short));
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+  EXPECT_EQ(Ch.receiveFor(Short), std::nullopt);
+  // A waiting receiver is the "slot" a rendezvous sendFor needs.
+  std::thread Rx([&] { EXPECT_EQ(Ch.receiveFor(Generous), 7); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(Ch.sendFor(7, Generous));
+  Rx.join();
+  // And a sender arriving first is met by a timed receive.
+  std::thread Tx([&] { EXPECT_TRUE(Ch.sendFor(8, Generous)); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(Ch.receiveFor(Generous), std::optional<int>(8));
+  Tx.join();
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// CyclicBarrier
+//===----------------------------------------------------------------------===//
+
+TEST(CyclicBarrierTimed, TimeoutStandsAndGenerationStillCompletes) {
+  BasicCyclicBarrier<4> B(2);
+  // Nobody else arrives: we time out, but our arrival STANDS (documented
+  // non-breaking semantics — see sync/CyclicBarrierCqs.h).
+  EXPECT_FALSE(B.awaitFor(Short));
+  // The standing arrival means one more party completes the generation —
+  // this arriveAndWait is arrival #2 and returns without blocking forever.
+  std::thread Partner([&] { B.arriveAndWait(); });
+  Partner.join();
+  // Fresh generation: two timed waiters meet and both report success.
+  std::thread A([&] { EXPECT_TRUE(B.awaitFor(Generous)); });
+  std::thread C([&] { EXPECT_TRUE(B.awaitFor(Generous)); });
+  A.join();
+  C.join();
+}
+
+TEST(CyclicBarrierTimed, MixedTimedAndUntimedPhases) {
+  BasicCyclicBarrier<4> B(2);
+  constexpr int Phases = 200;
+  std::atomic<int> Successes{0};
+  auto Body = [&] {
+    for (int I = 0; I < Phases; ++I) {
+      if (B.awaitFor(Generous))
+        Successes.fetch_add(1);
+    }
+  };
+  std::thread A(Body), C(Body);
+  A.join();
+  C.join();
+  EXPECT_EQ(Successes.load(), 2 * Phases)
+      << "generous deadlines must never expire when both parties show up";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

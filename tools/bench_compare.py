@@ -26,8 +26,15 @@ meaningful gate must clear roughly twice the noise floor. 50% leaves
 headroom for the spikes while still catching any real complexity or
 fast-path regression (those show up as 2-100x, see the ablations).
 
+Individual keys may disappear between runs (sweeps legitimately shrink
+when a bench is retuned or run with --quick), but a whole (benchmark,
+series) pair present in the baseline and absent from the new results means
+a bench was deleted or renamed — that fails loudly instead of silently
+passing the gate.
+
 Exit codes: 0 = clean (or --report-only), 1 = regressions found,
-2 = usage/schema error.
+2 = usage/schema error, or a baseline series entirely missing from the
+current results (unless --report-only, which only warns).
 """
 
 import argparse
@@ -137,6 +144,11 @@ def main() -> int:
 
     missing = sorted(set(base) - set(cur))
     new_keys = sorted(set(cur) - set(base))
+    # Key-level gaps are tolerated (sweeps shrink under --quick), but a
+    # (benchmark, series) pair that vanished entirely means a deleted or
+    # renamed bench and must not pass unnoticed.
+    missing_series = sorted({(k[0], k[1]) for k in base}
+                            - {(k[0], k[1]) for k in cur})
 
     print(f"compared {compared} keys "
           f"({len(missing)} only in baseline, {len(new_keys)} new)")
@@ -156,13 +168,21 @@ def main() -> int:
     else:
         print("no regressions beyond the threshold")
     if missing and not args.report_only:
-        # Disappearing coverage is worth a loud note but not a gate trip:
+        # Key-level shrinkage alone is worth a note but not a gate trip:
         # sweeps legitimately shrink when a bench is retuned.
         print(f"\nnote: {len(missing)} baseline key(s) not measured this "
               f"run, e.g. {fmt_key(missing[0])}")
+    if missing_series:
+        print(f"\nerror: {len(missing_series)} baseline series missing "
+              f"entirely from {args.current} (deleted or renamed bench?):",
+              file=sys.stderr)
+        for bench, series in missing_series:
+            print(f"  {bench}: {series}", file=sys.stderr)
 
     if regressions and not args.report_only:
         return 1
+    if missing_series and not args.report_only:
+        return 2
     return 0
 
 
