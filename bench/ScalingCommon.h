@@ -1,0 +1,45 @@
+//===- bench/ScalingCommon.h - shared thread-sweep for scaling curves -----===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread-count sweep shared by the scaling_* benches (DESIGN.md §9,
+/// EXPERIMENTS.md "scaling curves"). The floor {1, 2, 4} is fixed so the
+/// committed baseline and the CI runner always share series keys — the
+/// regression gate (tools/bench_compare.py --scaling) compares curves
+/// point-by-point and only gates thread counts at or below the baseline
+/// host's core count (the "flat region"); points above it are
+/// oversubscribed and reported ungated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_BENCH_SCALINGCOMMON_H
+#define CQS_BENCH_SCALINGCOMMON_H
+
+#include <thread>
+#include <vector>
+
+namespace cqs {
+namespace bench {
+
+/// Thread counts for a scaling sweep: always {1, 2, 4}; full (non-quick)
+/// mode extends by powers of two up to the host's core count, plus the
+/// core count itself when it is not a power of two.
+inline std::vector<int> scalingThreadCounts(bool Quick) {
+  std::vector<int> Ts = {1, 2, 4};
+  if (Quick)
+    return Ts;
+  const int N = static_cast<int>(std::thread::hardware_concurrency());
+  for (int T = 8; T <= N; T *= 2)
+    Ts.push_back(T);
+  if (N > 4 && Ts.back() != N)
+    Ts.push_back(N);
+  return Ts;
+}
+
+} // namespace bench
+} // namespace cqs
+
+#endif // CQS_BENCH_SCALINGCOMMON_H

@@ -1,0 +1,101 @@
+//===- bench/scaling_channel.cpp - burst-send channel scaling -------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Contention-scaling curves for the channel (DESIGN.md §9): one producer
+/// feeding N consumer threads, sending either one element per send()
+/// protocol round or in sendBurst() chunks (one balance update plus one
+/// batched receiver traversal per chunk). The sweep varies the consumer
+/// count; the series difference isolates the batched-resume win on the
+/// producer side.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchMain.h"
+#include "ScalingCommon.h"
+
+#include "reclaim/Ebr.h"
+#include "sync/Channel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+int TotalItems = 200000; // 20000 under --quick
+constexpr std::int64_t Capacity = 64;
+constexpr std::int64_t Burst = 32;
+constexpr int Reps = 3;
+
+/// One producer, \p Consumers receivers; \p UseBurst selects the batched
+/// producer. Item count is fixed so the curve isolates consumer-side
+/// contention and the per-send protocol cost.
+double channelRun(int Consumers, bool UseBurst) {
+  const int PerConsumer = TotalItems / Consumers;
+  const int Items = PerConsumer * Consumers;
+  BufferedChannel<std::uint32_t> C(Capacity);
+  return runThreadTeam(Consumers + 1, [&](int T) {
+    if (T == 0) {
+      if (UseBurst) {
+        std::uint32_t Buf[Burst];
+        std::int64_t Sent = 0;
+        while (Sent < Items) {
+          std::int64_t N = std::min<std::int64_t>(Burst, Items - Sent);
+          for (std::int64_t I = 0; I < N; ++I)
+            Buf[I] = static_cast<std::uint32_t>(Sent + I);
+          C.sendBurst(Buf, N);
+          Sent += N;
+        }
+      } else {
+        for (std::int64_t I = 0; I < Items; ++I) {
+          auto F = C.send(static_cast<std::uint32_t>(I));
+          if (!F.isImmediate())
+            (void)F.blockingGet();
+        }
+      }
+      return;
+    }
+    for (int I = 0; I < PerConsumer; ++I) {
+      auto F = C.receive();
+      if (!F.isImmediate())
+        (void)F.blockingGet();
+    }
+  });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Reporter R("scaling_channel",
+             "channel burst scaling: per-send protocol vs sendBurst; avg "
+             "time per item, lower is better",
+             argc, argv);
+  TotalItems = R.ops(200000, 20000);
+  banner("Scaling: channel", "send loop vs sendBurst, 1 producer");
+  const std::vector<int> ThreadCounts = scalingThreadCounts(R.quick());
+  R.context("capacity=" + std::to_string(Capacity) +
+            ",burst=" + std::to_string(Burst));
+  Table T({"consumers", "send loop", "sendBurst"});
+  for (int Consumers : ThreadCounts) {
+    const int Items = (TotalItems / Consumers) * Consumers;
+    const double Scale = 1e6 / static_cast<double>(Items); // us per item
+    // Recorded thread count is the real team size (consumers + the
+    // producer), so bench_compare's oversubscription check sees actual
+    // concurrency, not just the swept parameter.
+    T.cell(std::to_string(Consumers));
+    T.cell(R.measure("send loop", Consumers + 1, "us/item", Scale, Reps,
+                     [&] { return channelRun(Consumers, false); }));
+    T.cell(R.measure("sendBurst", Consumers + 1, "us/item", Scale, Reps,
+                     [&] { return channelRun(Consumers, true); }));
+    T.endRow();
+  }
+  R.finish();
+  ebr::drainForTesting();
+  return 0;
+}

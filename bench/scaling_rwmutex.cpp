@@ -1,0 +1,132 @@
+//===- bench/scaling_rwmutex.cpp - read-heavy rw lock scaling -------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Contention-scaling curves for the read path (DESIGN.md §9): a
+/// read-heavy mix over the paper-faithful CQS RwMutex (one shared
+/// counter), the striped variant (per-stripe reader counts, writers
+/// sweep), and std::shared_mutex for platform context. The striped curve
+/// should stay flat as reader threads grow; the shared-counter curves
+/// climb with the cacheline ping-pong the stripes remove.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchMain.h"
+#include "ScalingCommon.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+#include "support/Work.h"
+#include "sync/RwMutex.h"
+#include "sync/StripedRwMutex.h"
+
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+int TotalOps = 200000; // 20000 under --quick
+constexpr std::uint64_t WorkMean = 50;
+constexpr int Reps = 3;
+
+template <typename ReadFn, typename WriteFn>
+double rwWorkload(int Threads, int WritePercent, ReadFn Read, WriteFn Write) {
+  const int PerThread = TotalOps / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    SplitMix64 Rng(211 + T);
+    GeometricWork Work(WorkMean, 89 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      if (Rng.chance(WritePercent, 100))
+        Write(Work);
+      else
+        Read(Work);
+    }
+  });
+}
+
+double cqsRwRun(int Threads, int WritePercent) {
+  RwMutex Rw;
+  return rwWorkload(
+      Threads, WritePercent,
+      [&](GeometricWork &W) {
+        (void)Rw.readLock().blockingGet();
+        W.run();
+        Rw.readUnlock();
+      },
+      [&](GeometricWork &W) {
+        (void)Rw.writeLock().blockingGet();
+        W.run();
+        Rw.writeUnlock();
+      });
+}
+
+double stripedRun(int Threads, int WritePercent) {
+  StripedRwMutex Rw;
+  return rwWorkload(
+      Threads, WritePercent,
+      [&](GeometricWork &W) {
+        Rw.lockShared();
+        W.run();
+        Rw.unlockShared();
+      },
+      [&](GeometricWork &W) {
+        Rw.lock();
+        W.run();
+        Rw.unlock();
+      });
+}
+
+double sharedMutexRun(int Threads, int WritePercent) {
+  std::shared_mutex M;
+  return rwWorkload(
+      Threads, WritePercent,
+      [&](GeometricWork &W) {
+        std::shared_lock<std::shared_mutex> L(M);
+        W.run();
+      },
+      [&](GeometricWork &W) {
+        std::unique_lock<std::shared_mutex> L(M);
+        W.run();
+      });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Reporter R("scaling_rwmutex",
+             "read-heavy rw lock scaling: shared counter vs striped "
+             "readers; avg time per op, lower is better",
+             argc, argv);
+  TotalOps = R.ops(200000, 20000);
+  banner("Scaling: rw lock", "read-heavy mixes, striped vs shared counter");
+  const std::vector<int> ThreadCounts = scalingThreadCounts(R.quick());
+  const std::vector<int> WriteMixes =
+      R.quick() ? std::vector<int>{2} : std::vector<int>{0, 2, 10};
+  const double Scale = 1e6 / TotalOps; // us per operation
+  for (int WritePercent : WriteMixes) {
+    std::printf("\n-- %d%% writes --\n", WritePercent);
+    R.context("writes=" + std::to_string(WritePercent) +
+              "%,work=" + std::to_string(WorkMean));
+    Table T({"threads", "CQS RwMutex", "Striped RwMutex",
+             "std::shared_mutex"});
+    for (int Threads : ThreadCounts) {
+      T.cell(std::to_string(Threads));
+      T.cell(R.measure("CQS RwMutex", Threads, "us/op", Scale, Reps,
+                       [&] { return cqsRwRun(Threads, WritePercent); }));
+      T.cell(R.measure("Striped RwMutex", Threads, "us/op", Scale, Reps,
+                       [&] { return stripedRun(Threads, WritePercent); }));
+      T.cell(R.measure("std::shared_mutex", Threads, "us/op", Scale, Reps,
+                       [&] { return sharedMutexRun(Threads, WritePercent); }));
+      T.endRow();
+    }
+  }
+  R.finish();
+  ebr::drainForTesting();
+  return 0;
+}

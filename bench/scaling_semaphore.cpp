@@ -1,0 +1,146 @@
+//===- bench/scaling_semaphore.cpp - semaphore contention scaling ---------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Contention-scaling curves for the permit path (DESIGN.md §9):
+///
+///  - acquire/release throughput of the plain CQS semaphore against the
+///    sharded variant (per-core permit caches) as threads grow, at a
+///    fixed permit count — the sharded curve should stay flat where the
+///    plain one climbs with cacheline bouncing;
+///  - the wake path: a releaser pushing permits to suspended acquirers
+///    one release() at a time versus release(n) batches (one CQS
+///    traversal per batch).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchMain.h"
+#include "ScalingCommon.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Work.h"
+#include "sync/Semaphore.h"
+#include "sync/ShardedSemaphore.h"
+
+#include <string>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::bench;
+
+namespace {
+
+int TotalOps = 200000; // 20000 under --quick
+constexpr std::int64_t Permits = 4;
+constexpr std::uint64_t WorkMean = 50;
+constexpr int Reps = 3;
+
+/// Each thread runs acquire -> tiny critical section -> release; the
+/// total operation count is fixed so the curve isolates contention cost.
+template <typename SemT> double permitLoop(SemT &S, int Threads) {
+  const int PerThread = TotalOps / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    GeometricWork Work(WorkMean, 173 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      auto F = S.acquire();
+      if (!F.isImmediate())
+        (void)F.blockingGet();
+      Work.run();
+      S.release();
+    }
+  });
+}
+
+double plainRun(int Threads) {
+  Semaphore S(Permits);
+  return permitLoop(S, Threads);
+}
+
+double shardedRun(int Threads) {
+  ShardedSemaphore S(Permits);
+  return permitLoop(S, Threads);
+}
+
+/// Wake-path cost: \p Waiters threads each drain PerThread permits from
+/// an exhausted semaphore while one releaser thread feeds it the exact
+/// total, either one release() per permit or in release(Batch) chunks.
+double wakeRun(int Waiters, std::int64_t Batch) {
+  const int PerThread = TotalOps / (4 * Waiters);
+  const std::int64_t Total =
+      static_cast<std::int64_t>(Waiters) * PerThread;
+  Semaphore S(Total);
+  std::vector<Semaphore::FutureType> Held;
+  Held.reserve(Total);
+  for (std::int64_t I = 0; I < Total; ++I)
+    Held.push_back(S.acquire()); // exhaust: every bench permit is owed
+  return runThreadTeam(Waiters + 1, [&](int T) {
+    if (T == 0) {
+      for (std::int64_t Left = Total; Left > 0;) {
+        std::int64_t N = Left < Batch ? Left : Batch;
+        S.release(N);
+        Left -= N;
+      }
+      return;
+    }
+    for (int I = 0; I < PerThread; ++I) {
+      auto F = S.acquire();
+      if (!F.isImmediate())
+        (void)F.blockingGet();
+    }
+  });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Reporter R("scaling_semaphore",
+             "semaphore contention scaling: plain vs sharded permit "
+             "caches, single vs batched wake; avg time per op, lower is "
+             "better",
+             argc, argv);
+  TotalOps = R.ops(200000, 20000);
+  banner("Scaling: semaphore",
+         "plain vs sharded permit caches; wake loop vs release(n)");
+  const std::vector<int> ThreadCounts = scalingThreadCounts(R.quick());
+
+  R.context("permits=" + std::to_string(Permits) +
+            ",work=" + std::to_string(WorkMean));
+  {
+    const double Scale = 1e6 / TotalOps; // us per acquire/release pair
+    Table T({"threads", "CQS Semaphore", "Sharded Semaphore"});
+    for (int Threads : ThreadCounts) {
+      T.cell(std::to_string(Threads));
+      T.cell(R.measure("CQS Semaphore", Threads, "us/op", Scale, Reps,
+                       [&] { return plainRun(Threads); }));
+      T.cell(R.measure("Sharded Semaphore", Threads, "us/op", Scale, Reps,
+                       [&] { return shardedRun(Threads); }));
+      T.endRow();
+    }
+  }
+
+  std::printf("\n-- wake path: all acquirers suspended --\n");
+  R.context("permits=owed,batch=8");
+  {
+    Table T({"waiters", "release loop", "release batch"});
+    for (int Threads : ThreadCounts) {
+      const std::int64_t Total =
+          static_cast<std::int64_t>(Threads) * (TotalOps / (4 * Threads));
+      const double Scale = 1e6 / static_cast<double>(Total); // us/permit
+      // Recorded thread count is the real team size (waiters + the
+      // releaser), so bench_compare's oversubscription check sees actual
+      // concurrency, not just the swept parameter.
+      T.cell(std::to_string(Threads));
+      T.cell(R.measure("release loop", Threads + 1, "us/permit", Scale, Reps,
+                       [&] { return wakeRun(Threads, 1); }));
+      T.cell(R.measure("release batch", Threads + 1, "us/permit", Scale, Reps,
+                       [&] { return wakeRun(Threads, 8); }));
+      T.endRow();
+    }
+  }
+
+  R.finish();
+  ebr::drainForTesting();
+  return 0;
+}

@@ -213,6 +213,92 @@ public:
     return resumeImpl(Value);
   }
 
+  /// Wakes up to \p N waiters in a single pass over the segment list
+  /// instead of N independent resume() calls: the resume pointer is read
+  /// once, the index counter is advanced by the whole batch in one
+  /// fetch_add, and the traversal walks each segment once. This is the
+  /// core of `Semaphore::release(n)`, `CountDownLatch::countDown(n)` and
+  /// the channel burst-send.
+  ///
+  /// \p ValueFor(K) supplies the K-th *delivered* value (K counts
+  /// successful completions, in FIFO order). It must be a pure function of
+  /// K: a cell that fails or is skipped re-requests the same K later.
+  ///
+  /// \returns the number of waiters actually resumed. In the smart
+  /// cancellation mode every cancelled cell claims a replacement index
+  /// (exactly like the one-at-a-time resume), so the return value falls
+  /// short of N only where a single resume() would have returned false: a
+  /// removed segment range in simple mode, or a broken SYNC rendezvous.
+  /// Callers compensate for the shortfall the same way they would restart
+  /// after a failed resume().
+  template <typename Fn>
+  std::uint64_t resumeBatchWith(std::uint64_t N, Fn &&ValueFor) {
+    if (N == 0)
+      return 0;
+    ebr::Guard Guard;
+    bump(Stats.BatchResumes);
+    std::uint64_t Delivered = 0;
+    std::uint64_t Want = N;
+    while (Want > 0) {
+      // Read the cached segment before claiming indices (same ordering
+      // requirement as resumeImpl: the segment must be at or before the
+      // claimed range so the forward search can find it).
+      Seg *Start = ResumeSegm->load(std::memory_order_acquire);
+      std::uint64_t First =
+          ResumeIdx->fetch_add(Want, std::memory_order_acq_rel);
+      std::uint64_t Last = First + Want;
+      Want = 0;
+      Seg *S = Start;
+      std::uint64_t Idx = First;
+      while (Idx < Last) {
+        std::uint64_t SegId = Idx / SegmentSize;
+        if (S->Id < SegId)
+          S = List::findAndMoveForward(*ResumeSegm, S, SegId);
+        S->clearPrev();
+        if (S->Id != SegId) {
+          // The segment(s) covering [Idx, S->Id * SegmentSize) were
+          // entirely cancelled and removed; handle the whole dead range
+          // in one hop.
+          assert(S->Id > SegId && "resume segment moved backwards");
+          std::uint64_t DeadEnd = std::min(Last, S->Id * SegmentSize);
+          if (CMode == CancellationMode::Simple) {
+            // Each removed index is one failed resume, exactly as the
+            // one-at-a-time loop would report: no delivery, no
+            // replacement. The caller compensates for the shortfall.
+          } else {
+            bump(Stats.SegmentSkips);
+            Want += DeadEnd - Idx; // claim replacement indices
+          }
+          Idx = DeadEnd;
+          continue;
+        }
+        unsigned CellIdx = static_cast<unsigned>(Idx % SegmentSize);
+        switch (processResumeCell(S, CellIdx, ValueFor(Delivered))) {
+        case CellResult::Done:
+          ++Delivered;
+          break;
+        case CellResult::Failed:
+          // Simple-mode cancelled waiter or broken SYNC rendezvous: the
+          // value was not handed over and the index is spent, same as a
+          // single resume() returning false.
+          break;
+        case CellResult::SkipCell:
+          ++Want; // smart mode: claim a replacement index
+          break;
+        }
+        ++Idx;
+      }
+    }
+    Stats.BatchedWakeups.fetch_add(Delivered, std::memory_order_relaxed);
+    return Delivered;
+  }
+
+  /// Fixed-value convenience form of resumeBatchWith (Unit-valued queues:
+  /// semaphores, latches).
+  std::uint64_t resumeBatch(std::uint64_t N, T Value) {
+    return resumeBatchWith(N, [&Value](std::uint64_t) { return Value; });
+  }
+
   /// Path-coverage counters (see core/CqsStats.h).
   const CqsStats &stats() const { return Stats; }
 

@@ -41,10 +41,11 @@ struct CqsStats;
 /// process-wide — the pools are shared, not per-instance — so they are
 /// zero in per-instance snapshots and only populated by processSnapshot(),
 /// which is what the benchmark JSON exporter deltas. The three timed-wait
-/// fields (future/TimedAwait.h and the channel's timed send) follow the
-/// same pattern: the deadline layer sits above any single CQS instance.
+/// fields (future/TimedAwait.h and the channel's timed send) and the four
+/// shard fields (the sharded semaphore's permit caches) follow the same
+/// pattern: those layers sit above any single CQS instance.
 struct CqsStatsSnapshot {
-  static constexpr int NumFields = 22;
+  static constexpr int NumFields = 28;
 
   std::uint64_t Suspensions = 0;
   std::uint64_t Eliminations = 0;
@@ -59,6 +60,8 @@ struct CqsStatsSnapshot {
   std::uint64_t RefusedResumes = 0;
   std::uint64_t Cancellations = 0;
   std::uint64_t RefuseVerdicts = 0;
+  std::uint64_t BatchResumes = 0;
+  std::uint64_t BatchedWakeups = 0;
   std::uint64_t RequestPoolHits = 0;
   std::uint64_t RequestPoolMisses = 0;
   std::uint64_t RequestsRecycled = 0;
@@ -68,6 +71,10 @@ struct CqsStatsSnapshot {
   std::uint64_t TimedWaits = 0;
   std::uint64_t TimedTimeouts = 0;
   std::uint64_t TimedRescues = 0;
+  std::uint64_t ShardHits = 0;
+  std::uint64_t ShardMisses = 0;
+  std::uint64_t ShardPuts = 0;
+  std::uint64_t ShardRebalances = 0;
 
   static const char *fieldName(int I) {
     static const char *const Names[NumFields] = {
@@ -75,10 +82,12 @@ struct CqsStatsSnapshot {
         "completions",   "value_deposits", "broken_cells",
         "simple_failures", "skipped_cells", "segment_skips",
         "delegations",   "refused_resumes", "cancellations",
-        "refuse_verdicts", "request_pool_hits", "request_pool_misses",
+        "refuse_verdicts", "batch_resumes", "batched_wakeups",
+        "request_pool_hits", "request_pool_misses",
         "requests_recycled", "segment_pool_hits", "segment_pool_misses",
         "segments_recycled", "timed_waits", "timed_timeouts",
-        "timed_rescues"};
+        "timed_rescues", "shard_hits", "shard_misses", "shard_puts",
+        "shard_rebalances"};
     return Names[I];
   }
 
@@ -88,10 +97,12 @@ struct CqsStatsSnapshot {
         &Completions,      &ValueDeposits,     &BrokenCells,
         &SimpleFailures,   &SkippedCells,      &SegmentSkips,
         &Delegations,      &RefusedResumes,    &Cancellations,
-        &RefuseVerdicts,   &RequestPoolHits,   &RequestPoolMisses,
+        &RefuseVerdicts,   &BatchResumes,      &BatchedWakeups,
+        &RequestPoolHits,  &RequestPoolMisses,
         &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
         &SegmentsRecycled, &TimedWaits,        &TimedTimeouts,
-        &TimedRescues};
+        &TimedRescues,     &ShardHits,         &ShardMisses,
+        &ShardPuts,        &ShardRebalances};
     return *Fields[I];
   }
 
@@ -101,10 +112,12 @@ struct CqsStatsSnapshot {
         &Completions,      &ValueDeposits,     &BrokenCells,
         &SimpleFailures,   &SkippedCells,      &SegmentSkips,
         &Delegations,      &RefusedResumes,    &Cancellations,
-        &RefuseVerdicts,   &RequestPoolHits,   &RequestPoolMisses,
+        &RefuseVerdicts,   &BatchResumes,      &BatchedWakeups,
+        &RequestPoolHits,  &RequestPoolMisses,
         &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
         &SegmentsRecycled, &TimedWaits,        &TimedTimeouts,
-        &TimedRescues};
+        &TimedRescues,     &ShardHits,         &ShardMisses,
+        &ShardPuts,        &ShardRebalances};
     return *Fields[I];
   }
 
@@ -148,6 +161,27 @@ inline TimedWaitStats &timedWaitStats() {
   return S;
 }
 
+/// Process-wide counters for the sharded permit caches (ShardedSemaphore).
+/// One block for the whole process, like the pools: shard traffic is a
+/// property of the contention-scaling layer, and a single block keeps the
+/// fast path to one relaxed increment with no instance plumbing.
+///  - Hits: acquire served from a per-thread shard cache (no global RMW).
+///  - Misses: shard caches empty, acquire fell through to the global pool.
+///  - Puts: release banked its permit into a shard cache.
+///  - Rebalances: cached permits drained back to the global pool (counted
+///    per permit) because an acquirer registered as a waiter.
+struct ShardStats {
+  PlainAtomic<std::uint64_t> Hits{0};
+  PlainAtomic<std::uint64_t> Misses{0};
+  PlainAtomic<std::uint64_t> Puts{0};
+  PlainAtomic<std::uint64_t> Rebalances{0};
+};
+
+inline ShardStats &shardStats() {
+  static ShardStats S;
+  return S;
+}
+
 /// Counter block embedded in every Cqs instance.
 struct CqsStats {
   /// suspend() installed a waiter into an empty cell.
@@ -178,6 +212,11 @@ struct CqsStats {
   PlainAtomic<std::uint64_t> Cancellations{0};
   /// Smart cancellation verdicts that refused the incoming resume.
   PlainAtomic<std::uint64_t> RefuseVerdicts{0};
+  /// resumeBatch() calls (each wakes up to N waiters in one traversal).
+  PlainAtomic<std::uint64_t> BatchResumes{0};
+  /// Waiters completed by resumeBatch() calls (the per-waiter tally; a
+  /// high BatchedWakeups/BatchResumes ratio is the batching win).
+  PlainAtomic<std::uint64_t> BatchedWakeups{0};
 
   /// Relaxed read of a counter (tests call these at quiescence).
   static std::uint64_t read(const PlainAtomic<std::uint64_t> &C) {
@@ -202,6 +241,8 @@ struct CqsStats {
     S.RefusedResumes = read(RefusedResumes);
     S.Cancellations = read(Cancellations);
     S.RefuseVerdicts = read(RefuseVerdicts);
+    S.BatchResumes = read(BatchResumes);
+    S.BatchedWakeups = read(BatchedWakeups);
     return S;
   }
 
@@ -262,6 +303,11 @@ struct CqsStats {
     S.TimedWaits = ReadPool(TW.Waits);
     S.TimedTimeouts = ReadPool(TW.Timeouts);
     S.TimedRescues = ReadPool(TW.Rescues);
+    const ShardStats &Sh = shardStats();
+    S.ShardHits = ReadPool(Sh.Hits);
+    S.ShardMisses = ReadPool(Sh.Misses);
+    S.ShardPuts = ReadPool(Sh.Puts);
+    S.ShardRebalances = ReadPool(Sh.Rebalances);
     return S;
   }
 

@@ -6,6 +6,7 @@
 
 #include "support/Futex.h"
 #include "support/Backoff.h"
+#include "support/SpinTuning.h"
 
 #include <thread>
 
@@ -28,15 +29,23 @@ void futexSpinThenWait(const Atomic<std::uint32_t> &Word,
     // futex sleep/wake syscall pair plus a context switch on both sides) is
     // almost always avoided. Longer relax ramps are counterproductive for
     // the same reason: spinning steals the very cycles the finisher needs.
-    for (int Tries = 0;
-         Tries < 20 && Word.load(std::memory_order_acquire) == 0; ++Tries) {
+    // The budget adapts to observed wake latency: waits that complete in
+    // the spin phase grow it, waits that park anyway shrink it.
+    AdaptiveSpinBudget &Budget = parkSpinBudget();
+    const std::uint32_t Rounds = Budget.rounds();
+    for (std::uint32_t Tries = 0;
+         Tries < Rounds && Word.load(std::memory_order_acquire) == 0;
+         ++Tries) {
       if (Tries < 4)
         cpuRelax();
       else
         std::this_thread::yield();
     }
-    if (Word.load(std::memory_order_acquire) != 0)
+    if (Word.load(std::memory_order_acquire) != 0) {
+      Budget.recordSpinHit();
       return;
+    }
+    Budget.recordPark();
   }
 
   // Dekker pair with the finisher (see Request::finish()): register in

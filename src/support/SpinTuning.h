@@ -1,0 +1,88 @@
+//===- support/SpinTuning.h - adaptive spin-then-park budget --------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Adaptive spin budget for spin-then-park waits (the shared parking path
+/// in Futex.cpp and the striped RwMutex writer sweep). The classic
+/// InnoDB-style constants (SYNC_SPIN_ROUNDS, see SNIPPETS.md) are fixed at
+/// build time; here the budget adapts to the observed wake latency
+/// instead: every wait that completes within the spin phase votes to grow
+/// the budget (spinning is paying off), every wait that had to park votes
+/// to shrink it (those spin cycles were pure waste on top of a syscall).
+///
+/// Growth is additive-ish (+25%), shrinkage multiplicative (-50%), so a
+/// workload that parks most of the time converges to the minimum in a few
+/// waits while a workload of short waits climbs slowly and stays there.
+/// Updates are racy by design (PlainAtomic, relaxed): a lost update costs
+/// one vote, and the budget is a heuristic, not a correctness bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_SPINTUNING_H
+#define CQS_SUPPORT_SPINTUNING_H
+
+#include "support/Atomic.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cqs {
+
+class AdaptiveSpinBudget {
+public:
+  static constexpr std::uint32_t MinRounds = 4;
+  static constexpr std::uint32_t MaxRounds = 256;
+  /// Matches the historical fixed budget of the parking path, so a
+  /// workload the tuner has not seen yet behaves exactly as before.
+  static constexpr std::uint32_t InitialRounds = 20;
+
+  /// Current spin budget, in loop rounds.
+  std::uint32_t rounds() const {
+    return Budget.load(std::memory_order_relaxed);
+  }
+
+  /// The wait finished during the spin phase: spinning paid, grow +25%.
+  void recordSpinHit() {
+    std::uint32_t Cur = Budget.load(std::memory_order_relaxed);
+    std::uint32_t Next = std::min(MaxRounds, Cur + (Cur >> 2) + 1);
+    if (Next != Cur)
+      Budget.store(Next, std::memory_order_relaxed);
+    SpinHits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The spin phase expired and the waiter parked: halve the budget.
+  void recordPark() {
+    std::uint32_t Cur = Budget.load(std::memory_order_relaxed);
+    std::uint32_t Next = std::max(MinRounds, Cur >> 1);
+    if (Next != Cur)
+      Budget.store(Next, std::memory_order_relaxed);
+    Parks.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t spinHitsForTesting() const {
+    return SpinHits.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parksForTesting() const {
+    return Parks.load(std::memory_order_relaxed);
+  }
+
+private:
+  PlainAtomic<std::uint32_t> Budget{InitialRounds};
+  PlainAtomic<std::uint64_t> SpinHits{0};
+  PlainAtomic<std::uint64_t> Parks{0};
+};
+
+/// Process-wide budget for the request parking path (futexSpinThenWait).
+/// One budget for all requests: wake latency there is a property of the
+/// host's scheduling situation (oversubscription, core count), not of any
+/// single primitive instance.
+inline AdaptiveSpinBudget &parkSpinBudget() {
+  static AdaptiveSpinBudget Budget;
+  return Budget;
+}
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_SPINTUNING_H

@@ -1,0 +1,89 @@
+//===- support/Striping.h - thread-to-stripe assignment -------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Thread-to-stripe hashing shared by the contention-scaling primitives
+/// (ShardedSemaphore, StripedRwMutex). Each OS thread is assigned a small
+/// round-robin slot on first use; a primitive with a power-of-two stripe
+/// count masks that slot down to its own index. Round-robin (rather than
+/// hashing the thread id) spreads the first N threads across N stripes
+/// perfectly, which is exactly the bench/server steady state we care
+/// about; collisions only appear once threads outnumber slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SUPPORT_STRIPING_H
+#define CQS_SUPPORT_STRIPING_H
+
+#include "support/Atomic.h"
+
+#include <cassert>
+#include <cstdint>
+#include <thread>
+
+namespace cqs {
+
+/// Upper bound on stripes/shards any primitive allocates. Keeps the
+/// per-instance footprint bounded (64 cachelines = 4 KiB of counters) and
+/// caps the writer's sweep length.
+inline constexpr unsigned MaxStripes = 64;
+
+namespace detail {
+inline PlainAtomic<std::uint32_t> &stripeSlotCounter() {
+  static PlainAtomic<std::uint32_t> Counter{0};
+  return Counter;
+}
+inline std::uint32_t &threadStripeSlot() {
+  // -1 = unassigned; assignment is sticky for the thread's lifetime so a
+  // lock acquired on this thread unlocks against the same stripe.
+  thread_local std::uint32_t Slot = UINT32_MAX;
+  return Slot;
+}
+} // namespace detail
+
+/// Rounds \p N up to the next power of two, clamped to [1, MaxStripes].
+inline unsigned roundUpPow2Stripes(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < MaxStripes)
+    P <<= 1;
+  return P;
+}
+
+/// Default stripe count for this host: hardware concurrency rounded up to
+/// a power of two (so stripe selection is a mask, not a division), clamped
+/// to MaxStripes. At least 2 so the striped code paths are exercised even
+/// on a single-core host.
+inline unsigned defaultStripeCount() {
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw < 2)
+    Hw = 2;
+  return roundUpPow2Stripes(Hw);
+}
+
+/// The calling thread's stripe index for a primitive with \p Count
+/// stripes. \p Count must be a power of two. Stable for the lifetime of
+/// the thread (reader lock/unlock must hit the same stripe).
+inline unsigned currentStripe(unsigned Count) {
+  assert(Count > 0 && (Count & (Count - 1)) == 0 &&
+         "stripe counts are powers of two");
+  std::uint32_t &Slot = detail::threadStripeSlot();
+  if (Slot == UINT32_MAX)
+    Slot = detail::stripeSlotCounter().fetch_add(
+        1, std::memory_order_relaxed);
+  return Slot & (Count - 1);
+}
+
+/// Test hook: pins the calling thread's stripe slot. Schedcheck scenarios
+/// use this so stripe assignment is identical across executions (the
+/// global round-robin counter otherwise advances monotonically over the
+/// explorer's thousands of short-lived threads, which would make replays
+/// diverge).
+inline void setThreadStripeSlotForTesting(std::uint32_t Slot) {
+  detail::threadStripeSlot() = Slot;
+}
+
+} // namespace cqs
+
+#endif // CQS_SUPPORT_STRIPING_H

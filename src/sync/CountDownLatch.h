@@ -67,6 +67,16 @@ public:
       resumeWaiters();
   }
 
+  /// Registers completion of \p N operations in one counter update (a
+  /// worker finishing a chunk of N items does not pay N RMWs on the shared
+  /// cacheline). Opens the latch iff this call brings the count to zero.
+  void countDown(std::int64_t N) {
+    assert(N > 0 && "countDown(n) takes a positive count");
+    std::int64_t R = Count->fetch_sub(N, std::memory_order_acq_rel);
+    if (R <= N)
+      resumeWaiters();
+  }
+
   /// Remaining count (clamped at zero like Java's getCount()).
   std::int64_t count() const {
     std::int64_t C = Count->load(std::memory_order_acquire);
@@ -106,8 +116,10 @@ private:
       if (Waiters->compare_exchange_strong(W, W | DoneBit,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
-        for (std::uint32_t I = 0; I < W; ++I)
-          (void)Q.resume(Unit{});
+        // One traversal for all W waiters. Under Simple cancellation the
+        // batch reports fewer completions when it meets cancelled cells —
+        // ignored here exactly as the W individual resume() returns were.
+        (void)Q.resumeBatch(W, Unit{});
         return;
       }
     }

@@ -90,6 +90,35 @@ public:
     }
   }
 
+  /// Batched release: returns \p N permits with a single counter update
+  /// and at most one batched queue traversal per retry round, instead of
+  /// N independent release() calls (N segment walks, N counter RMWs).
+  /// Waiters are resumed in FIFO order, exactly as N sequential releases
+  /// would.
+  void release(std::int64_t N) {
+    assert(N > 0 && "release(n) takes a positive permit count");
+    std::int64_t Pending = N;
+    for (;;) {
+      [[maybe_unused]] std::int64_t S =
+          State->fetch_add(Pending, std::memory_order_acq_rel);
+      assert(S + Pending <= MaxPermits &&
+             "release(n) without matching acquires");
+      if (S >= 0)
+        return; // no waiters: all permits banked in state
+      // -S waiters were registered when we added; wake min(Pending, -S) of
+      // them in one traversal. The remainder (if any) is banked in state.
+      std::int64_t ToWake = Pending < -S ? Pending : -S;
+      std::uint64_t Done =
+          Q.resumeBatch(static_cast<std::uint64_t>(ToWake), Unit{});
+      if (static_cast<std::int64_t>(Done) == ToWake)
+        return;
+      // SYNC mode rendezvous failures: both sides restart; re-add only the
+      // undelivered permits (Listing 12's unlock loop, batched).
+      assert(resumptionMode() == ResumptionMode::Sync);
+      Pending = ToWake - static_cast<std::int64_t>(Done);
+    }
+  }
+
   /// Non-blocking acquire; never touches the CQS. Correct only in the
   /// synchronous resumption mode (see the Figure 9 counterexample).
   bool tryAcquire() {

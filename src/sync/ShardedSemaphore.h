@@ -1,0 +1,298 @@
+//===- sync/ShardedSemaphore.h - sharded permit caches over CQS -*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contention-scaling variant of the Section 4.3 semaphore. The plain
+/// BasicSemaphore funnels every acquire/release through one fetch-add
+/// cacheline, which becomes the throughput ceiling at high core counts
+/// (see bench/scaling_semaphore). Here free permits are cached in
+/// per-stripe slots (one cacheline each, threads hashed by
+/// support/Striping.h), so the uncontended steady state — each thread
+/// acquiring and releasing "its own" permit — touches only its home
+/// shard's cacheline:
+///
+///  - acquire: take from the home shard, then sweep the sibling shards
+///    (work-stealing), and only then fall through to the global counter +
+///    CQS slow path of the plain semaphore;
+///  - release: bank into the home shard when nobody waits, else hand the
+///    permit through the global pool so the CQS wakes the first waiter.
+///
+/// The CQS queue stays the single slow path, so the blocking contract is
+/// unchanged: waiters are FIFO, acquires are abortable, and
+/// tryAcquireFor() works in any resumption mode via the same smart
+/// cancellation protocol as BasicSemaphore (Listing 16).
+///
+/// The stranded-permit race — release banks into a shard at the very
+/// moment an acquirer gives up on the shards and suspends — is closed by
+/// a Dekker protocol over the seq_cst order:
+///  - the slow acquirer first *registers* as a waiter (global fetch_sub
+///    driving state negative), then drains every shard cache back to the
+///    global pool;
+///  - the releaser first banks its permit in the shard, then re-checks the
+///    global state; a registered waiter forces it to take the permit back
+///    out and release it globally.
+/// Either the drain reclaims the banked permit, or the releaser observes
+/// the registration and re-routes — a permit can never sit in a cache
+/// while a waiter parks. (Resuming the waiter before its suspend() lands
+/// is fine: resume-before-suspend elimination, Section 3.)
+///
+/// Fairness trade-off (DESIGN.md §9): the shard fast path is a barging
+/// path, but barging is only possible while *no* waiter is registered —
+/// where FIFO is vacuous. The moment anyone registers, the caches drain
+/// and stay effectively empty (every banked permit is reclaimed by the
+/// releaser's re-check), so all traffic flows through the fair global/CQS
+/// path until the queue empties again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_SHARDEDSEMAPHORE_H
+#define CQS_SYNC_SHARDEDSEMAPHORE_H
+
+#include "core/Cqs.h"
+#include "future/Future.h"
+#include "future/TimedAwait.h"
+#include "support/CacheLine.h"
+#include "support/Striping.h"
+
+#include "support/Atomic.h"
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+
+namespace cqs {
+
+/// Fair-when-contended counting semaphore with per-stripe permit caches.
+template <unsigned SegmentSize = 16>
+class BasicShardedSemaphore
+    : private Cqs<Unit, ValueTraits<Unit>,
+                  SegmentSize>::SmartCancellationHandler {
+public:
+  using CqsType = Cqs<Unit, ValueTraits<Unit>, SegmentSize>;
+  using FutureType = typename CqsType::FutureType;
+
+  /// \p Shards (rounded up to a power of two, clamped to MaxStripes)
+  /// defaults to the host's stripe count; tests pass an explicit count for
+  /// determinism. Each shard caches at most Permits/Shards permits (min
+  /// 1), so a single cache can never absorb the whole pool.
+  explicit BasicShardedSemaphore(std::int64_t Permits, unsigned Shards = 0,
+                                 ResumptionMode RMode = ResumptionMode::Async)
+      : Q(CancellationMode::Smart, RMode, this), State(Permits),
+        MaxPermits(Permits),
+        NumShards(Shards ? roundUpPow2Stripes(Shards) : defaultStripeCount()),
+        ShardCap(Permits / NumShards > 0 ? Permits / NumShards : 1) {
+    assert(Permits >= 1 && "a semaphore needs at least one permit");
+  }
+
+  /// Takes a permit. Fast path: the caller's home shard cache, then a
+  /// stealing sweep of the siblings. Slow path: the plain semaphore's
+  /// global counter + CQS suspend, preceded by a drain of all caches (see
+  /// the file comment for the Dekker argument).
+  FutureType acquire() {
+    if (takeFromShard(Shards[homeShard()]))
+      return FutureType::immediate(Unit{});
+    if (stealFromSiblings())
+      return FutureType::immediate(Unit{});
+    bump(shardStats().Misses);
+    for (;;) {
+      std::int64_t S = State->fetch_sub(1, std::memory_order_seq_cst);
+      if (S > 0)
+        return FutureType::immediate(Unit{});
+      // Registered as a waiter (state < 0); now reclaim every cached
+      // permit so none can sit idle while we park. Any permit drained
+      // here is released globally and may well resume *us* before our
+      // suspend() lands — resume-before-suspend elimination handles that.
+      drainShards();
+      FutureType F = Q.suspend();
+      if (F.valid())
+        return F;
+      // SYNC mode: our cell was broken by a rendezvous timeout; restart.
+      assert(resumptionMode() == ResumptionMode::Sync);
+    }
+  }
+
+  /// Returns a permit. Banks it in the home shard when no waiter is
+  /// registered; hands it through the global pool (waking the first
+  /// waiter) otherwise.
+  void release() {
+    if (State->load(std::memory_order_seq_cst) < 0) {
+      globalRelease(1); // waiters queued: FIFO hand-off through the CQS
+      return;
+    }
+    Shard &Sh = Shards[homeShard()];
+    if (putToShard(Sh)) {
+      bump(shardStats().Puts);
+      // Dekker re-check: an acquirer may have registered between our load
+      // and the put. Reclaim the permit so it cannot be stranded in the
+      // cache while that waiter parks (its own drain may already have
+      // taken it — then there is nothing to reclaim).
+      if (State->load(std::memory_order_seq_cst) < 0 && takeRawFromShard(Sh))
+        globalRelease(1);
+      return;
+    }
+    globalRelease(1); // home cache full: bank globally
+  }
+
+  /// Batched release: \p N permits, one global counter update and one
+  /// batched CQS traversal. Goes straight to the global pool — batches
+  /// matter when waiters are queued, and the fair path is what wakes them.
+  void release(std::int64_t N) {
+    assert(N > 0 && "release(n) takes a positive permit count");
+    globalRelease(N);
+  }
+
+  /// Non-blocking acquire from the caches or the global counter. Correct
+  /// only in the synchronous resumption mode (as BasicSemaphore). The
+  /// stealing sweep visits every cache before giving up, so a false
+  /// return means every permit was held or in flight at some point during
+  /// the call — no permit can hide from tryAcquire in a remote cache.
+  bool tryAcquire() {
+    assert(resumptionMode() == ResumptionMode::Sync &&
+           "tryAcquire() requires ResumptionMode::Sync");
+    if (takeFromShard(Shards[homeShard()]) || stealFromSiblings())
+      return true;
+    std::int64_t S = State->load(std::memory_order_seq_cst);
+    while (S > 0) {
+      if (State->compare_exchange_weak(S, S - 1, std::memory_order_seq_cst,
+                                       std::memory_order_seq_cst))
+        return true;
+    }
+    return false;
+  }
+
+  /// Deadline-bounded acquire; works in any resumption mode (same smart
+  /// cancellation protocol as BasicSemaphore::tryAcquireFor).
+  bool tryAcquireFor(std::chrono::nanoseconds Timeout) {
+    FutureType F = acquire();
+    return timedAwait(F, Timeout).has_value();
+  }
+
+  /// Global pool balance (non-positive while waiters exist). Cached
+  /// permits are *not* included; see totalPermitsForTesting().
+  std::int64_t availablePermits() const {
+    return State->load(std::memory_order_seq_cst);
+  }
+
+  /// Conservation probe: global balance + every cache. Equals the permit
+  /// count minus held permits at quiescence; racy during traffic.
+  std::int64_t totalPermitsForTesting() const {
+    std::int64_t T = State->load(std::memory_order_seq_cst);
+    for (unsigned I = 0; I < NumShards; ++I)
+      T += Shards[I].Cache.load(std::memory_order_seq_cst);
+    return T;
+  }
+
+  unsigned shardCountForTesting() const { return NumShards; }
+  std::int64_t shardCapForTesting() const { return ShardCap; }
+
+  ResumptionMode resumptionMode() const {
+    return Q.resumptionModeForTesting();
+  }
+
+private:
+  /// One permit cache per stripe, padded so shards never share a line.
+  struct alignas(CacheLineSize) Shard {
+    Atomic<std::int64_t> Cache{0};
+  };
+
+  unsigned homeShard() const { return currentStripe(NumShards); }
+
+  /// Fast take; seq_cst so the drain/put Dekker reasoning can treat every
+  /// shard access as part of one total order.
+  bool takeFromShard(Shard &Sh) {
+    if (!takeRawFromShard(Sh))
+      return false;
+    bump(shardStats().Hits);
+    return true;
+  }
+
+  bool takeRawFromShard(Shard &Sh) {
+    std::int64_t C = Sh.Cache.load(std::memory_order_seq_cst);
+    while (C > 0) {
+      if (Sh.Cache.compare_exchange_weak(C, C - 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst))
+        return true;
+    }
+    return false;
+  }
+
+  bool putToShard(Shard &Sh) {
+    std::int64_t C = Sh.Cache.load(std::memory_order_seq_cst);
+    while (C < ShardCap) {
+      if (Sh.Cache.compare_exchange_weak(C, C + 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst))
+        return true;
+    }
+    return false;
+  }
+
+  /// Work-stealing sweep of the sibling caches, starting after home.
+  bool stealFromSiblings() {
+    unsigned Home = homeShard();
+    for (unsigned I = 1; I < NumShards; ++I) {
+      if (takeFromShard(Shards[(Home + I) & (NumShards - 1)]))
+        return true;
+    }
+    return false;
+  }
+
+  /// Empties every cache into the global pool. Called by a registered
+  /// waiter; the released permits wake waiters (possibly the caller).
+  void drainShards() {
+    std::int64_t Total = 0;
+    for (unsigned I = 0; I < NumShards; ++I)
+      Total += Shards[I].Cache.exchange(0, std::memory_order_seq_cst);
+    if (Total == 0)
+      return;
+    shardStats().Rebalances.fetch_add(static_cast<std::uint64_t>(Total),
+                                      std::memory_order_relaxed);
+    globalRelease(Total);
+  }
+
+  /// The plain semaphore's release protocol, batched (Listing 16 +
+  /// resumeBatch).
+  void globalRelease(std::int64_t N) {
+    std::int64_t Pending = N;
+    for (;;) {
+      [[maybe_unused]] std::int64_t S =
+          State->fetch_add(Pending, std::memory_order_seq_cst);
+      assert(S + Pending <= MaxPermits &&
+             "release without a matching acquire");
+      if (S >= 0)
+        return;
+      std::int64_t ToWake = Pending < -S ? Pending : -S;
+      std::uint64_t Done =
+          Q.resumeBatch(static_cast<std::uint64_t>(ToWake), Unit{});
+      if (static_cast<std::int64_t>(Done) == ToWake)
+        return;
+      assert(resumptionMode() == ResumptionMode::Sync);
+      Pending = ToWake - static_cast<std::int64_t>(Done);
+    }
+  }
+
+  /// Listing 16's onCancellation(): return the reservation to the global
+  /// pool; refuse the incoming resume if it already re-created a permit.
+  bool onCancellation() override {
+    std::int64_t S = State->fetch_add(1, std::memory_order_seq_cst);
+    return S < 0;
+  }
+
+  void completeRefusedResume(Unit) override {}
+
+  CqsType Q;
+  CachePadded<Atomic<std::int64_t>> State;
+  [[maybe_unused]] const std::int64_t MaxPermits;
+  const unsigned NumShards;
+  const std::int64_t ShardCap;
+  Shard Shards[MaxStripes];
+};
+
+using ShardedSemaphore = BasicShardedSemaphore<>;
+
+} // namespace cqs
+
+#endif // CQS_SYNC_SHARDEDSEMAPHORE_H

@@ -1,0 +1,319 @@
+//===- tests/batch_resume_test.cpp - batched resume contracts -------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Core resumeBatch contract (one traversal, FIFO, smart-mode skips claim
+/// replacements) and its three surfaces: Semaphore::release(n),
+/// CountDownLatch::countDown(n) and the channel burst-send. Each surface
+/// gets a conservation stress: permits/elements in == permits/elements
+/// out, whatever the interleaving.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cqs.h"
+#include "reclaim/Ebr.h"
+#include "sync/Channel.h"
+#include "sync/CountDownLatch.h"
+#include "sync/Semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using IntCqs = Cqs<int, ValueTraits<int>, /*SegmentSize=*/4>;
+using IntFut = IntCqs::FutureType;
+
+struct SkipHandler : IntCqs::SmartCancellationHandler {
+  bool onCancellation() override { return true; }
+  void completeRefusedResume(int) override {}
+};
+
+TEST(BatchResume, DeliversFifoAcrossSegments) {
+  IntCqs Q;
+  std::vector<IntFut> Fs;
+  for (int I = 0; I < 10; ++I) // 10 waiters span 3 four-cell segments
+    Fs.push_back(Q.suspend());
+  std::uint64_t Done =
+      Q.resumeBatchWith(10, [](std::uint64_t K) { return 100 + (int)K; });
+  EXPECT_EQ(Done, 10u);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Fs[I].tryGet(), 100 + I) << "FIFO order broken at " << I;
+  EXPECT_EQ(CqsStats::read(Q.stats().BatchResumes), 1u);
+  EXPECT_EQ(CqsStats::read(Q.stats().BatchedWakeups), 10u);
+}
+
+TEST(BatchResume, ZeroAndExcessCounts) {
+  IntCqs Q;
+  EXPECT_EQ(Q.resumeBatch(0, 7), 0u);
+  // More resumes than waiters: the excess becomes deposited values that
+  // later suspends consume by elimination (resume-before-suspend).
+  IntFut F = Q.suspend();
+  EXPECT_EQ(Q.resumeBatch(3, 42), 3u);
+  EXPECT_EQ(F.tryGet(), 42);
+  for (int I = 0; I < 2; ++I) {
+    IntFut E = Q.suspend();
+    EXPECT_TRUE(E.isImmediate()) << "deposited value " << I << " not found";
+    EXPECT_EQ(E.tryGet(), 42);
+  }
+}
+
+TEST(BatchResume, SmartModeSkipsCancelledAndClaimsReplacements) {
+  SkipHandler H;
+  IntCqs Q(CancellationMode::Smart, ResumptionMode::Async, &H);
+  std::vector<IntFut> Fs;
+  for (int I = 0; I < 12; ++I)
+    Fs.push_back(Q.suspend());
+  // Cancel an awkward mix: a full middle segment (4-7) plus scattered
+  // cells, leaving live waiters 1, 3, 9, 10, 11.
+  for (int I : {0, 2, 4, 5, 6, 7, 8})
+    ASSERT_TRUE(Fs[I].cancel());
+  std::uint64_t Done =
+      Q.resumeBatchWith(5, [](std::uint64_t K) { return (int)K; });
+  EXPECT_EQ(Done, 5u) << "smart mode must replace every skipped index";
+  int Expect = 0;
+  for (int I : {1, 3, 9, 10, 11})
+    EXPECT_EQ(Fs[I].tryGet(), Expect++) << "live waiter " << I;
+}
+
+TEST(BatchResume, SimpleModeCountsCancelledAsFailures) {
+  IntCqs Q(CancellationMode::Simple, ResumptionMode::Async);
+  std::vector<IntFut> Fs;
+  for (int I = 0; I < 6; ++I)
+    Fs.push_back(Q.suspend());
+  for (int I : {1, 2})
+    ASSERT_TRUE(Fs[I].cancel());
+  // Batch of 4 covers indices 0..3: one live (0), two cancelled (spent,
+  // undelivered), one live (3). Exactly like 4 single resume() calls of
+  // which two return false.
+  std::uint64_t Done =
+      Q.resumeBatchWith(4, [](std::uint64_t K) { return (int)K; });
+  EXPECT_EQ(Done, 2u);
+  EXPECT_EQ(Fs[0].tryGet(), 0);
+  EXPECT_EQ(Fs[3].tryGet(), 1);
+}
+
+// --------------------------------------------------------------------------
+// Semaphore::release(n)
+// --------------------------------------------------------------------------
+
+TEST(BatchRelease, WakesAllWaitersFifo) {
+  BasicSemaphore<4> Sem(4);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_TRUE(Sem.acquire().isImmediate());
+  std::vector<BasicSemaphore<4>::FutureType> Ws;
+  for (int I = 0; I < 4; ++I) {
+    Ws.push_back(Sem.acquire());
+    EXPECT_FALSE(Ws.back().isImmediate());
+  }
+  Sem.release(4);
+  for (auto &W : Ws)
+    EXPECT_EQ(W.status(), FutureStatus::Completed);
+  EXPECT_EQ(Sem.availablePermits(), 0) << "permits must balance";
+  Sem.release(4);
+  EXPECT_EQ(Sem.availablePermits(), 4);
+}
+
+TEST(BatchRelease, PartialWakeBanksRemainder) {
+  Semaphore Sem(8);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_TRUE(Sem.acquire().isImmediate());
+  auto W = Sem.acquire();
+  EXPECT_FALSE(W.isImmediate());
+  Sem.release(5); // 1 waiter woken, 4 permits banked
+  EXPECT_EQ(W.status(), FutureStatus::Completed);
+  EXPECT_EQ(Sem.availablePermits(), 4);
+  Sem.release(3);
+  Sem.release();
+  EXPECT_EQ(Sem.availablePermits(), 8);
+}
+
+TEST(BatchRelease, ConservationUnderConcurrentBatches) {
+  // Workers acquire K permits one by one, then return them with a single
+  // release(K); aborters inject tryAcquireFor(0) cancellations into the
+  // same queue. At quiescence every permit must be back.
+  constexpr std::int64_t Permits = 6;
+  constexpr int Workers = 4;
+  constexpr int Rounds = 400;
+  Semaphore Sem(Permits);
+  std::vector<std::thread> Ts;
+  std::atomic<bool> Stop{false};
+  for (int W = 0; W < Workers; ++W) {
+    Ts.emplace_back([&] {
+      for (int R = 0; R < Rounds; ++R) {
+        // K <= 2 keeps the incremental hold-and-wait deadlock-free:
+        // Workers * (K - 1) + 1 <= Permits (Banker's condition).
+        int K = 1 + R % 2;
+        for (int I = 0; I < K; ++I) {
+          auto F = Sem.acquire();
+          ASSERT_TRUE(F.blockingGet().has_value());
+        }
+        Sem.release(K);
+      }
+    });
+  }
+  std::thread Aborter([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      if (Sem.tryAcquireFor(std::chrono::nanoseconds(0)))
+        Sem.release();
+    }
+  });
+  for (auto &T : Ts)
+    T.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Aborter.join();
+  EXPECT_EQ(Sem.availablePermits(), Permits)
+      << "permits lost or duplicated by batched release under churn";
+}
+
+// --------------------------------------------------------------------------
+// CountDownLatch::countDown(n)
+// --------------------------------------------------------------------------
+
+TEST(BatchCountDown, OpensExactlyAtZero) {
+  CountDownLatch L(10);
+  auto F = L.await();
+  EXPECT_FALSE(F.isImmediate());
+  L.countDown(7);
+  EXPECT_EQ(L.count(), 3);
+  EXPECT_NE(F.status(), FutureStatus::Completed);
+  L.countDown(3);
+  EXPECT_EQ(L.count(), 0);
+  EXPECT_EQ(F.status(), FutureStatus::Completed);
+  EXPECT_TRUE(L.await().isImmediate());
+}
+
+TEST(BatchCountDown, OvershootOpensOnce) {
+  CountDownLatch L(5);
+  auto F1 = L.await();
+  auto F2 = L.await();
+  L.countDown(8); // footnote 4: extra counts are permitted
+  EXPECT_EQ(L.count(), 0);
+  EXPECT_EQ(F1.status(), FutureStatus::Completed);
+  EXPECT_EQ(F2.status(), FutureStatus::Completed);
+}
+
+TEST(BatchCountDown, ManyWaitersOneBatch) {
+  constexpr int Waiters = 16;
+  BasicCountDownLatch<4> L(1);
+  std::vector<std::thread> Ts;
+  std::atomic<int> Released{0};
+  for (int I = 0; I < Waiters; ++I) {
+    Ts.emplace_back([&] {
+      auto F = L.await();
+      ASSERT_TRUE(F.blockingGet().has_value());
+      Released.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Give the waiters a moment to actually suspend so the batch resume
+  // path (not just elimination) is exercised, then open with one call.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  L.countDown(1);
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Released.load(), Waiters);
+}
+
+// --------------------------------------------------------------------------
+// Channel burst send
+// --------------------------------------------------------------------------
+
+TEST(BurstSend, BuffersAndRendezvousInOrder) {
+  BufferedChannel<int> Ch(8);
+  int Vs[6] = {10, 11, 12, 13, 14, 15};
+  Ch.sendBurst(Vs, 6);
+  for (int I = 0; I < 6; ++I) {
+    auto V = Ch.tryReceive();
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, 10 + I) << "burst broke FIFO at " << I;
+  }
+  EXPECT_FALSE(Ch.tryReceive().has_value());
+}
+
+TEST(BurstSend, WakesWaitingReceiversDirectly) {
+  BufferedChannel<int> Ch(0); // rendezvous: every receive suspends
+  std::vector<BufferedChannel<int>::ReceiveFuture> Rs;
+  for (int I = 0; I < 4; ++I) {
+    Rs.push_back(Ch.receive());
+    EXPECT_FALSE(Rs.back().isImmediate());
+  }
+  int Vs[4] = {1, 2, 3, 4};
+  Ch.sendBurst(Vs, 4); // all four go to waiting receivers; no overflow
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Rs[I].tryGet(), 1 + I) << "receiver " << I;
+}
+
+TEST(BurstSend, BackpressureBlocksUntilDrained) {
+  BufferedChannel<int> Ch(2);
+  std::atomic<bool> BurstDone{false};
+  int Vs[5] = {0, 1, 2, 3, 4};
+  std::thread Sender([&] {
+    Ch.sendBurst(Vs, 5); // 2 buffered + 3 over capacity
+    BurstDone.store(true, std::memory_order_release);
+  });
+  // All five elements are visible to receivers even while the sender is
+  // still blocked on the backpressure debt.
+  for (int I = 0; I < 5; ++I) {
+    auto F = Ch.receive();
+    auto V = F.blockingGet();
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, I);
+  }
+  Sender.join();
+  EXPECT_TRUE(BurstDone.load(std::memory_order_acquire));
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+TEST(BurstSend, ConservationUnderConcurrentReceivers) {
+  constexpr int Receivers = 4;
+  constexpr int Bursts = 200;
+  constexpr int BurstLen = 8;
+  constexpr int Total = Bursts * BurstLen;
+  BufferedChannel<int> Ch(4);
+  std::vector<std::thread> Ts;
+  std::atomic<long long> Sum{0};
+  std::atomic<int> Got{0};
+  for (int R = 0; R < Receivers; ++R) {
+    Ts.emplace_back([&] {
+      for (;;) {
+        if (Got.fetch_add(1, std::memory_order_acq_rel) >= Total) {
+          Got.fetch_sub(1, std::memory_order_acq_rel);
+          return;
+        }
+        auto V = Ch.receive().blockingGet();
+        ASSERT_TRUE(V.has_value());
+        Sum.fetch_add(*V, std::memory_order_relaxed);
+      }
+    });
+  }
+  long long Expect = 0;
+  int Vs[BurstLen];
+  for (int B = 0; B < Bursts; ++B) {
+    for (int I = 0; I < BurstLen; ++I) {
+      Vs[I] = B * BurstLen + I;
+      Expect += Vs[I];
+    }
+    Ch.sendBurst(Vs, BurstLen);
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Sum.load(), Expect)
+      << "burst-sent elements lost or duplicated";
+  EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -40,8 +40,11 @@ def result(benchmark, series, threads=1, params="", median=1.0):
     }
 
 
-def doc(results):
-    return {"schema": "cqs-bench-v1", "benchmark": "t", "results": results}
+def doc(results, nproc=None):
+    d = {"schema": "cqs-bench-v1", "benchmark": "t", "results": results}
+    if nproc is not None:
+        d["host"] = {"nproc": nproc}
+    return d
 
 
 class BenchCompareGateTest(unittest.TestCase):
@@ -125,6 +128,65 @@ class BenchCompareGateTest(unittest.TestCase):
                          f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
         # The missing-series listing is still printed alongside.
         self.assertIn("fig7: baseline", proc.stderr)
+
+    def scaling_curve(self, medians_by_threads, series="Sharded"):
+        return [result("scaling_semaphore", series, threads=t, median=m)
+                for t, m in medians_by_threads.items()]
+
+    def test_scaling_clean_curve_passes(self):
+        base = self.write("base.json",
+                          doc(self.scaling_curve({1: 1.0, 2: 1.0, 4: 1.1})))
+        cur = self.write("cur.json",
+                         doc(self.scaling_curve({1: 1.0, 2: 1.05, 4: 1.1}),
+                             nproc=4))
+        proc = self.run_compare(base, cur, "--scaling")
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_scaling_flat_region_regression_exits_2(self):
+        # A 50% loss at 4 threads (inside the 4-core flat region) clears
+        # the 15% default flat threshold.
+        base = self.write("base.json",
+                          doc(self.scaling_curve({1: 1.0, 2: 1.0, 4: 1.0})))
+        cur = self.write("cur.json",
+                         doc(self.scaling_curve({1: 1.0, 2: 1.0, 4: 1.5}),
+                             nproc=4))
+        proc = self.run_compare(base, cur, "--scaling")
+        self.assertEqual(proc.returncode, 2,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        self.assertIn("flat-region regression", proc.stdout)
+
+    def test_scaling_oversubscribed_points_do_not_gate(self):
+        # The same 50% loss at 8 threads on a 4-core host is outside the
+        # flat region: reported, never gated.
+        base = self.write("base.json",
+                          doc(self.scaling_curve({1: 1.0, 4: 1.0, 8: 1.0})))
+        cur = self.write("cur.json",
+                         doc(self.scaling_curve({1: 1.0, 4: 1.0, 8: 1.5}),
+                             nproc=4))
+        proc = self.run_compare(base, cur, "--scaling")
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_scaling_missing_curve_exits_2(self):
+        base = self.write("base.json", doc(
+            self.scaling_curve({1: 1.0}) +
+            self.scaling_curve({1: 1.0}, series="Plain")))
+        cur = self.write("cur.json",
+                         doc(self.scaling_curve({1: 1.0}), nproc=4))
+        proc = self.run_compare(base, cur, "--scaling")
+        self.assertEqual(proc.returncode, 2,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        self.assertIn("Plain", proc.stderr)
+
+    def test_scaling_report_only_passes(self):
+        base = self.write("base.json",
+                          doc(self.scaling_curve({1: 1.0, 4: 1.0})))
+        cur = self.write("cur.json",
+                         doc(self.scaling_curve({1: 1.0, 4: 2.0}), nproc=4))
+        proc = self.run_compare(base, cur, "--scaling", "--report-only")
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
 
     def test_new_series_do_not_gate(self):
         # New current-only series (e.g. the timed-mix additions) must not

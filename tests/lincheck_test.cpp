@@ -363,6 +363,72 @@ TEST(Lincheck, TimedAcquireZeroDeadlineIsConsistent) {
   EXPECT_TRUE(V.Ok) << V.Explanation;
 }
 
+/// Model for the batched-release scenario: permit pool plus how many
+/// permits each thread holds (up to two, so release(n) has n > 1 cases).
+struct SemBatchModel {
+  std::int64_t Permits = 2;
+  int Held[3] = {0, 0, 0};
+};
+
+using SemBatchChecker = ScChecker<SyncSem, SemBatchModel>;
+
+TEST(Lincheck, BatchedReleaseWithTimedCancellationIsConsistent) {
+  // The ISSUE-6 mix: release(n) — one fetch_add plus one batched CQS
+  // traversal — racing zero-deadline tryAcquireFor cancellations. The
+  // batch's counter update is its linearization point; each timed acquire
+  // is one reservation attempt whose cancel/rescue race must still read
+  // as atomic. Each thread accumulates up to two permits through the
+  // timed path and returns them with a single batched release.
+  auto MakeScenario = [&](std::uint64_t Seed) {
+    SplitMix64 Rng(Seed);
+    SemBatchChecker::Scenario S(3);
+    for (std::size_t T = 0; T < S.size(); ++T) {
+      auto Held = std::make_shared<int>(0);
+      auto Acq = SemBatchChecker::OpT{
+          "tryAcquireFor(0)",
+          [Held](SyncSem &Sem) -> std::int64_t {
+            if (Sem.tryAcquireFor(std::chrono::nanoseconds(0))) {
+              ++*Held;
+              return 1;
+            }
+            return 0;
+          },
+          [T](SemBatchModel &M) -> std::int64_t {
+            if (M.Permits <= 0)
+              return 0;
+            --M.Permits;
+            ++M.Held[T];
+            return 1;
+          }};
+      auto RelAll = SemBatchChecker::OpT{
+          "releaseAllBatched",
+          [Held](SyncSem &Sem) -> std::int64_t {
+            int N = *Held;
+            if (N == 0)
+              return 0;
+            Sem.release(static_cast<std::int64_t>(N));
+            *Held = 0;
+            return N;
+          },
+          [T](SemBatchModel &M) -> std::int64_t {
+            int N = M.Held[T];
+            M.Permits += N;
+            M.Held[T] = 0;
+            return N;
+          }};
+      int Acqs = 1 + static_cast<int>(Rng.nextBelow(2));
+      for (int I = 0; I < Acqs; ++I)
+        S[T].push_back(Acq);
+      S[T].push_back(RelAll);
+    }
+    return S;
+  };
+  Verdict V = SemBatchChecker::checkMany(
+      [] { return new SyncSem(2, ResumptionMode::Async); },
+      [] { return SemBatchModel{}; }, MakeScenario, /*Rounds=*/400);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
 // --------------------------------------------------------------------------
 // Checker sanity: it must detect a genuinely broken structure.
 // --------------------------------------------------------------------------

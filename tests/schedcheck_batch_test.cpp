@@ -1,0 +1,254 @@
+//===- tests/schedcheck_batch_test.cpp - model-checked batch + shards -----===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The contention-scaling layer under the deterministic scheduler, with
+/// conservation as the oracle in every scenario (permits in == permits
+/// out): batched release(n) racing a cancelling acquire, countDown(n)
+/// racing a cancelling await, the sharded semaphore's stranded-permit
+/// Dekker, and striped rw-mutex exclusion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/Ebr.h"
+#include "schedcheck/Sched.h"
+#include "support/Striping.h"
+#include "sync/CountDownLatch.h"
+#include "sync/Semaphore.h"
+#include "sync/ShardedSemaphore.h"
+#include "sync/StripedRwMutex.h"
+
+#include <gtest/gtest.h>
+
+using namespace cqs;
+
+namespace {
+
+using SmallSem = BasicSemaphore<2>;
+using SmallSharded = BasicShardedSemaphore<2>;
+using SmallLatch = BasicCountDownLatch<2>;
+using SmallRw = BasicStripedRwMutex<2>;
+
+// --------------------------------------------------------------------------
+// Semaphore::release(n): a batch racing a cancelling acquire must conserve
+// permits exactly like n single releases.
+// --------------------------------------------------------------------------
+
+void batchedReleaseConservation() {
+  auto *Sem = new SmallSem(2, ResumptionMode::Async);
+  auto F0 = new SmallSem::FutureType(Sem->acquire());
+  auto F1 = new SmallSem::FutureType(Sem->acquire());
+  sc::check(F0->isImmediate() && F1->isImmediate(),
+            "both free permits must be taken");
+  bool CancelWon = false;
+  auto *F2 = new SmallSem::FutureType(SmallSem::FutureType::invalid());
+  sc::Thread T1 = sc::spawn([&] {
+    *F2 = Sem->acquire();
+    if (!F2->isImmediate())
+      CancelWon = F2->cancel();
+  });
+  sc::Thread T2 = sc::spawn([&] { Sem->release(2); }); // batched
+  T1.join();
+  T2.join();
+  bool Holds = F2->isImmediate() ||
+               (F2->valid() && F2->status() == FutureStatus::Completed);
+  sc::check(!(CancelWon && Holds), "cancelled acquire still holds a permit");
+  std::int64_t Avail = Sem->availablePermits();
+  sc::check(Avail == (Holds ? 1 : 2),
+            "permits lost or duplicated by batched release");
+  if (Holds)
+    Sem->release();
+  delete F2;
+  delete F1;
+  delete F0;
+  delete Sem;
+}
+
+TEST(SchedcheckBatch, BatchedReleaseConservationExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, batchedReleaseConservation);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckBatch, BatchedReleaseConservationRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 7;
+  O.Iterations = 1500;
+  sc::Result R = sc::explore(O, batchedReleaseConservation);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+// --------------------------------------------------------------------------
+// CountDownLatch::countDown(n): the batched opening must release exactly
+// the registered waiters, racing a cancelling await.
+// --------------------------------------------------------------------------
+
+void batchedCountDownConservation() {
+  auto *L = new SmallLatch(2);
+  bool CancelWon = false;
+  auto *F = new SmallLatch::FutureType(SmallLatch::FutureType::invalid());
+  sc::Thread T1 = sc::spawn([&] {
+    *F = L->await();
+    if (!F->isImmediate())
+      CancelWon = F->cancel();
+  });
+  sc::Thread T2 = sc::spawn([&] { L->countDown(2); }); // batched opening
+  T1.join();
+  T2.join();
+  sc::check(L->count() == 0, "countDown(2) must zero the count");
+  bool Completed = F->isImmediate() ||
+                   (F->valid() && F->status() == FutureStatus::Completed);
+  sc::check(Completed || CancelWon,
+            "await neither completed nor successfully cancelled");
+  sc::check(!(CancelWon && Completed),
+            "await both cancelled and completed");
+  // The latch is open: any later await is immediate (no waiter leaked).
+  sc::check(L->await().isImmediate(), "open latch must not suspend");
+  delete F;
+  delete L;
+}
+
+TEST(SchedcheckBatch, BatchedCountDownConservationExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, batchedCountDownConservation);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+// --------------------------------------------------------------------------
+// Sharded semaphore: the stranded-permit Dekker. A release banking into a
+// shard races an acquirer registering and draining; no schedule may leave
+// the waiter parked while the permit sits in a cache, and the total permit
+// count must balance.
+// --------------------------------------------------------------------------
+
+void shardedStrandedPermitDekker() {
+  auto *Sem = new SmallSharded(1, /*Shards=*/2, ResumptionMode::Async);
+  auto F0 = new SmallSharded::FutureType(Sem->acquire());
+  sc::check(F0->isImmediate(), "first acquire must take the free permit");
+  bool CancelWon = false;
+  auto *F1 =
+      new SmallSharded::FutureType(SmallSharded::FutureType::invalid());
+  sc::Thread T1 = sc::spawn([&] {
+    setThreadStripeSlotForTesting(0);
+    *F1 = Sem->acquire();
+    if (!F1->isImmediate())
+      CancelWon = F1->cancel();
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    setThreadStripeSlotForTesting(1); // release banks into the *other* shard
+    Sem->release();
+  });
+  T1.join();
+  T2.join();
+  bool Holds = F1->isImmediate() ||
+               (F1->valid() && F1->status() == FutureStatus::Completed);
+  sc::check(!(CancelWon && Holds), "cancelled acquire still holds a permit");
+  std::int64_t Total = Sem->totalPermitsForTesting();
+  sc::check(Total == (Holds ? 0 : 1),
+            "permit stranded in a shard cache or duplicated");
+  if (Holds)
+    Sem->release();
+  delete F1;
+  delete F0;
+  delete Sem;
+}
+
+TEST(SchedcheckBatch, ShardedStrandedPermitDekkerExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, shardedStrandedPermitDekker);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckBatch, ShardedStrandedPermitDekkerRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 11;
+  O.Iterations = 1500;
+  sc::Result R = sc::explore(O, shardedStrandedPermitDekker);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+// --------------------------------------------------------------------------
+// Striped rw mutex: reader/writer exclusion through the stripe Dekker.
+// --------------------------------------------------------------------------
+
+void stripedRwExclusion() {
+  auto *M = new SmallRw(2);
+  // Occupancy flags: if the lock excludes correctly, the other side's
+  // flag is 0 for the whole critical section, so any schedule that
+  // observes it set is a real exclusion violation (DFS explores them
+  // all).
+  auto *ReaderIn = new Atomic<int>(0);
+  auto *WriterIn = new Atomic<int>(0);
+  sc::Thread R = sc::spawn([&] {
+    setThreadStripeSlotForTesting(0);
+    M->lockShared();
+    ReaderIn->store(1, std::memory_order_seq_cst);
+    sc::check(WriterIn->load(std::memory_order_seq_cst) == 0,
+              "reader entered while a writer holds the lock");
+    ReaderIn->store(0, std::memory_order_seq_cst);
+    M->unlockShared();
+  });
+  sc::Thread W = sc::spawn([&] {
+    setThreadStripeSlotForTesting(1);
+    M->lock();
+    WriterIn->store(1, std::memory_order_seq_cst);
+    sc::check(ReaderIn->load(std::memory_order_seq_cst) == 0,
+              "writer entered over an active reader");
+    WriterIn->store(0, std::memory_order_seq_cst);
+    M->unlock();
+  });
+  R.join();
+  W.join();
+  sc::check(M->activeReadersForTesting() == 0, "reader count leaked");
+  delete WriterIn;
+  delete ReaderIn;
+  delete M;
+}
+
+TEST(SchedcheckBatch, StripedRwExclusionExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, stripedRwExclusion);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckBatch, StripedRwExclusionPctSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Pct;
+  O.Seed = 13;
+  O.Iterations = 1000;
+  sc::Result R = sc::explore(O, stripedRwExclusion);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

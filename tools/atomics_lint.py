@@ -19,6 +19,16 @@ Two rules, both rooted in the schedcheck model checker (DESIGN.md §7):
    ignored under schedcheck — it explores SC interleavings only — but the
    annotations document what the real build relies on.)
 
+3. pad-shards: a struct/class whose name ends in `Shard` or `Stripe`
+   is a per-core array element by construction — that is the whole point
+   of the name. If it contains atomic members, it must be cacheline-padded
+   (`alignas(CacheLineSize)` on the type, or every atomic wrapped in
+   `CachePadded<>`): an unpadded shard array silently re-introduces the
+   false sharing the sharding was built to remove, and no test catches it
+   (it is a performance bug, not a correctness bug). Opt out with
+   `atomics-lint: allow(unpadded-shard)` on the declaration line for a
+   type that is genuinely never placed in an array.
+
 Usage: tools/atomics_lint.py [--root DIR]
 Exit status 1 if any finding is reported, 0 otherwise.
 """
@@ -29,6 +39,7 @@ import re
 import sys
 
 ALLOW_MARKER = "atomics-lint: allow(std-atomic)"
+PAD_MARKER = "atomics-lint: allow(unpadded-shard)"
 
 # Files/dirs (relative to the repo root) where rule 1 does not apply.
 RAW_ATOMIC_ALLOWED = (
@@ -47,6 +58,48 @@ ORDERED_OPS_RE = re.compile(
     r"|fetch_xor|compare_exchange_weak|compare_exchange_strong"
     r"|test_and_set)\s*\("
 )
+
+# Rule 3: struct/class whose *name* says it is a shard/stripe. The
+# optional middle group swallows an alignas specifier (and whitespace)
+# between the keyword and the name.
+SHARD_DECL_RE = re.compile(
+    r"\b(struct|class)\b((?:\s+|alignas\s*\([^()]*\)\s*)*)"
+    r"(\w*(?:Shard|Stripe))\s*(?=[{:;])"
+)
+
+# An atomic member counts as padded if it is wrapped in CachePadded<>.
+ATOMIC_MEMBER_RE = re.compile(r"\b(?:Plain)?Atomic\s*<|std\s*::\s*atomic\b")
+
+
+def body_after(code, start):
+    """Return (body, found) for the first balanced {...} after `start`,
+    stopping at ';' (forward declaration) before any '{'."""
+    i = start
+    while i < len(code):
+        c = code[i]
+        if c == ";":
+            return None, False
+        if c == "{":
+            depth = 0
+            for j in range(i, len(code)):
+                if code[j] == "{":
+                    depth += 1
+                elif code[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        return code[i + 1 : j], True
+            return None, False
+        i += 1
+    return None, False
+
+
+def has_unwrapped_atomic(body):
+    """True if `body` declares an atomic member outside CachePadded<>."""
+    for m in ATOMIC_MEMBER_RE.finditer(body):
+        prefix = body[max(0, m.start() - 40) : m.start()]
+        if "CachePadded" not in prefix:
+            return True
+    return False
 
 
 def strip_comments(text):
@@ -153,6 +206,22 @@ def lint_file(path, rel, findings):
         findings.append(
             f"{rel}:{line_no}: explicit-order: spell out the memory_order "
             f"on .{m.group(1)}() instead of the implicit seq_cst default"
+        )
+
+    for m in SHARD_DECL_RE.finditer(code):
+        if "alignas" in m.group(2):
+            continue
+        body, found = body_after(code, m.end())
+        if not found or not has_unwrapped_atomic(body):
+            continue
+        line_no = code.count("\n", 0, m.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if PAD_MARKER in line:
+            continue
+        findings.append(
+            f"{rel}:{line_no}: pad-shards: per-shard type "
+            f"'{m.group(3)}' holds atomics but is not "
+            f"alignas(CacheLineSize)-padded (false sharing across shards)"
         )
 
 

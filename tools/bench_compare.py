@@ -35,6 +35,19 @@ passing the gate.
 Exit codes: 0 = clean (or --report-only), 1 = regressions found,
 2 = usage/schema error, or a baseline series entirely missing from the
 current results (unless --report-only, which only warns).
+
+Scaling mode (--scaling): instead of independent keys, results are grouped
+into *curves* keyed by (benchmark, series, params, unit) with one point
+per thread count, and the gate only fires inside the curve's **flat
+region** — thread counts at or below the current host's core count
+(host.nproc in the freshly measured file). Points beyond the core count
+are oversubscribed; their shape is scheduler-dependent and is reported
+ungated. The per-point statistic is the same best-of-reps + median
+agreement as the default mode, but against --flat-threshold (default 0.15:
+a scaling curve that loses >15%% anywhere it should be flat has lost its
+reason to exist). A flat-region regression exits 2 — in CI the
+scaling-curves job treats it like a missing series: the contract of the
+curve is broken, not merely a point slow.
 """
 
 import argparse
@@ -79,6 +92,109 @@ def fmt_key(key):
     return f"{bench}: {series}{ctx} @{threads}t ({unit})"
 
 
+def fmt_curve(ckey):
+    bench, series, params, unit = ckey
+    ctx = f" [{params}]" if params else ""
+    return f"{bench}: {series}{ctx} ({unit})"
+
+
+def point_regresses(b, c, threshold):
+    """Best-of-reps + median-agreement regression test for one point.
+
+    Returns (is_reg, ref, new, rel) with the same statistic as the
+    default mode: the best repetition must be beyond the threshold AND
+    the median must agree on the direction.
+    """
+    direction = b.get("direction", "lower")
+    bmed, cmed = float(b["median"]), float(c["median"])
+    if direction == "lower":
+        ref = float(b.get("min", bmed))
+        new = float(c.get("min", cmed))
+        is_reg = (ref > 0 and new > ref * (1 + threshold) and cmed > bmed)
+        if abs(ref) < ABS_FLOOR and abs(new) < ABS_FLOOR:
+            is_reg = False
+    else:
+        ref = float(b.get("max", bmed))
+        new = float(c.get("max", cmed))
+        is_reg = (ref > 0 and new < ref / (1 + threshold) and cmed < bmed)
+    rel = (new - ref) / abs(ref) if ref else 0.0
+    return is_reg, ref, new, rel
+
+
+def group_curves(results):
+    """(benchmark, series, params, unit) -> {threads: result}."""
+    curves = {}
+    for key, r in results.items():
+        bench, series, params, threads, unit = key
+        curves.setdefault((bench, series, params, unit), {})[threads] = r
+    return curves
+
+
+def scaling_main(args, cur_doc, base, cur):
+    """--scaling: gate curve shapes point-by-point inside the flat region."""
+    nproc = int(cur_doc.get("host", {}).get("nproc", 0))
+    base_curves = group_curves(base)
+    cur_curves = group_curves(cur)
+
+    regressions, compared = [], 0
+    for ckey, bpoints in sorted(base_curves.items()):
+        cpoints = cur_curves.get(ckey)
+        if cpoints is None:
+            continue
+        rows = []
+        for threads in sorted(bpoints):
+            b = bpoints[threads]
+            c = cpoints.get(threads)
+            if c is None:
+                continue
+            compared += 1
+            in_flat = nproc <= 0 or threads <= nproc
+            gated = (in_flat and bool(b.get("gated", True))
+                     and bool(c.get("gated", True)))
+            is_reg, ref, new, rel = point_regresses(b, c,
+                                                    args.flat_threshold)
+            if gated and is_reg:
+                regressions.append((ckey, threads, ref, new, rel))
+            mark = ("REG" if gated and is_reg
+                    else ("   " if in_flat else "over"))
+            rows.append(f"    @{threads}t: best {ref:.4g} -> {new:.4g} "
+                        f"({rel:+.1%}) {mark}")
+        if rows and (args.show_all
+                     or any(r.endswith("REG") for r in rows)):
+            print(fmt_curve(ckey))
+            for row in rows:
+                print(row)
+
+    missing_curves = sorted(set(base_curves) - set(cur_curves))
+    flat_note = (f"flat region: threads <= {nproc}" if nproc > 0
+                 else "flat region: unknown host.nproc, gating all points")
+    print(f"compared {compared} curve point(s) across "
+          f"{len(set(base_curves) & set(cur_curves))} curve(s); {flat_note}")
+    if regressions:
+        print(f"\n{len(regressions)} flat-region regression(s) beyond "
+              f"{args.flat_threshold:.0%}:")
+        for ckey, threads, ref, new, rel in sorted(regressions,
+                                                   key=lambda r: -abs(r[4])):
+            print(f"  {fmt_curve(ckey)} @{threads}t: best {ref:.4g} -> "
+                  f"{new:.4g} ({rel:+.1%})")
+    else:
+        print("no flat-region regressions beyond the threshold")
+    if missing_curves:
+        print(f"\nerror: {len(missing_curves)} baseline curve(s) missing "
+              f"entirely from {args.current} (deleted or renamed bench?):",
+              file=sys.stderr)
+        for ckey in missing_curves:
+            print(f"  {fmt_curve(ckey)}", file=sys.stderr)
+
+    if args.report_only:
+        return 0
+    # A broken scaling curve is a contract failure, not a point slow:
+    # exit 2, same class as a deleted series.
+    if regressions or missing_curves:
+        return 2
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -94,12 +210,24 @@ def main() -> int:
                     help="print the comparison but always exit 0")
     ap.add_argument("--show-all", action="store_true",
                     help="list every compared key, not just notable deltas")
+    ap.add_argument("--scaling", action="store_true",
+                    help="curve mode: group by (benchmark, series, params, "
+                         "unit), compare per thread count, gate only the "
+                         "flat region (threads <= current host.nproc); a "
+                         "flat-region regression exits 2")
+    ap.add_argument("--flat-threshold", type=float, default=0.15,
+                    help="relative per-point threshold in --scaling mode "
+                         "(default 0.15 = 15%%)")
     args = ap.parse_args()
     if args.threshold <= 0:
         die("bench_compare: --threshold must be positive")
+    if args.flat_threshold <= 0:
+        die("bench_compare: --flat-threshold must be positive")
 
     _, base = load(args.baseline)
-    _, cur = load(args.current)
+    cur_doc, cur = load(args.current)
+    if args.scaling:
+        return scaling_main(args, cur_doc, base, cur)
 
     regressions, improvements, compared = [], [], 0
     for key, b in sorted(base.items()):
