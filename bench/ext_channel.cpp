@@ -10,6 +10,9 @@
 /// ArrayBlockingQueue (same bounded-FIFO contract) — across capacities,
 /// including capacity 0 (rendezvous), which the array queues cannot
 /// express (they are benchmarked at capacity 1 there, their minimum).
+/// The v2 series run the same workloads over the single-array channel
+/// (sync/ChannelV2.h) so the elimination fast path is measured against
+/// both the v1 two-queue design and the lock-based baselines.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +23,7 @@
 #include "support/Rng.h"
 #include "support/Work.h"
 #include "sync/Channel.h"
+#include "sync/ChannelV2.h"
 
 #include <chrono>
 #include <string>
@@ -97,6 +101,35 @@ double cqsChannelTimedRun(int Pairs, int Capacity) {
   });
 }
 
+double cqsChannelV2Run(int Pairs, int Capacity) {
+  BufferedChannelV2<int> Ch(Capacity);
+  return channelWorkload(
+      Pairs, [&](int V) { (void)Ch.send(V).blockingGet(); },
+      [&] { (void)Ch.receive().blockingGet(); });
+}
+
+double cqsChannelV2TimedRun(int Pairs, int Capacity) {
+  BufferedChannelV2<int> Ch(Capacity);
+  const int PerThread = TotalItems / Pairs;
+  return runThreadTeam(2 * Pairs, [&](int T) {
+    GeometricWork Work(WorkMean, 71 + T);
+    SplitMix64 Rng(0x517 + T);
+    if (T % 2 == 0) { // producer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        if (!Ch.sendFor(I, timedMixDeadline(Rng)))
+          (void)Ch.send(I).blockingGet();
+      }
+    } else { // consumer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        if (!Ch.receiveFor(timedMixDeadline(Rng)))
+          (void)Ch.receive().blockingGet();
+      }
+    }
+  });
+}
+
 double fairAbqRun(int Pairs, int Capacity) {
   FairArrayBlockingQueue<int> Q(std::max(Capacity, 1));
   return channelWorkload(
@@ -128,14 +161,18 @@ int main(int argc, char **argv) {
     std::printf("\n-- capacity %d%s --\n", Capacity,
                 Capacity == 0 ? " (rendezvous; ABQs clamped to 1)" : "");
     R.context("capacity=" + std::to_string(Capacity));
-    Table T({"prod/cons pairs", "CQS channel", "CQS timed-mix", "ABQ fair",
-             "ABQ unfair"});
+    Table T({"prod/cons pairs", "CQS channel", "CQS channel v2",
+             "CQS timed-mix", "CQS v2 timed-mix", "ABQ fair", "ABQ unfair"});
     for (int Pairs : PairCounts) {
       T.cell(std::to_string(Pairs));
       T.cell(R.measure("CQS channel", 2 * Pairs, "us/item", Scale, Reps,
                        [&] { return cqsChannelRun(Pairs, Capacity); }));
+      T.cell(R.measure("CQS channel v2", 2 * Pairs, "us/item", Scale, Reps,
+                       [&] { return cqsChannelV2Run(Pairs, Capacity); }));
       T.cell(R.measure("CQS timed-mix", 2 * Pairs, "us/item", Scale, Reps,
                        [&] { return cqsChannelTimedRun(Pairs, Capacity); }));
+      T.cell(R.measure("CQS v2 timed-mix", 2 * Pairs, "us/item", Scale, Reps,
+                       [&] { return cqsChannelV2TimedRun(Pairs, Capacity); }));
       T.cell(R.measure("ABQ fair", 2 * Pairs, "us/item", Scale, Reps,
                        [&] { return fairAbqRun(Pairs, Capacity); }));
       T.cell(R.measure("ABQ unfair", 2 * Pairs, "us/item", Scale, Reps,

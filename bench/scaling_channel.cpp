@@ -9,7 +9,9 @@
 /// protocol round or in sendBurst() chunks (one balance update plus one
 /// batched receiver traversal per chunk). The sweep varies the consumer
 /// count; the series difference isolates the batched-resume win on the
-/// producer side.
+/// producer side. The v2 series repeat both producers on the single-array
+/// channel, where a burst is one counter FAA per chunk instead of one
+/// balance update per element.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 
 #include "reclaim/Ebr.h"
 #include "sync/Channel.h"
+#include "sync/ChannelV2.h"
 
 #include <cstdint>
 #include <string>
@@ -36,10 +39,10 @@ constexpr int Reps = 3;
 /// One producer, \p Consumers receivers; \p UseBurst selects the batched
 /// producer. Item count is fixed so the curve isolates consumer-side
 /// contention and the per-send protocol cost.
-double channelRun(int Consumers, bool UseBurst) {
+template <typename Channel>
+double channelRunOn(Channel &C, int Consumers, bool UseBurst) {
   const int PerConsumer = TotalItems / Consumers;
   const int Items = PerConsumer * Consumers;
-  BufferedChannel<std::uint32_t> C(Capacity);
   return runThreadTeam(Consumers + 1, [&](int T) {
     if (T == 0) {
       if (UseBurst) {
@@ -69,6 +72,16 @@ double channelRun(int Consumers, bool UseBurst) {
   });
 }
 
+double channelRun(int Consumers, bool UseBurst) {
+  BufferedChannel<std::uint32_t> C(Capacity);
+  return channelRunOn(C, Consumers, UseBurst);
+}
+
+double channelV2Run(int Consumers, bool UseBurst) {
+  BufferedChannelV2<std::uint32_t> C(Capacity);
+  return channelRunOn(C, Consumers, UseBurst);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -81,7 +94,8 @@ int main(int argc, char **argv) {
   const std::vector<int> ThreadCounts = scalingThreadCounts(R.quick());
   R.context("capacity=" + std::to_string(Capacity) +
             ",burst=" + std::to_string(Burst));
-  Table T({"consumers", "send loop", "sendBurst"});
+  Table T({"consumers", "send loop", "sendBurst", "v2 send loop",
+           "v2 sendBurst"});
   for (int Consumers : ThreadCounts) {
     const int Items = (TotalItems / Consumers) * Consumers;
     const double Scale = 1e6 / static_cast<double>(Items); // us per item
@@ -93,6 +107,10 @@ int main(int argc, char **argv) {
                      [&] { return channelRun(Consumers, false); }));
     T.cell(R.measure("sendBurst", Consumers + 1, "us/item", Scale, Reps,
                      [&] { return channelRun(Consumers, true); }));
+    T.cell(R.measure("v2 send loop", Consumers + 1, "us/item", Scale, Reps,
+                     [&] { return channelV2Run(Consumers, false); }));
+    T.cell(R.measure("v2 sendBurst", Consumers + 1, "us/item", Scale, Reps,
+                     [&] { return channelV2Run(Consumers, true); }));
     T.endRow();
   }
   R.finish();

@@ -41,11 +41,12 @@ struct CqsStats;
 /// process-wide — the pools are shared, not per-instance — so they are
 /// zero in per-instance snapshots and only populated by processSnapshot(),
 /// which is what the benchmark JSON exporter deltas. The three timed-wait
-/// fields (future/TimedAwait.h and the channel's timed send) and the four
-/// shard fields (the sharded semaphore's permit caches) follow the same
+/// fields (future/TimedAwait.h and the channel's timed send), the four
+/// shard fields (the sharded semaphore's permit caches) and the ten
+/// channel-v2/select fields (sync/ChannelV2.h cell traffic) follow the same
 /// pattern: those layers sit above any single CQS instance.
 struct CqsStatsSnapshot {
-  static constexpr int NumFields = 28;
+  static constexpr int NumFields = 38;
 
   std::uint64_t Suspensions = 0;
   std::uint64_t Eliminations = 0;
@@ -75,6 +76,16 @@ struct CqsStatsSnapshot {
   std::uint64_t ShardMisses = 0;
   std::uint64_t ShardPuts = 0;
   std::uint64_t ShardRebalances = 0;
+  std::uint64_t ChRendezvous = 0;
+  std::uint64_t ChDeposits = 0;
+  std::uint64_t ChSenderSuspends = 0;
+  std::uint64_t ChReceiverSuspends = 0;
+  std::uint64_t ChPoisons = 0;
+  std::uint64_t ChExpandResumes = 0;
+  std::uint64_t SelImmediateWins = 0;
+  std::uint64_t SelParkedWins = 0;
+  std::uint64_t SelLoserCancels = 0;
+  std::uint64_t SelRedeliveries = 0;
 
   static const char *fieldName(int I) {
     static const char *const Names[NumFields] = {
@@ -87,7 +98,10 @@ struct CqsStatsSnapshot {
         "requests_recycled", "segment_pool_hits", "segment_pool_misses",
         "segments_recycled", "timed_waits", "timed_timeouts",
         "timed_rescues", "shard_hits", "shard_misses", "shard_puts",
-        "shard_rebalances"};
+        "shard_rebalances", "ch_rendezvous", "ch_deposits",
+        "ch_sender_suspends", "ch_receiver_suspends", "ch_poisons",
+        "ch_expand_resumes", "select_immediate_wins", "select_parked_wins",
+        "select_loser_cancels", "select_redeliveries"};
     return Names[I];
   }
 
@@ -102,7 +116,10 @@ struct CqsStatsSnapshot {
         &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
         &SegmentsRecycled, &TimedWaits,        &TimedTimeouts,
         &TimedRescues,     &ShardHits,         &ShardMisses,
-        &ShardPuts,        &ShardRebalances};
+        &ShardPuts,        &ShardRebalances,   &ChRendezvous,
+        &ChDeposits,       &ChSenderSuspends,  &ChReceiverSuspends,
+        &ChPoisons,        &ChExpandResumes,   &SelImmediateWins,
+        &SelParkedWins,    &SelLoserCancels,   &SelRedeliveries};
     return *Fields[I];
   }
 
@@ -117,7 +134,10 @@ struct CqsStatsSnapshot {
         &RequestsRecycled, &SegmentPoolHits,   &SegmentPoolMisses,
         &SegmentsRecycled, &TimedWaits,        &TimedTimeouts,
         &TimedRescues,     &ShardHits,         &ShardMisses,
-        &ShardPuts,        &ShardRebalances};
+        &ShardPuts,        &ShardRebalances,   &ChRendezvous,
+        &ChDeposits,       &ChSenderSuspends,  &ChReceiverSuspends,
+        &ChPoisons,        &ChExpandResumes,   &SelImmediateWins,
+        &SelParkedWins,    &SelLoserCancels,   &SelRedeliveries};
     return *Fields[I];
   }
 
@@ -179,6 +199,44 @@ struct ShardStats {
 
 inline ShardStats &shardStats() {
   static ShardStats S;
+  return S;
+}
+
+/// Process-wide counters for the single-array channel (sync/ChannelV2.h)
+/// and its select layer. One block for the whole process, like the pools:
+/// channel-v2 traffic is attributed per benchmark sample by deltas, and a
+/// single block keeps the rendezvous fast path at one relaxed increment.
+///  - Rendezvous: a send met a parked receiver (or vice versa) in the cell
+///    and handed the element over directly — the elimination fast path.
+///  - Deposits: a send stored its element into an in-buffer (or
+///    receiver-covered) cell without suspending.
+///  - SenderSuspends / ReceiverSuspends: cell-parked waiters.
+///  - Poisons: a receiver (or trySend/tryReceive) broke an empty cell it
+///    could not use, forcing the other side to a fresh index.
+///  - ExpandResumes: expandBuffer() resumed a parked sender while growing
+///    the buffer window past its cell.
+///  - SelImmediateWins: a select clause won during registration (peer
+///    already present).
+///  - SelParkedWins: a parked select clause was won by an arriving sender.
+///  - SelLoserCancels: select-receiver waiters cancelled — losing clauses
+///    plus clauses cancelled by close().
+///  - SelRedeliveries: an element consumed by a losing/lost clause was
+///    re-delivered through a fresh sender index (never lost).
+struct ChannelStats {
+  PlainAtomic<std::uint64_t> Rendezvous{0};
+  PlainAtomic<std::uint64_t> Deposits{0};
+  PlainAtomic<std::uint64_t> SenderSuspends{0};
+  PlainAtomic<std::uint64_t> ReceiverSuspends{0};
+  PlainAtomic<std::uint64_t> Poisons{0};
+  PlainAtomic<std::uint64_t> EbResumes{0};
+  PlainAtomic<std::uint64_t> SelImmediateWins{0};
+  PlainAtomic<std::uint64_t> SelParkedWins{0};
+  PlainAtomic<std::uint64_t> SelLoserCancels{0};
+  PlainAtomic<std::uint64_t> SelRedeliveries{0};
+};
+
+inline ChannelStats &channelStats() {
+  static ChannelStats S;
   return S;
 }
 
@@ -308,6 +366,17 @@ struct CqsStats {
     S.ShardMisses = ReadPool(Sh.Misses);
     S.ShardPuts = ReadPool(Sh.Puts);
     S.ShardRebalances = ReadPool(Sh.Rebalances);
+    const ChannelStats &Ch = channelStats();
+    S.ChRendezvous = ReadPool(Ch.Rendezvous);
+    S.ChDeposits = ReadPool(Ch.Deposits);
+    S.ChSenderSuspends = ReadPool(Ch.SenderSuspends);
+    S.ChReceiverSuspends = ReadPool(Ch.ReceiverSuspends);
+    S.ChPoisons = ReadPool(Ch.Poisons);
+    S.ChExpandResumes = ReadPool(Ch.EbResumes);
+    S.SelImmediateWins = ReadPool(Ch.SelImmediateWins);
+    S.SelParkedWins = ReadPool(Ch.SelParkedWins);
+    S.SelLoserCancels = ReadPool(Ch.SelLoserCancels);
+    S.SelRedeliveries = ReadPool(Ch.SelRedeliveries);
     return S;
   }
 

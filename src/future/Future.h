@@ -116,12 +116,15 @@ public:
   /// the retire legal from any thread (it is reentrant under an existing
   /// pin).
   void disposeThis() const {
-    if constexpr (pool::PoolingEnabled) {
-      ebr::Guard Guard;
+    ebr::Guard Guard;
+    if constexpr (pool::PoolingEnabled)
       ebr::retireRecycle(const_cast<Request *>(this));
-    } else {
-      delete this;
-    }
+    else
+      // Still EBR-deferred with pooling compiled out: the grace period is
+      // what makes the racy read-from-cell (above) legal, independent of
+      // recycling. An immediate delete here would turn every lost
+      // complete()/cancel() race into a real use-after-free.
+      ebr::retireObject(const_cast<Request *>(this));
   }
 
   /// EBR deleter (ebr::retireRecycle): runs once the grace period has

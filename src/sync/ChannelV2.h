@@ -1,0 +1,1112 @@
+//===- sync/ChannelV2.h - single-array channel + select ---------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The channel algorithm from the paper authors' successor work, *Fast and
+/// Scalable Channels in Kotlin Coroutines* (Koval, Alistarh, Elizarov —
+/// PAPERS.md): senders and receivers share ONE infinite array of cells
+/// (core/SegmentList.h), indexed by two monotone counters. A transfer
+/// touches a single cell: the faster party leaves its element (sender) or
+/// parks its request (either side) there, and the slower party finds it —
+/// eliminating the v1 design's two waiter queues, balance counter, separate
+/// element storage, and sendFor doorbell (sync/Channel.h, kept as the
+/// benchmark comparator).
+///
+/// Counters (both claimed with one fetch_add per operation):
+///  - SendersAndClose: low 62 bits = next sender cell index; bit 62 is the
+///    closed flag, so close() and sends serialize on one word.
+///  - ReceiversCtr: next receiver cell index.
+///  - BufferEnd (Capacity > 0 only): index of the first cell *outside* the
+///    buffer window. A sender with index s may deposit its element without
+///    waiting iff s < BufferEnd (buffer room) or s < ReceiversCtr (the
+///    receiver for this cell already exists). Every engaged receive calls
+///    expandBuffer() to slide the window one cell forward, resuming the
+///    sender parked at the boundary if there is one.
+///
+/// Cell life cycle (DESIGN.md §10 has the full diagram). A cell word is a
+/// tagged word (support/TaggedWord.h): state tokens below use tag 0, a
+/// deposited element is a tag-1 Value, a plain parked receiver is a tag-2
+/// pointer to its Request, and tag 3 — unused by the CQS core — marks a
+/// ChannelWaiter node (parked sender, or parked select clause).
+///
+/// Cancellation is CQS-SMART throughout: the Request result word is the
+/// single commit point. Whoever wins it (completer or canceller) owns the
+/// cell transition; a completer that loses backs off until the owner's
+/// transition lands. This is what makes suspended sends abortable — v2's
+/// sendFor cancels the parked waiter and withdraws the element atomically
+/// with the cell, so a timed-out send provably left nothing behind (and,
+/// unlike v1, timed senders keep their FIFO position) — and it is exactly
+/// the mechanism select's losing clauses are cancelled through.
+///
+/// select (sync/Select.h) registers one *receive* clause per channel;
+/// first-ready-wins via a per-select winner word (SelectCore). Send clauses
+/// are deliberately not offered: a losing send clause can strand a receiver
+/// parked at its already-claimed cell, and resolving that requires the full
+/// re-registration protocol of the Kotlin implementation — out of scope,
+/// documented in DESIGN.md §10. A registration that claims a cell and then
+/// loses always resolves that cell (poisoning it, or consuming the element
+/// and re-delivering it at a fresh index), so no element or permit is ever
+/// stranded.
+///
+/// Honest limitations (DESIGN.md §10):
+///  - A select clause that wins the winner word but whose peer was
+///    cancelled before handing over continues as a plain blocking receive
+///    on that channel (rare; bounded by a cancellation racing the win).
+///  - Re-delivered elements (lost select clauses, cancelled receives) take
+///    a fresh sender index: FIFO is perturbed for that element and the
+///    buffer window may transiently over-admit — the same caveat family as
+///    v1's completeRefusedResume.
+///  - sendBurst on a channel that closes mid-burst asserts in debug builds;
+///    in release the unsent remainder is dropped (callers own pre-close
+///    sequencing, as with v1 which had no close() at all).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_CHANNELV2_H
+#define CQS_SYNC_CHANNELV2_H
+
+#include "core/CqsStats.h"
+#include "core/SegmentList.h"
+#include "future/Future.h"
+#include "future/TimedAwait.h"
+#include "reclaim/Ebr.h"
+#include "support/Backoff.h"
+#include "support/CacheLine.h"
+#include "support/Futex.h"
+#include "support/TaggedWord.h"
+
+#include "support/Atomic.h"
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace cqs {
+
+/// Token-tagged cell states of the single-array channel. Values overlap the
+/// CQS Token enum where the meaning matches (Empty/Taken/Broken/Cancelled),
+/// so fresh zero-filled cells are Empty and the schedcheck traces read
+/// uniformly; InBuffer and Closed extend the state space.
+enum class ChannelCellState : std::uint64_t {
+  /// Untouched cell (zero word).
+  Empty = 0,
+  /// The element passed through; terminal.
+  Taken = 1,
+  /// Dead cell whose buffer-window slot is already settled: a poisoner
+  /// gave up on the cell and pre-paid the slot with an expandBuffer call,
+  /// or a parked receiver (which paid on suspension) was cancelled;
+  /// terminal. expandBuffer treats Broken boundary cells as covered.
+  Broken = 2,
+  /// A parked *sender* was cancelled (timeout or close); terminal. The
+  /// only dead state expandBuffer still owes a slot for — its boundary
+  /// skip pays exactly once per Cancelled cell.
+  Cancelled = 4,
+  /// expandBuffer() marked this cell as inside the buffer window before any
+  /// sender arrived; the sender deposits over it without suspending.
+  InBuffer = 6,
+  /// close() (or a party observing the closed flag) sealed this never-used
+  /// cell; terminal.
+  Closed = 7,
+};
+
+constexpr std::uint64_t channelCellWord(ChannelCellState S) {
+  return static_cast<std::uint64_t>(S) << 3;
+}
+
+/// Tag 3 — free in the TaggedWord scheme — marks a pointer to a
+/// ChannelWaiter node (parked sender, or parked select-receiver clause).
+inline constexpr std::uint64_t ChannelWaiterTag = 3;
+
+inline std::uint64_t makeChannelWaiterWord(void *Ptr) {
+  auto Bits = reinterpret_cast<std::uint64_t>(Ptr);
+  assert((Bits & WordTagMask) == 0 && "waiter node must be 8-byte aligned");
+  return Bits | ChannelWaiterTag;
+}
+
+constexpr bool isChannelWaiterWord(std::uint64_t Word) {
+  return (Word & WordTagMask) == ChannelWaiterTag;
+}
+
+inline void *channelWaiterOf(std::uint64_t Word) {
+  assert(isChannelWaiterWord(Word) && "not a channel-waiter word");
+  return reinterpret_cast<void *>(Word & ~WordTagMask);
+}
+
+/// Outcome of one cell engagement (or of a whole channel operation, for the
+/// select registration API in sync/Select.h).
+enum class ChannelOp : std::uint8_t {
+  /// Completed without suspending.
+  Done,
+  /// Parked; the returned future completes later.
+  Suspended,
+  /// The cell died under us (poisoned/cancelled); the caller claims a fresh
+  /// index. Never escapes to users.
+  Restart,
+  /// The channel is closed (the operation did not take effect).
+  Closed,
+  /// Try-operation would have parked.
+  WouldBlock,
+  /// Select only: another clause won this select.
+  Lost,
+};
+
+/// Shared decision word of one select invocation: the first clause to CAS
+/// its index into Winner owns the select. Heap-allocated and EBR-retired by
+/// selectReceive — a close() racing the select can run a clause's
+/// cancellation callback (which dereferences this core via its waiter node)
+/// after select's own loser-cancel already failed, so the core must stay
+/// alive for a grace period after select returns.
+class SelectCore {
+public:
+  static constexpr std::int32_t NoWinner = -1;
+
+  /// Claims the select for \p Clause; true iff this clause is the winner
+  /// (idempotent for the clause that already won).
+  bool tryWin(std::int32_t Clause) {
+    std::int32_t Exp = NoWinner;
+    if (Winner.compare_exchange_strong(Exp, Clause, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      ring();
+      return true;
+    }
+    return Exp == Clause;
+  }
+
+  std::int32_t winner() const {
+    return Winner.load(std::memory_order_acquire);
+  }
+
+  /// A parked clause was cancelled by close(): wake the waiter so it can
+  /// notice that nothing is left to win.
+  void noteClauseDead() {
+    Dead.fetch_add(1, std::memory_order_acq_rel);
+    ring();
+  }
+
+  std::int32_t deadCount() const {
+    return Dead.load(std::memory_order_acquire);
+  }
+
+  /// Wait-loop support: sample the epoch *before* re-checking winner/dead,
+  /// then park against that sample — the futex revalidates, so a ring
+  /// between check and park is never missed.
+  std::uint32_t epoch() const {
+    return Epoch.load(std::memory_order_seq_cst);
+  }
+
+  void waitEpoch(std::uint32_t Ep) {
+    futexWait(Epoch, Ep, std::chrono::nanoseconds(-1));
+  }
+
+private:
+  void ring() {
+    Epoch.fetch_add(1, std::memory_order_seq_cst);
+    futexWakeAll(Epoch);
+  }
+
+  Atomic<std::int32_t> Winner{NoWinner};
+  Atomic<std::uint32_t> Epoch{0};
+  Atomic<std::int32_t> Dead{0};
+};
+
+/// Heap node a cell points at (tag 3) while a sender or a select-receiver
+/// clause is parked in it. Retired through EBR by whichever party
+/// transitions the cell out of the waiter state.
+template <typename E> struct alignas(8) ChannelWaiter {
+  enum class Kind : std::uint8_t { Sender, SelectReceiver };
+
+  Kind K = Kind::Sender;
+  /// Sender: the backpressure/rendezvous acknowledgement request.
+  Request<Unit> *Ack = nullptr;
+  /// SelectReceiver: the clause's element request.
+  Request<E> *Rcv = nullptr;
+  /// Sender: the element travelling with the waiter (withdrawn atomically
+  /// with the cell if the send is cancelled).
+  E Elem{};
+  SelectCore *Sel = nullptr;
+  std::int32_t ClauseIdx = SelectCore::NoWinner;
+};
+
+/// Bounded FIFO channel on the single-array algorithm; Capacity 0 makes it
+/// a rendezvous channel. See the file comment for the design.
+template <typename E, unsigned SegmentSize = 16> class BufferedChannelV2 {
+public:
+  using Seg = Segment<SegmentSize>;
+  using List = SegmentList<SegmentSize>;
+  using RcvRequest = Request<E>;
+  using AckRequest = Request<Unit>;
+  using ReceiveFuture = Future<E>;
+  using SendFuture = Future<Unit>;
+
+  explicit BufferedChannelV2(std::int64_t Capacity) : Capacity(Capacity) {
+    assert(Capacity >= 0 && "negative channel capacity");
+    // Three segment pointers share the first segment (two on a rendezvous
+    // channel, whose buffer pointer is never used).
+    Seg *First = Seg::create(0, nullptr, Capacity > 0 ? 3u : 2u);
+    SendSegm.store(First, std::memory_order_relaxed);
+    RcvSegm.store(First, std::memory_order_relaxed);
+    BufSegm.store(Capacity > 0 ? First : nullptr, std::memory_order_relaxed);
+    BufferEnd->store(static_cast<std::uint64_t>(Capacity),
+                     std::memory_order_relaxed);
+  }
+
+  BufferedChannelV2(const BufferedChannelV2 &) = delete;
+  BufferedChannelV2 &operator=(const BufferedChannelV2 &) = delete;
+
+  /// Quiescent teardown (mirrors ~Cqs): release parked requests, free
+  /// waiter nodes, dispose segments EBR has not already taken.
+  ~BufferedChannelV2() {
+    Seg *Sg = SendSegm.load(std::memory_order_relaxed);
+    Seg *R = RcvSegm.load(std::memory_order_relaxed);
+    if (R->Id < Sg->Id)
+      Sg = R;
+    if (Capacity > 0) {
+      Seg *B = BufSegm.load(std::memory_order_relaxed);
+      if (B->Id < Sg->Id)
+        Sg = B;
+    }
+    while (Sg) {
+      Seg *Next = Sg->next();
+      for (unsigned I = 0; I < SegmentSize; ++I) {
+        std::uint64_t Cur = Sg->Cells[I].load(std::memory_order_relaxed);
+        if (isChannelWaiterWord(Cur)) {
+          auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+          if (Wt->K == ChannelWaiter<E>::Kind::Sender)
+            Wt->Ack->release();
+          else
+            Wt->Rcv->release();
+          delete Wt;
+        } else if (wordKind(Cur) == WordKind::Pointer) {
+          static_cast<RcvRequest *>(pointerOf(Cur))->release();
+        }
+      }
+      if (!Sg->isRetiredForTesting())
+        Seg::disposeUnpublished(Sg);
+      Sg = Next;
+    }
+  }
+
+  /// Sends \p V. Immediate when a receiver was waiting (rendezvous) or the
+  /// element fit the buffer window; otherwise the future completes when the
+  /// element is taken (rendezvous) or enters the buffer (backpressure).
+  /// Invalid iff the channel is closed — the element was NOT sent.
+  SendFuture send(E V) {
+    SendFuture Out;
+    (void)sendImpl(V, /*NoSuspend=*/false, Out);
+    return Out;
+  }
+
+  /// Receives the next element in FIFO order, suspending when none is
+  /// available. Abortable (smart cancellation). Invalid iff the channel is
+  /// closed and drained.
+  ReceiveFuture receive() {
+    ReceiveFuture Out;
+    (void)receiveImpl(/*NoSuspend=*/false, nullptr, SelectCore::NoWinner,
+                      Out);
+    return Out;
+  }
+
+  /// Non-blocking send: true iff \p V was handed to a receiver or
+  /// deposited in buffer room; never parks (a would-park attempt poisons
+  /// its own cell, the Kotlin INTERRUPTED_SEND idiom).
+  bool trySend(E V) {
+    std::uint64_t W = SendersAndClose->load(std::memory_order_seq_cst);
+    if (W & ClosedBit)
+      return false;
+    std::uint64_t S = W & CounterMask;
+    std::uint64_t R = ReceiversCtr->load(std::memory_order_seq_cst);
+    std::uint64_t B = Capacity > 0
+                          ? BufferEnd->load(std::memory_order_seq_cst)
+                          : 0;
+    if (S >= R && S >= B)
+      return false; // no receiver due at this cell and no buffer room
+    SendFuture Out;
+    return sendImpl(V, /*NoSuspend=*/true, Out) == ChannelOp::Done;
+  }
+
+  /// Non-blocking receive; works after close() (draining).
+  std::optional<E> tryReceive() {
+    std::uint64_t R = ReceiversCtr->load(std::memory_order_seq_cst);
+    std::uint64_t S =
+        SendersAndClose->load(std::memory_order_seq_cst) & CounterMask;
+    if (R >= S)
+      return std::nullopt; // every sent element is already claimed
+    ReceiveFuture Out;
+    if (receiveImpl(/*NoSuspend=*/true, nullptr, SelectCore::NoWinner, Out) !=
+        ChannelOp::Done)
+      return std::nullopt;
+    return Out.tryGet();
+  }
+
+  /// Deadline-bounded send: true iff \p V entered the channel within
+  /// \p Timeout. Unlike v1, the element keeps its FIFO position while
+  /// waiting: the parked waiter carries it, and a timeout cancels waiter
+  /// and element atomically with the cell — nothing is left behind.
+  bool sendFor(E V, std::chrono::nanoseconds Timeout) {
+    SendFuture F = send(V);
+    if (!F.valid())
+      return false; // closed
+    if (F.isImmediate())
+      return true;
+    return timedAwait(F, Timeout).has_value();
+  }
+
+  /// Deadline-bounded receive: the next element, or std::nullopt on
+  /// timeout/close. When a sender beats the cancel to the result word the
+  /// element is consumed and returned (the rescue path of
+  /// future/TimedAwait.h) — no element is lost.
+  std::optional<E> receiveFor(std::chrono::nanoseconds Timeout) {
+    ReceiveFuture F = receive();
+    if (!F.valid())
+      return std::nullopt;
+    return timedAwait(F, Timeout);
+  }
+
+  /// Burst send: claims MaxBurstChunk cells with ONE counter fetch_add and
+  /// walks them in order. All elements are in the channel when this
+  /// returns; backpressure is settled per chunk (one blocking wait per
+  /// cell that parked). A cell that dies under the burst falls back to a
+  /// plain send for that element (order perturbation, matching v1).
+  void sendBurst(const E *Vs, std::int64_t N) {
+    assert(N >= 0 && "negative burst length");
+    ebr::Guard Guard;
+    std::int64_t I = 0;
+    while (I < N) {
+      const std::int64_t Chunk = std::min(MaxBurstChunk, N - I);
+      Seg *Start = SendSegm.load(std::memory_order_acquire);
+      std::uint64_t W = SendersAndClose->fetch_add(
+          static_cast<std::uint64_t>(Chunk), std::memory_order_seq_cst);
+      if (W & ClosedBit) {
+        assert(false && "sendBurst on a closed channel");
+        for (std::int64_t K = 0; K < Chunk; ++K) {
+          std::uint64_t S = (W & CounterMask) + static_cast<std::uint64_t>(K);
+          abandonClosedSendCell(Start, S / SegmentSize,
+                                static_cast<std::uint32_t>(S % SegmentSize));
+        }
+        return;
+      }
+      SendFuture Pending[MaxBurstChunk];
+      int NPending = 0;
+      for (std::int64_t K = 0; K < Chunk; ++K) {
+        std::uint64_t S = (W & CounterMask) + static_cast<std::uint64_t>(K);
+        Seg *Sg = List::findAndMoveForward(SendSegm, Start, S / SegmentSize);
+        Start = Sg; // later cells of the chunk are at or past this segment
+        SendFuture Out;
+        ChannelOp Op =
+            Sg->Id != S / SegmentSize
+                ? ChannelOp::Restart
+                : sendToCell(Sg, static_cast<std::uint32_t>(S % SegmentSize),
+                             S, Vs[I + K], /*NoSuspend=*/false, Out);
+        if (Op == ChannelOp::Suspended) {
+          Pending[NPending++] = std::move(Out);
+        } else if (Op == ChannelOp::Restart) {
+          SendFuture F = send(Vs[I + K]);
+          if (F.valid() && !F.isImmediate())
+            Pending[NPending++] = std::move(F);
+        } else if (Op == ChannelOp::Closed) {
+          assert(false && "channel closed during sendBurst");
+        }
+      }
+      for (int K = 0; K < NPending; ++K)
+        (void)Pending[K].blockingGet();
+      I += Chunk;
+    }
+  }
+
+  /// Closes the channel: subsequent sends fail (invalid future), receives
+  /// drain buffered elements and then fail. Idempotent. Parked waiters on
+  /// the losing side are cancelled (a cancelled send keeps its element with
+  /// the caller).
+  void close() {
+    ebr::Guard Guard;
+    std::uint64_t W = SendersAndClose->load(std::memory_order_seq_cst);
+    for (;;) {
+      if (W & ClosedBit)
+        return; // the first closer runs the walk
+      if (SendersAndClose->compare_exchange_weak(W, W | ClosedBit,
+                                                 std::memory_order_seq_cst,
+                                                 std::memory_order_seq_cst))
+        break;
+    }
+    const std::uint64_t CloseCtr = W & CounterMask;
+    const std::uint64_t RWalk =
+        ReceiversCtr->load(std::memory_order_seq_cst);
+    // Cancel the stranded side: parked receivers in [CloseCtr, RWalk), or
+    // parked senders in [RWalk, CloseCtr). Coverage (DESIGN.md §10): a
+    // receiver parks only after a seq_cst no-closed-bit check, so its
+    // counter claim precedes the RWalk read above; a sender re-checks the
+    // closed bit after parking and self-cancels if it raced past us.
+    std::uint64_t Lo = std::min(CloseCtr, RWalk);
+    const std::uint64_t Hi = std::max(CloseCtr, RWalk);
+    if (Lo == Hi)
+      return;
+    Seg *S1 = SendSegm.load(std::memory_order_acquire);
+    Seg *S2 = RcvSegm.load(std::memory_order_acquire);
+    Seg *Sg = S1->Id <= S2->Id ? S1 : S2;
+    while (Lo < Hi) {
+      Sg = List::findSegment(Sg, Lo / SegmentSize);
+      if (Sg->Id != Lo / SegmentSize) {
+        // This stretch of cells is already fully dead; skip to the segment
+        // findSegment actually found.
+        Lo = Sg->Id * SegmentSize;
+        continue;
+      }
+      closeCell(Sg, static_cast<std::uint32_t>(Lo % SegmentSize));
+      ++Lo;
+    }
+  }
+
+  bool isClosed() const {
+    return (SendersAndClose->load(std::memory_order_seq_cst) & ClosedBit) !=
+           0;
+  }
+
+  /// Select building block (sync/Select.h): registers one receive clause
+  /// of \p Sel. Done = this clause won during registration (Out is the
+  /// winning future); Suspended = parked (Out is the clause future);
+  /// Lost = another clause already won; Closed = this channel is closed.
+  ChannelOp selectRegisterReceive(SelectCore *Sel, std::int32_t Clause,
+                                  ReceiveFuture &Out) {
+    assert(Sel && Clause >= 0 && "select registration needs a core+clause");
+    return receiveImpl(/*NoSuspend=*/false, Sel, Clause, Out);
+  }
+
+  /// Sent-minus-claimed counter gap; racy diagnostic.
+  std::int64_t sizeApproxForTesting() const {
+    std::uint64_t S =
+        SendersAndClose->load(std::memory_order_acquire) & CounterMask;
+    std::uint64_t R = ReceiversCtr->load(std::memory_order_acquire);
+    return static_cast<std::int64_t>(S) - static_cast<std::int64_t>(R);
+  }
+
+private:
+  static constexpr std::uint64_t ClosedBit = 1ull << 62;
+  static constexpr std::uint64_t CounterMask = ClosedBit - 1;
+  static constexpr std::int64_t MaxBurstChunk = 64;
+
+  static constexpr std::uint64_t EmptyWord =
+      channelCellWord(ChannelCellState::Empty);
+  static constexpr std::uint64_t TakenWord =
+      channelCellWord(ChannelCellState::Taken);
+  static constexpr std::uint64_t BrokenWord =
+      channelCellWord(ChannelCellState::Broken);
+  static constexpr std::uint64_t CancelledWord =
+      channelCellWord(ChannelCellState::Cancelled);
+  static constexpr std::uint64_t InBufferWord =
+      channelCellWord(ChannelCellState::InBuffer);
+  static constexpr std::uint64_t ClosedCellWord =
+      channelCellWord(ChannelCellState::Closed);
+
+  /// Claims sender cells until one resolves. Returns Done (Out immediate),
+  /// Suspended (Out parked), WouldBlock (NoSuspend), or Closed (Out
+  /// invalid).
+  ChannelOp sendImpl(E V, bool NoSuspend, SendFuture &Out) {
+    ebr::Guard Guard;
+    for (;;) {
+      // Read the segment pointer BEFORE claiming the index (the Cqs.h
+      // idiom): the claimed cell is then always reachable from Start.
+      Seg *Start = SendSegm.load(std::memory_order_acquire);
+      std::uint64_t W =
+          SendersAndClose->fetch_add(1, std::memory_order_seq_cst);
+      std::uint64_t S = W & CounterMask;
+      if (W & ClosedBit) {
+        // Post-close claims never advance SendSegm (findSegment only), so
+        // the close() walk's start stays at or before its range.
+        abandonClosedSendCell(Start, S / SegmentSize,
+                              static_cast<std::uint32_t>(S % SegmentSize));
+        Out = SendFuture::invalid();
+        return ChannelOp::Closed;
+      }
+      Seg *Sg = List::findAndMoveForward(SendSegm, Start, S / SegmentSize);
+      if (Sg->Id != S / SegmentSize)
+        continue; // whole segment died (all cells cancelled); fresh index
+      ChannelOp Op = sendToCell(
+          Sg, static_cast<std::uint32_t>(S % SegmentSize), S, V, NoSuspend,
+          Out);
+      if (Op == ChannelOp::Restart)
+        continue;
+      if (Op == ChannelOp::Closed)
+        Out = SendFuture::invalid();
+      return Op;
+    }
+  }
+
+  /// The sender cell state machine for claimed index \p S.
+  ChannelOp sendToCell(Seg *Sg, std::uint32_t Idx, std::uint64_t S, E V,
+                       bool NoSuspend, SendFuture &Out) {
+    ChannelStats &CS = channelStats();
+    auto &Cell = Sg->Cells[Idx];
+    for (;;) {
+      std::uint64_t Cur = Cell.load(std::memory_order_acquire);
+      if (Cur == EmptyWord || Cur == InBufferWord) {
+        // Deposit without suspending iff the cell is in the buffer window
+        // or its receiver already exists (both checks seq_cst: they form
+        // the Dekker pairs with expandBuffer and the receiver claim).
+        bool CanDeposit =
+            Cur == InBufferWord ||
+            (Capacity > 0 &&
+             S < BufferEnd->load(std::memory_order_seq_cst)) ||
+            S < ReceiversCtr->load(std::memory_order_seq_cst);
+        if (CanDeposit) {
+          if (Cell.compare_exchange_strong(Cur, encodeValueWord<E>(V),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            bump(CS.Deposits);
+            Out = SendFuture::immediate(Unit{});
+            return ChannelOp::Done;
+          }
+          continue;
+        }
+        if (NoSuspend) {
+          // Poison our own cell so no receiver ever waits on it. The
+          // poisoner pre-pays the window slot this burned index would have
+          // consumed (Broken cells are settled for expandBuffer).
+          if (Cell.compare_exchange_strong(Cur, BrokenWord,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            Sg->onCellDead();
+            bump(CS.Poisons);
+            if (Capacity > 0)
+              expandBuffer();
+            return ChannelOp::WouldBlock;
+          }
+          continue;
+        }
+        // Park: the waiter node carries the element, so cancelling the
+        // send withdraws both atomically with the cell.
+        AckRequest *Req = AckRequest::acquire(2);
+        auto *Wt = new ChannelWaiter<E>;
+        Wt->K = ChannelWaiter<E>::Kind::Sender;
+        Wt->Ack = Req;
+        Wt->Elem = V;
+        Req->bindCancellation(&senderCancelCallback, this, Sg, Idx);
+        if (Cell.compare_exchange_strong(Cur, makeChannelWaiterWord(Wt),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          bump(CS.SenderSuspends);
+          Out = SendFuture::suspended(Ref<AckRequest>::adopt(Req));
+          // Post-park closed re-check: either this load sees the closed
+          // bit (and we self-cancel), or it precedes close()'s CAS in the
+          // seq_cst order — and then so does our park, so the close walk
+          // sees and cancels the waiter. Closes the close-vs-park race.
+          if (SendersAndClose->load(std::memory_order_seq_cst) &
+              ClosedBit) {
+            if (Out.cancel()) {
+              Out = SendFuture::invalid();
+              return ChannelOp::Closed;
+            }
+            // cancel lost: a receiver/expandBuffer already took the
+            // element — the send succeeded after all.
+          }
+          return ChannelOp::Suspended;
+        }
+        Req->recycleUnpublished();
+        delete Wt;
+        continue; // re-dispatch on whatever the cell became
+      }
+      if (wordKind(Cur) == WordKind::Pointer) {
+        // A plain parked receiver: rendezvous.
+        auto *Rcv = static_cast<RcvRequest *>(pointerOf(Cur));
+        if (Rcv->complete(V)) {
+          Cell.store(TakenWord, std::memory_order_release);
+          Rcv->release();
+          Sg->onCellDead();
+          bump(CS.Rendezvous);
+          Out = SendFuture::immediate(Unit{});
+          return ChannelOp::Done;
+        }
+        // Its canceller owns the cell transition; this index is burned.
+        return ChannelOp::Restart;
+      }
+      if (isChannelWaiterWord(Cur)) {
+        // A parked select clause (sender waiters never meet senders).
+        auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+        assert(Wt->K == ChannelWaiter<E>::Kind::SelectReceiver &&
+               "sender met a sender waiter at its own cell");
+        if (Wt->Sel->tryWin(Wt->ClauseIdx) && Wt->Rcv->complete(V)) {
+          Cell.store(TakenWord, std::memory_order_release);
+          Wt->Rcv->release();
+          ebr::retireObject(Wt);
+          Sg->onCellDead();
+          bump(CS.Rendezvous);
+          bump(CS.SelParkedWins);
+          Out = SendFuture::immediate(Unit{});
+          return ChannelOp::Done;
+        }
+        // Lost the select race or the clause was cancelled; losing is
+        // terminal for the clause, whose owner resolves this cell.
+        return ChannelOp::Restart;
+      }
+      if (Cur == BrokenWord || Cur == CancelledWord)
+        return ChannelOp::Restart;
+      if (Cur == ClosedCellWord)
+        return ChannelOp::Closed;
+      assert(Cur != TakenWord && wordKind(Cur) != WordKind::Value &&
+             "second sender at a sender-claimed cell");
+      return ChannelOp::Restart;
+    }
+  }
+
+  /// A send that claimed index \p S after close: seal or drain the cell so
+  /// nothing ever parks against a claim that cannot be served.
+  void abandonClosedSendCell(Seg *Start, std::uint64_t SegId,
+                             std::uint32_t Idx) {
+    Seg *Sg = List::findSegment(Start, SegId);
+    if (Sg->Id != SegId)
+      return; // segment fully dead — every cell already resolved
+    auto &Cell = Sg->Cells[Idx];
+    for (;;) {
+      std::uint64_t Cur = Cell.load(std::memory_order_acquire);
+      if (Cur == EmptyWord || Cur == InBufferWord) {
+        if (Cell.compare_exchange_strong(Cur, ClosedCellWord,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          Sg->onCellDead();
+          return;
+        }
+        continue;
+      }
+      if (wordKind(Cur) == WordKind::Pointer) {
+        // A receiver parked before close() landed; it can never be served.
+        (void)static_cast<RcvRequest *>(pointerOf(Cur))->cancel();
+        return;
+      }
+      if (isChannelWaiterWord(Cur)) {
+        auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+        assert(Wt->K == ChannelWaiter<E>::Kind::SelectReceiver &&
+               "sender waiter at an unserved post-close sender cell");
+        (void)Wt->Rcv->cancel();
+        return;
+      }
+      return; // already resolved (Broken/Cancelled/Closed/Taken/Value)
+    }
+  }
+
+  /// One receive engine for plain, try, and select-registration calls.
+  /// \p Sel null = plain receive; otherwise Clause identifies this select
+  /// clause. A clause that commits the winner word but cannot be fulfilled
+  /// by its peer continues as a plain (Committed) receive.
+  ChannelOp receiveImpl(bool NoSuspend, SelectCore *Sel, std::int32_t Clause,
+                        ReceiveFuture &Out) {
+    ebr::Guard Guard;
+    bool Committed = false;
+    for (;;) {
+      if (Sel && !Committed) {
+        std::int32_t W = Sel->winner();
+        if (W == Clause)
+          Committed = true;
+        else if (W != SelectCore::NoWinner)
+          return ChannelOp::Lost; // decided elsewhere; claim nothing
+      }
+      Seg *Start = RcvSegm.load(std::memory_order_acquire);
+      std::uint64_t R = ReceiversCtr->fetch_add(1, std::memory_order_seq_cst);
+      Seg *Sg = List::findAndMoveForward(RcvSegm, Start, R / SegmentSize);
+      // NO clearPrev() here, unlike the v1 resume path. v1 may null the
+      // prev link because its resume counter only passes completed (dead)
+      // cells, so everything left of the head is removable. In a channel a
+      // receiver PARKS in its claimed cell and the head moves on — live
+      // cells remain to the left. remove() relies on the prev chain to
+      // find the live left neighbour and redirect its next link away from
+      // the corpse; nulling prev makes it skip that correction, leaving a
+      // live segment pointing at retired (recycled) memory.
+      if (Sg->Id != R / SegmentSize)
+        continue;
+      ChannelOp Op = receiveFromCell(
+          Sg, static_cast<std::uint32_t>(R % SegmentSize), R, NoSuspend, Sel,
+          Clause, Committed, Out);
+      if (Op == ChannelOp::Restart)
+        continue;
+      if (Op == ChannelOp::Closed)
+        Out = ReceiveFuture::invalid();
+      return Op;
+    }
+  }
+
+  /// The receiver cell state machine for claimed index \p R. Whatever the
+  /// select outcome, a claimed cell is always fully resolved — a lost
+  /// clause consumes the element and re-delivers it (never strands it).
+  ChannelOp receiveFromCell(Seg *Sg, std::uint32_t Idx, std::uint64_t R,
+                            bool NoSuspend, SelectCore *Sel,
+                            std::int32_t Clause, bool Committed,
+                            ReceiveFuture &Out) {
+    ChannelStats &CS = channelStats();
+    auto &Cell = Sg->Cells[Idx];
+    Backoff B;
+    for (;;) {
+      std::uint64_t Cur = Cell.load(std::memory_order_acquire);
+      if (wordKind(Cur) == WordKind::Value) {
+        // Element already deposited: take it.
+        E V = decodeValueWord<E>(Cur);
+        bool Win = !Sel || Committed || Sel->tryWin(Clause);
+        Cell.store(TakenWord, std::memory_order_release);
+        Sg->onCellDead();
+        if (Capacity > 0)
+          expandBuffer();
+        if (Win) {
+          Out = ReceiveFuture::immediate(V);
+          return ChannelOp::Done;
+        }
+        redeliver(V);
+        bump(CS.SelRedeliveries);
+        return ChannelOp::Lost;
+      }
+      if (isChannelWaiterWord(Cur)) {
+        // A parked sender: rendezvous through its acknowledgement. Secure
+        // the element BEFORE touching the select core: winning the core
+        // first and then losing the ack race (to a concurrently cancelled
+        // send) would commit the select to a clause with nothing to
+        // deliver, degrading it into an unbounded plain receive that can
+        // park on a channel no sender visits again. With the element in
+        // hand, a lost core race just re-delivers — the same shape as the
+        // deposited-value case above.
+        auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+        assert(Wt->K == ChannelWaiter<E>::Kind::Sender &&
+               "receiver met a receiver waiter at its own cell");
+        if (!Wt->Ack->complete(Unit{})) {
+          // Either expandBuffer resumed this sender first (the cell is
+          // about to become a Value — consume it on the next dispatch) or
+          // the sender was cancelled (the cell becomes Cancelled —
+          // restart). The owner's transition is a few instructions away.
+          B.pause();
+          continue;
+        }
+        E V = Wt->Elem;
+        Cell.store(TakenWord, std::memory_order_release);
+        Wt->Ack->release();
+        ebr::retireObject(Wt);
+        Sg->onCellDead();
+        bump(CS.Rendezvous);
+        if (Capacity > 0)
+          expandBuffer();
+        bool Win = !Sel || Committed || Sel->tryWin(Clause);
+        if (Win) {
+          Out = ReceiveFuture::immediate(V);
+          return ChannelOp::Done;
+        }
+        redeliver(V);
+        bump(CS.SelRedeliveries);
+        return ChannelOp::Lost;
+      }
+      if (Cur == EmptyWord || Cur == InBufferWord) {
+        std::uint64_t SW =
+            SendersAndClose->load(std::memory_order_seq_cst);
+        std::uint64_t S = SW & CounterMask;
+        if (R < S) {
+          // A sender claimed this cell but has not arrived: poison it so
+          // the sender restarts, and claim a fresh index ourselves. Pre-pay
+          // the slot the poisoned cell may already occupy in the window.
+          if (Cell.compare_exchange_strong(Cur, BrokenWord,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            Sg->onCellDead();
+            bump(CS.Poisons);
+            if (Capacity > 0)
+              expandBuffer();
+            return ChannelOp::Restart;
+          }
+          continue;
+        }
+        if (SW & ClosedBit) {
+          // No sender will ever claim this cell (the seq_cst pre-park
+          // check above is what lets close() bound its cancel walk).
+          if (Cell.compare_exchange_strong(Cur, ClosedCellWord,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            Sg->onCellDead();
+            return ChannelOp::Closed;
+          }
+          continue;
+        }
+        if (NoSuspend) {
+          // The poisoned cell may already sit inside the buffer window
+          // (claimed by an expandBuffer that Dekker-returned): pre-pay the
+          // slot so the window never shrinks.
+          if (Cell.compare_exchange_strong(Cur, BrokenWord,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            Sg->onCellDead();
+            bump(CS.Poisons);
+            if (Capacity > 0)
+              expandBuffer();
+            return ChannelOp::WouldBlock;
+          }
+          continue;
+        }
+        if (Sel && !Committed) {
+          // Park a gated select clause: senders must win the select core
+          // before completing it.
+          RcvRequest *Req = RcvRequest::acquire(2);
+          auto *Wt = new ChannelWaiter<E>;
+          Wt->K = ChannelWaiter<E>::Kind::SelectReceiver;
+          Wt->Rcv = Req;
+          Wt->Sel = Sel;
+          Wt->ClauseIdx = Clause;
+          Req->bindCancellation(&selectReceiverCancelCallback, this, Sg,
+                                Idx);
+          if (Cell.compare_exchange_strong(Cur, makeChannelWaiterWord(Wt),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            bump(CS.ReceiverSuspends);
+            Out = ReceiveFuture::suspended(Ref<RcvRequest>::adopt(Req));
+            if (Capacity > 0)
+              expandBuffer();
+            return ChannelOp::Suspended;
+          }
+          Req->recycleUnpublished();
+          delete Wt;
+          continue;
+        }
+        // Park a plain receiver: the bare request pointer is the waiter.
+        RcvRequest *Req = RcvRequest::acquire(2);
+        Req->bindCancellation(&plainReceiverCancelCallback, this, Sg, Idx);
+        if (Cell.compare_exchange_strong(Cur, makePointerWord(Req),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          bump(CS.ReceiverSuspends);
+          Out = ReceiveFuture::suspended(Ref<RcvRequest>::adopt(Req));
+          if (Capacity > 0)
+            expandBuffer();
+          return ChannelOp::Suspended;
+        }
+        Req->recycleUnpublished();
+        continue;
+      }
+      if (Cur == BrokenWord || Cur == CancelledWord)
+        return ChannelOp::Restart;
+      if (Cur == ClosedCellWord)
+        return ChannelOp::Closed;
+      assert(Cur != TakenWord &&
+             "second receiver at a receiver-claimed cell");
+      return ChannelOp::Restart;
+    }
+  }
+
+  /// Slides the buffer window one cell forward (called once per engaged
+  /// receive on a buffered channel) and resumes the sender parked at the
+  /// old boundary, if any.
+  void expandBuffer() {
+    ChannelStats &CS = channelStats();
+    for (;;) {
+      Seg *Start = BufSegm.load(std::memory_order_acquire);
+      std::uint64_t Bd =
+          BufferEnd->fetch_add(1, std::memory_order_seq_cst);
+      std::uint64_t S =
+          SendersAndClose->load(std::memory_order_seq_cst) & CounterMask;
+      if (Bd >= S)
+        return; // Dekker with the sender claim: a sender claiming this
+                // cell later reloads BufferEnd (seq_cst) and deposits.
+      Seg *Sg = List::findAndMoveForward(BufSegm, Start, Bd / SegmentSize);
+      if (Sg->Id != Bd / SegmentSize)
+        continue; // boundary cell already dead; the slot moves on
+      auto &Cell = Sg->Cells[Bd % SegmentSize];
+      Backoff B;
+      for (;;) {
+        std::uint64_t Cur = Cell.load(std::memory_order_acquire);
+        if (Cur == EmptyWord) {
+          // Mark the cell so a sender holding a stale BufferEnd sample
+          // still deposits instead of parking forever.
+          if (Cell.compare_exchange_strong(Cur, InBufferWord,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+            return;
+          continue;
+        }
+        if (isChannelWaiterWord(Cur)) {
+          auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+          if (Wt->K == ChannelWaiter<E>::Kind::Sender) {
+            if (Wt->Ack->complete(Unit{})) {
+              // The sender's element moves into the buffer; its ack fires.
+              Cell.store(encodeValueWord<E>(Wt->Elem),
+                         std::memory_order_release);
+              Wt->Ack->release();
+              ebr::retireObject(Wt);
+              bump(CS.EbResumes);
+              return;
+            }
+            B.pause(); // receiver or canceller owns it; re-dispatch
+            continue;
+          }
+          return; // parked select clause: a rendezvous, not a buffer slot
+        }
+        if (wordKind(Cur) == WordKind::Pointer)
+          return; // parked plain receiver: rendezvous pending
+        if (Cur == CancelledWord)
+          break; // cancelled sender: unpaid dead cell — the slot moves on
+        if (Cur == BrokenWord)
+          return; // poisoned or receiver-cancelled cell: its killer
+                  // pre-paid this slot (poison pays, a park paid on entry)
+        assert(Cur != InBufferWord &&
+               "two expandBuffer calls claimed one boundary cell");
+        return; // Taken/Value/Closed: consumed or sealed
+      }
+    }
+  }
+
+  /// Re-delivers an element a losing/lost select clause consumed, through
+  /// a fresh sender index. Ignores the closed bit (the element was already
+  /// sent once; a closed channel stays drainable) and never suspends.
+  void redeliver(E V) {
+    for (;;) {
+      Seg *Start = SendSegm.load(std::memory_order_acquire);
+      std::uint64_t W =
+          SendersAndClose->fetch_add(1, std::memory_order_seq_cst);
+      std::uint64_t S = W & CounterMask;
+      Seg *Sg = (W & ClosedBit)
+                    ? List::findSegment(Start, S / SegmentSize)
+                    : List::findAndMoveForward(SendSegm, Start,
+                                               S / SegmentSize);
+      if (Sg->Id != S / SegmentSize)
+        continue;
+      auto &Cell = Sg->Cells[S % SegmentSize];
+      bool Fresh = false;
+      while (!Fresh) {
+        std::uint64_t Cur = Cell.load(std::memory_order_acquire);
+        if (Cur == EmptyWord || Cur == InBufferWord) {
+          // May transiently exceed the buffer window — the v1
+          // completeRefusedResume precedent; elements are never lost.
+          if (Cell.compare_exchange_strong(Cur, encodeValueWord<E>(V),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+            return;
+          continue;
+        }
+        if (wordKind(Cur) == WordKind::Pointer) {
+          auto *Rcv = static_cast<RcvRequest *>(pointerOf(Cur));
+          if (Rcv->complete(V)) {
+            Cell.store(TakenWord, std::memory_order_release);
+            Rcv->release();
+            Sg->onCellDead();
+            return;
+          }
+          Fresh = true; // canceller owns the cell; fresh index
+          continue;
+        }
+        if (isChannelWaiterWord(Cur)) {
+          auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+          assert(Wt->K == ChannelWaiter<E>::Kind::SelectReceiver &&
+                 "sender waiter at a fresh sender index");
+          if (Wt->Sel->tryWin(Wt->ClauseIdx) && Wt->Rcv->complete(V)) {
+            Cell.store(TakenWord, std::memory_order_release);
+            Wt->Rcv->release();
+            ebr::retireObject(Wt);
+            Sg->onCellDead();
+            bump(channelStats().SelParkedWins);
+            return;
+          }
+          Fresh = true;
+          continue;
+        }
+        Fresh = true; // Broken/Cancelled/Closed: fresh index
+      }
+    }
+  }
+
+  /// One cell of the close() cancel walk.
+  void closeCell(Seg *Sg, std::uint32_t Idx) {
+    auto &Cell = Sg->Cells[Idx];
+    for (;;) {
+      std::uint64_t Cur = Cell.load(std::memory_order_acquire);
+      if (Cur == EmptyWord || Cur == InBufferWord) {
+        if (Cell.compare_exchange_strong(Cur, ClosedCellWord,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          Sg->onCellDead();
+          return;
+        }
+        continue;
+      }
+      if (wordKind(Cur) == WordKind::Pointer) {
+        (void)static_cast<RcvRequest *>(pointerOf(Cur))->cancel();
+        return;
+      }
+      if (isChannelWaiterWord(Cur)) {
+        auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+        if (Wt->K == ChannelWaiter<E>::Kind::Sender)
+          (void)Wt->Ack->cancel(); // aborted send: element stays with caller
+        else
+          (void)Wt->Rcv->cancel();
+        return;
+      }
+      return; // Value stays drainable; other states are terminal
+    }
+  }
+
+  /// Cancellation of a parked send (timeout or close): the canceller won
+  /// the ack's result word, so it owns the cell — element and waiter are
+  /// withdrawn together.
+  static void senderCancelCallback(void *, void *Segment,
+                                   std::uint32_t Idx) {
+    auto *Sg = static_cast<Seg *>(Segment);
+    ebr::Guard Guard;
+    std::uint64_t Cur =
+        Sg->Cells[Idx].exchange(CancelledWord, std::memory_order_acq_rel);
+    assert(isChannelWaiterWord(Cur) &&
+           "sender cancel: cell no longer holds the waiter");
+    auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+    assert(Wt->K == ChannelWaiter<E>::Kind::Sender);
+    Wt->Ack->release(); // the cell's reference
+    ebr::retireObject(Wt);
+    Sg->onCellDead();
+  }
+
+  /// Cancellation of a plain parked receive (timeout or close). Writes
+  /// Broken, not Cancelled: the park already paid this cell's window slot
+  /// (expandBuffer on suspension), so expandBuffer must treat the corpse
+  /// as settled instead of paying a second time.
+  static void plainReceiverCancelCallback(void *, void *Segment,
+                                          std::uint32_t Idx) {
+    auto *Sg = static_cast<Seg *>(Segment);
+    ebr::Guard Guard;
+    std::uint64_t Cur =
+        Sg->Cells[Idx].exchange(BrokenWord, std::memory_order_acq_rel);
+    assert(wordKind(Cur) == WordKind::Pointer &&
+           "receiver cancel: cell no longer holds the request");
+    static_cast<RcvRequest *>(pointerOf(Cur))->release();
+    Sg->onCellDead();
+  }
+
+  /// Cancellation of a parked select clause (losing clause, or close).
+  /// Broken for the same reason as the plain receiver: the park pre-paid.
+  /// noteClauseDead runs under the guard: the core is EBR-retired by
+  /// selectReceive, so the grace period keeps it alive here.
+  static void selectReceiverCancelCallback(void *, void *Segment,
+                                           std::uint32_t Idx) {
+    auto *Sg = static_cast<Seg *>(Segment);
+    ebr::Guard Guard;
+    std::uint64_t Cur =
+        Sg->Cells[Idx].exchange(BrokenWord, std::memory_order_acq_rel);
+    assert(isChannelWaiterWord(Cur) &&
+           "select cancel: cell no longer holds the waiter");
+    auto *Wt = static_cast<ChannelWaiter<E> *>(channelWaiterOf(Cur));
+    assert(Wt->K == ChannelWaiter<E>::Kind::SelectReceiver);
+    SelectCore *Sel = Wt->Sel;
+    Wt->Rcv->release();
+    ebr::retireObject(Wt);
+    Sg->onCellDead();
+    bump(channelStats().SelLoserCancels);
+    Sel->noteClauseDead();
+  }
+
+  CachePadded<Atomic<std::uint64_t>> SendersAndClose{0};
+  CachePadded<Atomic<std::uint64_t>> ReceiversCtr{0};
+  CachePadded<Atomic<std::uint64_t>> BufferEnd{0};
+  Atomic<Seg *> SendSegm{nullptr};
+  Atomic<Seg *> RcvSegm{nullptr};
+  Atomic<Seg *> BufSegm{nullptr};
+  const std::int64_t Capacity;
+};
+
+/// Synchronous (rendezvous) channel on the v2 algorithm.
+template <typename E, unsigned SegmentSize = 16>
+class RendezvousChannelV2 : public BufferedChannelV2<E, SegmentSize> {
+public:
+  RendezvousChannelV2() : BufferedChannelV2<E, SegmentSize>(0) {}
+};
+
+} // namespace cqs
+
+#endif // CQS_SYNC_CHANNELV2_H

@@ -1,0 +1,129 @@
+//===- sync/Select.h - first-ready-wins receive over N channels -*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// selectReceive: wait on N channel-v2 receive clauses at once; the first
+/// clause with an element wins and the losers are cancelled through SMART
+/// cancellation, so no element or permit is ever stranded (DESIGN.md §10).
+///
+/// Protocol:
+///  1. Registration, one clause per channel in argument order. Each clause
+///     either completes immediately (a peer was already present — the
+///     clause wins the shared SelectCore winner word during registration),
+///     parks a gated waiter in its cell, reports the channel closed, or
+///     observes that an earlier clause already won and stops.
+///  2. Wait: park on the core's epoch futex until a winner is committed, or
+///     until every parked clause was cancelled by close() (all channels
+///     closed underneath the select).
+///  3. Harvest + cleanup: take the winner's value and cancel every other
+///     parked clause. A loser's cancel can itself lose — only to a
+///     concurrent close() cancel, which performs the same cell transition.
+///
+/// Returns std::nullopt iff nothing can ever be received (every clause's
+/// channel closed). Send clauses are intentionally not offered — see the
+/// ChannelV2.h file comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SYNC_SELECT_H
+#define CQS_SYNC_SELECT_H
+
+#include "core/CqsStats.h"
+#include "reclaim/Ebr.h"
+#include "sync/ChannelV2.h"
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+
+namespace cqs {
+
+/// Winning clause index (argument order) and the received element.
+template <typename E> struct SelectResult {
+  std::int32_t Index;
+  E Value;
+};
+
+inline constexpr int MaxSelectClauses = 16;
+
+/// Receives from the first of \p N channels to have an element available.
+template <typename E, unsigned SegmentSize>
+std::optional<SelectResult<E>>
+selectReceive(BufferedChannelV2<E, SegmentSize> *const *Channels, int N) {
+  assert(N >= 1 && N <= MaxSelectClauses && "select clause count");
+  using Chan = BufferedChannelV2<E, SegmentSize>;
+  using Fut = typename Chan::ReceiveFuture;
+  ChannelStats &CS = channelStats();
+  // Heap + EBR retire: a close() racing this select can fire a clause's
+  // cancellation callback (which rings this core) after we return.
+  auto *Core = new SelectCore;
+  Fut Futures[MaxSelectClauses];
+  bool Parked[MaxSelectClauses] = {};
+  int NParked = 0;
+  std::int32_t W = SelectCore::NoWinner;
+
+  for (std::int32_t I = 0; I < N; ++I) {
+    ChannelOp Op = Channels[I]->selectRegisterReceive(Core, I, Futures[I]);
+    if (Op == ChannelOp::Done) {
+      bump(CS.SelImmediateWins);
+      W = I;
+      break;
+    }
+    if (Op == ChannelOp::Suspended) {
+      Parked[I] = true;
+      ++NParked;
+    } else if (Op == ChannelOp::Lost) {
+      W = Core->winner();
+      assert(W != SelectCore::NoWinner && "lost a select nobody won");
+      break;
+    }
+    // ChannelOp::Closed: skip the clause.
+  }
+
+  if (W == SelectCore::NoWinner && NParked > 0) {
+    for (;;) {
+      std::uint32_t Ep = Core->epoch(); // sample BEFORE the checks
+      W = Core->winner();
+      if (W != SelectCore::NoWinner)
+        break;
+      if (Core->deadCount() >= NParked)
+        break; // close() cancelled every parked clause
+      Core->waitEpoch(Ep);
+    }
+  }
+
+  std::optional<SelectResult<E>> Result;
+  if (W != SelectCore::NoWinner && Futures[W].valid()) {
+    // nullopt here means the winning clause's request was close-cancelled
+    // right after committing the win; its sender re-delivers or aborts, so
+    // reporting "nothing receivable" stays conservation-clean.
+    if (std::optional<E> V = Futures[W].blockingGet())
+      Result = SelectResult<E>{W, *V};
+  }
+  for (std::int32_t I = 0; I < N; ++I)
+    if (I != W && Parked[I])
+      (void)Futures[I].cancel(); // false iff close() cancelled it first
+  {
+    ebr::Guard Guard;
+    ebr::retireObject(Core);
+  }
+  return Result;
+}
+
+template <typename E, unsigned SegmentSize>
+std::optional<SelectResult<E>>
+selectReceive(std::initializer_list<BufferedChannelV2<E, SegmentSize> *> Cs) {
+  BufferedChannelV2<E, SegmentSize> *Chans[MaxSelectClauses];
+  int N = 0;
+  for (auto *C : Cs)
+    Chans[N++] = C;
+  return selectReceive(Chans, N);
+}
+
+} // namespace cqs
+
+#endif // CQS_SYNC_SELECT_H

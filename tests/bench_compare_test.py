@@ -199,6 +199,35 @@ class BenchCompareGateTest(unittest.TestCase):
         proc = self.run_compare(base, cur)
         self.assertEqual(proc.returncode, 0, proc.stderr)
 
+    def test_new_series_reported_as_new(self):
+        # ... and they are called out explicitly, so a PR landing a bench
+        # plus its first baseline can be audited from the gate output.
+        base = self.write("base.json", doc([result("fig7", "CQS")]))
+        cur = self.write("cur.json", doc([
+            result("fig7", "CQS"),
+            result("fig7", "CQS channel v2"),
+        ]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("new series", proc.stdout)
+        self.assertIn("fig7: CQS channel v2 [new]", proc.stdout)
+
+    def test_scaling_new_curve_reported_not_gated(self):
+        # A current-only curve (freshly added scaling series) is listed as
+        # new and exits 0 even though it cannot be compared; even a "slow"
+        # new curve has no baseline to regress against.
+        base = self.write("base.json",
+                          doc(self.scaling_curve({1: 1.0, 4: 1.0})))
+        cur = self.write("cur.json", doc(
+            self.scaling_curve({1: 1.0, 4: 1.0}) +
+            self.scaling_curve({1: 9.0, 4: 9.0}, series="v2 sendBurst"),
+            nproc=4))
+        proc = self.run_compare(base, cur, "--scaling")
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        self.assertIn("new curve", proc.stdout)
+        self.assertIn("v2 sendBurst", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

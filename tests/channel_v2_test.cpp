@@ -1,0 +1,516 @@
+//===- tests/channel_v2_test.cpp - single-array channel tests -------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The v2 channel (sync/ChannelV2.h, the Koval-Alistarh-Elizarov single
+/// array): the v1 contract surface (FIFO, backpressure, rendezvous,
+/// try-ops, bursts, cancellation conservation) plus the parts v1 could not
+/// offer — abortable suspended sends and close() semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/ChannelV2.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using IntChannel = BufferedChannelV2<int, /*SegmentSize=*/4>;
+
+TEST(ChannelV2, SendThenReceiveFifo) {
+  IntChannel Ch(8);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(Ch.send(I).isImmediate()) << "buffer has room";
+  for (int I = 0; I < 5; ++I) {
+    auto R = Ch.receive();
+    ASSERT_TRUE(R.isImmediate());
+    EXPECT_EQ(R.tryGet(), I);
+  }
+}
+
+TEST(ChannelV2, ReceiveOnEmptySuspendsUntilSend) {
+  IntChannel Ch(2);
+  auto R = Ch.receive();
+  EXPECT_EQ(R.status(), FutureStatus::Pending);
+  auto S = Ch.send(42);
+  EXPECT_TRUE(S.isImmediate());
+  EXPECT_EQ(R.tryGet(), 42);
+}
+
+TEST(ChannelV2, SendBlocksAtCapacity) {
+  IntChannel Ch(2);
+  EXPECT_TRUE(Ch.send(1).isImmediate());
+  EXPECT_TRUE(Ch.send(2).isImmediate());
+  auto S3 = Ch.send(3);
+  EXPECT_EQ(S3.status(), FutureStatus::Pending) << "buffer full";
+  EXPECT_EQ(Ch.receive().tryGet(), 1);
+  EXPECT_EQ(S3.status(), FutureStatus::Completed)
+      << "draining one slot admits the parked sender";
+  EXPECT_EQ(Ch.receive().tryGet(), 2);
+  EXPECT_EQ(Ch.receive().tryGet(), 3);
+}
+
+TEST(ChannelV2, WaitingReceiversServedFifo) {
+  IntChannel Ch(4);
+  auto R1 = Ch.receive();
+  auto R2 = Ch.receive();
+  auto R3 = Ch.receive();
+  Ch.send(10);
+  Ch.send(20);
+  Ch.send(30);
+  EXPECT_EQ(R1.tryGet(), 10);
+  EXPECT_EQ(R2.tryGet(), 20);
+  EXPECT_EQ(R3.tryGet(), 30);
+}
+
+TEST(RendezvousV2, SendSuspendsUntilReceive) {
+  RendezvousChannelV2<int, 4> Ch;
+  auto S = Ch.send(7);
+  EXPECT_EQ(S.status(), FutureStatus::Pending) << "no receiver yet";
+  auto R = Ch.receive();
+  ASSERT_TRUE(R.isImmediate());
+  EXPECT_EQ(R.tryGet(), 7);
+  EXPECT_EQ(S.status(), FutureStatus::Completed);
+}
+
+TEST(RendezvousV2, ReceiveSuspendsUntilSend) {
+  RendezvousChannelV2<int, 4> Ch;
+  auto R = Ch.receive();
+  EXPECT_EQ(R.status(), FutureStatus::Pending);
+  auto S = Ch.send(9);
+  EXPECT_TRUE(S.isImmediate()) << "direct rendezvous with the waiter";
+  EXPECT_EQ(R.tryGet(), 9);
+}
+
+TEST(RendezvousV2, PendingSendsServedFifo) {
+  RendezvousChannelV2<int, 4> Ch;
+  std::vector<RendezvousChannelV2<int, 4>::SendFuture> Sends;
+  for (int I = 0; I < 6; ++I)
+    Sends.push_back(Ch.send(I));
+  for (int I = 0; I < 6; ++I) {
+    EXPECT_EQ(Ch.receive().tryGet(), I) << "FIFO across pending sends";
+    EXPECT_EQ(Sends[I].status(), FutureStatus::Completed);
+  }
+}
+
+TEST(ChannelV2, CancelledReceiveIsSkipped) {
+  IntChannel Ch(2);
+  auto R1 = Ch.receive();
+  auto R2 = Ch.receive();
+  EXPECT_TRUE(R1.cancel());
+  Ch.send(5);
+  EXPECT_EQ(R2.tryGet(), 5) << "element goes to the live receiver";
+}
+
+// v1 could not do this: cancelling a *suspended send* withdraws the
+// element together with the waiter — nothing is left in the channel.
+TEST(ChannelV2, CancelledSendWithdrawsItsElement) {
+  IntChannel Ch(1);
+  EXPECT_TRUE(Ch.send(1).isImmediate());
+  auto S2 = Ch.send(2);
+  ASSERT_EQ(S2.status(), FutureStatus::Pending);
+  EXPECT_TRUE(S2.cancel());
+  EXPECT_EQ(Ch.receive().tryGet(), 1);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt)
+      << "the cancelled send's element must not appear";
+  // The channel still works after the cancellation.
+  EXPECT_TRUE(Ch.send(3).isImmediate());
+  EXPECT_EQ(Ch.receive().tryGet(), 3);
+}
+
+TEST(ChannelV2, SendCancelRaceNeverLosesOrDuplicates) {
+  for (int Round = 0; Round < 500; ++Round) {
+    RendezvousChannelV2<int, 4> Ch;
+    auto S = Ch.send(Round);
+    std::atomic<bool> Cancelled{false};
+    std::optional<int> Got;
+    std::thread A([&] { Got = Ch.receive().blockingGet(); });
+    std::thread B([&] { Cancelled.store(S.cancel()); });
+    B.join();
+    if (Cancelled.load()) {
+      // The receive can never get this element; feed it another one.
+      (void)Ch.send(-1);
+      A.join();
+      ASSERT_TRUE(Got.has_value());
+      EXPECT_EQ(*Got, -1);
+    } else {
+      A.join();
+      ASSERT_TRUE(Got.has_value());
+      EXPECT_EQ(*Got, Round);
+    }
+  }
+}
+
+TEST(ChannelV2, ReceiveCancelRaceNeverLosesTheElement) {
+  for (int Round = 0; Round < 500; ++Round) {
+    IntChannel Ch(2);
+    auto R = Ch.receive();
+    std::atomic<bool> Cancelled{false};
+    std::thread A([&] { (void)Ch.send(Round); });
+    std::thread B([&] { Cancelled.store(R.cancel()); });
+    A.join();
+    B.join();
+    if (Cancelled.load()) {
+      auto G = Ch.receive();
+      EXPECT_EQ(G.blockingGet(), Round) << "element stays in the channel";
+    } else {
+      EXPECT_EQ(R.tryGet(), Round);
+    }
+  }
+}
+
+TEST(ChannelV2, TrySendTryReceiveBasics) {
+  IntChannel Ch(2);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt) << "empty channel";
+  EXPECT_TRUE(Ch.trySend(1));
+  EXPECT_TRUE(Ch.trySend(2));
+  EXPECT_FALSE(Ch.trySend(3)) << "buffer full: trySend must not block";
+  EXPECT_EQ(Ch.tryReceive(), 1);
+  EXPECT_TRUE(Ch.trySend(3));
+  EXPECT_EQ(Ch.tryReceive(), 2);
+  EXPECT_EQ(Ch.tryReceive(), 3);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(ChannelV2, TrySendRendezvousesWithWaitingReceiver) {
+  RendezvousChannelV2<int, 4> Ch;
+  EXPECT_FALSE(Ch.trySend(1)) << "no receiver: rendezvous refused";
+  auto R = Ch.receive();
+  EXPECT_EQ(R.status(), FutureStatus::Pending);
+  EXPECT_TRUE(Ch.trySend(9)) << "waiting receiver: direct handoff";
+  EXPECT_EQ(R.blockingGet(), 9);
+}
+
+TEST(ChannelV2, TryReceiveAdmitsBlockedSender) {
+  IntChannel Ch(1);
+  EXPECT_TRUE(Ch.send(1).isImmediate());
+  auto S2 = Ch.send(2);
+  EXPECT_EQ(S2.status(), FutureStatus::Pending);
+  EXPECT_EQ(Ch.tryReceive(), 1);
+  EXPECT_EQ(S2.blockingGet(), std::make_optional(Unit{}))
+      << "draining below capacity must admit the parked sender";
+  EXPECT_EQ(Ch.tryReceive(), 2);
+}
+
+TEST(ChannelV2, SendBurstDeliversInOrder) {
+  BufferedChannelV2<int, 4> Ch(256);
+  std::vector<int> Vals(200);
+  for (int I = 0; I < 200; ++I)
+    Vals[I] = I;
+  Ch.sendBurst(Vals.data(), 200);
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(Ch.receive().tryGet(), I);
+}
+
+TEST(ChannelV2, SendBurstHonoursBackpressure) {
+  BufferedChannelV2<int, 4> Ch(2);
+  std::atomic<int> Sum{0};
+  std::thread Consumer([&] {
+    for (int I = 0; I < 40; ++I) {
+      auto V = Ch.receive().blockingGet();
+      ASSERT_TRUE(V.has_value());
+      Sum.fetch_add(*V);
+    }
+  });
+  std::vector<int> Vals(40);
+  int Want = 0;
+  for (int I = 0; I < 40; ++I) {
+    Vals[I] = I;
+    Want += I;
+  }
+  Ch.sendBurst(Vals.data(), 40);
+  Consumer.join();
+  EXPECT_EQ(Sum.load(), Want);
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+// ---- close() semantics (new surface; v1 has no close) ----
+
+TEST(ChannelV2Close, SendAfterCloseFails) {
+  IntChannel Ch(4);
+  Ch.close();
+  EXPECT_TRUE(Ch.isClosed());
+  EXPECT_FALSE(Ch.send(1).valid());
+  EXPECT_FALSE(Ch.trySend(1));
+  EXPECT_FALSE(Ch.sendFor(1, std::chrono::milliseconds(5)));
+}
+
+TEST(ChannelV2Close, CloseIsIdempotent) {
+  IntChannel Ch(4);
+  Ch.close();
+  Ch.close();
+  EXPECT_TRUE(Ch.isClosed());
+}
+
+TEST(ChannelV2Close, BufferedElementsDrainAfterClose) {
+  IntChannel Ch(4);
+  EXPECT_TRUE(Ch.send(1).isImmediate());
+  EXPECT_TRUE(Ch.send(2).isImmediate());
+  Ch.close();
+  EXPECT_EQ(Ch.tryReceive(), 1);
+  auto R = Ch.receive();
+  ASSERT_TRUE(R.valid());
+  EXPECT_EQ(R.tryGet(), 2);
+  EXPECT_FALSE(Ch.receive().valid()) << "drained + closed";
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(ChannelV2Close, ParkedReceiversAreCancelledByClose) {
+  IntChannel Ch(2);
+  auto R1 = Ch.receive();
+  auto R2 = Ch.receive();
+  ASSERT_EQ(R1.status(), FutureStatus::Pending);
+  Ch.close();
+  EXPECT_EQ(R1.blockingGet(), std::nullopt);
+  EXPECT_EQ(R2.blockingGet(), std::nullopt);
+}
+
+TEST(ChannelV2Close, ParkedSendersAreCancelledByClose) {
+  IntChannel Ch(1);
+  EXPECT_TRUE(Ch.send(1).isImmediate());
+  auto S2 = Ch.send(2);
+  ASSERT_EQ(S2.status(), FutureStatus::Pending);
+  Ch.close();
+  EXPECT_EQ(S2.blockingGet(), std::nullopt)
+      << "close aborts the parked send; its element stays with the caller";
+  EXPECT_EQ(Ch.tryReceive(), 1) << "committed elements remain drainable";
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(ChannelV2Close, CloseRaceWithSendersConserves) {
+  for (int Round = 0; Round < 200; ++Round) {
+    IntChannel Ch(2);
+    std::atomic<int> Accepted{0};
+    std::vector<std::thread> Ts;
+    for (int T = 0; T < 3; ++T) {
+      Ts.emplace_back([&, T] {
+        for (int I = 0; I < 8; ++I) {
+          auto F = Ch.send(T * 100 + I);
+          if (!F.valid())
+            return; // closed before the send took effect
+          if (F.isImmediate() || F.blockingGet().has_value())
+            Accepted.fetch_add(1);
+        }
+      });
+    }
+    Ts.emplace_back([&] { Ch.close(); });
+    for (auto &T : Ts)
+      T.join();
+    int Drained = 0;
+    while (Ch.tryReceive().has_value())
+      ++Drained;
+    EXPECT_EQ(Drained, Accepted.load())
+        << "every accepted element drains; no accepted element is lost";
+  }
+}
+
+TEST(ChannelV2Close, CloseRaceWithReceiversNeverHangs) {
+  for (int Round = 0; Round < 200; ++Round) {
+    RendezvousChannelV2<int, 4> Ch;
+    std::vector<std::thread> Ts;
+    std::atomic<int> Served{0};
+    for (int T = 0; T < 3; ++T) {
+      Ts.emplace_back([&] {
+        auto F = Ch.receive();
+        if (!F.valid())
+          return;
+        if (F.blockingGet().has_value())
+          Served.fetch_add(1);
+      });
+    }
+    Ts.emplace_back([&] { Ch.close(); });
+    for (auto &T : Ts)
+      T.join(); // the join IS the assertion: close must wake everyone
+    EXPECT_EQ(Served.load(), 0) << "nothing was ever sent";
+  }
+}
+
+// ---- stress / conservation ----
+
+TEST(ChannelV2, ProducerConsumerStressConservesValues) {
+  constexpr int Producers = 3, Consumers = 3, PerProducer = 4000;
+  constexpr int Total = Producers * PerProducer;
+  IntChannel Ch(4);
+  std::vector<std::atomic<int>> Seen(Total);
+  for (auto &S : Seen)
+    S.store(0);
+
+  std::vector<std::thread> Ts;
+  std::atomic<int> Next{0};
+  for (int P = 0; P < Producers; ++P) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerProducer; ++I) {
+        int V = Next.fetch_add(1);
+        (void)Ch.send(V).blockingGet();
+      }
+    });
+  }
+  for (int C = 0; C < Consumers; ++C) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < Total / Consumers; ++I) {
+        auto V = Ch.receive().blockingGet();
+        ASSERT_TRUE(V.has_value());
+        Seen[*V].fetch_add(1);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  for (int V = 0; V < Total; ++V)
+    ASSERT_EQ(Seen[V].load(), 1) << "value " << V;
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(ChannelV2, StressWithReceiverCancellation) {
+  constexpr int Total = 6000;
+  IntChannel Ch(2);
+  std::atomic<int> Received{0};
+
+  std::thread Producer([&] {
+    for (int I = 0; I < Total; ++I)
+      (void)Ch.send(I).blockingGet();
+  });
+  std::vector<std::thread> Consumers;
+  for (int C = 0; C < 3; ++C) {
+    Consumers.emplace_back([&, C] {
+      SplitMix64 Rng(33 + C);
+      for (int Got = 0; Got < Total / 3;) {
+        auto R = Ch.receive();
+        if (!R.isImmediate() && Rng.chance(1, 2) && R.cancel())
+          continue; // aborted this wait; element stays in the channel
+        auto V = R.blockingGet();
+        ASSERT_TRUE(V.has_value());
+        Received.fetch_add(1);
+        ++Got;
+      }
+    });
+  }
+  Producer.join();
+  for (auto &T : Consumers)
+    T.join();
+  EXPECT_EQ(Received.load(), Total);
+}
+
+TEST(ChannelV2, StressWithSenderCancellation) {
+  // Senders race timed aborts against a slow consumer; every element
+  // reported sent is received exactly once, every aborted send's element
+  // never appears.
+  constexpr int PerSender = 1500, Senders = 3;
+  RendezvousChannelV2<int, 4> Ch;
+  std::atomic<int> Sent{0}, Aborted{0};
+  std::vector<std::atomic<int>> Seen(Senders * PerSender);
+  for (auto &S : Seen)
+    S.store(0);
+  std::atomic<bool> Done{false};
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Senders; ++T) {
+    Ts.emplace_back([&, T] {
+      SplitMix64 Rng(77 + T);
+      for (int I = 0; I < PerSender; ++I) {
+        int V = T * PerSender + I;
+        auto F = Ch.send(V);
+        ASSERT_TRUE(F.valid());
+        if (!F.isImmediate() && Rng.chance(1, 2) && F.cancel()) {
+          Aborted.fetch_add(1);
+          continue;
+        }
+        ASSERT_TRUE(F.blockingGet().has_value());
+        Sent.fetch_add(1);
+      }
+    });
+  }
+  std::thread Consumer([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      if (auto V = Ch.tryReceive())
+        Seen[*V].fetch_add(1);
+      else
+        std::this_thread::yield();
+    }
+    while (auto V = Ch.tryReceive())
+      Seen[*V].fetch_add(1);
+  });
+  for (auto &T : Ts)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Consumer.join();
+
+  int Delivered = 0;
+  for (auto &S : Seen) {
+    ASSERT_LE(S.load(), 1) << "duplicate delivery";
+    Delivered += S.load();
+  }
+  EXPECT_EQ(Delivered, Sent.load());
+  EXPECT_EQ(Sent.load() + Aborted.load(), Senders * PerSender);
+}
+
+/// Property sweep over (capacity, pairs): conservation and quiescence for
+/// every configuration, including rendezvous.
+class ChannelV2Sweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ChannelV2Sweep, ConservationAcrossConfigurations) {
+  const int Capacity = std::get<0>(GetParam());
+  const int Pairs = std::get<1>(GetParam());
+  const int PerProducer = 1500;
+  const int Total = Pairs * PerProducer;
+
+  BufferedChannelV2<int, 4> Ch(Capacity);
+  std::vector<std::atomic<int>> Seen(Total);
+  for (auto &S : Seen)
+    S.store(0);
+
+  std::vector<std::thread> Ts;
+  std::atomic<int> Next{0};
+  for (int P = 0; P < Pairs; ++P) {
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerProducer; ++I) {
+        int V = Next.fetch_add(1);
+        (void)Ch.send(V).blockingGet();
+      }
+    });
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerProducer; ++I) {
+        auto V = Ch.receive().blockingGet();
+        ASSERT_TRUE(V.has_value());
+        Seen[*V].fetch_add(1);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  for (int V = 0; V < Total; ++V)
+    ASSERT_EQ(Seen[V].load(), 1) << "value " << V;
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+  EXPECT_EQ(Ch.sizeApproxForTesting(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChannelV2Sweep,
+                         ::testing::Combine(::testing::Values(0, 1, 3, 16),
+                                            ::testing::Values(1, 2, 4)),
+                         [](const auto &Info) {
+                           return "Cap" +
+                                  std::to_string(std::get<0>(Info.param)) +
+                                  "_P" +
+                                  std::to_string(std::get<1>(Info.param));
+                         });
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -1,0 +1,347 @@
+//===- tests/schedcheck_select_test.cpp - model-checked select + v2 -------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Channel v2 and selectReceive under the deterministic scheduler: the
+/// 2-channel select race in all three shapes (both-ready, neither-ready,
+/// loser-cancel vs resume), plus the v2 cell protocol's own races —
+/// rendezvous with symmetric cancellation and close vs a parking sender.
+/// Every scenario's oracle is conservation: no element lost, duplicated,
+/// or stranded, whatever the interleaving.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/Ebr.h"
+#include "schedcheck/Sched.h"
+#include "sync/ChannelV2.h"
+#include "sync/Select.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+using namespace cqs;
+
+namespace {
+
+using Rdv = RendezvousChannelV2<int, /*SegmentSize=*/4>;
+using Buf1 = BufferedChannelV2<int, 4>;
+
+// --------------------------------------------------------------------------
+// The v2 cell protocol on its own, before layering select on top.
+// --------------------------------------------------------------------------
+
+/// Rendezvous with both sides racing an abort: the send and the receive
+/// either pair up (both done) or both cancellations win (both aborted).
+/// A half-transfer — element handed over but the receive cancelled, or
+/// vice versa — is the SMART-cancellation bug this exists to catch.
+void rendezvousSymmetricCancel() {
+  auto *Ch = new Rdv;
+  bool SendDone = false, RecvDone = false;
+  std::optional<int> Got;
+  sc::Thread T1 = sc::spawn([&] {
+    auto F = Ch->send(1);
+    SendDone = F.isImmediate() || !F.cancel();
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    auto F = Ch->receive();
+    RecvDone = F.isImmediate() || !F.cancel();
+    if (RecvDone)
+      Got = F.tryGet();
+  });
+  T1.join();
+  T2.join();
+  sc::check(SendDone == RecvDone, "half a rendezvous: one side committed");
+  if (RecvDone)
+    sc::check(Got == std::make_optional(1), "receiver got the wrong value");
+  sc::check(!Ch->tryReceive().has_value(), "stranded element after abort");
+  delete Ch;
+}
+
+TEST(SchedcheckChannelV2, RendezvousSymmetricCancelExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, rendezvousSymmetricCancel);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckChannelV2, RendezvousSymmetricCancelRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 11;
+  O.Iterations = 1500;
+  sc::Result R = sc::explore(O, rendezvousSymmetricCancel);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// close() racing a sender on a capacity-1 channel. The send either
+/// commits its element (then it must be drainable after close) or is
+/// refused/aborted (then the channel must end empty). Covers the
+/// ClosedBit CAS, the close walk, and the sender's post-park recheck.
+void closeVsSender() {
+  auto *Ch = new Buf1(1);
+  bool Accepted = false;
+  sc::Thread T1 = sc::spawn([&] {
+    auto F = Ch->send(5);
+    if (F.valid())
+      Accepted = F.isImmediate() || F.blockingGet().has_value();
+  });
+  sc::Thread T2 = sc::spawn([&] { Ch->close(); });
+  T1.join();
+  T2.join();
+  sc::check(Ch->isClosed(), "close did not stick");
+  std::optional<int> Drained = Ch->tryReceive();
+  sc::check(Drained.has_value() == Accepted,
+            "accepted element lost, or refused element materialized");
+  if (Accepted)
+    sc::check(Drained == std::make_optional(5), "wrong element drained");
+  sc::check(!Ch->tryReceive().has_value(), "element duplicated");
+  delete Ch;
+}
+
+TEST(SchedcheckChannelV2, CloseVsSenderExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, closeVsSender);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+/// close() racing a parked receiver: the receiver must always be released
+/// (nullopt), never left parked and never handed a phantom element.
+void closeVsReceiver() {
+  auto *Ch = new Rdv;
+  sc::Thread T1 = sc::spawn([&] {
+    auto F = Ch->receive();
+    if (F.valid())
+      sc::check(!F.blockingGet().has_value(),
+                "receiver got an element nobody sent");
+  });
+  sc::Thread T2 = sc::spawn([&] { Ch->close(); });
+  T1.join(); // the join IS the liveness assertion
+  T2.join();
+  delete Ch;
+}
+
+TEST(SchedcheckChannelV2, CloseVsReceiverExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, closeVsReceiver);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+// --------------------------------------------------------------------------
+// The 2-channel select race.
+// --------------------------------------------------------------------------
+
+/// Both channels race to become ready while the select registers. The
+/// select takes exactly one element; the other must remain drainable.
+///
+/// Blocking sends, not trySend: a select clause that parks in a cell pays
+/// its buffer-window slot with an expandBuffer AFTER the park CAS, and a
+/// trySend interleaved into that gap can observe the window exhausted on a
+/// channel holding zero elements and report would-block (the documented
+/// best-effort caveat, DESIGN.md §10). A blocking send is immune — the
+/// clause's pending expandBuffer finds and resumes it.
+void selectBothReady() {
+  auto *A = new Buf1(1);
+  auto *B = new Buf1(1);
+  std::optional<SelectResult<int>> R;
+  sc::Thread T1 = sc::spawn([&] {
+    auto F = A->send(1);
+    sc::check(F.blockingGet().has_value(), "send(1) on cap 1 must land");
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    auto F = B->send(2);
+    sc::check(F.blockingGet().has_value(), "send(2) on cap 1 must land");
+  });
+  sc::Thread T3 = sc::spawn([&] {
+    Buf1 *Cs[2] = {A, B};
+    R = selectReceive<int, 4>(Cs, 2);
+  });
+  T1.join();
+  T2.join();
+  T3.join();
+  sc::check(R.has_value(), "elements existed; select must win one");
+  sc::check(R->Value == (R->Index == 0 ? 1 : 2), "index/value mismatch");
+  std::optional<int> Rest = (R->Index == 0 ? B : A)->tryReceive();
+  sc::check(Rest == std::make_optional(R->Index == 0 ? 2 : 1),
+            "losing channel's element stranded or lost");
+  sc::check(!A->tryReceive().has_value() && !B->tryReceive().has_value(),
+            "element duplicated");
+  delete A;
+  delete B;
+}
+
+TEST(SchedcheckSelect, BothReady) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, selectBothReady);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckSelect, BothReadyRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 21;
+  O.Iterations = 1500;
+  sc::Result R = sc::explore(O, selectBothReady);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// Neither channel ready: the select parks a clause in each, then one
+/// sender arrives. The select must wake with that element and the losing
+/// clause must be cancelled without wedging its channel.
+void selectNeitherReady() {
+  auto *A = new Rdv;
+  auto *B = new Rdv;
+  std::optional<SelectResult<int>> R;
+  sc::Thread T1 = sc::spawn([&] {
+    BufferedChannelV2<int, 4> *Cs[2] = {A, B};
+    R = selectReceive<int, 4>(Cs, 2);
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    auto F = B->send(7);
+    sc::check(F.blockingGet().has_value(), "lone send must pair with select");
+  });
+  T1.join();
+  T2.join();
+  sc::check(R.has_value() && R->Index == 1 && R->Value == 7,
+            "select missed the only element");
+  sc::check(!A->tryReceive().has_value(), "loser channel not clean");
+  delete A;
+  delete B;
+}
+
+TEST(SchedcheckSelect, NeitherReady) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, selectNeitherReady);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckSelect, NeitherReadyPctSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Pct;
+  O.Seed = 22;
+  O.Iterations = 1000;
+  sc::Result R = sc::explore(O, selectNeitherReady);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// Loser-cancel vs resume: senders race into BOTH channels while the
+/// select runs, so one sender's resume attempt races the select's
+/// cancellation of the losing clause. Whoever loses must re-park and be
+/// drained afterwards — both elements accounted for, exactly once.
+void selectLoserCancelVsResume() {
+  auto *A = new Rdv;
+  auto *B = new Rdv;
+  std::optional<SelectResult<int>> R;
+  sc::Thread TS = sc::spawn([&] {
+    BufferedChannelV2<int, 4> *Cs[2] = {A, B};
+    R = selectReceive<int, 4>(Cs, 2);
+  });
+  sc::Thread T1 = sc::spawn([&] {
+    auto F = A->send(1);
+    sc::check(F.blockingGet().has_value(), "send(1) aborted unexpectedly");
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    auto F = B->send(2);
+    sc::check(F.blockingGet().has_value(), "send(2) aborted unexpectedly");
+  });
+  TS.join();
+  sc::check(R.has_value(), "two senders; select must win one");
+  sc::check(R->Value == (R->Index == 0 ? 1 : 2), "index/value mismatch");
+  // Drain the losing channel to release its (re-parked) sender.
+  Rdv *Loser = R->Index == 0 ? B : A;
+  std::optional<int> Rest = Loser->receive().blockingGet();
+  sc::check(Rest == std::make_optional(R->Index == 0 ? 2 : 1),
+            "loser's element lost in the cancel/resume race");
+  T1.join();
+  T2.join();
+  sc::check(!A->tryReceive().has_value() && !B->tryReceive().has_value(),
+            "element duplicated");
+  delete A;
+  delete B;
+}
+
+TEST(SchedcheckSelect, LoserCancelVsResume) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, selectLoserCancelVsResume);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckSelect, LoserCancelVsResumeRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 23;
+  O.Iterations = 1200;
+  sc::Result R = sc::explore(O, selectLoserCancelVsResume);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// close() racing a parked select: both channels close underneath it.
+/// The select must return nullopt — not hang on its epoch futex.
+void selectVsClose() {
+  auto *A = new Rdv;
+  auto *B = new Rdv;
+  std::optional<SelectResult<int>> R = SelectResult<int>{-2, -2};
+  sc::Thread T1 = sc::spawn([&] {
+    BufferedChannelV2<int, 4> *Cs[2] = {A, B};
+    R = selectReceive<int, 4>(Cs, 2);
+  });
+  sc::Thread T2 = sc::spawn([&] { A->close(); });
+  sc::Thread T3 = sc::spawn([&] { B->close(); });
+  T1.join(); // liveness: the dead-clause count must release the select
+  T2.join();
+  T3.join();
+  sc::check(R == std::nullopt, "select won on closed, empty channels");
+  delete A;
+  delete B;
+}
+
+TEST(SchedcheckSelect, CloseReleasesParkedSelect) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 200000;
+  sc::Result R = sc::explore(O, selectVsClose);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

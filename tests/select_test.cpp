@@ -1,0 +1,284 @@
+//===- tests/select_test.cpp - selectReceive over channel v2 --------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// selectReceive (sync/Select.h): first-ready-wins receive over 2..8 v2
+/// channels. The load-bearing property is conservation under loser
+/// cancellation — a clause that registered at a cell and then lost must
+/// leave no element stranded and no element duplicated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sync/Select.h"
+
+#include "reclaim/Ebr.h"
+#include "support/Rng.h"
+#include "sync/ChannelV2.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+
+namespace {
+
+using Chan = BufferedChannelV2<int, /*SegmentSize=*/4>;
+using Rdv = RendezvousChannelV2<int, 4>;
+
+TEST(Select, PicksTheOnlyReadyChannel) {
+  Chan A(4), B(4);
+  (void)B.send(42);
+  auto R = selectReceive<int, 4>({&A, &B});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 1);
+  EXPECT_EQ(R->Value, 42);
+  EXPECT_EQ(B.tryReceive(), std::nullopt);
+}
+
+TEST(Select, BothReadyPicksExactlyOne) {
+  Chan A(4), B(4);
+  (void)A.send(1);
+  (void)B.send(2);
+  auto R = selectReceive<int, 4>({&A, &B});
+  ASSERT_TRUE(R.has_value());
+  // First-registered ready clause wins; the other element stays put.
+  EXPECT_EQ(R->Index, 0);
+  EXPECT_EQ(R->Value, 1);
+  EXPECT_EQ(B.tryReceive(), 2) << "losing channel keeps its element";
+  EXPECT_EQ(A.tryReceive(), std::nullopt);
+}
+
+TEST(Select, NeitherReadyBlocksUntilOneSends) {
+  Rdv A, B;
+  std::optional<SelectResult<int>> R;
+  std::thread Selector([&] { R = selectReceive<int, 4>({&A, &B}); });
+  // Give the selector time to park in both cells, then satisfy one clause.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto S = B.send(7);
+  Selector.join();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 1);
+  EXPECT_EQ(R->Value, 7);
+  EXPECT_EQ(S.blockingGet(), std::make_optional(Unit{}));
+  // The losing clause was cancelled: a later send to A must not vanish.
+  (void)A.send(9);
+  EXPECT_EQ(A.tryReceive(), 9);
+}
+
+TEST(Select, LoserCancellationLeavesRendezvousChannelUsable) {
+  for (int Round = 0; Round < 100; ++Round) {
+    Rdv A, B;
+    (void)B.send(Round); // parked sender: select rendezvouses with it
+    auto R = selectReceive<int, 4>({&A, &B});
+    ASSERT_TRUE(R.has_value());
+    EXPECT_EQ(R->Index, 1);
+    EXPECT_EQ(R->Value, Round);
+    // A's clause parked and was cancelled; A still does clean handoffs.
+    auto Recv = A.receive();
+    EXPECT_TRUE(A.trySend(5));
+    EXPECT_EQ(Recv.blockingGet(), 5);
+  }
+}
+
+TEST(Select, AllChannelsClosedReturnsNullopt) {
+  Chan A(4), B(4), C(4);
+  A.close();
+  B.close();
+  C.close();
+  EXPECT_EQ((selectReceive<int, 4>({&A, &B, &C})), std::nullopt);
+}
+
+TEST(Select, SkipsClosedChannelsAndTakesTheOpenOne) {
+  Chan A(4), B(4);
+  A.close();
+  (void)B.send(3);
+  auto R = selectReceive<int, 4>({&A, &B});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 1);
+  EXPECT_EQ(R->Value, 3);
+}
+
+TEST(Select, CloseWhileParkedUnblocksWithNullopt) {
+  Chan A(4), B(4);
+  std::optional<SelectResult<int>> R = SelectResult<int>{-2, -2};
+  std::thread Selector([&] { R = selectReceive<int, 4>({&A, &B}); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  A.close();
+  B.close();
+  Selector.join(); // the join IS the assertion: close must wake the select
+  EXPECT_EQ(R, std::nullopt);
+}
+
+TEST(Select, BufferedDrainAfterCloseStillWins) {
+  Chan A(4), B(4);
+  (void)B.send(11);
+  B.close();
+  auto R = selectReceive<int, 4>({&A, &B});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 1);
+  EXPECT_EQ(R->Value, 11);
+}
+
+TEST(Select, EightChannelsOnlyLastReady) {
+  std::vector<Chan *> Chans;
+  for (int I = 0; I < 8; ++I)
+    Chans.push_back(new Chan(4));
+  (void)Chans[7]->send(99);
+  auto R = selectReceive<int, 4>(Chans.data(), 8);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 7);
+  EXPECT_EQ(R->Value, 99);
+  for (auto *C : Chans) {
+    EXPECT_EQ(C->tryReceive(), std::nullopt);
+    delete C;
+  }
+}
+
+TEST(Select, RepeatedSelectsDrainInterleavedChannels) {
+  Chan A(8), B(8), C(8);
+  for (int I = 0; I < 6; ++I) {
+    (void)A.send(I * 3 + 0);
+    (void)B.send(I * 3 + 1);
+    (void)C.send(I * 3 + 2);
+  }
+  std::vector<std::atomic<int>> Seen(18);
+  for (auto &S : Seen)
+    S.store(0);
+  for (int I = 0; I < 18; ++I) {
+    auto R = selectReceive<int, 4>({&A, &B, &C});
+    ASSERT_TRUE(R.has_value());
+    Seen[R->Value].fetch_add(1);
+  }
+  for (int V = 0; V < 18; ++V)
+    EXPECT_EQ(Seen[V].load(), 1) << "value " << V;
+}
+
+// Conservation under concurrency: S sender threads spray distinct values
+// over K channels; T selector threads drain via selectReceive. Every value
+// is received exactly once and every channel ends empty — loser-cancelled
+// clauses never strand or duplicate an element.
+class SelectStress : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SelectStress, ConservesAcrossChannelsAndSelectors) {
+  const int NumChans = std::get<0>(GetParam());
+  const int Capacity = std::get<1>(GetParam());
+  constexpr int Senders = 3;
+  constexpr int PerSender = 2000;
+  constexpr int Total = Senders * PerSender;
+
+  std::vector<Chan *> Chans;
+  for (int I = 0; I < NumChans; ++I)
+    Chans.push_back(new Chan(Capacity));
+  std::vector<std::atomic<int>> Seen(Total);
+  for (auto &S : Seen)
+    S.store(0);
+  std::atomic<int> Received{0};
+
+  std::vector<std::thread> Ts;
+  for (int S = 0; S < Senders; ++S) {
+    Ts.emplace_back([&, S] {
+      SplitMix64 Rng(1000 + S);
+      for (int I = 0; I < PerSender; ++I) {
+        int V = S * PerSender + I;
+        auto &Ch = *Chans[Rng.next() % NumChans];
+        (void)Ch.send(V).blockingGet();
+      }
+    });
+  }
+  constexpr int Selectors = 3;
+  for (int T = 0; T < Selectors; ++T) {
+    Ts.emplace_back([&] {
+      while (Received.load(std::memory_order_acquire) < Total) {
+        auto R = selectReceive<int, 4>(Chans.data(), NumChans);
+        if (!R.has_value())
+          continue; // raced with the final drain; re-check the count
+        Seen[R->Value].fetch_add(1);
+        if (Received.fetch_add(1) + 1 == Total)
+          for (auto *C : Chans)
+            C->close(); // release selectors parked on empty channels
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+
+  for (int V = 0; V < Total; ++V)
+    ASSERT_EQ(Seen[V].load(), 1) << "value " << V;
+  for (auto *C : Chans) {
+    EXPECT_EQ(C->tryReceive(), std::nullopt) << "stranded element";
+    delete C;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SelectStress,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(0, 2)),
+                         [](const auto &Info) {
+                           return "Ch" +
+                                  std::to_string(std::get<0>(Info.param)) +
+                                  "_Cap" +
+                                  std::to_string(std::get<1>(Info.param));
+                         });
+
+// Selects racing plain receives on the same channels: both paths must
+// interoperate through the same cells without losing elements.
+TEST(Select, MixedWithPlainReceivesConserves) {
+  constexpr int Total = 6000;
+  Chan A(2), B(2);
+  std::vector<std::atomic<int>> Seen(Total);
+  for (auto &S : Seen)
+    S.store(0);
+  std::atomic<int> Received{0};
+
+  std::thread Producer([&] {
+    SplitMix64 Rng(7);
+    for (int I = 0; I < Total; ++I)
+      (void)(Rng.chance(1, 2) ? A : B).send(I).blockingGet();
+  });
+  std::thread Plain([&] {
+    SplitMix64 Rng(8);
+    while (Received.load(std::memory_order_acquire) < Total) {
+      auto V = (Rng.chance(1, 2) ? A : B).tryReceive();
+      if (!V.has_value()) {
+        std::this_thread::yield();
+        continue;
+      }
+      Seen[*V].fetch_add(1);
+      if (Received.fetch_add(1) + 1 == Total) {
+        A.close();
+        B.close();
+      }
+    }
+  });
+  std::thread Selecting([&] {
+    while (Received.load(std::memory_order_acquire) < Total) {
+      auto R = selectReceive<int, 4>({&A, &B});
+      if (!R.has_value())
+        continue;
+      Seen[R->Value].fetch_add(1);
+      if (Received.fetch_add(1) + 1 == Total) {
+        A.close();
+        B.close();
+      }
+    }
+  });
+  Producer.join();
+  Plain.join();
+  Selecting.join();
+  for (int V = 0; V < Total; ++V)
+    ASSERT_EQ(Seen[V].load(), 1) << "value " << V;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

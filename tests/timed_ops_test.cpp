@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sync/Channel.h"
+#include "sync/ChannelV2.h"
 #include "sync/CountDownLatch.h"
 #include "sync/CyclicBarrierCqs.h"
 #include "sync/Mutex.h"
@@ -261,6 +262,108 @@ TEST(ChannelTimed, RendezvousSendForAndReceiveFor) {
   EXPECT_EQ(Ch.receiveFor(Generous), std::optional<int>(8));
   Tx.join();
   EXPECT_EQ(Ch.balanceForTesting(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Channel v2 (single-array)
+//===----------------------------------------------------------------------===//
+
+TEST(ChannelV2Timed, ReceiveForTimesOutAndDelivers) {
+  BufferedChannelV2<int> Ch(2);
+  EXPECT_EQ(Ch.receiveFor(Short), std::nullopt);
+  EXPECT_EQ(Ch.receiveFor(0ns), std::nullopt);
+  ASSERT_TRUE(Ch.trySend(5));
+  EXPECT_EQ(Ch.receiveFor(0ns), std::optional<int>(5));
+  std::thread Rx([&] { EXPECT_EQ(Ch.receiveFor(Generous), 6); });
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(Ch.trySend(6));
+  Rx.join();
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(ChannelV2Timed, SendForNeverCommitsOnTimeout) {
+  BufferedChannelV2<int> Ch(1);
+  ASSERT_TRUE(Ch.sendFor(1, 0ns)); // room: behaves like trySend
+  EXPECT_FALSE(Ch.sendFor(2, Short)) << "buffer full, no receiver";
+  EXPECT_FALSE(Ch.sendFor(2, 0ns));
+  // The no-commit contract: in v2 the element travels in the waiter node,
+  // so a timed-out send withdraws it with a single cell transition.
+  EXPECT_EQ(Ch.tryReceive(), std::optional<int>(1));
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt)
+      << "timed-out sendFor left its element behind";
+}
+
+TEST(ChannelV2Timed, SendForLandsWhenSlotFrees) {
+  BufferedChannelV2<int> Ch(1);
+  ASSERT_TRUE(Ch.sendFor(1, 0ns));
+  std::thread Rx([&] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_EQ(Ch.receiveFor(Generous), std::optional<int>(1));
+  });
+  EXPECT_TRUE(Ch.sendFor(2, Generous));
+  Rx.join();
+  EXPECT_EQ(Ch.tryReceive(), std::optional<int>(2));
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(ChannelV2Timed, RendezvousSendForAndReceiveFor) {
+  RendezvousChannelV2<int> Ch;
+  EXPECT_FALSE(Ch.sendFor(9, Short));
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+  EXPECT_EQ(Ch.receiveFor(Short), std::nullopt);
+  std::thread Rx([&] { EXPECT_EQ(Ch.receiveFor(Generous), 7); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(Ch.sendFor(7, Generous));
+  Rx.join();
+  std::thread Tx([&] { EXPECT_TRUE(Ch.sendFor(8, Generous)); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(Ch.receiveFor(Generous), std::optional<int>(8));
+  Tx.join();
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt);
+}
+
+TEST(ChannelV2Timed, SendForAgainstClosedChannelFailsClean) {
+  BufferedChannelV2<int> Ch(1);
+  ASSERT_TRUE(Ch.sendFor(1, 0ns));
+  Ch.close();
+  EXPECT_FALSE(Ch.sendFor(2, Short)) << "closed channel refuses timed sends";
+  EXPECT_FALSE(Ch.sendFor(2, 0ns));
+  EXPECT_EQ(Ch.tryReceive(), std::optional<int>(1));
+  EXPECT_EQ(Ch.tryReceive(), std::nullopt)
+      << "refused sendFor left its element behind";
+}
+
+TEST(ChannelV2Timed, SendForRacingCloseLeavesNoElementBehind) {
+  // The satellite contract: sendFor timing out (or being aborted) against
+  // a channel that closes mid-wait must leave nothing in the cells — the
+  // drain after both settle sees exactly the accepted elements.
+  for (int Round = 0; Round < 300; ++Round) {
+    BufferedChannelV2<int, 4> Ch(1);
+    ASSERT_TRUE(Ch.sendFor(0, 0ns)); // fill the buffer
+    std::atomic<int> Accepted{1};
+    std::thread Tx([&] {
+      for (int I = 1; I <= 3; ++I)
+        if (Ch.sendFor(I, std::chrono::microseconds(50 * Round % 200)))
+          Accepted.fetch_add(1);
+    });
+    std::thread Closer([&] { Ch.close(); });
+    Tx.join();
+    Closer.join();
+    int Drained = 0;
+    while (Ch.tryReceive().has_value())
+      ++Drained;
+    ASSERT_EQ(Drained, Accepted.load())
+        << "sendFor vs close strand/lost an element in round " << Round;
+  }
+}
+
+TEST(ChannelV2Timed, ReceiveForRacingCloseNeverHangs) {
+  for (int Round = 0; Round < 100; ++Round) {
+    RendezvousChannelV2<int> Ch;
+    std::thread Rx([&] { EXPECT_EQ(Ch.receiveFor(Generous), std::nullopt); });
+    Ch.close();
+    Rx.join(); // close must release the timed receiver well before Generous
+  }
 }
 
 //===----------------------------------------------------------------------===//

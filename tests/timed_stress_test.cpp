@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sync/Channel.h"
+#include "sync/ChannelV2.h"
 #include "sync/Pool.h"
 #include "sync/RwMutex.h"
 #include "sync/Semaphore.h"
@@ -273,6 +274,142 @@ TEST(TimedStress, RwMutexInvariantsUnderDeadlines) {
   EXPECT_FALSE(Rw.writerActiveForTesting());
   EXPECT_EQ(Rw.waitingReadersForTesting(), 0u);
   EXPECT_EQ(Rw.waitingWritersForTesting(), 0u);
+}
+
+TEST(TimedStress, ChannelV2ElementsConserved) {
+  // Same oracle as the v1 test, on the single-array channel: a sendFor
+  // that reports timeout withdrew its element from the cell (in v2 the
+  // element lives in the waiter node, so the cancel is one transition —
+  // no re-buffered stragglers to drain on the send side).
+  constexpr int Producers = 3, Consumers = 3;
+  constexpr int PerProducer = 8000;
+  BufferedChannelV2<int, 8> Ch(2);
+  std::atomic<std::uint64_t> Sent{0}, Received{0};
+  std::atomic<std::uint64_t> SentSum{0}, ReceivedSum{0};
+  std::atomic<bool> ProducersDone{false};
+
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Producers; ++P) {
+    Ts.emplace_back([&, P] {
+      SplitMix64 R(0xabc + P);
+      for (int I = 0; I < PerProducer; ++I) {
+        int V = P * PerProducer + I + 1;
+        if (Ch.sendFor(V, mixedDeadline(R))) {
+          Sent.fetch_add(1);
+          SentSum.fetch_add(static_cast<std::uint64_t>(V));
+        }
+      }
+    });
+  }
+  for (int C = 0; C < Consumers; ++C) {
+    Ts.emplace_back([&, C] {
+      SplitMix64 R(0xdef + C);
+      for (;;) {
+        if (std::optional<int> V = Ch.receiveFor(mixedDeadline(R))) {
+          Received.fetch_add(1);
+          ReceivedSum.fetch_add(static_cast<std::uint64_t>(*V));
+        } else if (ProducersDone.load(std::memory_order_acquire) &&
+                   Ch.sizeApproxForTesting() <= 0) {
+          return;
+        }
+      }
+    });
+  }
+  for (int P = 0; P < Producers; ++P)
+    Ts[P].join();
+  ProducersDone.store(true, std::memory_order_release);
+  for (std::size_t I = Producers; I < Ts.size(); ++I)
+    Ts[I].join();
+
+  while (std::optional<int> V = Ch.tryReceive()) {
+    Received.fetch_add(1);
+    ReceivedSum.fetch_add(static_cast<std::uint64_t>(*V));
+  }
+  EXPECT_EQ(Received.load(), Sent.load())
+      << "an element was lost or duplicated across the timeout race";
+  EXPECT_EQ(ReceivedSum.load(), SentSum.load());
+}
+
+TEST(TimedStress, ChannelV2RendezvousNothingLeaked) {
+  constexpr int Pairs = 3;
+  constexpr int PerThread = 6000;
+  RendezvousChannelV2<int, 8> Ch;
+  std::atomic<std::uint64_t> Sent{0}, Received{0};
+  std::atomic<bool> SendersDone{false};
+
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Pairs; ++P) {
+    Ts.emplace_back([&, P] {
+      SplitMix64 R(0x111 + P);
+      for (int I = 0; I < PerThread; ++I)
+        if (Ch.sendFor(I + 1, mixedDeadline(R)))
+          Sent.fetch_add(1);
+    });
+    Ts.emplace_back([&, P] {
+      SplitMix64 R(0x222 + P);
+      for (;;) {
+        if (Ch.receiveFor(mixedDeadline(R)))
+          Received.fetch_add(1);
+        else if (SendersDone.load(std::memory_order_acquire) &&
+                 Ch.sizeApproxForTesting() <= 0)
+          return;
+      }
+    });
+  }
+  for (std::size_t I = 0; I < Ts.size(); I += 2)
+    Ts[I].join();
+  SendersDone.store(true, std::memory_order_release);
+  for (std::size_t I = 1; I < Ts.size(); I += 2)
+    Ts[I].join();
+  // A select/receive that lost after claiming a value re-delivers it;
+  // drain any such straggler before closing the books.
+  while (Ch.tryReceive())
+    Received.fetch_add(1);
+
+  EXPECT_EQ(Received.load(), Sent.load());
+}
+
+TEST(TimedStress, ChannelV2SendForVsCloseLeavesNoElementBehind) {
+  // The ISSUE-7 satellite oracle: timed senders race close() itself. Every
+  // sendFor that reported success put exactly one drainable element in the
+  // cells; every timeout/refusal left nothing — even when the deadline
+  // expires while the close walk is poisoning the very cell the sender
+  // parked in.
+  for (int Round = 0; Round < 60; ++Round) {
+    BufferedChannelV2<int, 8> Ch(2);
+    constexpr int Senders = 4, PerSender = 300;
+    std::atomic<std::uint64_t> Accepted{0};
+    std::vector<std::thread> Ts;
+    for (int T = 0; T < Senders; ++T) {
+      Ts.emplace_back([&, T] {
+        SplitMix64 R(0x31337 + 64 * Round + T);
+        for (int I = 0; I < PerSender; ++I)
+          if (Ch.sendFor(T * PerSender + I, mixedDeadline(R)))
+            Accepted.fetch_add(1);
+      });
+    }
+    Ts.emplace_back([&, Round] {
+      SplitMix64 R(0x4242 + Round);
+      holdBriefly(R); // close lands somewhere inside the send storm
+      Ch.close();
+    });
+    std::uint64_t Drained = 0;
+    std::thread Consumer([&] {
+      SplitMix64 R(0x5555 + Round);
+      // Drain concurrently to keep senders parking and resuming, then
+      // finish the books after everyone quiesced.
+      for (int I = 0; I < PerSender; ++I)
+        if (Ch.receiveFor(mixedDeadline(R)))
+          ++Drained;
+    });
+    for (auto &T : Ts)
+      T.join();
+    Consumer.join();
+    while (Ch.tryReceive())
+      ++Drained;
+    ASSERT_EQ(Drained, Accepted.load())
+        << "sendFor-vs-close stranded or lost an element in round " << Round;
+  }
 }
 
 /// Pure zero-deadline churn: every failed fast-path acquire suspends,

@@ -29,6 +29,15 @@ Two rules, both rooted in the schedcheck model checker (DESIGN.md §7):
    `atomics-lint: allow(unpadded-shard)` on the declaration line for a
    type that is genuinely never placed in an array.
 
+4. sized-state-enum: an `enum class` whose name ends in `State`, `Token`,
+   or `Cell` names values that live inside atomic words (the tagged-word
+   encodings of support/TaggedWord.h and the channel-v2 cell states), so
+   it must pin an explicit fixed underlying type (`: std::uint64_t` etc.).
+   Relying on the implementation-defined default makes the word layout —
+   shifts, tag masks, CAS widths — silently platform-dependent. Opt out
+   with `atomics-lint: allow(unsized-enum)` on the declaration line for an
+   enum that merely *names* a state and never touches an atomic encoding.
+
 Usage: tools/atomics_lint.py [--root DIR]
 Exit status 1 if any finding is reported, 0 otherwise.
 """
@@ -40,6 +49,7 @@ import sys
 
 ALLOW_MARKER = "atomics-lint: allow(std-atomic)"
 PAD_MARKER = "atomics-lint: allow(unpadded-shard)"
+ENUM_MARKER = "atomics-lint: allow(unsized-enum)"
 
 # Files/dirs (relative to the repo root) where rule 1 does not apply.
 RAW_ATOMIC_ALLOWED = (
@@ -69,6 +79,13 @@ SHARD_DECL_RE = re.compile(
 
 # An atomic member counts as padded if it is wrapped in CachePadded<>.
 ATOMIC_MEMBER_RE = re.compile(r"\b(?:Plain)?Atomic\s*<|std\s*::\s*atomic\b")
+
+# Rule 4: enum classes whose name marks them as atomic-word state. The
+# trailing group captures what follows the name: an explicit enum-base
+# starts with ':'.
+STATE_ENUM_RE = re.compile(
+    r"\benum\s+(?:class|struct)\s+(\w*(?:State|Token|Cell))\s*([:{;])"
+)
 
 
 def body_after(code, start):
@@ -222,6 +239,20 @@ def lint_file(path, rel, findings):
             f"{rel}:{line_no}: pad-shards: per-shard type "
             f"'{m.group(3)}' holds atomics but is not "
             f"alignas(CacheLineSize)-padded (false sharing across shards)"
+        )
+
+    for m in STATE_ENUM_RE.finditer(code):
+        if m.group(2) == ":":
+            continue  # explicit underlying type present
+        line_no = code.count("\n", 0, m.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if ENUM_MARKER in line:
+            continue
+        findings.append(
+            f"{rel}:{line_no}: sized-state-enum: enum class "
+            f"'{m.group(1)}' encodes atomic-word state but has no "
+            f"explicit fixed underlying type (declare e.g. "
+            f"': std::uint64_t')"
         )
 
 

@@ -30,7 +30,11 @@ Individual keys may disappear between runs (sweeps legitimately shrink
 when a bench is retuned or run with --quick), but a whole (benchmark,
 series) pair present in the baseline and absent from the new results means
 a bench was deleted or renamed — that fails loudly instead of silently
-passing the gate.
+passing the gate. The opposite direction is legitimate growth: a series
+(or, under --scaling, a curve) present only in the current results is a
+freshly added bench that has no baseline yet. It is listed as "new" and
+never gated, so a PR can land a bench together with the baseline file
+that first records it.
 
 Exit codes: 0 = clean (or --report-only), 1 = regressions found,
 2 = usage/schema error, or a baseline series entirely missing from the
@@ -166,10 +170,16 @@ def scaling_main(args, cur_doc, base, cur):
                 print(row)
 
     missing_curves = sorted(set(base_curves) - set(cur_curves))
+    new_curves = sorted(set(cur_curves) - set(base_curves))
     flat_note = (f"flat region: threads <= {nproc}" if nproc > 0
                  else "flat region: unknown host.nproc, gating all points")
     print(f"compared {compared} curve point(s) across "
           f"{len(set(base_curves) & set(cur_curves))} curve(s); {flat_note}")
+    if new_curves:
+        print(f"\n{len(new_curves)} new curve(s) with no baseline yet "
+              f"(reported, not gated):")
+        for ckey in new_curves:
+            print(f"  {fmt_curve(ckey)} [new]")
     if regressions:
         print(f"\n{len(regressions)} flat-region regression(s) beyond "
               f"{args.flat_threshold:.0%}:")
@@ -277,9 +287,16 @@ def main() -> int:
     # renamed bench and must not pass unnoticed.
     missing_series = sorted({(k[0], k[1]) for k in base}
                             - {(k[0], k[1]) for k in cur})
+    new_series = sorted({(k[0], k[1]) for k in cur}
+                        - {(k[0], k[1]) for k in base})
 
     print(f"compared {compared} keys "
           f"({len(missing)} only in baseline, {len(new_keys)} new)")
+    if new_series:
+        print(f"\n{len(new_series)} new series with no baseline yet "
+              f"(reported, not gated):")
+        for bench, series in new_series:
+            print(f"  {bench}: {series} [new]")
     if improvements:
         print(f"\n{len(improvements)} improvement(s) beyond "
               f"{args.threshold:.0%} (best-of-reps):")
