@@ -172,6 +172,15 @@ void ebr::retire(void *Ptr, void (*Deleter)(void *)) {
 
 bool ebr::isPinned() { return Local.PinDepth > 0; }
 
+void ebr::quiesceThreadForTesting() {
+  LocalHandle &H = Local;
+  assert(H.PinDepth == 0 && "quiescing a pinned thread");
+  if (!H.Rec)
+    return;
+  domain().release(H.Rec);
+  H.Rec = nullptr;
+}
+
 void ebr::drainForTesting() {
   Domain &D = domain();
   // Advance the epoch a few times (no thread may be pinned), then free all

@@ -117,6 +117,16 @@ void drainForTesting();
 /// deterministically. Returns true if the epoch moved.
 bool tryAdvanceForTesting();
 
+/// Releases the calling thread's registry record immediately instead of
+/// waiting for the thread_local destructor. The schedcheck trampoline calls
+/// this at logical-thread exit: the destructor would otherwise run after
+/// the scheduler hands control to the next thread, so its InUse release
+/// store is (a) a real-time race against whoever recycles the record and
+/// (b) invisible to the happens-before layer — the recycler's acq_rel CAS
+/// would join a stale clock and report a false race on data the dead
+/// thread's pin protected. Must not be called while pinned; asserts that.
+void quiesceThreadForTesting();
+
 /// Number of allocations currently awaiting reclamation (approximate; for
 /// tests and leak diagnostics).
 std::size_t pendingForTesting();

@@ -1,0 +1,130 @@
+//===- schedcheck/HbClocks.h - happens-before vector clocks ----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The happens-before layer of the schedcheck model checker (DESIGN.md §11).
+///
+/// Schedcheck explores sequentially-consistent interleavings; the hardware
+/// does not. The gap is exactly the hand-written memory_order annotations:
+/// a protocol can be interleaving-correct under SC yet lose its
+/// happens-before edges the moment a release or acquire is downgraded to
+/// relaxed, and no SC exploration notices — the right value still arrives.
+/// This header holds the FastTrack-style vector-clock state the scheduler
+/// maintains *from the declared orders* while it explores:
+///
+///  - every logical thread carries a clock (ThreadHb::Clk); its own
+///    component is its epoch, advanced at each instrumented access;
+///  - every atomic word carries the release clock of its current release
+///    sequence (WordHb::Rel): release stores publish the writer's clock,
+///    plain relaxed stores reset it to whatever a preceding release
+///    *fence* staged (nothing, if none), and RMWs join into it — C++20's
+///    rule that only RMWs continue a release sequence;
+///  - acquire loads join the word's release clock into the reader's
+///    clock; relaxed loads stage it in ThreadHb::AcqPend, where a later
+///    acquire fence can still collect it (fence-based synchronization);
+///  - every *plain* shared variable routed through sc::Data<T> keeps
+///    last-write and last-read epochs (PlainHb); an access whose thread
+///    clock does not cover the conflicting epoch is a data race by the
+///    C++ definition, even though the SC interleaving read fine.
+///
+/// seq_cst is modelled as acquire+release on the accessed word (its
+/// single-total-order guarantees come for free in an SC execution);
+/// consume is treated as acquire. Futex park/wake contributes no edge —
+/// same as the real memory model, where the protocol's own atomics must
+/// carry the ordering across a park.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SCHEDCHECK_HBCLOCKS_H
+#define CQS_SCHEDCHECK_HBCLOCKS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace cqs {
+namespace sc {
+
+/// Logical-thread cap of the scheduler; vector clocks are sized to it.
+inline constexpr unsigned MaxThreads = 16;
+
+/// Does this order make the access an acquire (reader-side edge)?
+inline bool isAcquireOrder(std::memory_order O) {
+  return O == std::memory_order_acquire || O == std::memory_order_acq_rel ||
+         O == std::memory_order_seq_cst || O == std::memory_order_consume;
+}
+
+/// Does this order make the access a release (writer-side edge)?
+inline bool isReleaseOrder(std::memory_order O) {
+  return O == std::memory_order_release || O == std::memory_order_acq_rel ||
+         O == std::memory_order_seq_cst;
+}
+
+/// A fixed-width vector clock: C[t] is the latest epoch of thread t known
+/// to happen-before the owner's current point.
+struct VectorClock {
+  std::uint64_t C[MaxThreads] = {};
+
+  void join(const VectorClock &O) {
+    for (unsigned I = 0; I < MaxThreads; ++I)
+      if (O.C[I] > C[I])
+        C[I] = O.C[I];
+  }
+
+  void clear() {
+    for (std::uint64_t &V : C)
+      V = 0;
+  }
+
+  /// True iff thread \p Tid's epoch \p Epoch is ordered before this clock.
+  bool covers(unsigned Tid, std::uint64_t Epoch) const {
+    return C[Tid] >= Epoch;
+  }
+};
+
+/// Per-logical-thread happens-before state.
+struct ThreadHb {
+  /// The thread's clock; Clk.C[self] is its own epoch.
+  VectorClock Clk;
+  /// Clock staged by the last release fence (zero = no fence yet): a
+  /// subsequent relaxed store publishes this instead of nothing.
+  VectorClock RelFence;
+  /// Release clocks observed by relaxed loads since the last acquire
+  /// fence; an acquire fence joins this into Clk (fence synchronization).
+  VectorClock AcqPend;
+};
+
+/// Per-atomic-word happens-before state.
+struct WordHb {
+  /// Release clock of the word's current release sequence: what an
+  /// acquire load of the current value is entitled to join.
+  VectorClock Rel;
+  /// Last writer, for deadlock/lost-wakeup and race diagnostics.
+  unsigned LastWriteTid = ~0u;
+  const char *LastWriteOp = "";
+  const char *LastWriteFile = "";
+  int LastWriteLine = 0;
+};
+
+/// One remembered plain access (site + epoch + the clock it ran under).
+struct PlainAccess {
+  std::uint64_t Epoch = 0; // 0 = no such access yet
+  const char *File = "";
+  int Line = 0;
+  VectorClock Clk;
+};
+
+/// Per-plain-variable (sc::Data<T>) happens-before state: FastTrack-style
+/// last-write plus per-thread last-read epochs.
+struct PlainHb {
+  unsigned WriteTid = ~0u;
+  PlainAccess Write;
+  PlainAccess Reads[MaxThreads];
+};
+
+} // namespace sc
+} // namespace cqs
+
+#endif // CQS_SCHEDCHECK_HBCLOCKS_H

@@ -1,0 +1,105 @@
+//===- schedcheck/RaceReport.h - race & deadlock report text ---*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting for the happens-before layer's findings (DESIGN.md §11): a
+/// data-race report names both access sites (file:line, thread, epoch) and
+/// prints the vector clocks each side ran under, so the missing edge is
+/// visible — the victim's clock does not cover the conflicting epoch. The
+/// same helpers render the wait-for-cycle and lost-wakeup diagnostics the
+/// deadlock detector attaches to its verdict.
+///
+/// Everything here is pure string building; the scheduler (Sched.cpp)
+/// decides *when* a report becomes a failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SCHEDCHECK_RACEREPORT_H
+#define CQS_SCHEDCHECK_RACEREPORT_H
+
+#include "schedcheck/HbClocks.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace cqs {
+namespace sc {
+
+/// Trim an absolute __builtin_FILE path down to the repo-relative part so
+/// report lines are stable across checkouts.
+inline const char *trimSourcePath(const char *F) {
+  if (!F)
+    return "";
+  const char *Best = nullptr;
+  for (const char *Pat : {"/src/", "/tests/"})
+    if (const char *P = std::strstr(F, Pat))
+      if (!Best || P > Best)
+        Best = P;
+  return Best ? Best + 1 : F;
+}
+
+/// One side of a race, fully resolved for printing.
+struct RaceSite {
+  unsigned Tid = 0;
+  const char *Op = ""; // "read" / "write"
+  const char *File = "";
+  int Line = 0;
+  std::uint64_t Epoch = 0;
+  VectorClock Clk;
+};
+
+/// Renders a clock as "[T0:3 T2:7]", omitting zero components.
+inline std::string formatClock(const VectorClock &C) {
+  std::string Out = "[";
+  char Buf[48];
+  bool First = true;
+  for (unsigned I = 0; I < MaxThreads; ++I) {
+    if (!C.C[I])
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "%sT%u:%llu", First ? "" : " ", I,
+                  (unsigned long long)C.C[I]);
+    Out += Buf;
+    First = false;
+  }
+  Out += "]";
+  return Out;
+}
+
+/// The race message fail() records. \p AddrId is the trace's stable
+/// per-run address id (the same a<N> the event trace prints).
+inline std::string formatRace(unsigned AddrId, const RaceSite &Prev,
+                              const RaceSite &Cur) {
+  char Buf[256];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf),
+                "data race on a%u: no happens-before edge between the "
+                "declared memory orders\n",
+                AddrId);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "    %-5s by T%u at %s:%d (epoch %llu)\n",
+                Prev.Op, Prev.Tid, trimSourcePath(Prev.File), Prev.Line,
+                (unsigned long long)Prev.Epoch);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "    %-5s by T%u at %s:%d (epoch %llu)\n",
+                Cur.Op, Cur.Tid, trimSourcePath(Cur.File), Cur.Line,
+                (unsigned long long)Cur.Epoch);
+  Out += Buf;
+  Out += "    clocks: T" + std::to_string(Prev.Tid) + "@" + Prev.Op + " " +
+         formatClock(Prev.Clk) + "  T" + std::to_string(Cur.Tid) + "@" +
+         Cur.Op + " " + formatClock(Cur.Clk) + "\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "    T%u's clock does not cover T%u's epoch %llu: the SC "
+                "interleaving hid the missing release/acquire pair",
+                Cur.Tid, Prev.Tid, (unsigned long long)Prev.Epoch);
+  Out += Buf;
+  return Out;
+}
+
+} // namespace sc
+} // namespace cqs
+
+#endif // CQS_SCHEDCHECK_RACEREPORT_H

@@ -18,12 +18,16 @@
 /// teardown path running after explore() returned) degrade gracefully to
 /// ordinary atomics instead of racing on plain memory.
 ///
-/// Model honesty (DESIGN.md §7): memory_order arguments are accepted and
-/// *ignored* — schedcheck explores sequentially-consistent interleavings
-/// only; compare_exchange_weak never fails spuriously. Bugs that require a
-/// genuinely weak memory ordering to surface are out of scope (TSan legs
-/// keep hunting those); bugs caused by *interleaving* — the CQS state
-/// machines' failure mode — are found deterministically.
+/// Model honesty (DESIGN.md §7, §11): the *executed* operation is always
+/// sequentially consistent — schedcheck explores SC interleavings only;
+/// compare_exchange_weak never fails spuriously. The memory_order argument
+/// is no longer ignored, though: it is forwarded to the scheduler's
+/// happens-before layer (preOp's AccessKind overload), which tracks the
+/// vector-clock edges the *declared* orders would create on weak hardware
+/// and flags plain shared data (sc::Data below) two threads reach without
+/// such an edge. Bugs that additionally require observing a stale value
+/// are still out of scope (TSan legs keep hunting those); bugs caused by
+/// interleaving or by too-weak annotations are found deterministically.
 ///
 /// Source locations are captured with __builtin_FILE/__builtin_LINE
 /// default arguments, so a trace line points at the CQS call site (e.g.
@@ -54,6 +58,19 @@ template <typename T> std::uint64_t toTrace(T V) {
   else
     return static_cast<std::uint64_t>(V);
 }
+
+/// The failure order a single-order compare_exchange implies ([atomics.
+/// types.operations]): strip the release half, consume/acquire stay.
+inline std::memory_order casFailureOrder(std::memory_order O) {
+  switch (O) {
+  case std::memory_order_acq_rel:
+    return std::memory_order_acquire;
+  case std::memory_order_release:
+    return std::memory_order_relaxed;
+  default:
+    return O;
+  }
+}
 } // namespace detail
 
 #define CQS_SC_LOC const char *File = __builtin_FILE(), \
@@ -68,35 +85,39 @@ public:
   Atomic(const Atomic &) = delete;
   Atomic &operator=(const Atomic &) = delete;
 
-  T load(std::memory_order = std::memory_order_seq_cst, CQS_SC_LOC) const {
-    preOp(&Val, "load", 0, File, Line);
+  T load(std::memory_order O = std::memory_order_seq_cst,
+         CQS_SC_LOC) const {
+    preOp(&Val, "load", 0, File, Line, AccessKind::Load, O, O);
     T V = Val.load(std::memory_order_seq_cst);
     postOp(detail::toTrace(V));
     return V;
   }
 
-  void store(T V, std::memory_order = std::memory_order_seq_cst,
+  void store(T V, std::memory_order O = std::memory_order_seq_cst,
              CQS_SC_LOC) {
-    preOp(&Val, "store", detail::toTrace(V), File, Line);
+    preOp(&Val, "store", detail::toTrace(V), File, Line, AccessKind::Store,
+          O, O);
     Val.store(V, std::memory_order_seq_cst);
     postOp(detail::toTrace(V));
   }
 
-  T exchange(T V, std::memory_order = std::memory_order_seq_cst,
+  T exchange(T V, std::memory_order O = std::memory_order_seq_cst,
              CQS_SC_LOC) {
-    preOp(&Val, "exchange", detail::toTrace(V), File, Line);
+    preOp(&Val, "exchange", detail::toTrace(V), File, Line, AccessKind::Rmw,
+          O, O);
     T Old = Val.exchange(V, std::memory_order_seq_cst);
     postOp(detail::toTrace(Old));
     return Old;
   }
 
-  bool compare_exchange_strong(T &Expected, T Desired, std::memory_order,
-                               std::memory_order, CQS_SC_LOC) {
-    preOp(&Val, "cas", detail::toTrace(Desired), File, Line);
+  bool compare_exchange_strong(T &Expected, T Desired, std::memory_order S,
+                               std::memory_order F, CQS_SC_LOC) {
+    preOp(&Val, "cas", detail::toTrace(Desired), File, Line,
+          AccessKind::Cas, S, F);
     bool Ok = Val.compare_exchange_strong(Expected, Desired,
                                           std::memory_order_seq_cst,
                                           std::memory_order_seq_cst);
-    postOp(Ok ? detail::toTrace(Desired) : detail::toTrace(Expected));
+    postOp(Ok ? detail::toTrace(Desired) : detail::toTrace(Expected), Ok);
     return Ok;
   }
 
@@ -109,12 +130,14 @@ public:
 
   bool compare_exchange_strong(T &Expected, T Desired, std::memory_order O,
                                CQS_SC_LOC) {
-    return compare_exchange_strong(Expected, Desired, O, O, File, Line);
+    return compare_exchange_strong(Expected, Desired, O,
+                                   detail::casFailureOrder(O), File, Line);
   }
 
   bool compare_exchange_weak(T &Expected, T Desired, std::memory_order O,
                              CQS_SC_LOC) {
-    return compare_exchange_strong(Expected, Desired, O, O, File, Line);
+    return compare_exchange_strong(Expected, Desired, O,
+                                   detail::casFailureOrder(O), File, Line);
   }
 
   bool compare_exchange_strong(T &Expected, T Desired, CQS_SC_LOC) {
@@ -129,24 +152,28 @@ public:
                                    std::memory_order_seq_cst, File, Line);
   }
 
-  T fetch_add(T D, std::memory_order = std::memory_order_seq_cst,
+  T fetch_add(T D, std::memory_order O = std::memory_order_seq_cst,
               CQS_SC_LOC) {
-    preOp(&Val, "fetch_add", detail::toTrace(D), File, Line);
+    preOp(&Val, "fetch_add", detail::toTrace(D), File, Line, AccessKind::Rmw,
+          O, O);
     T Old = Val.fetch_add(D, std::memory_order_seq_cst);
     postOp(detail::toTrace(Old));
     return Old;
   }
 
-  T fetch_sub(T D, std::memory_order = std::memory_order_seq_cst,
+  T fetch_sub(T D, std::memory_order O = std::memory_order_seq_cst,
               CQS_SC_LOC) {
-    preOp(&Val, "fetch_sub", detail::toTrace(D), File, Line);
+    preOp(&Val, "fetch_sub", detail::toTrace(D), File, Line, AccessKind::Rmw,
+          O, O);
     T Old = Val.fetch_sub(D, std::memory_order_seq_cst);
     postOp(detail::toTrace(Old));
     return Old;
   }
 
   /// C++20 atomic wait, modelled like a futex: block until the value is
-  /// observed different from \p Old (or a notify / spurious wake).
+  /// observed different from \p Old (or a notify / spurious wake). No HB
+  /// contribution, matching the futex model — the re-check load after the
+  /// wake is what carries the ordering.
   void wait(T Old, std::memory_order = std::memory_order_seq_cst,
             CQS_SC_LOC) const {
     if (!inModelledThread()) {
@@ -180,31 +207,61 @@ public:
   AtomicFlag(const AtomicFlag &) = delete;
   AtomicFlag &operator=(const AtomicFlag &) = delete;
 
-  bool test_and_set(std::memory_order = std::memory_order_seq_cst,
+  bool test_and_set(std::memory_order O = std::memory_order_seq_cst,
                     CQS_SC_LOC) {
-    preOp(&Val, "test_and_set", 1, File, Line);
+    preOp(&Val, "test_and_set", 1, File, Line, AccessKind::Rmw, O, O);
     bool Old = Val.exchange(true, std::memory_order_seq_cst);
     postOp(Old ? 1 : 0);
     return Old;
   }
 
-  bool test(std::memory_order = std::memory_order_seq_cst,
+  bool test(std::memory_order O = std::memory_order_seq_cst,
             CQS_SC_LOC) const {
-    preOp(&Val, "flag_test", 0, File, Line);
+    preOp(&Val, "flag_test", 0, File, Line, AccessKind::Load, O, O);
     bool V = Val.load(std::memory_order_seq_cst);
     postOp(V ? 1 : 0);
     return V;
   }
 
-  void clear(std::memory_order = std::memory_order_seq_cst,
+  void clear(std::memory_order O = std::memory_order_seq_cst,
              CQS_SC_LOC) {
-    preOp(&Val, "flag_clear", 0, File, Line);
+    preOp(&Val, "flag_clear", 0, File, Line, AccessKind::Store, O, O);
     Val.store(false, std::memory_order_seq_cst);
     postOp(0);
   }
 
 private:
   std::atomic<bool> Val{false};
+};
+
+/// Plain shared data under the happens-before race detector (surfaced as
+/// cqs::Shared<T> by support/Atomic.h). Every get/set is a schedule point
+/// and a FastTrack check: two threads reaching the variable without an HB
+/// edge derived from the declared memory orders fail the run with both
+/// sites, even though the serialized execution read a consistent value.
+/// This is the instrument for data "protected" by an atomic protocol —
+/// deliberately unsynchronized observational counters stay PlainAtomic,
+/// which remains exempt by contract.
+template <typename T> class Data {
+public:
+  Data() noexcept = default;
+  constexpr Data(T V) noexcept : Val(V) {}
+
+  Data(const Data &) = delete;
+  Data &operator=(const Data &) = delete;
+
+  T get(CQS_SC_LOC) const {
+    plainAccess(&Val, /*IsWrite=*/false, File, Line);
+    return Val;
+  }
+
+  void set(T V, CQS_SC_LOC) {
+    plainAccess(&Val, /*IsWrite=*/true, File, Line);
+    Val = V;
+  }
+
+private:
+  T Val{};
 };
 
 #undef CQS_SC_LOC

@@ -27,6 +27,9 @@
 
 #include "schedcheck/Sched.h"
 
+#include "schedcheck/HbClocks.h"
+#include "schedcheck/RaceReport.h"
+
 #include "reclaim/Ebr.h"
 #include "support/ObjectPool.h"
 
@@ -50,7 +53,8 @@ namespace sc {
 
 namespace {
 
-constexpr unsigned MaxThreads = 16;
+// The scheduler's thread cap is the vector clocks' width (HbClocks.h).
+static_assert(MaxThreads == 16, "clock width and scheduler cap must agree");
 constexpr std::uint64_t PayloadMask = (1ull << 60) - 1;
 
 /// Schedule points a *timed* block stays parked before its modelled
@@ -108,6 +112,19 @@ struct LogicalThread {
   const char *WaitFile = "";
   int WaitLine = 0;
   unsigned JoinTarget = 0;
+
+  // ---- happens-before state (DESIGN.md §11) --------------------------
+  ThreadHb Hb;
+  // The access announced by the latest preOp, applied at postOp time —
+  // i.e. when the operation has actually executed and the word's release
+  // clock is the one the access observes.
+  AccessKind PendKind = AccessKind::None;
+  const void *PendAddr = nullptr;
+  std::memory_order PendOk = std::memory_order_seq_cst;
+  std::memory_order PendFail = std::memory_order_seq_cst;
+  const char *PendOp = "";
+  const char *PendFile = "";
+  int PendLine = 0;
 };
 
 const char *stratName(Strategy S) {
@@ -122,18 +139,8 @@ const char *stratName(Strategy S) {
   return "?";
 }
 
-/// Trim an absolute __builtin_FILE path down to the repo-relative part so
-/// trace lines are stable across checkouts.
-const char *trimPath(const char *F) {
-  if (!F)
-    return "";
-  const char *Best = nullptr;
-  for (const char *Pat : {"/src/", "/tests/"})
-    if (const char *P = std::strstr(F, Pat))
-      if (!Best || P > Best)
-        Best = P;
-  return Best ? Best + 1 : F;
-}
+/// Trace lines use the same repo-relative paths as race reports.
+const char *trimPath(const char *F) { return trimSourcePath(F); }
 
 bool decodeSeed(std::uint64_t Seed, Strategy &S, std::uint64_t &Payload) {
   unsigned Top = static_cast<unsigned>(Seed >> 60);
@@ -149,14 +156,21 @@ class Run;
 // Scenario code can abort outside sc::check — assert() in a Debug build is
 // the common case. The message is pre-formatted per execution (snprintf is
 // not async-signal-safe; write() is), so even an assert failure prints the
-// seed that deterministically reproduces it.
+// seed that deterministically reproduces it. PendingReport additionally
+// carries the run's first recorded failure (typically an HB race report:
+// sites + clocks), pre-rendered at fail() time, so a CI log of an aborting
+// run is actionable without a local replay.
 char AbortMsg[192];
 int AbortMsgLen = 0;
+char PendingReport[4096];
+int PendingReportLen = 0;
 
 #if defined(__unix__) || defined(__APPLE__)
 extern "C" void abortSeedHandler(int Sig) {
   if (AbortMsgLen > 0)
     (void)!write(2, AbortMsg, (std::size_t)AbortMsgLen);
+  if (PendingReportLen > 0)
+    (void)!write(2, PendingReport, (std::size_t)PendingReportLen);
   std::signal(Sig, SIG_DFL);
   std::raise(Sig);
 }
@@ -168,10 +182,14 @@ void installAbortHook() { PrevAbortHandler = std::signal(SIGABRT, abortSeedHandl
 void uninstallAbortHook() {
   std::signal(SIGABRT, PrevAbortHandler ? PrevAbortHandler : SIG_DFL);
   AbortMsgLen = 0;
+  PendingReportLen = 0;
 }
 #else
 void installAbortHook() {}
-void uninstallAbortHook() { AbortMsgLen = 0; }
+void uninstallAbortHook() {
+  AbortMsgLen = 0;
+  PendingReportLen = 0;
+}
 #endif
 
 Run *GRun = nullptr;
@@ -256,7 +274,8 @@ enum class Mode { Serial, Strategy };
 
 class Run {
 public:
-  explicit Run(const Options &O) : Opts(O), Strat(O.Strat) {}
+  explicit Run(const Options &O)
+      : Opts(O), Strat(O.Strat), HbEnabled(O.HbCheck) {}
 
   Options Opts;
   Strategy Strat;
@@ -279,6 +298,16 @@ public:
   std::size_t LastSlot = 0;
   std::uint64_t EventCount = 0;
   std::vector<const void *> AddrIds;
+
+  // ---- happens-before state (indexed by addrId) ----------------------
+  bool HbEnabled = false;
+  /// Per-atomic-word release clocks.
+  std::vector<WordHb> Words;
+  /// Per-plain-variable (sc::Data) last-write / last-read epochs.
+  std::vector<PlainHb> Plains;
+  /// Bitmask of logical threads that ever produced an event on an address;
+  /// the deadlock detector's wait-for edges come from here.
+  std::vector<std::uint32_t> TouchedBy;
 
   // ---- strategy state -------------------------------------------------
   DfsState Dfs;
@@ -314,6 +343,11 @@ public:
     E.Tid = Tid;
     E.Op = Op;
     E.AddrId = addrId(Addr);
+    if (E.AddrId != ~0u) {
+      if (TouchedBy.size() <= E.AddrId)
+        TouchedBy.resize(E.AddrId + 1, 0);
+      TouchedBy[E.AddrId] |= 1u << Tid;
+    }
     E.Arg = Arg;
     E.File = File ? File : "";
     E.Line = Line;
@@ -516,7 +550,9 @@ public:
   }
 
   // Mu held. First failure wins; later ones (including the deadlock that
-  // often follows a check failure) keep the original report.
+  // often follows a check failure) keep the original report. The report is
+  // also staged into the async-signal-safe PendingReport buffer so a
+  // subsequent assert/abort still dumps it (sites + clocks) to stderr.
   void fail(const std::string &Msg) {
     if (Failed)
       return;
@@ -524,6 +560,253 @@ public:
     FailSeed = RunSeed;
     FailTrace = formatTrace();
     FailReport = buildReport(Msg);
+    std::size_t N = FailReport.size();
+    if (N > sizeof(PendingReport) - 2)
+      N = sizeof(PendingReport) - 2;
+    std::memcpy(PendingReport, FailReport.data(), N);
+    PendingReport[N] = '\n';
+    PendingReportLen = static_cast<int>(N + 1);
+  }
+
+  // ---- happens-before layer (DESIGN.md §11) ---------------------------
+
+  // Mu held.
+  WordHb &wordAt(unsigned Id) {
+    if (Words.size() <= Id)
+      Words.resize(Id + 1);
+    return Words[Id];
+  }
+
+  // Mu held. Applies the HB effect of the access announced by the latest
+  // preOp, now that it has executed: the word's *current* release clock is
+  // the one the access observes. \p RmwApplied distinguishes a successful
+  // CAS (an RMW at the success order) from a failed one (a load at the
+  // failure order).
+  void applyPendingHb(LogicalThread *Self, bool RmwApplied) {
+    if (Self->PendKind == AccessKind::None)
+      return;
+    AccessKind K = Self->PendKind;
+    std::memory_order O = Self->PendOk;
+    if (K == AccessKind::Cas) {
+      K = RmwApplied ? AccessKind::Rmw : AccessKind::Load;
+      O = RmwApplied ? Self->PendOk : Self->PendFail;
+    }
+    unsigned Id = addrId(Self->PendAddr);
+    WordHb &W = wordAt(Id);
+    ThreadHb &H = Self->Hb;
+    ++H.Clk.C[Self->Tid];
+    if (K == AccessKind::Load || K == AccessKind::Rmw) {
+      // Reader side: an acquire joins the word's release clock; a relaxed
+      // load only *stages* it — a later acquire fence can still collect it.
+      if (isAcquireOrder(O))
+        H.Clk.join(W.Rel);
+      else
+        H.AcqPend.join(W.Rel);
+    }
+    if (K == AccessKind::Store || K == AccessKind::Rmw) {
+      if (K == AccessKind::Store) {
+        // A store heads a *new* release sequence: it publishes the
+        // thread's clock if release, else whatever a preceding release
+        // fence staged (nothing without one) — C++20 dropped plain stores
+        // from the sequence they interrupt.
+        if (isReleaseOrder(O))
+          W.Rel = H.Clk;
+        else
+          W.Rel = H.RelFence;
+      } else {
+        // An RMW *continues* the release sequence: it joins rather than
+        // replaces, so acquire readers still reach the original release.
+        if (isReleaseOrder(O))
+          W.Rel.join(H.Clk);
+        else
+          W.Rel.join(H.RelFence);
+      }
+      W.LastWriteTid = Self->Tid;
+      W.LastWriteOp = Self->PendOp;
+      W.LastWriteFile = Self->PendFile;
+      W.LastWriteLine = Self->PendLine;
+    }
+    Self->PendKind = AccessKind::None;
+  }
+
+  // Mu held. FastTrack check+update for one plain access; fails the run
+  // (when HbEnabled) on a conflicting access the caller's clock does not
+  // cover. The SC interleaving saw a consistent value either way — the
+  // *annotations* are what failed to order the pair.
+  void plainHbCheck(LogicalThread *Self, const void *Addr, bool IsWrite,
+                    const char *File, int Line) {
+    unsigned Id = addrId(Addr);
+    if (Plains.size() <= Id)
+      Plains.resize(Id + 1);
+    PlainHb &P = Plains[Id];
+    ThreadHb &H = Self->Hb;
+    unsigned Tid = Self->Tid;
+    std::uint64_t Epoch = ++H.Clk.C[Tid];
+
+    auto report = [&](const PlainAccess &PrevA, unsigned PrevTid,
+                      const char *PrevOp) {
+      if (!HbEnabled)
+        return;
+      RaceSite Prev{PrevTid, PrevOp, PrevA.File, PrevA.Line, PrevA.Epoch,
+                    PrevA.Clk};
+      RaceSite Cur{Tid, IsWrite ? "write" : "read", File, Line, Epoch,
+                   H.Clk};
+      fail(formatRace(Id, Prev, Cur));
+    };
+
+    // Any access conflicts with the last write by another thread.
+    if (P.Write.Epoch && P.WriteTid != Tid &&
+        !H.Clk.covers(P.WriteTid, P.Write.Epoch))
+      report(P.Write, P.WriteTid, "write");
+    if (IsWrite) {
+      // A write additionally conflicts with every unordered read.
+      for (unsigned T = 0; T < MaxThreads; ++T)
+        if (T != Tid && P.Reads[T].Epoch && !H.Clk.covers(T, P.Reads[T].Epoch))
+          report(P.Reads[T], T, "read");
+      P.WriteTid = Tid;
+      P.Write.Epoch = Epoch;
+      P.Write.File = File ? File : "";
+      P.Write.Line = Line;
+      P.Write.Clk = H.Clk;
+      // The write was ordered after every recorded read (or we reported);
+      // future accesses ordered after it are ordered after them too.
+      for (PlainAccess &R : P.Reads)
+        R.Epoch = 0;
+    } else {
+      P.Reads[Tid].Epoch = Epoch;
+      P.Reads[Tid].File = File ? File : "";
+      P.Reads[Tid].Line = Line;
+      P.Reads[Tid].Clk = H.Clk;
+    }
+  }
+
+  /// Schedule point for a plain shared-data access. The access itself
+  /// executes after this returns (the caller holds the gate again), so the
+  /// race check runs *after* the handover, against the clocks the access
+  /// really observes.
+  void plainPoint(LogicalThread *Self, const void *Addr, bool IsWrite,
+                  const char *File, int Line) {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Aborting.load(std::memory_order_relaxed))
+      return;
+    recordEvent(Self->Tid, IsWrite ? "write" : "read", Addr, 0, File, Line);
+    bumpStep();
+    std::uint32_t Mask = enabledMask();
+    unsigned Next = chooseNext(Mask, Self->Tid, /*CurEnabled=*/true,
+                               /*Yield=*/false);
+    handTo(L, Self, Next);
+    if (Aborting.load(std::memory_order_relaxed))
+      return;
+    plainHbCheck(Self, Addr, IsWrite, File, Line);
+  }
+
+  /// Schedule point for an atomic thread fence.
+  void fencePoint(LogicalThread *Self, std::memory_order O, const char *File,
+                  int Line) {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Aborting.load(std::memory_order_relaxed))
+      return;
+    recordEvent(Self->Tid, "fence", nullptr, (std::uint64_t)O, File, Line);
+    bumpStep();
+    std::uint32_t Mask = enabledMask();
+    unsigned Next = chooseNext(Mask, Self->Tid, /*CurEnabled=*/true,
+                               /*Yield=*/false);
+    handTo(L, Self, Next);
+    if (Aborting.load(std::memory_order_relaxed))
+      return;
+    ThreadHb &H = Self->Hb;
+    ++H.Clk.C[Self->Tid];
+    if (isAcquireOrder(O)) {
+      // Collect what earlier relaxed loads staged: fence synchronization.
+      H.Clk.join(H.AcqPend);
+      H.AcqPend.clear();
+    }
+    if (isReleaseOrder(O))
+      H.RelFence = H.Clk;
+  }
+
+  // Mu held. Classifies the stuck state: wait-for edges go from each
+  // blocked thread to every live thread that ever touched its wake word
+  // (it is the only population that *could* still store/notify there) or
+  // to its join target. A cycle through those edges is the classic mutual
+  // wait; a blocked thread with no live toucher at all can never be woken
+  // — a lost wakeup.
+  std::string classifyDeadlock() {
+    char Buf[160];
+    std::string Out;
+    std::uint32_t Live = 0;
+    for (const auto &T : Threads)
+      if (T->State != LogicalThread::St::Done)
+        Live |= 1u << T->Tid;
+    std::uint32_t Edges[MaxThreads] = {};
+    for (const auto &T : Threads) {
+      if (T->State == LogicalThread::St::BlockedWord) {
+        unsigned Id = addrId(T->WaitAddr);
+        std::uint32_t Touch = Id < TouchedBy.size() ? TouchedBy[Id] : 0;
+        Edges[T->Tid] = Touch & Live & ~(1u << T->Tid);
+        if (!Edges[T->Tid]) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "\n  lost wakeup: T%u blocked on a%u at %s:%d but "
+                        "every other thread that ever touched a%u has exited",
+                        T->Tid, Id, trimPath(T->WaitFile), T->WaitLine, Id);
+          Out += Buf;
+        }
+      } else if (T->State == LogicalThread::St::BlockedJoin) {
+        Edges[T->Tid] = (Live >> T->JoinTarget) & 1 ? 1u << T->JoinTarget : 0;
+      }
+    }
+    // Find one cycle by coloring DFS (depth is bounded by MaxThreads).
+    struct CycleFinder {
+      const std::uint32_t *Edges;
+      unsigned char Color[MaxThreads] = {}; // 0 white, 1 on path, 2 done
+      unsigned Path[MaxThreads] = {};
+      unsigned Depth = 0;
+      unsigned CycleHead = ~0u;
+      bool dfs(unsigned U) {
+        Color[U] = 1;
+        Path[Depth++] = U;
+        for (unsigned V = 0; V < MaxThreads; ++V)
+          if ((Edges[U] >> V) & 1) {
+            if (Color[V] == 1) {
+              CycleHead = V;
+              return true;
+            }
+            if (Color[V] == 0 && dfs(V))
+              return true;
+          }
+        --Depth;
+        Color[U] = 2;
+        return false;
+      }
+    } F{Edges};
+    for (unsigned Start = 0; Start < Threads.size(); ++Start) {
+      if (F.Color[Start] != 0 || !F.dfs(Start))
+        continue;
+      unsigned First = 0;
+      while (F.Path[First] != F.CycleHead)
+        ++First;
+      Out += "\n  wait-for cycle:";
+      for (unsigned I = First; I < F.Depth; ++I) {
+        std::snprintf(Buf, sizeof(Buf), " T%u ->", F.Path[I]);
+        Out += Buf;
+      }
+      std::snprintf(Buf, sizeof(Buf), " T%u", F.CycleHead);
+      Out += Buf;
+      for (unsigned I = First; I < F.Depth; ++I) {
+        const LogicalThread &T = *Threads[F.Path[I]];
+        if (T.State == LogicalThread::St::BlockedWord) {
+          unsigned Id = addrId(T.WaitAddr);
+          std::snprintf(Buf, sizeof(Buf), "\n    T%u blocked on a%u at %s:%d",
+                        T.Tid, Id, trimPath(T.WaitFile), T.WaitLine);
+        } else {
+          std::snprintf(Buf, sizeof(Buf), "\n    T%u joining T%u", T.Tid,
+                        T.JoinTarget);
+        }
+        Out += Buf;
+      }
+      break;
+    }
+    return Out;
   }
 
   // Mu held. No enabled thread but not everyone is Done: record, then
@@ -556,6 +839,7 @@ public:
       }
     }
     Msg += ")";
+    Msg += classifyDeadlock();
     fail(Msg);
     Aborting.store(true, std::memory_order_relaxed);
     Cv.notify_all();
@@ -633,6 +917,8 @@ public:
     recordEvent(Self->Tid, "join", nullptr, Target, "", 0);
     bumpStep();
     if (Threads[Target]->State == LogicalThread::St::Done) {
+      // Join edge: everything the finished thread did happens-before us.
+      Self->Hb.Clk.join(Threads[Target]->Hb.Clk);
       std::uint32_t Mask = enabledMask();
       unsigned Next = chooseNext(Mask, Self->Tid, true, false);
       handTo(L, Self, Next);
@@ -656,6 +942,8 @@ public:
     if (Aborting.load(std::memory_order_relaxed) &&
         Active != static_cast<int>(Self->Tid))
       throw Aborted{};
+    // Join edge (the target is Done or we would not have been promoted).
+    Self->Hb.Clk.join(Threads[Target]->Hb.Clk);
   }
 
   void finishThread(LogicalThread *Self) {
@@ -704,6 +992,12 @@ public:
       std::lock_guard<std::mutex> G(Mu);
       fail("unexpected exception escaped a scenario thread");
     }
+    // Release the EBR record while this logical thread still holds the
+    // gate: the thread_local destructor would run after the handoff, so its
+    // InUse release store would race the recycling thread in real time and
+    // bypass the happens-before layer (the recycler would inherit a stale
+    // clock and flag a false race on data the pin protected).
+    ebr::quiesceThreadForTesting();
     finishThread(LT);
     TlsLT = nullptr;
   }
@@ -718,6 +1012,9 @@ public:
     LastSlot = 0;
     EventCount = 0;
     AddrIds.clear();
+    Words.clear();
+    Plains.clear();
+    TouchedBy.clear();
     ExecDone = false;
     Aborting.store(false, std::memory_order_relaxed);
     Active = -1;
@@ -842,23 +1139,65 @@ void preOp(const void *Addr, const char *Op, std::uint64_t Arg,
   LogicalThread *Self = TlsLT;
   if (!R || !Self)
     return;
+  Self->PendKind = AccessKind::None;
   R->schedulePoint(Self, Op, Addr, Arg, File, Line, /*Yield=*/false);
 }
 
-void postOp(std::uint64_t Result) {
+void preOp(const void *Addr, const char *Op, std::uint64_t Arg,
+           const char *File, int Line, AccessKind Kind,
+           std::memory_order Success, std::memory_order Failure) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  // Stash what the access contributes to happens-before; the matching
+  // postOp applies it once the operation has executed (the word's release
+  // clock may change while we are parked at this schedule point).
+  Self->PendKind = Kind;
+  Self->PendAddr = Addr;
+  Self->PendOk = Success;
+  Self->PendFail = Failure;
+  Self->PendOp = Op;
+  Self->PendFile = File ? File : "";
+  Self->PendLine = Line;
+  R->schedulePoint(Self, Op, Addr, Arg, File, Line, /*Yield=*/false);
+}
+
+void postOp(std::uint64_t Result) { postOp(Result, /*RmwApplied=*/true); }
+
+void postOp(std::uint64_t Result, bool RmwApplied) {
   Run *R = GRun;
   LogicalThread *Self = TlsLT;
   if (!R || !Self)
     return;
   std::lock_guard<std::mutex> G(R->Mu);
-  if (R->Aborting.load(std::memory_order_relaxed) || R->Ring.empty())
+  if (R->Aborting.load(std::memory_order_relaxed) || R->Ring.empty()) {
+    Self->PendKind = AccessKind::None;
     return;
+  }
+  R->applyPendingHb(Self, RmwApplied);
   // Serialized threads: the latest recorded event is this thread's preOp.
   Event &E = R->Ring[R->LastSlot];
   if (E.Tid == Self->Tid) {
     E.Res = Result;
     E.HasRes = true;
   }
+}
+
+void plainAccess(const void *Addr, bool IsWrite, const char *File, int Line) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  R->plainPoint(Self, Addr, IsWrite, File, Line);
+}
+
+void fence(std::memory_order Order, const char *File, int Line) {
+  Run *R = GRun;
+  LogicalThread *Self = TlsLT;
+  if (!R || !Self)
+    return;
+  R->fencePoint(Self, Order, File, Line);
 }
 
 void blockOnWord(const void *Addr, std::uint64_t Expected,
@@ -923,6 +1262,11 @@ Thread spawn(std::function<void()> Fn) {
     auto LT = std::make_unique<LogicalThread>();
     LT->Tid = Tid;
     LT->Fn = std::move(Fn);
+    // Spawn edge: everything the parent did so far happens-before the
+    // child; the parent then advances its epoch so its *later* accesses
+    // stay concurrent with the child.
+    LT->Hb.Clk = Self->Hb.Clk;
+    ++Self->Hb.Clk.C[Self->Tid];
     LogicalThread *P = LT.get();
     R->Threads.push_back(std::move(LT));
     P->Os = std::thread([R, P] { R->trampoline(P); });
@@ -982,6 +1326,8 @@ Options optionsFromEnv(Options Base) {
     else if (!std::strcmp(E, "pct"))
       Base.Strat = Strategy::Pct;
   }
+  if (const char *E = std::getenv("CQS_SCHEDCHECK_HB"))
+    Base.HbCheck = std::strtol(E, nullptr, 0) != 0;
   return Base;
 }
 

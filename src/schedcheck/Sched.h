@@ -17,9 +17,12 @@
 /// every access to a cqs::Atomic (see support/Atomic.h), every
 /// Backoff::pause, every futex wait. Given the sequence of scheduling
 /// choices, an execution is therefore fully deterministic, which is what
-/// makes seed replay and exhaustive enumeration possible. The model is
-/// sequential consistency: weaker memory orders are accepted and ignored
-/// (see DESIGN.md §7 for what this does and does not guarantee).
+/// makes seed replay and exhaustive enumeration possible. The *executed*
+/// model is sequential consistency; the declared memory orders feed a
+/// happens-before layer (vector clocks, schedcheck/HbClocks.h) that flags
+/// accesses whose annotations are too weak even when the SC interleaving
+/// read the right value (see DESIGN.md §7 and §11 for what this does and
+/// does not guarantee).
 ///
 /// Three exploration strategies (Options::Strat):
 ///  - Dfs: bounded-exhaustive enumeration with preemption bounding —
@@ -58,6 +61,17 @@ struct Options {
   Strategy Strat = Strategy::Random;
   /// Base seed; per-execution seeds are derived from it (Random/Pct).
   std::uint64_t Seed = 1;
+  /// Report happens-before violations (DESIGN.md §11): plain-data accesses
+  /// two threads reach without an HB edge derived from the *declared*
+  /// memory orders, even though the SC interleaving read fine. The clock
+  /// machinery runs either way (deadlock classification uses it); this
+  /// only gates whether a detected race fails the run. Defaults on in
+  /// -DCQS_SCHEDCHECK_HB=ON builds; CQS_SCHEDCHECK_HB=0|1 overrides.
+#if defined(CQS_SCHEDCHECK_HB) && CQS_SCHEDCHECK_HB
+  bool HbCheck = true;
+#else
+  bool HbCheck = false;
+#endif
   /// Number of executions (upper bound for Dfs, exact for Random/Pct).
   std::uint64_t Iterations = 1000;
   /// Dfs: maximum context switches away from a still-enabled thread.
@@ -128,9 +142,10 @@ unsigned threadId();
 /// True iff the calling OS thread is a logical thread of a live run.
 bool inModelledThread();
 
-/// Reads CQS_SCHEDCHECK_SEED (replay), CQS_SCHEDCHECK_ITERS, and
-/// CQS_SCHEDCHECK_STRATEGY=dfs|random|pct into a copy of \p Base, so any
-/// schedcheck gtest binary supports seed replay without test-local plumbing.
+/// Reads CQS_SCHEDCHECK_SEED (replay), CQS_SCHEDCHECK_ITERS,
+/// CQS_SCHEDCHECK_STRATEGY=dfs|random|pct, and CQS_SCHEDCHECK_HB=0|1 into a
+/// copy of \p Base, so any schedcheck gtest binary supports seed replay
+/// without test-local plumbing.
 Options optionsFromEnv(Options Base);
 
 /// Packs/unpacks (strategy, payload) into the public 64-bit seed.
@@ -141,13 +156,46 @@ std::uint64_t encodeSeed(Strategy S, std::uint64_t Payload);
 // and support/Backoff.h. Not for direct use in scenarios.
 // -------------------------------------------------------------------------
 
+/// How an instrumented operation participates in the happens-before model
+/// (DESIGN.md §11). None = schedule point with no HB contribution (futex
+/// waits, yields): the protocol's own atomics must carry the ordering.
+enum class AccessKind : unsigned { None = 0, Load, Store, Rmw, Cas };
+
 /// Schedule point before a modelled operation; may switch logical threads.
-/// No-op when the caller is not a modelled thread.
+/// No-op when the caller is not a modelled thread. This overload carries no
+/// happens-before contribution (AccessKind::None).
 void preOp(const void *Addr, const char *Op, std::uint64_t Arg,
            const char *File, int Line);
 
-/// Records the result of the operation announced by the latest preOp.
+/// Schedule point for an access that participates in happens-before:
+/// \p Kind says how, \p Success is the declared order (\p Failure the CAS
+/// failure order, ignored otherwise). The HB effect is applied at the
+/// matching postOp, when the operation has actually executed.
+void preOp(const void *Addr, const char *Op, std::uint64_t Arg,
+           const char *File, int Line, AccessKind Kind,
+           std::memory_order Success, std::memory_order Failure);
+
+/// Records the result of the operation announced by the latest preOp and
+/// applies its pending HB effect (a CAS is assumed applied; use the
+/// two-argument overload to report a failed CAS).
 void postOp(std::uint64_t Result);
+
+/// postOp for a compare-exchange: \p RmwApplied false means the CAS failed
+/// and its HB contribution is a load at the declared *failure* order.
+void postOp(std::uint64_t Result, bool RmwApplied);
+
+/// Schedule point for a plain (non-atomic) access to shared data routed
+/// through sc::Data / cqs::Shared. Performs the FastTrack race check: a
+/// conflicting access by another thread that the caller's vector clock
+/// does not cover fails the run (when Options::HbCheck is on) with both
+/// sites and clocks in the report.
+void plainAccess(const void *Addr, bool IsWrite, const char *File, int Line);
+
+/// Schedule point for std::atomic_thread_fence (via cqs::atomicThreadFence):
+/// a release fence stages the thread's clock for later relaxed stores; an
+/// acquire fence collects the release clocks observed by earlier relaxed
+/// loads; acq_rel/seq_cst do both.
+void fence(std::memory_order Order, const char *File, int Line);
 
 /// Blocks the calling logical thread until the 32/64-bit word at \p Addr
 /// (sampled via \p Sample) is observed != \p Expected, or a wake/abort

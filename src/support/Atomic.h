@@ -24,6 +24,15 @@
 /// interleavings of interest, and which must never introduce scheduling
 /// points inside pool-internal critical sections.
 ///
+/// `Shared<T>` is the third kind: plain (non-atomic) data whose safety is
+/// *supposed* to come from an atomic protocol around it — a payload
+/// published by a release store, state guarded by a mutex. In normal
+/// builds it is a zero-cost passthrough; under schedcheck every get/set is
+/// checked by the happens-before layer (DESIGN.md §11), which fails the
+/// run if two threads reach the data without an HB edge derived from the
+/// declared memory orders. `atomicThreadFence` is the instrumented
+/// std::atomic_thread_fence to match.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CQS_SUPPORT_ATOMIC_H
@@ -46,11 +55,45 @@ template <typename T> using PlainAtomic = std::atomic<T>;
 template <typename T> using Atomic = sc::Atomic<T>;
 using AtomicFlag = sc::AtomicFlag;
 
+/// Race-checked plain shared data (see header comment).
+template <typename T> using Shared = sc::Data<T>;
+
+/// Instrumented fence: a schedule point plus the fence's happens-before
+/// contribution (release stages the clock for later relaxed stores;
+/// acquire collects what earlier relaxed loads observed).
+inline void atomicThreadFence(std::memory_order O,
+                              const char *File = __builtin_FILE(),
+                              int Line = __builtin_LINE()) {
+  sc::fence(O, File, Line);
+  std::atomic_thread_fence(O);
+}
+
 #else
 
 template <typename T> using Atomic = std::atomic<T>;
 /// C++20 std::atomic_flag default-constructs clear, so no ATOMIC_FLAG_INIT.
 using AtomicFlag = std::atomic_flag;
+
+/// Plain shared data; the get/set surface exists so schedcheck builds can
+/// swap in the race-checked sc::Data without touching call sites.
+template <typename T> class Shared {
+public:
+  Shared() noexcept = default;
+  constexpr Shared(T V) noexcept : Val(V) {}
+
+  Shared(const Shared &) = delete;
+  Shared &operator=(const Shared &) = delete;
+
+  T get() const { return Val; }
+  void set(T V) { Val = V; }
+
+private:
+  T Val{};
+};
+
+inline void atomicThreadFence(std::memory_order O) {
+  std::atomic_thread_fence(O);
+}
 
 #endif
 

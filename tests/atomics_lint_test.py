@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/atomics_lint.py.
+
+One fixture file per shape, linted in a temporary repo root. The focus is
+rule 5 (meaningless-order, new with the happens-before layer of DESIGN.md
+§11): every impossible order the rule promises to catch, every legal order
+it must not flag, and the allow(odd-order) opt-out. A smoke test per older
+rule guards against regressions in the shared scanning machinery (comment
+stripping, call-argument matching).
+
+Run directly (python3 tests/atomics_lint_test.py) or through ctest.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO_ROOT, "tools", "atomics_lint.py")
+
+
+class AtomicsLintTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        os.makedirs(os.path.join(self.dir.name, "src"))
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def lint(self, source, name="src/fixture.h"):
+        """Write one fixture file, run the linter, return (exit, stdout)."""
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            f.write(source)
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", self.dir.name],
+            capture_output=True,
+            text=True,
+        )
+        return proc.returncode, proc.stdout
+
+    def assertFinding(self, source, rule, fragment=""):
+        code, out = self.lint(source)
+        self.assertEqual(code, 1, out)
+        self.assertIn(rule, out)
+        if fragment:
+            self.assertIn(fragment, out)
+
+    def assertClean(self, source):
+        code, out = self.lint(source)
+        self.assertEqual(code, 0, out)
+        self.assertIn("atomics_lint: clean", out)
+
+    # ---- rule 5: meaningless-order ------------------------------------
+
+    def test_store_acquire_flagged(self):
+        self.assertFinding(
+            "void f(Atomic<int> &A) { A.store(1, std::memory_order_acquire); }",
+            "meaningless-order",
+            "a store cannot acquire",
+        )
+
+    def test_store_acq_rel_flagged(self):
+        self.assertFinding(
+            "void f(Atomic<int> &A) { A.store(1, std::memory_order_acq_rel); }",
+            "meaningless-order",
+        )
+
+    def test_store_consume_flagged(self):
+        self.assertFinding(
+            "void f(Atomic<int> &A) { A.store(1, std::memory_order_consume); }",
+            "meaningless-order",
+        )
+
+    def test_load_release_flagged(self):
+        self.assertFinding(
+            "int f(Atomic<int> &A) { return A.load(std::memory_order_release); }",
+            "meaningless-order",
+            "a load cannot release",
+        )
+
+    def test_load_acq_rel_flagged(self):
+        self.assertFinding(
+            "int f(Atomic<int> &A) { return A.load(std::memory_order_acq_rel); }",
+            "meaningless-order",
+        )
+
+    def test_cas_failure_stronger_than_success_flagged(self):
+        self.assertFinding(
+            "bool f(Atomic<int> &A, int &E) {\n"
+            "  return A.compare_exchange_strong(E, 1,\n"
+            "      std::memory_order_relaxed, std::memory_order_acquire);\n"
+            "}\n",
+            "meaningless-order",
+            "stronger than",
+        )
+
+    def test_cas_release_failure_flagged(self):
+        # Even though release(2) does not outrank seq_cst(4), a
+        # release-flavoured failure order is impossible: that path is a load.
+        self.assertFinding(
+            "bool f(Atomic<int> &A, int &E) {\n"
+            "  return A.compare_exchange_weak(E, 1,\n"
+            "      std::memory_order_seq_cst, std::memory_order_release);\n"
+            "}\n",
+            "meaningless-order",
+            "cannot release",
+        )
+
+    def test_cpp20_scoped_order_spelling_recognized(self):
+        self.assertFinding(
+            "void f(Atomic<int> &A) { A.store(1, std::memory_order::acquire); }",
+            "meaningless-order",
+        )
+
+    def test_legal_orders_clean(self):
+        self.assertClean(
+            "void f(Atomic<int> &A, int &E) {\n"
+            "  A.store(1, std::memory_order_release);\n"
+            "  (void)A.load(std::memory_order_acquire);\n"
+            "  (void)A.load(std::memory_order_consume);\n"
+            "  (void)A.exchange(2, std::memory_order_acq_rel);\n"
+            "  (void)A.fetch_add(1, std::memory_order_relaxed);\n"
+            "  (void)A.compare_exchange_strong(E, 1,\n"
+            "      std::memory_order_acq_rel, std::memory_order_acquire);\n"
+            "  (void)A.compare_exchange_weak(E, 1,\n"
+            "      std::memory_order_release, std::memory_order_relaxed);\n"
+            "}\n"
+        )
+
+    def test_equal_rank_failure_not_flagged(self):
+        # acquire and release are incomparable; an acquire failure next to
+        # a release success is the textbook lock acquisition, not a bug.
+        self.assertClean(
+            "bool f(Atomic<int> &A, int &E) {\n"
+            "  return A.compare_exchange_strong(E, 1,\n"
+            "      std::memory_order_release, std::memory_order_relaxed);\n"
+            "}\n"
+        )
+
+    def test_single_order_cas_not_flagged(self):
+        # One-order CAS derives its failure order inside the library; there
+        # is nothing mis-declared at the call site.
+        self.assertClean(
+            "bool f(Atomic<int> &A, int &E) {\n"
+            "  return A.compare_exchange_weak(E, 1, std::memory_order_acq_rel);\n"
+            "}\n"
+        )
+
+    def test_odd_order_marker_suppresses(self):
+        self.assertClean(
+            "void f(Atomic<int> &A) {\n"
+            "  A.store(1, std::memory_order_acquire); "
+            "// atomics-lint: allow(odd-order)\n"
+            "}\n"
+        )
+
+    def test_order_in_comment_ignored(self):
+        self.assertClean(
+            "void f(Atomic<int> &A) {\n"
+            "  // A.store(1, std::memory_order_acquire) would be wrong\n"
+            "  A.store(1, std::memory_order_release);\n"
+            "}\n"
+        )
+
+    # ---- older rules: one smoke test each -----------------------------
+
+    def test_raw_atomic_flagged(self):
+        self.assertFinding("std::atomic<int> A;\n", "no-raw-atomic")
+
+    def test_implicit_order_flagged(self):
+        self.assertFinding(
+            "void f(Atomic<int> &A) { A.store(1); }", "explicit-order"
+        )
+
+    def test_unpadded_shard_flagged(self):
+        self.assertFinding(
+            "struct PermitShard { Atomic<int> Count; };\n", "pad-shards"
+        )
+
+    def test_unsized_state_enum_flagged(self):
+        self.assertFinding(
+            "enum class CellState { Empty, Full };\n", "sized-state-enum"
+        )
+
+    def test_clean_tree_exits_zero(self):
+        self.assertClean(
+            "struct alignas(64) PermitShard { Atomic<int> C; };\n"
+            "enum class CellState : std::uint64_t { Empty };\n"
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -139,6 +139,58 @@ TEST(SchedcheckEbr, TwoReadersOneReclaimerExhaustive) {
       << R.Executions << " executions, " << R.Truncated << " truncated";
 }
 
+// --------------------------------------------------------------------------
+// Happens-before validation (DESIGN.md §11): the payload of a published
+// node and the destructor's poison write, both race-checked via
+// cqs::Shared. The grace period is not just "the free ran later in this
+// interleaving" — the epoch protocol's declared memory orders must build
+// an HB edge from every reader's access to the eventual free, or this run
+// fails with the two sites.
+// --------------------------------------------------------------------------
+
+struct HbNode {
+  Shared<int> Value{42};
+  ~HbNode() { Value.set(-1); }
+};
+
+void graceperiodCarriesHb() {
+  auto *Ptr = new Atomic<HbNode *>(new HbNode);
+  sc::Thread Reader = sc::spawn([&] {
+    ebr::Guard G;
+    HbNode *N = Ptr->load(std::memory_order_acquire);
+    if (N) {
+      sc::yield(); // widen the window toward the reclaimer
+      sc::check(N->Value.get() == 42, "reader saw poisoned payload");
+    }
+  });
+  sc::Thread Reclaimer = sc::spawn([&] {
+    HbNode *Old = Ptr->exchange(nullptr, std::memory_order_acq_rel);
+    {
+      ebr::Guard G;
+      ebr::retireObject(Old);
+    }
+    // Push the epoch: if the three-epoch rule lets the free run now, its
+    // Value.set(-1) must be HB-after the reader's get() or the race check
+    // fires. Nodes that survive are drained between executions, outside
+    // modelled threads, where the checker is inert by design.
+    for (int I = 0; I < 3; ++I)
+      (void)ebr::tryAdvanceForTesting();
+  });
+  Reader.join();
+  Reclaimer.join();
+  delete Ptr;
+}
+
+TEST(SchedcheckEbr, GracePeriodCarriesHappensBefore) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 17;
+  O.Iterations = 800;
+  O.HbCheck = true;
+  sc::Result R = sc::explore(O, graceperiodCarriesHb);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {

@@ -1,0 +1,271 @@
+//===- tests/schedcheck_hb_test.cpp - happens-before canaries -------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Canary suite for the happens-before layer (DESIGN.md §11): deliberately
+/// mis-annotated toy primitives the detector MUST flag, each paired with
+/// the correctly-annotated version it must pass, and each failure pinned
+/// to deterministic seed replay. The three injected bugs are the classic
+/// downgrades a reviewer is most likely to wave through because every SC
+/// interleaving still reads the right value:
+///
+///   1. a spinlock whose unlock store is relaxed instead of release;
+///   2. a publish flag spun on with a relaxed load and no acquire;
+///   3. fence-based publication missing its release fence (the unfenced
+///      EBR-retire shape).
+///
+/// On the same machinery: the deadlock detector must classify the PR 7
+/// select committed-unfulfilled shape — two parties each committed to the
+/// peer's cell and parked on their own doorbell — as a wait-for cycle, and
+/// a parked thread whose wake word no live thread has ever touched as a
+/// lost wakeup.
+///
+/// Every scenario forces Options::HbCheck on, so this suite checks the
+/// detector in the plain schedcheck CI leg as well as the schedcheck-hb
+/// leg (where HbCheck merely defaults on).
+///
+//===----------------------------------------------------------------------===//
+
+#include "schedcheck/Sched.h"
+#include "support/Atomic.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cqs;
+
+namespace {
+
+/// Toy test-and-set spinlock with a pluggable unlock order: the canary
+/// downgrade is memory_order_relaxed, the fix memory_order_release.
+struct ToyLock {
+  Atomic<int> L{0};
+  void lock() {
+    while (L.exchange(1, std::memory_order_acquire) != 0)
+      sc::yield();
+  }
+  void unlock(std::memory_order O) { L.store(0, O); }
+};
+
+void lockScenario(std::memory_order UnlockOrder) {
+  auto *Lk = new ToyLock();
+  auto *D = new Shared<int>(0);
+  auto Worker = [Lk, D, UnlockOrder] {
+    Lk->lock();
+    D->set(D->get() + 1);
+    Lk->unlock(UnlockOrder);
+  };
+  sc::Thread T1 = sc::spawn(Worker);
+  sc::Thread T2 = sc::spawn(Worker);
+  T1.join();
+  T2.join();
+  sc::check(D->get() == 2, "critical sections lost an increment");
+  delete D;
+  delete Lk;
+}
+
+void publishScenario(std::memory_order LoadOrder) {
+  auto *F = new Atomic<int>(0);
+  auto *D = new Shared<int>(0);
+  sc::Thread P = sc::spawn([F, D] {
+    D->set(42);
+    F->store(1, std::memory_order_release);
+  });
+  sc::Thread C = sc::spawn([F, D, LoadOrder] {
+    while (F->load(LoadOrder) == 0)
+      sc::yield();
+    sc::check(D->get() == 42, "published payload not visible");
+  });
+  P.join();
+  C.join();
+  delete D;
+  delete F;
+}
+
+/// Fence-based publication, the shape of an EBR retire: the writer's store
+/// to the epoch word is relaxed on purpose and a standalone release fence
+/// is what orders the preceding payload writes — omit it and every edge to
+/// the reader's acquire fence is gone.
+void fencedRetireScenario(bool WithReleaseFence) {
+  auto *E = new Atomic<int>(0);
+  auto *D = new Shared<int>(0);
+  sc::Thread W = sc::spawn([E, D, WithReleaseFence] {
+    D->set(7);
+    if (WithReleaseFence)
+      atomicThreadFence(std::memory_order_release);
+    E->store(1, std::memory_order_relaxed);
+  });
+  sc::Thread R = sc::spawn([E, D] {
+    while (E->load(std::memory_order_relaxed) == 0)
+      sc::yield();
+    atomicThreadFence(std::memory_order_acquire);
+    sc::check(D->get() == 7, "retired payload not visible");
+  });
+  W.join();
+  R.join();
+  delete D;
+  delete E;
+}
+
+sc::Options hbOptions() {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 7;
+  O.Iterations = 64;
+  O.HbCheck = true;
+  return O;
+}
+
+/// A detected race must replay deterministically: same seed, same verdict,
+/// byte-identical trace.
+void expectRaceAndReplay(const sc::Result &R, sc::Options O,
+                         void (*Scenario)(std::memory_order),
+                         std::memory_order Arg) {
+  ASSERT_FALSE(R.Ok) << "the injected order bug must be detected";
+  EXPECT_NE(R.FailSeed, 0u);
+  EXPECT_NE(R.Report.find("data race"), std::string::npos) << R.Report;
+  EXPECT_NE(R.Report.find("no happens-before edge"), std::string::npos)
+      << R.Report;
+  // Both access sites, file:line, in this file.
+  EXPECT_NE(R.Report.find("schedcheck_hb_test.cpp"), std::string::npos)
+      << R.Report;
+  EXPECT_NE(R.Report.find("clocks:"), std::string::npos) << R.Report;
+  sc::Options Replay = O;
+  Replay.ReplaySeed = R.FailSeed;
+  sc::Result R2 = sc::explore(Replay, [Scenario, Arg] { Scenario(Arg); });
+  ASSERT_FALSE(R2.Ok) << "replay of a failing seed must fail again";
+  EXPECT_EQ(R2.FailSeed, R.FailSeed);
+  EXPECT_EQ(R2.Trace, R.Trace) << "replay must reproduce the trace";
+}
+
+TEST(SchedcheckHb, RelaxedUnlockIsARace) {
+  sc::Options O = hbOptions();
+  sc::Result R =
+      sc::explore(O, [] { lockScenario(std::memory_order_relaxed); });
+  expectRaceAndReplay(R, O, lockScenario, std::memory_order_relaxed);
+}
+
+TEST(SchedcheckHb, ReleaseUnlockIsClean) {
+  sc::Options O = hbOptions();
+  O.Iterations = 200;
+  sc::Result R =
+      sc::explore(O, [] { lockScenario(std::memory_order_release); });
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+TEST(SchedcheckHb, RelaxedSpinLoadIsARace) {
+  sc::Options O = hbOptions();
+  sc::Result R =
+      sc::explore(O, [] { publishScenario(std::memory_order_relaxed); });
+  expectRaceAndReplay(R, O, publishScenario, std::memory_order_relaxed);
+}
+
+TEST(SchedcheckHb, AcquireSpinLoadIsClean) {
+  sc::Options O = hbOptions();
+  O.Iterations = 200;
+  sc::Result R =
+      sc::explore(O, [] { publishScenario(std::memory_order_acquire); });
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+TEST(SchedcheckHb, UnfencedRetireIsARace) {
+  sc::Options O = hbOptions();
+  sc::Result R = sc::explore(O, [] { fencedRetireScenario(false); });
+  ASSERT_FALSE(R.Ok) << "missing release fence must be detected";
+  EXPECT_NE(R.Report.find("data race"), std::string::npos) << R.Report;
+  EXPECT_NE(R.Report.find("schedcheck_hb_test.cpp"), std::string::npos)
+      << R.Report;
+  sc::Options Replay = O;
+  Replay.ReplaySeed = R.FailSeed;
+  sc::Result R2 = sc::explore(Replay, [] { fencedRetireScenario(false); });
+  ASSERT_FALSE(R2.Ok);
+  EXPECT_EQ(R2.Trace, R.Trace);
+}
+
+TEST(SchedcheckHb, FencedRetireIsClean) {
+  sc::Options O = hbOptions();
+  O.Iterations = 200;
+  sc::Result R = sc::explore(O, [] { fencedRetireScenario(true); });
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// The flagging gate: with HbCheck off the same mis-annotated scenarios
+/// run green (the plain schedcheck leg keeps its historical semantics; the
+/// clock machinery still runs for deadlock classification).
+TEST(SchedcheckHb, GateOffSuppressesRaceVerdicts) {
+  sc::Options O = hbOptions();
+  O.HbCheck = false;
+  EXPECT_TRUE(
+      sc::explore(O, [] { lockScenario(std::memory_order_relaxed); }).Ok);
+  EXPECT_TRUE(
+      sc::explore(O, [] { publishScenario(std::memory_order_relaxed); }).Ok);
+  EXPECT_TRUE(sc::explore(O, [] { fencedRetireScenario(false); }).Ok);
+}
+
+/// Distilled regression for the PR 7 select bug shape (a select clause
+/// committed to its peer's cell without securing the peer, then parked on
+/// its own doorbell — so did the peer): the detector must name the mutual
+/// wait as a wait-for cycle instead of leaving a bare thread-state dump.
+TEST(SchedcheckHb, SelectCommittedUnfulfilledIsAWaitForCycle) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Iterations = 1;
+  auto Scenario = [] {
+    auto *CellA = new Atomic<std::uint32_t>(0); // T1's doorbell
+    auto *CellB = new Atomic<std::uint32_t>(0); // T2's doorbell
+    sc::Thread T1 = sc::spawn([CellA, CellB] {
+      (void)CellB->load(std::memory_order_acquire); // commit to the peer
+      CellA->wait(0);                               // park unfulfilled
+    });
+    sc::Thread T2 = sc::spawn([CellA, CellB] {
+      (void)CellA->load(std::memory_order_acquire);
+      CellB->wait(0);
+    });
+    T1.join();
+    T2.join();
+    delete CellB;
+    delete CellA;
+  };
+  sc::Result R = sc::explore(O, Scenario);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Report.find("deadlock"), std::string::npos) << R.Report;
+  EXPECT_NE(R.Report.find("wait-for cycle"), std::string::npos) << R.Report;
+  // Both parties and their park sites are named.
+  EXPECT_NE(R.Report.find("T1"), std::string::npos) << R.Report;
+  EXPECT_NE(R.Report.find("T2"), std::string::npos) << R.Report;
+  EXPECT_NE(R.Report.find("blocked on"), std::string::npos) << R.Report;
+  sc::Options Replay = O;
+  Replay.ReplaySeed = R.FailSeed;
+  sc::Result R2 = sc::explore(Replay, Scenario);
+  ASSERT_FALSE(R2.Ok);
+  EXPECT_NE(R2.Report.find("wait-for cycle"), std::string::npos) << R2.Report;
+  EXPECT_EQ(R2.Trace, R.Trace);
+}
+
+/// A parked thread whose wake word no live thread has ever touched cannot
+/// be woken by anyone: that is a lost wakeup, not a mutual wait.
+TEST(SchedcheckHb, OrphanedWaiterIsALostWakeup) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Iterations = 1;
+  sc::Result R = sc::explore(O, [] {
+    auto *Word = new Atomic<std::uint32_t>(0);
+    sc::Thread T1 = sc::spawn([Word] { Word->wait(0); });
+    T1.join();
+    delete Word;
+  });
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Report.find("deadlock"), std::string::npos) << R.Report;
+  EXPECT_NE(R.Report.find("lost wakeup"), std::string::npos) << R.Report;
+  EXPECT_EQ(R.Report.find("wait-for cycle"), std::string::npos) << R.Report;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -337,6 +337,78 @@ TEST(SchedcheckSelect, CloseReleasesParkedSelect) {
       << R.Executions << " executions, " << R.Truncated << " truncated";
 }
 
+// --------------------------------------------------------------------------
+// Happens-before validation (DESIGN.md §11): data published *through* the
+// channel as plain memory, race-checked via cqs::Shared. These assert the
+// v2 cell protocol's declared memory orders — counters, cell CAS chain,
+// parking resume — actually carry the sender's writes to the receiver; a
+// relaxed downgrade anywhere on that path fails these runs.
+// --------------------------------------------------------------------------
+
+void channelCarriesPayloadHb() {
+  auto *Ch = new Buf1(2);
+  auto *D = new Shared<int>(0);
+  sc::Thread T1 = sc::spawn([&] {
+    D->set(99); // plain write, ordered only by the send that follows
+    auto F = Ch->send(1);
+    sc::check(F.blockingGet().has_value(), "send on cap 2 must land");
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    auto F = Ch->receive();
+    auto V = F.blockingGet();
+    sc::check(V == std::make_optional(1), "receiver got the wrong token");
+    sc::check(D->get() == 99, "payload not visible after receive");
+  });
+  T1.join();
+  T2.join();
+  delete D;
+  delete Ch;
+}
+
+TEST(SchedcheckSelect, ChannelCarriesHappensBeforeToPayload) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 29;
+  O.Iterations = 800;
+  O.HbCheck = true;
+  sc::Result R = sc::explore(O, channelCarriesPayloadHb);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+void selectCarriesPayloadHb() {
+  auto *A = new Rdv;
+  auto *B = new Rdv;
+  auto *D = new Shared<int>(0);
+  std::optional<SelectResult<int>> R;
+  sc::Thread T1 = sc::spawn([&] {
+    BufferedChannelV2<int, 4> *Cs[2] = {A, B};
+    R = selectReceive<int, 4>(Cs, 2);
+    sc::check(R.has_value() && R->Index == 1 && R->Value == 7,
+              "select missed the only element");
+    sc::check(D->get() == 123, "payload not visible after select win");
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    D->set(123);
+    auto F = B->send(7);
+    sc::check(F.blockingGet().has_value(), "lone send must pair with select");
+  });
+  T1.join();
+  T2.join();
+  delete D;
+  delete A;
+  delete B;
+}
+
+TEST(SchedcheckSelect, SelectCarriesHappensBeforeToPayload) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 31;
+  O.Iterations = 800;
+  O.HbCheck = true;
+  sc::Result R = sc::explore(O, selectCarriesPayloadHb);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {

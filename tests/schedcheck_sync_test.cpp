@@ -168,6 +168,40 @@ TEST(SchedcheckSync, MutexBlockingExclusionPctSweep) {
   EXPECT_TRUE(R.Ok) << R.Report;
 }
 
+/// Happens-before validation (DESIGN.md §11): plain data guarded by the
+/// mutex, accessed through the race-checked cqs::Shared. Beyond mutual
+/// exclusion as an interleaving property, this asserts the lock/unlock
+/// *memory orders* actually build the release/acquire chain that hands the
+/// data from one critical section to the next — a relaxed downgrade
+/// anywhere in lock(), unlock() or the CQS resume path fails this run.
+void mutexProtectsPlainData() {
+  auto *M = new SmallMutex(ResumptionMode::Async);
+  auto *D = new Shared<int>(0);
+  auto Worker = [&] {
+    auto F = M->lock();
+    sc::check(F.blockingGet().has_value(), "lock future failed");
+    D->set(D->get() + 1);
+    M->unlock();
+  };
+  sc::Thread T1 = sc::spawn(Worker);
+  sc::Thread T2 = sc::spawn(Worker);
+  T1.join();
+  T2.join();
+  sc::check(D->get() == 2, "critical sections lost an update");
+  delete D;
+  delete M;
+}
+
+TEST(SchedcheckSync, MutexCarriesHappensBeforeToGuardedData) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 11;
+  O.Iterations = 800;
+  O.HbCheck = true; // race-clean in the plain leg too, not only under HB
+  sc::Result R = sc::explore(O, mutexProtectsPlainData);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {

@@ -38,6 +38,18 @@ Two rules, both rooted in the schedcheck model checker (DESIGN.md §7):
    with `atomics-lint: allow(unsized-enum)` on the declaration line for an
    enum that merely *names* a state and never touches an atomic encoding.
 
+5. meaningless-order: a memory order that cannot do what the operation's
+   direction allows is a documentation lie the compiler accepts silently
+   (the standard says such combinations are undefined or decay to
+   something weaker): `.store()` with acquire/acq_rel/consume, `.load()`
+   with release/acq_rel, and a compare-exchange whose explicit failure
+   order is stronger than its success order (or is itself release-flavoured
+   — the failure path is a pure load). The happens-before layer in
+   schedcheck (DESIGN.md §11) trusts declared orders; an impossible one
+   poisons the model as well as the reader. Opt out with
+   `atomics-lint: allow(odd-order)` on the line — e.g. for code that is
+   itself exercising odd orders on purpose.
+
 Usage: tools/atomics_lint.py [--root DIR]
 Exit status 1 if any finding is reported, 0 otherwise.
 """
@@ -50,6 +62,7 @@ import sys
 ALLOW_MARKER = "atomics-lint: allow(std-atomic)"
 PAD_MARKER = "atomics-lint: allow(unpadded-shard)"
 ENUM_MARKER = "atomics-lint: allow(unsized-enum)"
+ODD_MARKER = "atomics-lint: allow(odd-order)"
 
 # Files/dirs (relative to the repo root) where rule 1 does not apply.
 RAW_ATOMIC_ALLOWED = (
@@ -86,6 +99,30 @@ ATOMIC_MEMBER_RE = re.compile(r"\b(?:Plain)?Atomic\s*<|std\s*::\s*atomic\b")
 STATE_ENUM_RE = re.compile(
     r"\benum\s+(?:class|struct)\s+(\w*(?:State|Token|Cell))\s*([:{;])"
 )
+
+# Rule 5: memory_order tokens inside an argument list, in call order (for
+# compare-exchange: success first, failure second). Both the classic
+# `std::memory_order_acquire` and the C++20 `std::memory_order::acquire`
+# spellings are recognized.
+ORDER_TOKEN_RE = re.compile(
+    r"\bmemory_order(?:::|_)(relaxed|consume|acquire|release|acq_rel|seq_cst)\b"
+)
+
+# Strength lattice for the success-vs-failure comparison. acquire and
+# release are incomparable in the standard; ranking them equal means
+# neither counts as "stronger than" the other, which is what we want.
+ORDER_RANK = {
+    "relaxed": 0,
+    "consume": 1,
+    "acquire": 2,
+    "release": 2,
+    "acq_rel": 3,
+    "seq_cst": 4,
+}
+
+STORE_ILLEGAL = ("acquire", "acq_rel", "consume")
+LOAD_ILLEGAL = ("release", "acq_rel")
+CAS_OPS = ("compare_exchange_weak", "compare_exchange_strong")
 
 
 def body_after(code, start):
@@ -254,6 +291,45 @@ def lint_file(path, rel, findings):
             f"explicit fixed underlying type (declare e.g. "
             f"': std::uint64_t')"
         )
+
+    for m in ORDERED_OPS_RE.finditer(code):
+        args = call_args(code, m.end() - 1)
+        if args is None:
+            continue
+        orders = ORDER_TOKEN_RE.findall(args)
+        if not orders:
+            continue
+        line_no = code.count("\n", 0, m.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if ODD_MARKER in line:
+            continue
+        op = m.group(1)
+        if op == "store" and orders[0] in STORE_ILLEGAL:
+            findings.append(
+                f"{rel}:{line_no}: meaningless-order: .store("
+                f"memory_order_{orders[0]}) — a store cannot acquire; "
+                f"use release, relaxed or seq_cst"
+            )
+        elif op == "load" and orders[0] in LOAD_ILLEGAL:
+            findings.append(
+                f"{rel}:{line_no}: meaningless-order: .load("
+                f"memory_order_{orders[0]}) — a load cannot release; "
+                f"use acquire, consume, relaxed or seq_cst"
+            )
+        elif op in CAS_OPS and len(orders) >= 2:
+            success, failure = orders[0], orders[1]
+            if failure in LOAD_ILLEGAL:
+                findings.append(
+                    f"{rel}:{line_no}: meaningless-order: .{op}() failure "
+                    f"order memory_order_{failure} — the failure path is "
+                    f"a pure load and cannot release"
+                )
+            elif ORDER_RANK[failure] > ORDER_RANK[success]:
+                findings.append(
+                    f"{rel}:{line_no}: meaningless-order: .{op}() failure "
+                    f"order memory_order_{failure} is stronger than "
+                    f"success order memory_order_{success}"
+                )
 
 
 def main():
