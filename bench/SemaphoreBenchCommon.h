@@ -20,6 +20,7 @@
 #include "baseline/Aqs.h"
 #include "baseline/ClhLock.h"
 #include "baseline/McsLock.h"
+#include "future/TimedAwait.h"
 #include "support/Rng.h"
 #include "support/Work.h"
 #include "sync/Semaphore.h"
@@ -90,6 +91,30 @@ inline double cqsSemTimedRun(int Threads, int Permits) {
   });
 }
 
+/// cqsSemTimedRun with every deadline routed through the central
+/// TimerQueue (TimedWaitVia::TimerQueue): a parked waiter costs one heap
+/// insert on the timer thread instead of a per-op timed futex, and a
+/// completion withdraws its entry with one CAS. The series is directly
+/// comparable to "CQS timed-mix" — the delta is the timer-delivery
+/// mechanism, everything else is identical.
+inline double cqsSemTimedQueuedRun(int Threads, int Permits) {
+  Semaphore S(Permits, ResumptionMode::Async);
+  const int PerThread = SemTotalOps / Threads;
+  return runThreadTeam(Threads, [&](int T) {
+    TimedWaitModeScope Mode(TimedWaitVia::TimerQueue);
+    GeometricWork Prep(SemWorkMean, 555 + T);
+    GeometricWork Critical(SemWorkMean, 777 + T);
+    SplitMix64 Rng(0x7157 + T);
+    for (int I = 0; I < PerThread; ++I) {
+      Prep.run();
+      if (!S.tryAcquireFor(timedMixDeadline(Rng)))
+        (void)S.acquire().blockingGet();
+      Critical.run();
+      S.release();
+    }
+  });
+}
+
 inline double aqsSemRun(int Threads, int Permits, bool Fair) {
   AqsSemaphore S(Permits, Fair);
   return semaphoreWorkload(
@@ -118,8 +143,8 @@ inline void semaphoreSweep(Reporter &R, int Permits,
   R.context("permits=" + std::to_string(Permits));
   const double Scale = 1e6 / SemTotalOps; // us per operation
   std::vector<std::string> Cols = {"threads", "CQS async", "CQS sync",
-                                   "CQS timed-mix", "Java fair",
-                                   "Java unfair"};
+                                   "CQS timed-mix", "CQS timed-mix TQ",
+                                   "Java fair", "Java unfair"};
   if (Permits == 1) {
     Cols.push_back("CLH");
     Cols.push_back("MCS");
@@ -135,6 +160,8 @@ inline void semaphoreSweep(Reporter &R, int Permits,
     }));
     T.cell(R.measure("CQS timed-mix", Threads, "us/op", Scale, SemReps,
                      [&] { return cqsSemTimedRun(Threads, Permits); }));
+    T.cell(R.measure("CQS timed-mix TQ", Threads, "us/op", Scale, SemReps,
+                     [&] { return cqsSemTimedQueuedRun(Threads, Permits); }));
     T.cell(R.measure("Java fair", Threads, "us/op", Scale, SemReps, [&] {
       return aqsSemRun(Threads, Permits, /*Fair=*/true);
     }));

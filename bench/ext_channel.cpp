@@ -19,6 +19,7 @@
 #include "BenchMain.h"
 
 #include "baseline/BlockingQueue.h"
+#include "future/TimedAwait.h"
 #include "reclaim/Ebr.h"
 #include "support/Rng.h"
 #include "support/Work.h"
@@ -130,6 +131,34 @@ double cqsChannelV2TimedRun(int Pairs, int Capacity) {
   });
 }
 
+/// cqsChannelV2TimedRun with every deadline delegated to the central
+/// TimerQueue (TimedWaitVia::TimerQueue): the parked side arms one heap
+/// entry instead of a per-op timed futex wait. Same deadline mix, same
+/// fallback — the delta against "CQS v2 timed-mix" is the timer-delivery
+/// mechanism alone.
+double cqsChannelV2TimedQueuedRun(int Pairs, int Capacity) {
+  BufferedChannelV2<int> Ch(Capacity);
+  const int PerThread = TotalItems / Pairs;
+  return runThreadTeam(2 * Pairs, [&](int T) {
+    TimedWaitModeScope Mode(TimedWaitVia::TimerQueue);
+    GeometricWork Work(WorkMean, 71 + T);
+    SplitMix64 Rng(0x517 + T);
+    if (T % 2 == 0) { // producer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        if (!Ch.sendFor(I, timedMixDeadline(Rng)))
+          (void)Ch.send(I).blockingGet();
+      }
+    } else { // consumer
+      for (int I = 0; I < PerThread; ++I) {
+        Work.run();
+        if (!Ch.receiveFor(timedMixDeadline(Rng)))
+          (void)Ch.receive().blockingGet();
+      }
+    }
+  });
+}
+
 double fairAbqRun(int Pairs, int Capacity) {
   FairArrayBlockingQueue<int> Q(std::max(Capacity, 1));
   return channelWorkload(
@@ -162,7 +191,8 @@ int main(int argc, char **argv) {
                 Capacity == 0 ? " (rendezvous; ABQs clamped to 1)" : "");
     R.context("capacity=" + std::to_string(Capacity));
     Table T({"prod/cons pairs", "CQS channel", "CQS channel v2",
-             "CQS timed-mix", "CQS v2 timed-mix", "ABQ fair", "ABQ unfair"});
+             "CQS timed-mix", "CQS v2 timed-mix", "CQS v2 timed-mix TQ",
+             "ABQ fair", "ABQ unfair"});
     for (int Pairs : PairCounts) {
       T.cell(std::to_string(Pairs));
       T.cell(R.measure("CQS channel", 2 * Pairs, "us/item", Scale, Reps,
@@ -173,6 +203,11 @@ int main(int argc, char **argv) {
                        [&] { return cqsChannelTimedRun(Pairs, Capacity); }));
       T.cell(R.measure("CQS v2 timed-mix", 2 * Pairs, "us/item", Scale, Reps,
                        [&] { return cqsChannelV2TimedRun(Pairs, Capacity); }));
+      T.cell(R.measure("CQS v2 timed-mix TQ", 2 * Pairs, "us/item", Scale,
+                       Reps,
+                       [&] {
+                         return cqsChannelV2TimedQueuedRun(Pairs, Capacity);
+                       }));
       T.cell(R.measure("ABQ fair", 2 * Pairs, "us/item", Scale, Reps,
                        [&] { return fairAbqRun(Pairs, Capacity); }));
       T.cell(R.measure("ABQ unfair", 2 * Pairs, "us/item", Scale, Reps,

@@ -46,7 +46,7 @@ struct CqsStats;
 /// channel-v2/select fields (sync/ChannelV2.h cell traffic) follow the same
 /// pattern: those layers sit above any single CQS instance.
 struct CqsStatsSnapshot {
-  static constexpr int NumFields = 38;
+  static constexpr int NumFields = 46;
 
   std::uint64_t Suspensions = 0;
   std::uint64_t Eliminations = 0;
@@ -86,6 +86,14 @@ struct CqsStatsSnapshot {
   std::uint64_t SelParkedWins = 0;
   std::uint64_t SelLoserCancels = 0;
   std::uint64_t SelRedeliveries = 0;
+  std::uint64_t TqScheduled = 0;
+  std::uint64_t TqFired = 0;
+  std::uint64_t TqCancelled = 0;
+  std::uint64_t TqInlineExpiries = 0;
+  std::uint64_t JoinAnyWins = 0;
+  std::uint64_t JoinAnyLoserCancels = 0;
+  std::uint64_t JoinAnyStrays = 0;
+  std::uint64_t JoinScopeCancels = 0;
 
   static const char *fieldName(int I) {
     static const char *const Names[NumFields] = {
@@ -101,7 +109,9 @@ struct CqsStatsSnapshot {
         "shard_rebalances", "ch_rendezvous", "ch_deposits",
         "ch_sender_suspends", "ch_receiver_suspends", "ch_poisons",
         "ch_expand_resumes", "select_immediate_wins", "select_parked_wins",
-        "select_loser_cancels", "select_redeliveries"};
+        "select_loser_cancels", "select_redeliveries", "tq_scheduled",
+        "tq_fired", "tq_cancelled", "tq_inline_expiries", "join_any_wins",
+        "join_any_loser_cancels", "join_any_strays", "join_scope_cancels"};
     return Names[I];
   }
 
@@ -119,7 +129,10 @@ struct CqsStatsSnapshot {
         &ShardPuts,        &ShardRebalances,   &ChRendezvous,
         &ChDeposits,       &ChSenderSuspends,  &ChReceiverSuspends,
         &ChPoisons,        &ChExpandResumes,   &SelImmediateWins,
-        &SelParkedWins,    &SelLoserCancels,   &SelRedeliveries};
+        &SelParkedWins,    &SelLoserCancels,   &SelRedeliveries,
+        &TqScheduled,      &TqFired,           &TqCancelled,
+        &TqInlineExpiries, &JoinAnyWins,       &JoinAnyLoserCancels,
+        &JoinAnyStrays,    &JoinScopeCancels};
     return *Fields[I];
   }
 
@@ -137,7 +150,10 @@ struct CqsStatsSnapshot {
         &ShardPuts,        &ShardRebalances,   &ChRendezvous,
         &ChDeposits,       &ChSenderSuspends,  &ChReceiverSuspends,
         &ChPoisons,        &ChExpandResumes,   &SelImmediateWins,
-        &SelParkedWins,    &SelLoserCancels,   &SelRedeliveries};
+        &SelParkedWins,    &SelLoserCancels,   &SelRedeliveries,
+        &TqScheduled,      &TqFired,           &TqCancelled,
+        &TqInlineExpiries, &JoinAnyWins,       &JoinAnyLoserCancels,
+        &JoinAnyStrays,    &JoinScopeCancels};
     return *Fields[I];
   }
 
@@ -181,6 +197,27 @@ inline TimedWaitStats &timedWaitStats() {
   return S;
 }
 
+/// Process-wide counters for the central timer queue (task/TimerQueue.h).
+/// One block for the whole process, like TimedWaitStats: the queue is a
+/// process singleton.
+///  - Scheduled: entries armed on the timer thread's heap.
+///  - Fired: entries whose deadline elapsed and whose callback ran.
+///  - CancelledTimers: entries withdrawn by tryCancel() before firing (the
+///    common case — the operation completed inside its deadline).
+///  - InlineExpiries: non-positive deadlines expired inline in the caller
+///    (no heap entry); this is the path schedcheck scenarios explore.
+struct TimerStats {
+  PlainAtomic<std::uint64_t> Scheduled{0};
+  PlainAtomic<std::uint64_t> Fired{0};
+  PlainAtomic<std::uint64_t> CancelledTimers{0};
+  PlainAtomic<std::uint64_t> InlineExpiries{0};
+};
+
+inline TimerStats &timerStats() {
+  static TimerStats S;
+  return S;
+}
+
 /// Process-wide counters for the sharded permit caches (ShardedSemaphore).
 /// One block for the whole process, like the pools: shard traffic is a
 /// property of the contention-scaling layer, and a single block keeps the
@@ -199,6 +236,29 @@ struct ShardStats {
 
 inline ShardStats &shardStats() {
   static ShardStats S;
+  return S;
+}
+
+/// Process-wide counters for the structured-concurrency combinators
+/// (task/Combinators.h, task/Scope.h). One block for the whole process,
+/// like TimedWaitStats: a join spans multiple primitives.
+///  - AnyWins: whenAny/awaitWhenAny resolved with a winner.
+///  - AnyLoserCancels: losing futures successfully withdrawn by the
+///    combinator (their resources returned through SMART cancellation).
+///  - AnyStrays: a loser's cancel lost the result-word CAS to a concurrent
+///    resume — the value stays owned by the caller through its future
+///    (conservation: never dropped by the combinator).
+///  - ScopeCancels: futures cancelled by CancelScope::cancel() fan-out
+///    (counted per successfully cancelled future).
+struct JoinStats {
+  PlainAtomic<std::uint64_t> AnyWins{0};
+  PlainAtomic<std::uint64_t> AnyLoserCancels{0};
+  PlainAtomic<std::uint64_t> AnyStrays{0};
+  PlainAtomic<std::uint64_t> ScopeCancels{0};
+};
+
+inline JoinStats &joinStats() {
+  static JoinStats S;
   return S;
 }
 
@@ -377,6 +437,16 @@ struct CqsStats {
     S.SelParkedWins = ReadPool(Ch.SelParkedWins);
     S.SelLoserCancels = ReadPool(Ch.SelLoserCancels);
     S.SelRedeliveries = ReadPool(Ch.SelRedeliveries);
+    const TimerStats &Tq = timerStats();
+    S.TqScheduled = ReadPool(Tq.Scheduled);
+    S.TqFired = ReadPool(Tq.Fired);
+    S.TqCancelled = ReadPool(Tq.CancelledTimers);
+    S.TqInlineExpiries = ReadPool(Tq.InlineExpiries);
+    const JoinStats &Jn = joinStats();
+    S.JoinAnyWins = ReadPool(Jn.AnyWins);
+    S.JoinAnyLoserCancels = ReadPool(Jn.AnyLoserCancels);
+    S.JoinAnyStrays = ReadPool(Jn.AnyStrays);
+    S.JoinScopeCancels = ReadPool(Jn.ScopeCancels);
     return S;
   }
 

@@ -46,6 +46,134 @@
 
 namespace cqs {
 
+/// How a positive-deadline timedAwait implements its deadline:
+///  - PerOpWait (PR 4 default): the waiter parks on its own timed futex
+///    wait (FUTEX_WAIT with a timeout), re-arming on spurious wakes.
+///  - TimerQueue: the waiter arms one entry on the central timer thread
+///    (task/TimerQueue.h) and parks *untimed* on the future's DoneFlag;
+///    the deadline costs one heap insert, and timers for operations that
+///    complete in time are withdrawn with one state flip. The
+///    timeout-vs-resume race rides the same result-word CAS either way.
+///
+/// The mode is a thread-local so existing primitive signatures
+/// (tryAcquireFor, receiveFor, ...) pick it up without plumbing; benches
+/// set it per worker to compare the two series. Under schedcheck the
+/// TimerQueue mode degrades for *positive* deadlines in modelled threads
+/// to the PerOpWait path (the timer thread is outside the model); the
+/// non-positive-deadline inline-expiry path stays fully modelled.
+enum class TimedWaitVia { PerOpWait, TimerQueue };
+
+inline TimedWaitVia &timedWaitViaSlot() {
+  thread_local TimedWaitVia Via = TimedWaitVia::PerOpWait;
+  return Via;
+}
+
+inline TimedWaitVia timedWaitVia() { return timedWaitViaSlot(); }
+
+/// RAII selector for the calling thread's timed-wait strategy.
+class TimedWaitModeScope {
+public:
+  explicit TimedWaitModeScope(TimedWaitVia Via) : Prev(timedWaitViaSlot()) {
+    timedWaitViaSlot() = Via;
+  }
+  ~TimedWaitModeScope() { timedWaitViaSlot() = Prev; }
+  TimedWaitModeScope(const TimedWaitModeScope &) = delete;
+  TimedWaitModeScope &operator=(const TimedWaitModeScope &) = delete;
+
+private:
+  TimedWaitVia Prev;
+};
+
+namespace detail {
+/// Out-of-line hooks implemented in task/TimerQueue.cpp: arm a timer entry
+/// that runs \p Fire(\p Arg) at the deadline (and \p Drop(\p Arg) exactly
+/// once on full retirement), returning an opaque token. Declared here (not
+/// in TimerQueue.h) so this header stays independent of the task layer; the
+/// symbols live in the compiled library either way.
+void *timerQueueArm(std::chrono::nanoseconds Timeout, void (*Fire)(void *),
+                    void (*Drop)(void *), void *Arg);
+/// Consumes the token; true iff the timer was withdrawn before it fired.
+bool timerQueueRetire(void *Token);
+} // namespace detail
+
+/// The TimerQueue-backed flavour of timedAwait (below): same contract, but
+/// a positive deadline is one heap insert on the central timer thread plus
+/// an *untimed* park on the future's DoneFlag, instead of a per-op timed
+/// futex wait. Callers normally reach it through timedAwait() with the
+/// thread-local mode set; it is public so combinators can invoke it
+/// directly.
+template <typename T, typename Traits>
+std::optional<T> timedAwaitQueued(Future<T, Traits> &F,
+                                  std::chrono::nanoseconds Timeout) {
+  assert(F.valid() && "timedAwaitQueued() on an invalid future");
+  if (F.isImmediate())
+    return F.tryGet();
+  TimedWaitStats &TS = timedWaitStats();
+  if (Timeout.count() <= 0) {
+    // Inline expiry: no entry, no timer thread — the deadline has already
+    // passed, so this is exactly the cancel-vs-resume race on the result
+    // word. This branch is fully modelled under schedcheck.
+    bump(TS.Waits);
+    bump(timerStats().InlineExpiries);
+    if (F.cancel()) {
+      bump(TS.Timeouts);
+      return std::nullopt;
+    }
+    std::optional<T> V = F.tryGet();
+    if (V.has_value()) {
+      // cancel() lost to a resume: the value is published and ours.
+      bump(TS.Rescues);
+      return V;
+    }
+    return std::nullopt; // cancelled by a third party first
+  }
+#if defined(CQS_SCHEDCHECK) && CQS_SCHEDCHECK
+  if (sc::inModelledThread()) {
+    // The timer thread lives outside the logical-thread set, so arming a
+    // real timer from modelled code would stall the exploration. Positive
+    // deadlines ride the modelled timed futex (virtual-time fast-forward)
+    // instead — semantically identical, just per-op.
+    bump(TS.Waits);
+    FutureStatus St = F.waitFor(Timeout);
+    if (St == FutureStatus::Pending) {
+      if (F.cancel()) {
+        bump(TS.Timeouts);
+        return std::nullopt;
+      }
+      bump(TS.Rescues);
+      return F.tryGet();
+    }
+    if (St == FutureStatus::Cancelled)
+      return std::nullopt;
+    return F.tryGet();
+  }
+#endif
+  bump(TS.Waits);
+  using Req = Request<T, Traits>;
+  Req *R = F.request();
+  R->addRef(); // the timer entry's payload reference, dropped via Drop
+  bump(timerStats().Scheduled);
+  void *Tok = detail::timerQueueArm(
+      Timeout,
+      /*Fire=*/[](void *P) { (void)static_cast<Req *>(P)->cancel(); },
+      /*Drop=*/[](void *P) { static_cast<Req *>(P)->release(); }, R);
+  std::optional<T> V = F.blockingGet(); // untimed: the timer unparks us
+  bool Withdrawn = detail::timerQueueRetire(Tok);
+  if (V.has_value()) {
+    if (!Withdrawn)
+      // The timer fired but its cancel() lost the result-word CAS to a
+      // resume — the queued analogue of the per-op rescue.
+      bump(TS.Rescues);
+    return V;
+  }
+  // Cancelled. If the timer was withdrawn before firing, a third party
+  // cancelled the request (not a deadline event); otherwise our timer's
+  // cancel() is what won, i.e. a genuine timeout.
+  if (!Withdrawn)
+    bump(TS.Timeouts);
+  return std::nullopt;
+}
+
 /// Waits on \p F up to \p Timeout. Returns the completion value when the
 /// operation finished in time *or* its resume beat our cancel() to the
 /// result word; std::nullopt only when the request was truly withdrawn
@@ -57,6 +185,8 @@ std::optional<T> timedAwait(Future<T, Traits> &F,
   if (F.isImmediate())
     return F.tryGet();
   TimedWaitStats &TS = timedWaitStats();
+  if (timedWaitVia() == TimedWaitVia::TimerQueue)
+    return timedAwaitQueued(F, Timeout);
   bump(TS.Waits);
   FutureStatus St = F.waitFor(Timeout);
   if (St == FutureStatus::Pending) {
@@ -64,12 +194,15 @@ std::optional<T> timedAwait(Future<T, Traits> &F,
       bump(TS.Timeouts);
       return std::nullopt;
     }
-    // cancel() lost the result-word CAS: the resume already won, so the
-    // value is published and the resource is ours to consume.
-    bump(TS.Rescues);
+    // cancel() lost the result-word CAS — either to a resume (the value
+    // is published and the resource ours to consume: a rescue) or to a
+    // third-party cancel that got there first (nullopt, not a timeout).
     std::optional<T> V = F.tryGet();
-    assert(V.has_value() && "failed cancel() implies a completed resume");
-    return V;
+    if (V.has_value()) {
+      bump(TS.Rescues);
+      return V;
+    }
+    return std::nullopt;
   }
   if (St == FutureStatus::Cancelled)
     return std::nullopt; // cancelled by a third party while we waited

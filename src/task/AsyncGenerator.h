@@ -1,0 +1,229 @@
+//===- task/AsyncGenerator.h - async generator over Channel v2 -*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AsyncGenerator<E>: a producer coroutine streaming elements to consumers
+/// through a BufferedChannelV2 (DESIGN.md §12) — the C++ rendering of the
+/// Kotlin `produce { send(..) }` builder from the Koval–Alistarh–Elizarov
+/// channels paper. `co_yield V` is a channel send: it suspends the
+/// producer under backpressure (bounded by the channel capacity) and
+/// resumes it when room frees up, so a fast producer never outruns its
+/// consumers by more than the buffer.
+///
+/// The yield expression evaluates to bool: false means the generator was
+/// destroyed (its channel closed) and the producer must `co_return` —
+/// cooperative early termination instead of values thrown away:
+///
+/// \code
+///   AsyncGenerator<int> counter() {
+///     for (int I = 0;; ++I)
+///       if (!(co_yield I))
+///         co_return;
+///   }
+/// \endcode
+///
+/// Consumers pull with `co_await G.next()` (or nextBlocking() from a plain
+/// thread); std::nullopt means the producer finished and the channel
+/// drained. Teardown is structured: ~AsyncGenerator closes the channel —
+/// which cancels the producer's parked send through SMART cancellation,
+/// so its pending element is returned to it, the yield reports false, and
+/// the producer runs to completion — then joins the producer before
+/// freeing the state. Destroy the generator before its Executor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_TASK_ASYNCGENERATOR_H
+#define CQS_TASK_ASYNCGENERATOR_H
+
+#include "support/WaitGroup.h"
+#include "sync/ChannelV2.h"
+#include "task/Executor.h"
+
+#include <cassert>
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+namespace cqs {
+
+/// \p Capacity is the producer-to-consumer buffer (0 = rendezvous: every
+/// yield waits for a matching next()).
+template <typename E, std::int64_t Capacity = 16, unsigned SegmentSize = 16>
+class AsyncGenerator {
+  using Chan = BufferedChannelV2<E, SegmentSize>;
+  using SendFut = typename Chan::SendFuture;
+  using RecvFut = typename Chan::ReceiveFuture;
+
+  /// Heap state shared by the generator handle and the producer frame;
+  /// owned by the generator (freed after the producer is joined).
+  struct State {
+    State() : Ch(Capacity) {}
+    Chan Ch;
+    WaitGroup ProducerDone{1};
+  };
+
+  /// co_yield's awaiter: a channel send bridged FutureAwaiter-style.
+  /// Resumes to true when the element entered the channel, false when the
+  /// channel closed underneath (element returned — stop producing).
+  class YieldAwaiter : private Request<Unit>::Continuation {
+  public:
+    explicit YieldAwaiter(SendFut F) : Fut(std::move(F)) {}
+
+    bool await_ready() const {
+      return !Fut.valid() || Fut.isImmediate() ||
+             Fut.status() != FutureStatus::Pending;
+    }
+
+    bool await_suspend(std::coroutine_handle<> H) {
+      Exec = Executor::current();
+      if (!Exec) {
+        // Producer driven from a plain thread: park it here (the
+        // Awaitable.h off-executor fallback).
+        (void)Fut.blockingGet();
+        return false;
+      }
+      Continuation = H;
+      return Fut.request()->setContinuation(this);
+    }
+
+    bool await_resume() const {
+      return Fut.valid() && Fut.tryGet().has_value();
+    }
+
+  private:
+    void invoke(std::uint64_t /*ResultWord*/) override {
+      Exec->post(Continuation);
+    }
+
+    SendFut Fut;
+    Executor *Exec = nullptr;
+    std::coroutine_handle<> Continuation;
+  };
+
+  /// next()'s awaiter: a channel receive; nullopt once the producer
+  /// finished and the buffer drained (invalid future), or if the receive
+  /// was cancelled by teardown.
+  class NextAwaiter : private Request<E>::Continuation {
+  public:
+    explicit NextAwaiter(RecvFut F) : Fut(std::move(F)) {}
+
+    bool await_ready() const {
+      return !Fut.valid() || Fut.isImmediate() ||
+             Fut.status() != FutureStatus::Pending;
+    }
+
+    bool await_suspend(std::coroutine_handle<> H) {
+      Exec = Executor::current();
+      if (!Exec) {
+        (void)Fut.blockingGet();
+        return false;
+      }
+      Continuation = H;
+      return Fut.request()->setContinuation(this);
+    }
+
+    std::optional<E> await_resume() const {
+      return Fut.valid() ? Fut.tryGet() : std::nullopt;
+    }
+
+  private:
+    void invoke(std::uint64_t /*ResultWord*/) override {
+      Exec->post(Continuation);
+    }
+
+    RecvFut Fut;
+    Executor *Exec = nullptr;
+    std::coroutine_handle<> Continuation;
+  };
+
+public:
+  struct promise_type {
+    State *St = nullptr; // set by the AsyncGenerator constructor
+
+    AsyncGenerator get_return_object() {
+      return AsyncGenerator(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    /// Signals completion *after* the body's locals were destroyed, then
+    /// lets the frame self-destroy (no suspension). The generator's
+    /// destructor joins on ProducerDone before freeing State, so the
+    /// channel outlives everything the producer can still touch.
+    auto final_suspend() noexcept {
+      struct FinalAwaiter {
+        State *St;
+        bool await_ready() noexcept {
+          St->ProducerDone.done();
+          return true; // never suspend: the frame frees itself
+        }
+        void await_suspend(std::coroutine_handle<>) noexcept {}
+        void await_resume() noexcept {}
+      };
+      return FinalAwaiter{St};
+    }
+
+    YieldAwaiter yield_value(E V) { return YieldAwaiter(St->Ch.send(V)); }
+
+    /// Close on return so consumers drain the buffer and then see
+    /// nullopt; idempotent with the destructor's close.
+    void return_void() noexcept { St->Ch.close(); }
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  AsyncGenerator(AsyncGenerator &&O) noexcept
+      : Handle(std::exchange(O.Handle, nullptr)),
+        St(std::exchange(O.St, nullptr)),
+        Started(std::exchange(O.Started, false)) {}
+  AsyncGenerator(const AsyncGenerator &) = delete;
+  AsyncGenerator &operator=(const AsyncGenerator &) = delete;
+
+  ~AsyncGenerator() {
+    if (!St)
+      return; // moved-from
+    St->Ch.close(); // cancels a parked yield: the producer sees false
+    if (Started) {
+      St->ProducerDone.wait();
+    } else if (Handle) {
+      Handle.destroy(); // never ran: the frame is ours to free
+    }
+    delete St;
+  }
+
+  /// Launches the producer on \p Exec. Call exactly once; next() before
+  /// start() simply parks until the first element.
+  void start(Executor &Exec) {
+    assert(!Started && "AsyncGenerator started twice");
+    Started = true;
+    Exec.post(std::exchange(Handle, nullptr));
+  }
+
+  /// `co_await G.next()` — the next element, or std::nullopt when the
+  /// producer finished and every yielded element was consumed.
+  NextAwaiter next() { return NextAwaiter(St->Ch.receive()); }
+
+  /// Blocking pull for plain (non-coroutine) consumers.
+  std::optional<E> nextBlocking() {
+    RecvFut F = St->Ch.receive();
+    if (!F.valid())
+      return std::nullopt;
+    return F.blockingGet();
+  }
+
+private:
+  explicit AsyncGenerator(std::coroutine_handle<promise_type> H) : Handle(H) {
+    St = new State();
+    H.promise().St = St;
+  }
+
+  std::coroutine_handle<promise_type> Handle;
+  State *St = nullptr;
+  bool Started = false;
+};
+
+} // namespace cqs
+
+#endif // CQS_TASK_ASYNCGENERATOR_H

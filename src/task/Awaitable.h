@@ -43,7 +43,17 @@ public:
 
   bool await_suspend(std::coroutine_handle<> H) {
     Exec = Executor::current();
-    assert(Exec && "CQS futures must be awaited on an Executor worker");
+    if (!Exec) {
+      // Off-executor await: the coroutine is being driven from a plain
+      // thread (no worker pool to repost to), which used to null-deref
+      // Exec in release builds when the assert compiled out. Complete the
+      // wait here instead — park the caller's thread on the future's
+      // DoneFlag futex, then resume the coroutine inline with the result
+      // already published. The caller's thread blocks, exactly as a
+      // blockingGet() would have; no executor is involved.
+      (void)Fut.blockingGet();
+      return false; // result settled: resume immediately on this thread
+    }
     Continuation = H;
     // If the future completed between await_ready and here, run inline.
     return Fut.request()->setContinuation(this);

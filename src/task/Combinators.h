@@ -1,0 +1,508 @@
+//===- task/Combinators.h - whenAll/whenAny over CQS futures ---*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured-concurrency combinators over abortable CQS futures
+/// (DESIGN.md §12). whenAny resolves first-ready-wins and withdraws the
+/// losers through Future::cancel() — the SMART-cancellation discipline
+/// Select.h proved out, generalized from channel receives to arbitrary
+/// futures. whenAll waits for every future to settle and never cancels.
+///
+/// The conservation contract, which every schedcheck oracle checks:
+///
+///  - A loser whose cancel() SUCCEEDS was withdrawn before any resume
+///    reached it; its cancellation handler returned the resource, so the
+///    combinator owns nothing for it.
+///  - A loser whose cancel() FAILS completed concurrently ("a Future
+///    cannot be both cancelled and completed"). The combinator never
+///    consumes that value: it stays published in the caller's future — a
+///    *stray completion* the caller still owns and can harvest with
+///    tryGet(). joinStats().AnyStrays counts these.
+///
+/// Wait-side protocol (the SelectCore shape): per-future continuations
+/// post settle events onto a shared, reference-counted JoinState board;
+/// blocking callers park on the board's epoch futex, coroutine awaiters
+/// arm a one-shot waiter slot that reposts the coroutine on its executor.
+/// The board is pure Atomic<> + futex — no std::mutex — so every
+/// combinator is explorable under schedcheck and clean under the HB race
+/// layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_TASK_COMBINATORS_H
+#define CQS_TASK_COMBINATORS_H
+
+#include "core/CqsStats.h"
+#include "future/Future.h"
+#include "support/Futex.h"
+#include "task/Executor.h"
+
+#include <cassert>
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+#include <optional>
+
+namespace cqs {
+
+inline constexpr int MaxJoinArity = 16;
+
+/// Winning future index (argument order) and its value.
+template <typename T> struct WhenAnyResult {
+  std::int32_t Index;
+  T Value;
+};
+
+namespace join_detail {
+
+/// The shared scoreboard one whenAll/whenAny invocation posts its settle
+/// events onto. Heap-allocated and reference-counted: the caller holds one
+/// reference, every attached continuation holds one — so a loser's
+/// finish() that is still running invoke() when the combinator already
+/// returned keeps the board (and the node inside it) alive. This is the
+/// same reason Select.h EBR-retires its core.
+template <typename T, typename Traits>
+class JoinState final : public RefCounted<JoinState<T, Traits>> {
+  using Base = RefCounted<JoinState<T, Traits>>;
+
+public:
+  static constexpr std::int32_t NoWinner = -1;
+
+  /// One-shot wake target for the coroutine awaiters; fire() is called at
+  /// most once, when the join condition first becomes true with a waiter
+  /// armed. The object must stay alive until fired (it lives in the
+  /// coroutine frame, exactly like Request::Continuation).
+  class Waiter {
+  public:
+    virtual void fire() = 0;
+
+  protected:
+    ~Waiter() = default;
+  };
+
+  /// \p AnyMode selects the completion condition: first winner committed
+  /// (whenAny) vs. all futures settled (whenAll).
+  JoinState(std::int32_t N, bool AnyMode) : Base(1), N(N), AnyMode(AnyMode) {
+    for (std::int32_t I = 0; I < MaxJoinArity; ++I) {
+      Nodes[I].Owner = this;
+      Nodes[I].Index = I;
+    }
+  }
+
+  /// Per-future continuation; lives inside the board so its lifetime is
+  /// the board's. Holds one board reference while attached.
+  struct Node final : Request<T, Traits>::Continuation {
+    JoinState *Owner = nullptr;
+    std::int32_t Index = NoWinner;
+
+    void invoke(std::uint64_t ResultWord) override {
+      JoinState *S = Owner;
+      S->noteResolved(Index,
+                      ResultWord != makeTokenWord(Token::Cancelled));
+      S->release(); // the attachment's reference; may destroy the board
+    }
+  };
+
+  Node &node(std::int32_t I) { return Nodes[I]; }
+
+  /// Future \p I settled (\p Completed = with a value, else cancelled).
+  /// Called exactly once per future, by Node::invoke or by registration
+  /// for futures that were already settled.
+  void noteResolved(std::int32_t I, bool Completed) {
+    if (Completed)
+      (void)tryWin(I);
+    Settled.fetch_add(1, std::memory_order_acq_rel);
+    ring();
+    maybeFire();
+  }
+
+  /// Claims the join for \p I; idempotent for the index that already won.
+  bool tryWin(std::int32_t I) {
+    std::int32_t Exp = NoWinner;
+    if (Winner.compare_exchange_strong(Exp, I, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      ring();
+      maybeFire();
+      return true;
+    }
+    return Exp == I;
+  }
+
+  std::int32_t winner() const {
+    return Winner.load(std::memory_order_acquire);
+  }
+  std::int32_t settled() const {
+    return Settled.load(std::memory_order_acquire);
+  }
+
+  /// The join condition the waiters wake on.
+  bool done() const {
+    if (AnyMode && winner() != NoWinner)
+      return true;
+    return settled() >= N;
+  }
+
+  /// Blocking-wait support, the SelectCore discipline: sample the epoch
+  /// *before* re-checking done(), then park against that sample — the
+  /// futex revalidates, so a ring between check and park is never missed.
+  std::uint32_t epoch() const { return Epoch.load(std::memory_order_seq_cst); }
+  void waitEpoch(std::uint32_t Ep) {
+    futexWait(Epoch, Ep, std::chrono::nanoseconds(-1));
+  }
+  void waitEpochFor(std::uint32_t Ep, std::chrono::nanoseconds Timeout) {
+    futexWait(Epoch, Ep, Timeout);
+  }
+
+  /// Parks the calling thread until done(). Shared by the blocking
+  /// combinators and the off-executor awaiter fallback.
+  void blockUntilDone() {
+    for (;;) {
+      std::uint32_t Ep = epoch(); // sample BEFORE the check
+      if (done())
+        return;
+      waitEpoch(Ep);
+    }
+  }
+
+  /// Arms \p W to be fired when done() first holds. False iff the join
+  /// already fired — the caller must not suspend. At most one waiter.
+  bool armWaiter(Waiter *W) {
+    void *Exp = nullptr;
+    if (WaiterSlot.compare_exchange_strong(Exp, W, std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+      return true;
+    assert(Exp == firedSentinel() && "only one waiter may be armed");
+    return false;
+  }
+
+private:
+  /// Fires the armed waiter once done() holds. Every noteResolved/tryWin
+  /// calls this *after* publishing its state change, and armWaiter CASes
+  /// against the fired sentinel — so a waiter armed before the condition
+  /// flipped is fired, and one armed after observes the failed CAS and
+  /// resumes inline. No lost wakeup, no double fire (the exchange is
+  /// one-shot).
+  void maybeFire() {
+    if (!done())
+      return;
+    void *Old = WaiterSlot.exchange(firedSentinel(), std::memory_order_acq_rel);
+    if (Old && Old != firedSentinel())
+      static_cast<Waiter *>(Old)->fire();
+  }
+
+  void ring() {
+    Epoch.fetch_add(1, std::memory_order_seq_cst);
+    futexWakeAll(Epoch);
+  }
+
+  static void *firedSentinel() {
+    return reinterpret_cast<void *>(static_cast<std::uintptr_t>(1));
+  }
+
+  const std::int32_t N;
+  const bool AnyMode;
+  Node Nodes[MaxJoinArity];
+  Atomic<std::int32_t> Winner{NoWinner};
+  Atomic<std::int32_t> Settled{0};
+  Atomic<std::uint32_t> Epoch{0};
+  Atomic<void *> WaiterSlot{nullptr};
+};
+
+/// Registers \p Futs[0..N) on the board: already-settled (or invalid, or
+/// immediate) futures resolve inline; pending ones get a continuation
+/// attached (+1 board reference each, released by Node::invoke).
+template <typename T, typename Traits>
+void joinRegister(JoinState<T, Traits> *S, Future<T, Traits> *const *Futs,
+                  std::int32_t N) {
+  for (std::int32_t I = 0; I < N; ++I) {
+    Future<T, Traits> &F = *Futs[I];
+    if (!F.valid()) {
+      S->noteResolved(I, /*Completed=*/false);
+      continue;
+    }
+    if (F.isImmediate()) {
+      S->noteResolved(I, /*Completed=*/true);
+      continue;
+    }
+    S->addRef(); // the node's reference, dropped by invoke()
+    if (!F.request()->setContinuation(&S->node(I))) {
+      // Settled between our status glance and the attach: resolve inline.
+      S->release();
+      S->noteResolved(I, F.status() == FutureStatus::Completed);
+    }
+  }
+}
+
+/// The whenAny tail: harvest the winner's value, withdraw every loser,
+/// account strays. Shared by the blocking, timed, and awaiter forms.
+template <typename T, typename Traits>
+std::optional<WhenAnyResult<T>>
+joinHarvestAny(Future<T, Traits> *const *Futs, std::int32_t N,
+               std::int32_t W) {
+  JoinStats &JS = joinStats();
+  std::optional<WhenAnyResult<T>> R;
+  if (W != JoinState<T, Traits>::NoWinner) {
+    std::optional<T> V = Futs[W]->tryGet();
+    assert(V.has_value() && "whenAny winner must carry a value");
+    R = WhenAnyResult<T>{W, *V};
+    bump(JS.AnyWins);
+  }
+  for (std::int32_t I = 0; I < N; ++I) {
+    if (I == W || !Futs[I]->valid())
+      continue;
+    if (!Futs[I]->isImmediate() && Futs[I]->cancel()) {
+      bump(JS.AnyLoserCancels);
+      continue;
+    }
+    // cancel() failed (or the future was immediate): either a third party
+    // cancelled it first, or it completed — a stray completion whose value
+    // stays owned by the caller through Futs[I] (see the file comment).
+    if (Futs[I]->status() == FutureStatus::Completed)
+      bump(JS.AnyStrays);
+  }
+  return R;
+}
+
+} // namespace join_detail
+
+/// Blocks until the first of \p Futs completes, then cancels the rest.
+/// Returns the winner's index and value, or std::nullopt iff every future
+/// settled without completing (all cancelled by third parties / invalid).
+/// Losers that complete anyway keep their value in the caller's future
+/// (stray completions — see the file comment).
+template <typename T, typename Traits>
+std::optional<WhenAnyResult<T>> whenAny(Future<T, Traits> *const *Futs,
+                                        int N) {
+  assert(N >= 1 && N <= MaxJoinArity && "whenAny arity");
+  using State = join_detail::JoinState<T, Traits>;
+  auto *S = new State(N, /*AnyMode=*/true);
+  join_detail::joinRegister(S, Futs, N);
+  S->blockUntilDone();
+  std::int32_t W = S->winner();
+  auto R = join_detail::joinHarvestAny(Futs, N, W);
+  S->release();
+  return R;
+}
+
+/// whenAny with a deadline. At the deadline every still-pending future is
+/// cancelled; a cancel() that fails means that future completed — it is
+/// promoted to winner if none was committed yet (the lincheck trySelect
+/// discipline: cancel-lost-is-win, so no completed value is ever dropped
+/// into a "timed out" report). A non-positive timeout never parks: one
+/// registration pass, then the cancel-or-promote sweep — the fully
+/// schedcheck-modelled form.
+template <typename T, typename Traits>
+std::optional<WhenAnyResult<T>>
+whenAnyFor(Future<T, Traits> *const *Futs, int N,
+           std::chrono::nanoseconds Timeout) {
+  assert(N >= 1 && N <= MaxJoinArity && "whenAny arity");
+  using State = join_detail::JoinState<T, Traits>;
+  auto *S = new State(N, /*AnyMode=*/true);
+  join_detail::joinRegister(S, Futs, N);
+  if (Timeout.count() > 0) {
+    auto Deadline = std::chrono::steady_clock::now() + Timeout;
+    for (;;) {
+      std::uint32_t Ep = S->epoch(); // sample BEFORE the checks
+      if (S->done())
+        break;
+      auto Now = std::chrono::steady_clock::now();
+      if (Now >= Deadline)
+        break;
+      S->waitEpochFor(Ep, Deadline - Now);
+    }
+  }
+  if (S->winner() == State::NoWinner) {
+    // Deadline passed with no committed winner: withdraw every pending
+    // future; a failed cancel() is a concurrent completion — promote it.
+    for (std::int32_t I = 0; I < N; ++I) {
+      Future<T, Traits> &F = *Futs[I];
+      if (!F.valid() || F.isImmediate())
+        continue;
+      if (!F.cancel() && F.status() == FutureStatus::Completed)
+        (void)S->tryWin(I);
+    }
+  }
+  std::int32_t W = S->winner();
+  auto R = join_detail::joinHarvestAny(Futs, N, W);
+  S->release();
+  return R;
+}
+
+/// Blocks until every future settles (completes or is cancelled); cancels
+/// nothing. Returns the number of futures that completed with a value —
+/// the values themselves stay in the caller's futures (harvest with
+/// tryGet()). Invalid futures count as settled-without-value.
+template <typename T, typename Traits>
+int whenAll(Future<T, Traits> *const *Futs, int N) {
+  assert(N >= 1 && N <= MaxJoinArity && "whenAll arity");
+  using State = join_detail::JoinState<T, Traits>;
+  auto *S = new State(N, /*AnyMode=*/false);
+  join_detail::joinRegister(S, Futs, N);
+  S->blockUntilDone();
+  S->release();
+  int Completed = 0;
+  for (std::int32_t I = 0; I < N; ++I)
+    if (Futs[I]->valid() && Futs[I]->status() == FutureStatus::Completed)
+      ++Completed;
+  return Completed;
+}
+
+/// Variadic sugar: whenAny(FA, FB, ...), all futures of one value type.
+template <typename T, typename Traits, typename... Rest>
+std::optional<WhenAnyResult<T>> whenAny(Future<T, Traits> &F0,
+                                        Rest &...FRest) {
+  Future<T, Traits> *Futs[] = {&F0, &FRest...};
+  return whenAny(Futs, 1 + static_cast<int>(sizeof...(FRest)));
+}
+
+template <typename T, typename Traits, typename... Rest>
+int whenAll(Future<T, Traits> &F0, Rest &...FRest) {
+  Future<T, Traits> *Futs[] = {&F0, &FRest...};
+  return whenAll(Futs, 1 + static_cast<int>(sizeof...(FRest)));
+}
+
+/// Coroutine awaiter for whenAny: suspends until the first future
+/// completes (or all settle), then harvests exactly like the blocking
+/// form. The futures must outlive the await (coroutine locals do). When
+/// awaited off-executor it parks the calling thread, mirroring
+/// FutureAwaiter's fallback.
+template <typename T, typename Traits = ValueTraits<T>>
+class [[nodiscard]] WhenAnyAwaiter
+    : private join_detail::JoinState<T, Traits>::Waiter {
+  using State = join_detail::JoinState<T, Traits>;
+
+public:
+  WhenAnyAwaiter(Future<T, Traits> *const *Futs, int N) : N(N) {
+    assert(N >= 1 && N <= MaxJoinArity && "whenAny arity");
+    for (int I = 0; I < N; ++I)
+      this->Futs[I] = Futs[I];
+    S = new State(N, /*AnyMode=*/true);
+    join_detail::joinRegister(S, this->Futs, N);
+  }
+
+  WhenAnyAwaiter(const WhenAnyAwaiter &) = delete;
+  WhenAnyAwaiter &operator=(const WhenAnyAwaiter &) = delete;
+
+  ~WhenAnyAwaiter() {
+    if (S)
+      S->release(); // caller's reference (await_resume was never reached)
+  }
+
+  bool await_ready() const { return S->done(); }
+
+  bool await_suspend(std::coroutine_handle<> H) {
+    Exec = Executor::current();
+    if (!Exec) {
+      // Off-executor await: no pool to repost to — park this thread on
+      // the board and resume inline, like FutureAwaiter's fallback.
+      S->blockUntilDone();
+      return false;
+    }
+    Handle = H;
+    // A losing CAS means the join fired between await_ready and here:
+    // resume inline with the result already committed.
+    return S->armWaiter(this);
+  }
+
+  std::optional<WhenAnyResult<T>> await_resume() {
+    std::int32_t W = S->winner();
+    auto R = join_detail::joinHarvestAny(Futs, N, W);
+    S->release();
+    S = nullptr;
+    return R;
+  }
+
+private:
+  void fire() override {
+    // Called by whoever settled the deciding future — never run the
+    // coroutine inline there; repost it (the FutureAwaiter discipline).
+    // No member may be touched after post(): the resumed frame can
+    // destroy this awaiter concurrently.
+    Exec->post(Handle);
+  }
+
+  Future<T, Traits> *Futs[MaxJoinArity];
+  int N;
+  State *S = nullptr;
+  Executor *Exec = nullptr;
+  std::coroutine_handle<> Handle;
+};
+
+/// Coroutine awaiter for whenAll: suspends until every future settles;
+/// await_resume returns the number that completed with a value.
+template <typename T, typename Traits = ValueTraits<T>>
+class [[nodiscard]] WhenAllAwaiter
+    : private join_detail::JoinState<T, Traits>::Waiter {
+  using State = join_detail::JoinState<T, Traits>;
+
+public:
+  WhenAllAwaiter(Future<T, Traits> *const *Futs, int N) : N(N) {
+    assert(N >= 1 && N <= MaxJoinArity && "whenAll arity");
+    for (int I = 0; I < N; ++I)
+      this->Futs[I] = Futs[I];
+    S = new State(N, /*AnyMode=*/false);
+    join_detail::joinRegister(S, this->Futs, N);
+  }
+
+  WhenAllAwaiter(const WhenAllAwaiter &) = delete;
+  WhenAllAwaiter &operator=(const WhenAllAwaiter &) = delete;
+
+  ~WhenAllAwaiter() {
+    if (S)
+      S->release();
+  }
+
+  bool await_ready() const { return S->done(); }
+
+  bool await_suspend(std::coroutine_handle<> H) {
+    Exec = Executor::current();
+    if (!Exec) {
+      S->blockUntilDone();
+      return false;
+    }
+    Handle = H;
+    return S->armWaiter(this);
+  }
+
+  int await_resume() {
+    S->release();
+    S = nullptr;
+    int Completed = 0;
+    for (int I = 0; I < N; ++I)
+      if (Futs[I]->valid() && Futs[I]->status() == FutureStatus::Completed)
+        ++Completed;
+    return Completed;
+  }
+
+private:
+  void fire() override { Exec->post(Handle); }
+
+  Future<T, Traits> *Futs[MaxJoinArity];
+  int N;
+  State *S = nullptr;
+  Executor *Exec = nullptr;
+  std::coroutine_handle<> Handle;
+};
+
+/// `co_await awaitWhenAny(FA, FB)` — futures must be lvalues that outlive
+/// the await (coroutine locals).
+template <typename T, typename Traits, typename... Rest>
+WhenAnyAwaiter<T, Traits> awaitWhenAny(Future<T, Traits> &F0,
+                                       Rest &...FRest) {
+  Future<T, Traits> *Futs[] = {&F0, &FRest...};
+  return WhenAnyAwaiter<T, Traits>(Futs, 1 + static_cast<int>(sizeof...(FRest)));
+}
+
+template <typename T, typename Traits, typename... Rest>
+WhenAllAwaiter<T, Traits> awaitWhenAll(Future<T, Traits> &F0,
+                                       Rest &...FRest) {
+  Future<T, Traits> *Futs[] = {&F0, &FRest...};
+  return WhenAllAwaiter<T, Traits>(Futs, 1 + static_cast<int>(sizeof...(FRest)));
+}
+
+} // namespace cqs
+
+#endif // CQS_TASK_COMBINATORS_H

@@ -22,22 +22,38 @@ Executor::Executor(unsigned Threads) {
 }
 
 Executor::~Executor() {
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    ShuttingDown = true;
-  }
-  QueueCv.notify_all();
+  shutdown();
   for (std::thread &W : Workers)
     W.join();
 }
 
-void Executor::post(std::coroutine_handle<> Handle) {
+void Executor::shutdown() {
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
-    assert(!ShuttingDown && "post() after shutdown started");
-    Queue.push_back(Handle);
+    if (ShuttingDown)
+      return;
+    ShuttingDown = true;
   }
-  QueueCv.notify_one();
+  QueueCv.notify_all();
+}
+
+bool Executor::post(std::coroutine_handle<> Handle) {
+  if (!Handle)
+    return false; // moved-from task: reject in every build mode
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (!ShuttingDown) {
+      Queue.push_back(Handle);
+      QueueCv.notify_one();
+      return true;
+    }
+  }
+  // Shutdown already started: no worker will drain the queue again, so an
+  // enqueued handle could never run (the old code silently leaked the
+  // frame here). Destroy it instead — outside the lock, since the frame's
+  // destructors can run arbitrary user code. See the header contract.
+  Handle.destroy();
+  return false;
 }
 
 Executor *Executor::current() { return CurrentExecutor; }

@@ -45,8 +45,27 @@ public:
   Executor(const Executor &) = delete;
   Executor &operator=(const Executor &) = delete;
 
-  /// Schedules \p Handle to be resumed on some worker thread.
-  void post(std::coroutine_handle<> Handle);
+  /// Schedules \p Handle to be resumed on some worker thread. The contract
+  /// for the two edge cases (DESIGN.md §12):
+  ///
+  ///  - Null handle: rejected in every build mode — returns false without
+  ///    enqueueing (a moved-from FireAndForget would otherwise hand a
+  ///    worker a null resume()).
+  ///  - Post after shutdown() began (including during ~Executor): no
+  ///    worker will ever pick the queue up again, so the handle is
+  ///    DESTROYED (its frame's destructors run) and post returns false.
+  ///    Nothing is silently leaked — but the continuation does not run, so
+  ///    completion paths that must not lose work have to keep the executor
+  ///    alive until their futures settle.
+  ///
+  /// Returns true iff the handle was enqueued and will be resumed.
+  bool post(std::coroutine_handle<> Handle);
+
+  /// Begins teardown: workers finish already-queued work and exit; later
+  /// post() calls destroy their handle and return false. Idempotent; the
+  /// destructor calls it before joining the workers. Exposed so tests can
+  /// exercise the post-after-shutdown contract deterministically.
+  void shutdown();
 
   /// The executor running the current thread's worker loop, or null when
   /// called from a non-worker thread. CQS awaitables use this to reschedule

@@ -1,0 +1,297 @@
+//===- task/Scope.h - cancellation scopes over CQS futures -----*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CancelScope: a registry of in-flight abortable operations that one
+/// cancel() call withdraws together (DESIGN.md §12). Operations register
+/// their futures with add(), deregister with remove() when they settle;
+/// cancel() marks the scope and pushes Future::cancel() through every
+/// registered entry — each cancellation riding the request's single
+/// result-word CAS, so an operation that completes concurrently keeps its
+/// value ("a Future cannot be both cancelled and completed") and the
+/// caller harvests it exactly as whenAny treats stray completions.
+///
+/// Scopes nest: a child constructed with a parent pointer is cancelled
+/// when the parent is, and unlinks itself on destruction. Deadlines
+/// compose two ways: awaitFor() bounds one await (timedAwait treats a
+/// scope-cancel exactly like a third-party cancel — nullopt, no timeout
+/// accounting), and cancelAfter() arms a TimerQueue entry that cancels
+/// the whole scope at a deadline.
+///
+/// The registry lock is a tiny spinlock built on Atomic + Backoff — NOT a
+/// std::mutex — so every scope operation is explorable under schedcheck
+/// (a modelled thread blocked on an unmodelled mutex would deadlock the
+/// harness). cancel() runs the entry sweep while *holding* the lock: the
+/// thunks only touch the requests (never the scope), and holding the lock
+/// is what lets a concurrent remove()/child-destructor block until the
+/// sweep is done instead of racing the entry's memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_TASK_SCOPE_H
+#define CQS_TASK_SCOPE_H
+
+#include "core/CqsStats.h"
+#include "future/Future.h"
+#include "future/TimedAwait.h"
+#include "support/Atomic.h"
+#include "support/Backoff.h"
+#include "task/TimerQueue.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace cqs {
+
+/// A set of abortable operations cancelled together. Thread-safe; see the
+/// file comment for the locking discipline. All entries (and all child
+/// scopes) must be removed/destroyed before the scope is destroyed.
+class CancelScope {
+public:
+  /// Opaque registration handle; returned by add(), consumed by remove().
+  /// Null when nothing was registered (immediate/invalid future, or the
+  /// scope was already cancelled) — remove(nullptr) is a no-op.
+  struct Entry {
+    Entry *Prev = nullptr;
+    Entry *Next = nullptr;
+    void *Obj = nullptr;
+    bool (*CancelFn)(void *) = nullptr;
+    void (*ReleaseFn)(void *) = nullptr;
+  };
+
+  /// \p Parent links this scope as a child: a parent cancel() cancels this
+  /// scope too. The parent must outlive the child.
+  explicit CancelScope(CancelScope *Parent = nullptr) : Parent(Parent) {
+    if (Parent) {
+      ParentEntry = Parent->addThunk(
+          this, [](void *P) { static_cast<CancelScope *>(P)->cancel();
+                              return true; },
+          /*Release=*/nullptr);
+      if (!ParentEntry)
+        cancel(); // parent was already cancelled
+    }
+  }
+
+  CancelScope(const CancelScope &) = delete;
+  CancelScope &operator=(const CancelScope &) = delete;
+
+  ~CancelScope() {
+    // Quiesce the timer side FIRST: after this, a cancelAfter() timer that
+    // is firing right now can no longer reach the scope (it blocks on the
+    // cell lock until we cleared the pointer, or sees it null).
+    if (Cell) {
+      Cell->lock();
+      Cell->Scope = nullptr;
+      Cell->unlock();
+      (void)Timer.tryCancel();
+      Cell->release(); // the scope's share; the timer entry drops the other
+      Cell = nullptr;
+    }
+    if (Parent)
+      Parent->remove(ParentEntry);
+    assert(Head == nullptr &&
+           "CancelScope destroyed with live entries still registered");
+  }
+
+  /// True once cancel() ran (directly, via a parent, or via cancelAfter).
+  bool isCancelled() const {
+    return Cancelled.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Registers \p F: a later cancel() withdraws it through
+  /// Future::cancel(). If the scope is already cancelled the future is
+  /// cancelled immediately and nothing is registered (returns null).
+  /// Immediate and invalid futures register nothing. The caller must
+  /// remove() the returned entry once the operation settles (await()/
+  /// awaitFor() below do this for you).
+  template <typename T, typename Traits>
+  Entry *add(Future<T, Traits> &F) {
+    using Req = Request<T, Traits>;
+    Req *R = F.request();
+    if (!R) // immediate or invalid: nothing cancellable
+      return nullptr;
+    if (isCancelled()) {
+      if (R->cancel())
+        bump(joinStats().ScopeCancels);
+      return nullptr;
+    }
+    R->addRef(); // the entry's reference, dropped on remove()/sweep
+    Entry *E = addThunk(
+        R, [](void *P) { return static_cast<Req *>(P)->cancel(); },
+        [](void *P) { static_cast<Req *>(P)->release(); });
+    if (!E) {
+      // Lost the race with cancel(): behave as if cancelled-before-add.
+      if (R->cancel())
+        bump(joinStats().ScopeCancels);
+      R->release();
+    }
+    return E;
+  }
+
+  /// Deregisters \p E (no-op for null). Blocks while a concurrent
+  /// cancel() sweep is running, so the entry is never freed under it.
+  void remove(Entry *E) {
+    if (!E)
+      return;
+    lock();
+    unlink(E);
+    unlock();
+    if (E->ReleaseFn)
+      E->ReleaseFn(E->Obj);
+    delete E;
+  }
+
+  /// Cancels every registered operation and marks the scope so later
+  /// add()s cancel immediately. Idempotent; child scopes are cancelled
+  /// through their registration entries like any other member.
+  void cancel() {
+    lock();
+    if (Cancelled.load(std::memory_order_relaxed) != 0) {
+      unlock();
+      return;
+    }
+    Cancelled.store(1, std::memory_order_release);
+    // Sweep under the lock (see the file comment). Entries stay linked —
+    // their owners still hold the handles and will remove() them.
+    for (Entry *E = Head; E; E = E->Next)
+      if (E->CancelFn(E->Obj))
+        bump(joinStats().ScopeCancels);
+    unlock();
+  }
+
+  /// Arms the central TimerQueue to cancel() this scope after \p Delay.
+  /// Non-positive delays cancel inline (the schedcheck-modelled path). At
+  /// most one cancelAfter per scope; the timer is disarmed by ~CancelScope.
+  void cancelAfter(std::chrono::nanoseconds Delay) {
+    if (Delay.count() <= 0) {
+      bump(timerStats().InlineExpiries);
+      cancel();
+      return;
+    }
+    assert(!Cell && "cancelAfter() may be armed only once per scope");
+    Cell = new ScopeCancelCell(this);
+    bump(timerStats().Scheduled);
+    Timer = TimerQueue::instance().schedule(
+        Delay,
+        /*Fire=*/
+        [](void *P) {
+          auto *C = static_cast<ScopeCancelCell *>(P);
+          C->lock();
+          // Null iff the scope was destroyed first; the destructor's
+          // cell-clear under this lock is what makes the deref safe.
+          if (C->Scope)
+            C->Scope->cancel();
+          C->unlock();
+        },
+        /*Drop=*/[](void *P) { static_cast<ScopeCancelCell *>(P)->release(); },
+        Cell);
+  }
+
+  /// Scoped blocking await: registers \p F, parks until it settles,
+  /// deregisters. nullopt iff cancelled (by this scope or anyone else).
+  template <typename T, typename Traits>
+  std::optional<T> await(Future<T, Traits> &F) {
+    Entry *E = add(F);
+    std::optional<T> V = F.valid() ? F.blockingGet() : std::nullopt;
+    remove(E);
+    return V;
+  }
+
+  /// Scoped await with a deadline: composes the scope's cancellation with
+  /// timedAwait's — whichever of scope-cancel / deadline-cancel / resume
+  /// wins the result-word CAS decides the outcome, and a resume that wins
+  /// keeps its value (the rescue path).
+  template <typename T, typename Traits>
+  std::optional<T> awaitFor(Future<T, Traits> &F,
+                            std::chrono::nanoseconds Timeout) {
+    Entry *E = add(F);
+    std::optional<T> V = F.valid() ? timedAwait(F, Timeout) : std::nullopt;
+    remove(E);
+    return V;
+  }
+
+  /// Registered-entry count; tests only.
+  int entryCountForTesting() {
+    lock();
+    int N = 0;
+    for (Entry *E = Head; E; E = E->Next)
+      ++N;
+    unlock();
+    return N;
+  }
+
+private:
+  /// Heap cell mediating the timer-fire vs. scope-destruction race for
+  /// cancelAfter: both sides synchronize on the cell's spinlock, and the
+  /// destructor nulls Scope before the scope dies. Referenced by the
+  /// scope and by the timer entry; freed when both drop it.
+  struct ScopeCancelCell final : RefCounted<ScopeCancelCell> {
+    explicit ScopeCancelCell(CancelScope *S)
+        : RefCounted<ScopeCancelCell>(2), Scope(S) {}
+
+    void lock() {
+      Backoff B;
+      while (Lk.exchange(1, std::memory_order_acquire) != 0)
+        B.pause();
+    }
+    void unlock() { Lk.store(0, std::memory_order_release); }
+
+    Atomic<std::uint32_t> Lk{0};
+    CancelScope *Scope; // guarded by Lk
+  };
+
+  /// Links a type-erased entry; null iff the scope is already cancelled
+  /// (callers handle the cancelled-before-add race themselves).
+  Entry *addThunk(void *Obj, bool (*CancelFn)(void *),
+                  void (*ReleaseFn)(void *)) {
+    auto *E = new Entry;
+    E->Obj = Obj;
+    E->CancelFn = CancelFn;
+    E->ReleaseFn = ReleaseFn;
+    lock();
+    if (Cancelled.load(std::memory_order_relaxed) != 0) {
+      unlock();
+      delete E;
+      return nullptr;
+    }
+    E->Next = Head;
+    if (Head)
+      Head->Prev = E;
+    Head = E;
+    unlock();
+    return E;
+  }
+
+  void unlink(Entry *E) {
+    if (E->Prev)
+      E->Prev->Next = E->Next;
+    else
+      Head = E->Next;
+    if (E->Next)
+      E->Next->Prev = E->Prev;
+  }
+
+  void lock() {
+    Backoff B;
+    while (Lk.exchange(1, std::memory_order_acquire) != 0)
+      B.pause();
+  }
+  void unlock() { Lk.store(0, std::memory_order_release); }
+
+  Atomic<std::uint32_t> Lk{0};
+  Atomic<std::uint32_t> Cancelled{0};
+  Entry *Head = nullptr; // guarded by Lk
+  CancelScope *Parent = nullptr;
+  Entry *ParentEntry = nullptr;
+  ScopeCancelCell *Cell = nullptr;
+  TimerToken Timer;
+};
+
+} // namespace cqs
+
+#endif // CQS_TASK_SCOPE_H

@@ -19,6 +19,7 @@
 #include "support/WaitGroup.h"
 #include "task/Executor.h"
 
+#include <cassert>
 #include <coroutine>
 #include <utility>
 
@@ -51,7 +52,11 @@ public:
   }
 
   /// Hands the coroutine to \p Exec; the frame frees itself when done.
+  /// Spawning a moved-from task is a bug: it asserts in debug builds, and
+  /// in release builds it is a harmless no-op (Executor::post rejects the
+  /// null handle instead of feeding it to a worker's resume()).
   void spawn(Executor &Exec) && {
+    assert(Handle && "spawn() on a moved-from FireAndForget");
     Exec.post(std::exchange(Handle, nullptr));
   }
 

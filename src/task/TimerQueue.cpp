@@ -1,0 +1,115 @@
+//===- task/TimerQueue.cpp - central deadline timer -----------------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "task/TimerQueue.h"
+
+#include "future/TimedAwait.h"
+#include "support/Futex.h"
+
+#include <algorithm>
+
+using namespace cqs;
+
+// Type-erased hooks declared in future/TimedAwait.h, so the deadline layer
+// can reach the timer queue without a future/ -> task/ header dependency.
+void *cqs::detail::timerQueueArm(std::chrono::nanoseconds Timeout,
+                                 void (*Fire)(void *), void (*Drop)(void *),
+                                 void *Arg) {
+  return TimerQueue::instance()
+      .schedule(Timeout, Fire, Drop, Arg)
+      .leakEntry();
+}
+
+bool cqs::detail::timerQueueRetire(void *Token) {
+  return TimerToken(static_cast<TimerEntry *>(Token)).tryCancel();
+}
+
+TimerQueue &TimerQueue::instance() {
+  static TimerQueue *Q = new TimerQueue(); // leaked, like the object pools
+  return *Q;
+}
+
+TimerQueue::TimerQueue() {
+  Worker = std::thread([this] { timerLoop(); });
+  Worker.detach(); // parked forever once the heap drains; dies with the process
+}
+
+TimerToken TimerQueue::schedule(std::chrono::nanoseconds Delay,
+                                TimerEntry::Callback Fire,
+                                TimerEntry::Callback Drop, void *Arg) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::max(Delay, std::chrono::nanoseconds(0));
+  auto *E = new TimerEntry(Deadline, Fire, Drop, Arg);
+  bool NewEarliest;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Heap.push_back(E);
+    std::push_heap(Heap.begin(), Heap.end(), HeapOrder{});
+    NewEarliest = Heap.front() == E;
+  }
+  // Only the new-minimum case needs to shorten the timer thread's sleep;
+  // anything later than the current earliest is picked up when the thread
+  // naturally wakes. This keeps the common schedule() at one heap insert.
+  if (NewEarliest) {
+    Epoch.fetch_add(1, std::memory_order_seq_cst);
+    futexWakeAll(Epoch);
+  }
+  return TimerToken(E);
+}
+
+std::size_t TimerQueue::pendingForTesting() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Heap.size();
+}
+
+void TimerQueue::drainForTesting() {
+  auto Now = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> Lock(Mu);
+  DrainCv.wait(Lock, [&] {
+    return InFlight == 0 && (Heap.empty() || Heap.front()->Deadline > Now);
+  });
+}
+
+void TimerQueue::timerLoop() {
+  TimerStats &TS = timerStats();
+  for (;;) {
+    // Sample the epoch BEFORE computing the next deadline: a schedule()
+    // that lands in between bumps the epoch, so the futex wait below
+    // returns immediately instead of oversleeping the new earliest entry.
+    std::uint32_t Ep = Epoch.load(std::memory_order_seq_cst);
+    std::vector<TimerEntry *> Due;
+    std::chrono::nanoseconds Sleep;
+    {
+      auto Now = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> Lock(Mu);
+      while (!Heap.empty() && Heap.front()->Deadline <= Now) {
+        std::pop_heap(Heap.begin(), Heap.end(), HeapOrder{});
+        Due.push_back(Heap.back());
+        Heap.pop_back();
+      }
+      Sleep = Heap.empty()
+                  ? std::chrono::nanoseconds(-1) // park until schedule() rings
+                  : Heap.front()->Deadline - Now;
+      InFlight += Due.size();
+    }
+    for (TimerEntry *E : Due) {
+      // Exactly one of us and a concurrent tryCancel() retires the entry
+      // from Pending; losing just means the timer was withdrawn in time.
+      if (E->tryTransition(TimerEntry::Fired)) {
+        bump(TS.Fired);
+        E->FireFn(E->Arg);
+      }
+      E->release(); // the heap's share
+    }
+    if (!Due.empty()) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      InFlight -= Due.size();
+      DrainCv.notify_all();
+    } else {
+      futexWait(Epoch, Ep, Sleep);
+    }
+  }
+}

@@ -1,0 +1,238 @@
+//===- task/TimerQueue.h - central deadline timer --------------*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process-wide timer thread servicing a binary heap of deadlines, so
+/// that a deadline-bounded operation costs one heap insert instead of one
+/// timed futex wait per operation (DESIGN.md §12). PR 4's timedAwait parks
+/// each timed waiter on its own FUTEX_WAIT with a timeout: every spurious
+/// wake re-arms the kernel timer, and under contention the timeout plumbing
+/// is on the per-op hot path. With the queue, the waiter parks *untimed* on
+/// the future's DoneFlag and a central thread fires a cancellation at the
+/// deadline — the timeout-vs-resume race still rides the Request's single
+/// result-word CAS ("a Future cannot be both cancelled and completed"), so
+/// no new race window is introduced.
+///
+/// Timer entries are reference-counted two ways (the heap and the caller's
+/// token); cancellation is a state flip (Pending -> Cancelled), and the
+/// timer thread lazily drops flipped entries when they surface at the top
+/// of the heap — O(1) cancel, no heap surgery. The timer thread itself is
+/// futex-parked on an epoch word with a timeout equal to the next deadline;
+/// schedule() only rings it when the new entry becomes the earliest.
+///
+/// Under CQS_SCHEDCHECK the queue is *not* modelled: the timer thread is a
+/// real OS thread outside the logical-thread set. Modelled code therefore
+/// never reaches it — timedAwait falls back to the modelled timed futex for
+/// positive deadlines, and non-positive deadlines expire inline in the
+/// caller (completeOnTimeout's inline path), which is exactly the
+/// cancel-vs-resume CAS race the schedcheck scenarios explore.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_TASK_TIMERQUEUE_H
+#define CQS_TASK_TIMERQUEUE_H
+
+#include "core/CqsStats.h"
+#include "future/Future.h"
+#include "support/Atomic.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cqs {
+
+/// One scheduled deadline. Lives on the heap, shared by the TimerQueue's
+/// binary heap and the caller's TimerToken; freed when both drop it.
+/// PlainAtomic state/refs: entries are pure timer bookkeeping, deliberately
+/// outside the schedcheck model (the queue is never used from modelled
+/// threads — see the file comment).
+class TimerEntry {
+public:
+  using Callback = void (*)(void *);
+
+  enum State : std::uint32_t { Pending = 0, Fired = 1, Cancelled = 2 };
+
+  TimerEntry(std::chrono::steady_clock::time_point Deadline, Callback Fire,
+             Callback Drop, void *Arg)
+      : Deadline(Deadline), FireFn(Fire), DropFn(Drop), Arg(Arg) {}
+
+  /// CAS Pending -> \p To; exactly one of the timer thread (Fired) and the
+  /// token holder (Cancelled) retires the entry from Pending.
+  bool tryTransition(State To) {
+    std::uint32_t Exp = Pending;
+    return St.compare_exchange_strong(Exp, To, std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+
+  State state() const {
+    return static_cast<State>(St.load(std::memory_order_acquire));
+  }
+
+  void release() {
+    if (Refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Whatever happened to the timer, the payload is dropped exactly
+      // once, after neither the heap nor the token can reach the entry.
+      if (DropFn)
+        DropFn(Arg);
+      delete this;
+    }
+  }
+
+  std::chrono::steady_clock::time_point Deadline;
+  Callback FireFn;
+  Callback DropFn;
+  void *Arg;
+
+private:
+  PlainAtomic<std::uint32_t> St{Pending};
+  /// Two initial owners: the heap and the TimerToken.
+  PlainAtomic<std::uint32_t> Refs{2};
+};
+
+/// Caller-side handle to a scheduled timer. RAII: dropping the token
+/// releases the caller's share of the entry (the timer still fires);
+/// tryCancel() withdraws a not-yet-fired timer in O(1).
+class TimerToken {
+public:
+  TimerToken() = default;
+  explicit TimerToken(TimerEntry *E) : E(E) {}
+
+  TimerToken(TimerToken &&O) noexcept : E(std::exchange(O.E, nullptr)) {}
+  TimerToken &operator=(TimerToken &&O) noexcept {
+    if (this != &O) {
+      reset();
+      E = std::exchange(O.E, nullptr);
+    }
+    return *this;
+  }
+  TimerToken(const TimerToken &) = delete;
+  TimerToken &operator=(const TimerToken &) = delete;
+
+  ~TimerToken() { reset(); }
+
+  /// True iff the timer was withdrawn before firing (its callback will
+  /// never run). False when it already fired, was already cancelled, or
+  /// the token is empty. Consumes the token either way.
+  bool tryCancel() {
+    if (!E)
+      return false;
+    bool Won = E->tryTransition(TimerEntry::Cancelled);
+    if (Won)
+      bump(timerStats().CancelledTimers);
+    release();
+    return Won;
+  }
+
+  explicit operator bool() const { return E != nullptr; }
+
+  /// Relinquishes the entry (with the token's reference) to the caller;
+  /// used by the type-erased detail hooks in future/TimedAwait.h.
+  TimerEntry *leakEntry() && { return std::exchange(E, nullptr); }
+
+private:
+  void reset() {
+    if (E)
+      release();
+  }
+  void release() {
+    E->release();
+    E = nullptr;
+  }
+
+  TimerEntry *E = nullptr;
+};
+
+/// The process-wide timer: one dedicated thread, one binary heap.
+class TimerQueue {
+public:
+  /// Lazily-started leaked singleton (same discipline as the object pools:
+  /// no static-destruction-order hazards, the parked thread dies with the
+  /// process).
+  static TimerQueue &instance();
+
+  /// Schedules \p Fire(\p Arg) to run on the timer thread once \p Delay
+  /// elapses. \p Drop(\p Arg) runs exactly once when the entry is fully
+  /// retired (fired, cancelled, or token dropped) — use it to release
+  /// whatever \p Arg owns. Non-positive delays fire on the timer thread
+  /// immediately; callers wanting inline expiry should short-circuit
+  /// before scheduling (completeOnTimeout does).
+  TimerToken schedule(std::chrono::nanoseconds Delay, TimerEntry::Callback Fire,
+                      TimerEntry::Callback Drop, void *Arg);
+
+  /// Outstanding (scheduled, not yet popped) entries; tests only. Counts
+  /// cancelled-but-not-yet-dropped entries too.
+  std::size_t pendingForTesting();
+
+  /// Blocks until every entry due by now has been popped and fired; tests
+  /// only (keeps timer assertions deterministic without sleeps).
+  void drainForTesting();
+
+private:
+  TimerQueue();
+  ~TimerQueue() = delete; // leaked singleton
+
+  void timerLoop();
+
+  struct HeapOrder {
+    bool operator()(const TimerEntry *A, const TimerEntry *B) const {
+      return A->Deadline > B->Deadline; // min-heap on deadline
+    }
+  };
+
+  /// Heap guarded by a plain mutex: schedule() is called from regular
+  /// threads only (never from modelled schedcheck threads, see file
+  /// comment), and the hold time is one push/pop.
+  std::mutex Mu;
+  std::vector<TimerEntry *> Heap; // std::push_heap/pop_heap with HeapOrder
+  /// Entries popped as due whose callbacks have not returned yet; keeps
+  /// drainForTesting() honest about callbacks in flight.
+  std::size_t InFlight = 0;
+  std::condition_variable DrainCv;
+  /// Futex word the timer thread parks on; schedule() bumps it when a new
+  /// earliest deadline must shorten the thread's current sleep.
+  Atomic<std::uint32_t> Epoch{0};
+  std::thread Worker;
+};
+
+/// The Future timeout hook: arms a timer that cancels \p F's request at
+/// the deadline, riding the existing cancel-vs-resume CAS — if a resume
+/// wins the race the future stays completed and the caller owns the value,
+/// exactly as with PR 4's synchronous cancel-at-deadline.
+///
+/// Non-positive timeouts (and immediate futures) expire *inline* in the
+/// calling thread: no entry, no timer thread — and, under schedcheck, a
+/// fully modelled cancel-vs-resume race. Returns an empty token in that
+/// case; the returned token otherwise lets the caller retire the timer
+/// early once the future settled by other means.
+template <typename T, typename Traits>
+TimerToken completeOnTimeout(Future<T, Traits> &F,
+                             std::chrono::nanoseconds Timeout) {
+  assert(F.valid() && "completeOnTimeout() on an invalid future");
+  using Req = Request<T, Traits>;
+  Req *R = F.request();
+  if (!R) // immediate: nothing to expire
+    return TimerToken();
+  if (Timeout.count() <= 0) {
+    bump(timerStats().InlineExpiries);
+    (void)R->cancel(); // false iff a resume already won: value stays owned
+    return TimerToken();
+  }
+  R->addRef(); // the entry's payload reference, dropped by Drop below
+  bump(timerStats().Scheduled);
+  return TimerQueue::instance().schedule(
+      Timeout,
+      /*Fire=*/[](void *P) { (void)static_cast<Req *>(P)->cancel(); },
+      /*Drop=*/[](void *P) { static_cast<Req *>(P)->release(); }, R);
+}
+
+} // namespace cqs
+
+#endif // CQS_TASK_TIMERQUEUE_H

@@ -1,0 +1,477 @@
+//===- tests/combinator_test.cpp - whenAll/whenAny/scope/generator --------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The structured-concurrency layer (DESIGN.md §12): first-ready-wins
+/// whenAny with SMART loser cancellation, settle-counting whenAll,
+/// CancelScope propagation (including parent->child and timer-armed
+/// cancelAfter), the coroutine awaiter forms, and the AsyncGenerator
+/// produce/consume protocol over Channel v2. Conservation — no permit or
+/// element stranded or duplicated, whatever the combinator reports — is
+/// the oracle throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#include "task/AsyncGenerator.h"
+#include "task/Combinators.h"
+#include "task/Scope.h"
+#include "task/Task.h"
+#include "task/TimerQueue.h"
+
+#include "reclaim/Ebr.h"
+#include "sync/ChannelV2.h"
+#include "sync/Semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+using namespace std::chrono_literals;
+
+namespace {
+
+TEST(WhenAny, ImmediateFutureWinsWithoutBlocking) {
+  Semaphore A(1), B(1);
+  auto FA = A.acquire(); // immediate
+  auto HeldB = B.acquire();
+  auto FB = B.acquire(); // pending
+  auto R = whenAny(FA, FB);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 0);
+  // The loser was withdrawn: B's pending acquire is gone, so release
+  // restores the permit instead of granting it to a dead waiter.
+  EXPECT_EQ(FB.status(), FutureStatus::Cancelled);
+  A.release();
+  B.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+  EXPECT_EQ(B.availablePermits(), 1);
+}
+
+TEST(WhenAny, PendingFutureWinsWhenResumed) {
+  Semaphore A(1), B(1);
+  auto HeldA = A.acquire();
+  auto HeldB = B.acquire();
+  auto FA = A.acquire();
+  auto FB = B.acquire();
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(10ms);
+    B.release();
+  });
+  Future<Unit> *Futs[] = {&FA, &FB};
+  auto R = whenAny(Futs, 2);
+  Releaser.join();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 1);
+  EXPECT_EQ(FA.status(), FutureStatus::Cancelled);
+  A.release(); // returns HeldA's permit (FA was withdrawn)
+  B.release(); // returns the won permit
+  EXPECT_EQ(A.availablePermits(), 1);
+  EXPECT_EQ(B.availablePermits(), 1);
+}
+
+TEST(WhenAny, AllCancelledByThirdPartyYieldsNullopt) {
+  Semaphore A(1);
+  auto HeldA = A.acquire();
+  auto FA = A.acquire();
+  auto FB = A.acquire();
+  std::thread Canceller([&] {
+    std::this_thread::sleep_for(5ms);
+    EXPECT_TRUE(FA.cancel());
+    EXPECT_TRUE(FB.cancel());
+  });
+  Future<Unit> *Futs[] = {&FA, &FB};
+  auto R = whenAny(Futs, 2);
+  Canceller.join();
+  EXPECT_FALSE(R.has_value());
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(WhenAnyFor, ZeroTimeoutWithdrawsAllPending) {
+  Semaphore A(1);
+  auto HeldA = A.acquire();
+  auto FA = A.acquire();
+  auto FB = A.acquire();
+  Future<Unit> *Futs[] = {&FA, &FB};
+  auto R = whenAnyFor(Futs, 2, 0ns);
+  EXPECT_FALSE(R.has_value());
+  EXPECT_EQ(FA.status(), FutureStatus::Cancelled);
+  EXPECT_EQ(FB.status(), FutureStatus::Cancelled);
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(WhenAnyFor, CompletionBeforeDeadlineWins) {
+  Semaphore A(1);
+  auto HeldA = A.acquire();
+  auto FA = A.acquire();
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(5ms);
+    A.release();
+  });
+  Future<Unit> *Futs[] = {&FA};
+  auto R = whenAnyFor(Futs, 1, 10s);
+  Releaser.join();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Index, 0);
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+// The cancel-lost-is-win discipline: under a racing release, a zero-wait
+// whenAnyFor must never report "timed out" while owning a permit — a
+// failed cancel is promoted to winner and the permit surfaces in the
+// result (or as a stray kept by the future). Conservation is the oracle.
+TEST(WhenAnyFor, RacingReleaseNeverStrandsAPermit) {
+  for (int Round = 0; Round < 300; ++Round) {
+    Semaphore A(1);
+    auto HeldA = A.acquire();
+    auto FA = A.acquire();
+    auto FB = A.acquire();
+    std::thread Releaser([&] { A.release(); });
+    Future<Unit> *Futs[] = {&FA, &FB};
+    auto R = whenAnyFor(Futs, 2, 0ns);
+    Releaser.join();
+    int Owned = 0;
+    if (R.has_value())
+      ++Owned;
+    // A stray: the *other* future completed too (both can complete only
+    // if the single released permit went to one — so at most one of
+    // winner/stray here).
+    for (auto *F : Futs)
+      if (R.has_value() ? F != Futs[R->Index] : true)
+        if (F->status() == FutureStatus::Completed)
+          ++Owned;
+    // Balance: Held + winner acquired; the releaser thread already put
+    // Held's permit back, so returning what we own restores the count.
+    for (int I = 0; I < Owned; ++I)
+      A.release();
+    ASSERT_EQ(A.availablePermits(), 1) << "round " << Round;
+  }
+}
+
+TEST(WhenAll, WaitsForEverySettleAndCancelsNothing) {
+  Semaphore A(2);
+  auto F1 = A.acquire(); // immediate
+  auto F2 = A.acquire(); // immediate
+  auto F3 = A.acquire(); // pending
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(5ms);
+    A.release(); // completes F3
+  });
+  Future<Unit> *Futs[] = {&F1, &F2, &F3};
+  int Completed = whenAll(Futs, 3);
+  Releaser.join();
+  EXPECT_EQ(Completed, 3);
+  A.release();
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 2);
+}
+
+TEST(WhenAll, CountsCancelledFuturesAsSettled) {
+  Semaphore A(1);
+  auto Held = A.acquire();
+  auto F1 = A.acquire();
+  auto F2 = A.acquire();
+  std::thread Side([&] {
+    std::this_thread::sleep_for(5ms);
+    EXPECT_TRUE(F1.cancel());
+    A.release(); // completes F2
+  });
+  Future<Unit> *Futs[] = {&F1, &F2};
+  int Completed = whenAll(Futs, 2);
+  Side.join();
+  EXPECT_EQ(Completed, 1);
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(CancelScope, CancelWithdrawsRegisteredFutures) {
+  Semaphore A(1);
+  auto Held = A.acquire();
+  auto F = A.acquire();
+  CancelScope Scope;
+  std::thread Awaiter([&] {
+    EXPECT_FALSE(Scope.await(F).has_value()) << "scope-cancelled";
+  });
+  std::this_thread::sleep_for(5ms);
+  Scope.cancel();
+  Awaiter.join();
+  EXPECT_TRUE(Scope.isCancelled());
+  EXPECT_EQ(Scope.entryCountForTesting(), 0);
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(CancelScope, AddAfterCancelCancelsImmediately) {
+  Semaphore A(1);
+  auto Held = A.acquire();
+  CancelScope Scope;
+  Scope.cancel();
+  auto F = A.acquire();
+  EXPECT_EQ(Scope.add(F), nullptr);
+  EXPECT_EQ(F.status(), FutureStatus::Cancelled);
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(CancelScope, AwaitForComposesScopeCancelWithDeadline) {
+  Semaphore A(1);
+  auto Held = A.acquire();
+  // Deadline fires first: plain timeout, scope uncancelled.
+  {
+    CancelScope Scope;
+    auto F = A.acquire();
+    EXPECT_FALSE(Scope.awaitFor(F, 2ms).has_value());
+    EXPECT_FALSE(Scope.isCancelled());
+    EXPECT_EQ(Scope.entryCountForTesting(), 0);
+  }
+  // Scope cancel fires first: same caller-visible nullopt, before the
+  // (generous) deadline elapses.
+  {
+    CancelScope Scope;
+    auto F = A.acquire();
+    std::thread Canceller([&] {
+      std::this_thread::sleep_for(5ms);
+      Scope.cancel();
+    });
+    auto Start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(Scope.awaitFor(F, 10s).has_value());
+    EXPECT_LT(std::chrono::steady_clock::now() - Start, 5s);
+    Canceller.join();
+  }
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(CancelScope, ParentCancelPropagatesToChildren) {
+  Semaphore A(1);
+  auto Held = A.acquire();
+  CancelScope Parent;
+  CancelScope Child(&Parent);
+  auto F = A.acquire();
+  CancelScope::Entry *E = Child.add(F);
+  ASSERT_NE(E, nullptr);
+  Parent.cancel();
+  EXPECT_TRUE(Child.isCancelled());
+  EXPECT_EQ(F.status(), FutureStatus::Cancelled);
+  // The entry is still registered (cancel never unlinks); its owner
+  // removes it, as await() would have.
+  EXPECT_EQ(Child.entryCountForTesting(), 1);
+  Child.remove(E);
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(CancelScope, ChildOfCancelledParentStartsCancelled) {
+  CancelScope Parent;
+  Parent.cancel();
+  CancelScope Child(&Parent);
+  EXPECT_TRUE(Child.isCancelled());
+}
+
+TEST(CancelScope, CancelAfterZeroCancelsInline) {
+  CancelScope Scope;
+  Scope.cancelAfter(0ns);
+  EXPECT_TRUE(Scope.isCancelled());
+}
+
+TEST(CancelScope, CancelAfterFiresThroughTimerQueue) {
+  Semaphore A(1);
+  auto Held = A.acquire();
+  CancelScope Scope;
+  Scope.cancelAfter(2ms);
+  auto F = A.acquire();
+  EXPECT_FALSE(Scope.await(F).has_value()) << "timer-cancelled";
+  EXPECT_TRUE(Scope.isCancelled());
+  A.release();
+  EXPECT_EQ(A.availablePermits(), 1);
+}
+
+TEST(CancelScope, DestructionDisarmsPendingCancelAfter) {
+  {
+    CancelScope Scope;
+    Scope.cancelAfter(10s);
+  } // destroyed long before the deadline: the timer must not touch it
+  TimerQueue::instance().drainForTesting();
+}
+
+// Leave a scope with an armed short cancelAfter racing the destructor;
+// the ScopeCancelCell handshake must never let the timer touch the dead
+// scope. Run enough rounds to actually hit the fire-vs-destroy window.
+TEST(CancelScope, CancelAfterVsDestructionRaceIsSafe) {
+  for (int Round = 0; Round < 200; ++Round) {
+    Semaphore A(1);
+    auto Held = A.acquire();
+    {
+      CancelScope Scope;
+      Scope.cancelAfter(std::chrono::microseconds(Round % 50));
+      auto F = A.acquire();
+      (void)Scope.awaitFor(F, std::chrono::microseconds(10));
+    }
+    A.release();
+    ASSERT_EQ(A.availablePermits(), 1) << "round " << Round;
+  }
+  TimerQueue::instance().drainForTesting();
+}
+
+FireAndForget anyOfTwoReceives(BufferedChannelV2<int, 8> &C1,
+                               BufferedChannelV2<int, 8> &C2,
+                               std::atomic<int> &Got, WaitGroup &Wg) {
+  auto F1 = C1.receive();
+  auto F2 = C2.receive();
+  auto R = co_await awaitWhenAny(F1, F2);
+  EXPECT_TRUE(R.has_value());
+  if (R)
+    Got.store(R->Value);
+  Wg.done();
+}
+
+TEST(WhenAnyAwaiter, ResumesCoroutineOnFirstReadyChannel) {
+  Executor Exec(2);
+  BufferedChannelV2<int, 8> C1(4), C2(4);
+  std::atomic<int> Got{0};
+  WaitGroup Wg(1);
+  anyOfTwoReceives(C1, C2, Got, Wg).spawn(Exec);
+  std::this_thread::sleep_for(5ms);
+  ASSERT_TRUE(C2.trySend(42));
+  Wg.wait();
+  EXPECT_EQ(Got.load(), 42);
+  // The loser receive was cancelled: a later send is buffered, not eaten.
+  ASSERT_TRUE(C1.trySend(7));
+  EXPECT_EQ(C1.tryReceive().value_or(-1), 7);
+}
+
+FireAndForget allOfThreeAcquires(Semaphore &S, std::atomic<int> &Completed,
+                                 WaitGroup &Wg) {
+  auto F1 = S.acquire();
+  auto F2 = S.acquire();
+  auto F3 = S.acquire();
+  Completed.store(co_await awaitWhenAll(F1, F2, F3));
+  S.release();
+  S.release();
+  S.release();
+  Wg.done();
+}
+
+TEST(WhenAllAwaiter, ResumesWhenEverythingSettled) {
+  Executor Exec(2);
+  Semaphore S(2); // third acquire parks until the releaser below
+  std::atomic<int> Completed{-1};
+  WaitGroup Wg(1);
+  allOfThreeAcquires(S, Completed, Wg).spawn(Exec);
+  std::this_thread::sleep_for(5ms);
+  S.release();
+  Wg.wait();
+  EXPECT_EQ(Completed.load(), 3);
+  // 2 original permits + the one the helper release added, all returned.
+  EXPECT_EQ(S.availablePermits(), 3);
+}
+
+TEST(WhenAnyAwaiter, OffExecutorFallbackParksCallerThread) {
+  ASSERT_EQ(Executor::current(), nullptr);
+  Semaphore S(1);
+  auto Held = S.acquire();
+  std::atomic<bool> Done{false};
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(5ms);
+    S.release();
+  });
+  struct InlineTask {
+    struct promise_type {
+      InlineTask get_return_object() { return {}; }
+      std::suspend_never initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() noexcept {}
+      void unhandled_exception() noexcept { std::terminate(); }
+    };
+  };
+  [](Semaphore &S, std::atomic<bool> &Done) -> InlineTask {
+    auto F1 = S.acquire();
+    auto F2 = S.acquire();
+    auto R = co_await awaitWhenAny(F1, F2);
+    EXPECT_TRUE(R.has_value());
+    S.release();
+    Done.store(true);
+  }(S, Done);
+  EXPECT_TRUE(Done.load());
+  Releaser.join();
+  // Held + winner acquired (2); the coroutine and the releaser released
+  // (2): the count is already balanced.
+  EXPECT_EQ(S.availablePermits(), 1);
+}
+
+AsyncGenerator<int, 4> countTo(int Limit) {
+  for (int I = 0; I < Limit; ++I)
+    if (!(co_yield I))
+      co_return;
+}
+
+TEST(AsyncGenerator, ProducesAllElementsInOrder) {
+  Executor Exec(2);
+  auto G = countTo(100);
+  G.start(Exec);
+  for (int I = 0; I < 100; ++I) {
+    auto V = G.nextBlocking();
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, I);
+  }
+  EXPECT_FALSE(G.nextBlocking().has_value()) << "exhausted: nullopt";
+  EXPECT_FALSE(G.nextBlocking().has_value()) << "stays exhausted";
+}
+
+TEST(AsyncGenerator, EarlyDestructionStopsProducer) {
+  Executor Exec(2);
+  {
+    auto G = countTo(1'000'000);
+    G.start(Exec);
+    auto V = G.nextBlocking();
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, 0);
+    // Destructor: close -> parked yield resumes false -> producer
+    // co_returns -> join. Terminates long before a million elements.
+  }
+}
+
+TEST(AsyncGenerator, NeverStartedGeneratorCleansUp) {
+  auto G = countTo(10);
+  // Dropped without start(): the suspended frame is destroyed, the body
+  // never runs.
+}
+
+FireAndForget consumeAll(AsyncGenerator<int, 4> &G, std::atomic<long> &Sum,
+                         WaitGroup &Wg) {
+  for (;;) {
+    auto V = co_await G.next();
+    if (!V.has_value())
+      break;
+    Sum.fetch_add(*V);
+  }
+  Wg.done();
+}
+
+TEST(AsyncGenerator, CoroutineConsumerDrainsViaNext) {
+  Executor Exec(2);
+  auto G = countTo(50);
+  G.start(Exec);
+  std::atomic<long> Sum{0};
+  WaitGroup Wg(1);
+  consumeAll(G, Sum, Wg).spawn(Exec);
+  Wg.wait();
+  EXPECT_EQ(Sum.load(), 49L * 50 / 2);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -20,6 +20,7 @@
 #include "sync/ChannelV2.h"
 #include "sync/CountDownLatch.h"
 #include "sync/Semaphore.h"
+#include "task/Combinators.h"
 
 #include <gtest/gtest.h>
 
@@ -551,6 +552,94 @@ TEST(Lincheck, SelectOverRendezvousConservation) {
     int Sels = 2 + static_cast<int>(Rng.nextBelow(2));
     for (int I = 0; I < Sels; ++I)
       S[2].push_back(TrySelect);
+    return S;
+  };
+  Verdict V = SelChecker::checkMany([] { return new SelectState(); },
+                                    [] { return SelectQModel{}; },
+                                    MakeScenario, /*Rounds=*/500);
+  EXPECT_TRUE(V.Ok) << V.Explanation;
+}
+
+TEST(Lincheck, WhenAnyOverRendezvousConservation) {
+  using Chan = RendezvousChannelV2<int, 4>;
+  using SendFut = Chan::SendFuture;
+  using RecvFut = Chan::ReceiveFuture;
+
+  // The ISSUE-9 combinator over the same two channels: a receive future is
+  // created per channel (an immediate pairing consumes a parked element at
+  // creation), then whenAnyFor(0) commits a winner and sweeps the rest —
+  // a sweep cancel that loses to a concurrent sender's resume leaves a
+  // stray completion the caller still owns through its future. The op
+  // therefore harvests winner AND strays; sequentially that is exactly
+  // "pop the front of each non-empty queue", encoded pairwise so a lost
+  // or duplicated element is a model mismatch.
+  auto TryAny = SelChecker::OpT{
+      "whenAnyFor(0)",
+      [](SelectState &S) -> std::int64_t {
+        RecvFut F[2] = {S.Ch[0].receive(), S.Ch[1].receive()};
+        RecvFut *Futs[2] = {&F[0], &F[1]};
+        auto R = whenAnyFor(Futs, 2, std::chrono::nanoseconds(0));
+        std::int64_t Got[2] = {0, 0};
+        if (R)
+          Got[R->Index] = 1 + R->Value;
+        for (int I = 0; I < 2; ++I)
+          if ((!R || I != R->Index) && F[I].valid())
+            if (std::optional<int> V = F[I].tryGet())
+              Got[I] = 1 + *V;
+        return Got[0] * 1000 + Got[1];
+      },
+      [](SelectQModel &M) -> std::int64_t {
+        std::int64_t Got[2] = {0, 0};
+        for (int I = 0; I < 2; ++I)
+          if (!M.Q[I].empty()) {
+            Got[I] = 1 + M.Q[I].front().second;
+            M.Q[I].erase(M.Q[I].begin());
+          }
+        return Got[0] * 1000 + Got[1];
+      }};
+
+  auto MakeScenario = [&](std::uint64_t Seed) {
+    SplitMix64 Rng(Seed);
+    SelChecker::Scenario S(3);
+    // Same sender discipline as the select scenario: one channel each, at
+    // most one outstanding send, park then abort.
+    for (int T = 0; T < 2; ++T) {
+      auto Held = std::make_shared<SendFut>(SendFut::invalid());
+      auto Park = SelChecker::OpT{
+          "parkSend",
+          [Held, T](SelectState &S) -> std::int64_t {
+            *Held = S.Ch[T].send(T * 100);
+            return 0;
+          },
+          [T](SelectQModel &M) -> std::int64_t {
+            M.Q[T].push_back({T, T * 100});
+            return 0;
+          }};
+      auto Abort = SelChecker::OpT{
+          "abortSend",
+          [Held](SelectState &S) -> std::int64_t {
+            (void)S;
+            if (!Held->valid() || Held->isImmediate())
+              return 0;
+            return Held->cancel() ? 1 : 0;
+          },
+          [T](SelectQModel &M) -> std::int64_t {
+            for (std::size_t I = 0; I < M.Q[T].size(); ++I)
+              if (M.Q[T][I].first == T) {
+                M.Q[T].erase(M.Q[T].begin() + I);
+                return 1;
+              }
+            return 0;
+          }};
+      int Pairs = 1 + static_cast<int>(Rng.nextBelow(2));
+      for (int I = 0; I < Pairs; ++I) {
+        S[T].push_back(Park);
+        S[T].push_back(Abort);
+      }
+    }
+    int Anys = 2 + static_cast<int>(Rng.nextBelow(2));
+    for (int I = 0; I < Anys; ++I)
+      S[2].push_back(TryAny);
     return S;
   };
   Verdict V = SelChecker::checkMany([] { return new SelectState(); },

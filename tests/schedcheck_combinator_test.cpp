@@ -1,0 +1,455 @@
+//===- tests/schedcheck_combinator_test.cpp - model-checked combinators ---===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The structured-concurrency layer under the deterministic scheduler:
+/// whenAny's loser-cancel vs resume race (both-ready and zero-deadline
+/// shapes), whenAll's settle counting, CancelScope's cancel vs timeout vs
+/// resume three-way, and the TimerQueue mode of timedAwait on its fully
+/// modelled paths (inline expiry for non-positive deadlines; the
+/// per-op virtual-time fallback for positive ones — the timer thread is an
+/// unmodelled OS thread, so modelled threads must never reach it).
+///
+/// Conservation is the oracle throughout: whatever interleaving wins the
+/// result-word CAS, every permit is owned by exactly one of {winner,
+/// stray-completed future, semaphore}. PlainAtomic stats are invisible to
+/// the model and witness that DFS actually reached both the
+/// loser-withdrawn and the stray-completion branches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/Ebr.h"
+#include "schedcheck/Sched.h"
+#include "sync/Semaphore.h"
+#include "task/Combinators.h"
+#include "task/Scope.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+using namespace cqs;
+using namespace std::chrono_literals;
+
+namespace {
+
+using SmallSem = BasicSemaphore<2>;
+
+// --------------------------------------------------------------------------
+// whenAny: first-ready-wins with SMART loser withdrawal.
+// --------------------------------------------------------------------------
+
+/// Both semaphores race to resume their future while whenAny runs: the
+/// loser's cancel() races the loser's resume. Either the withdrawal wins
+/// (release finds the permit back in the pool) or the resume wins (a stray
+/// completion the caller still owns through its future). Each permit ends
+/// owned exactly once.
+void whenAnyBothResumedRace() {
+  auto *A = new SmallSem(1, ResumptionMode::Async);
+  auto *B = new SmallSem(1, ResumptionMode::Async);
+  auto HeldA = A->acquire();
+  auto HeldB = B->acquire();
+  sc::check(HeldA.isImmediate() && HeldB.isImmediate(), "drain failed");
+  auto FA = A->acquire();
+  auto FB = B->acquire();
+  std::optional<WhenAnyResult<Unit>> R;
+  sc::Thread T1 = sc::spawn([&] { A->release(); });
+  sc::Thread T2 = sc::spawn([&] { B->release(); });
+  sc::Thread T3 = sc::spawn([&] { R = whenAny(FA, FB); });
+  T1.join();
+  T2.join();
+  T3.join();
+  sc::check(R.has_value(), "both resumed; whenAny must commit a winner");
+  // Ownership audit, per semaphore: released permit is either with the
+  // winner, with a stray completion, or back in the pool.
+  SmallSem *Sems[2] = {A, B};
+  Future<Unit> *Futs[2] = {&FA, &FB};
+  for (int I = 0; I < 2; ++I) {
+    int Owned = 0;
+    if (R->Index == I || Futs[I]->status() == FutureStatus::Completed)
+      Owned = 1;
+    sc::check(Sems[I]->availablePermits() == 1 - Owned,
+              "permit lost or duplicated in the loser-cancel/resume race");
+    if (Owned)
+      Sems[I]->release();
+    sc::check(Sems[I]->availablePermits() == 1, "drain-back failed");
+  }
+  delete A;
+  delete B;
+}
+
+TEST(SchedcheckCombinator, WhenAnyBothResumedExhaustive) {
+  // PlainAtomic witnesses: the exploration must reach both the clean
+  // loser-withdrawal branch and the stray-completion branch.
+  const JoinStats &JS = joinStats();
+  std::uint64_t Wins0 = JS.AnyWins.load(std::memory_order_relaxed);
+  std::uint64_t Losers0 = JS.AnyLoserCancels.load(std::memory_order_relaxed);
+  std::uint64_t Strays0 = JS.AnyStrays.load(std::memory_order_relaxed);
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, whenAnyBothResumedRace);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+  EXPECT_GT(JS.AnyWins.load(std::memory_order_relaxed), Wins0);
+  EXPECT_GT(JS.AnyLoserCancels.load(std::memory_order_relaxed), Losers0);
+  EXPECT_GT(JS.AnyStrays.load(std::memory_order_relaxed), Strays0);
+}
+
+TEST(SchedcheckCombinator, WhenAnyBothResumedRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 41;
+  O.Iterations = 1200;
+  sc::Result R = sc::explore(O, whenAnyBothResumedRace);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// Zero-deadline whenAnyFor against one racing release: the deadline sweep
+/// cancels both pending futures while the release resumes one of them. A
+/// failed cancel is a concurrent completion and MUST be promoted to winner
+/// (cancel-lost-is-win) — reporting "timed out" while owning the permit is
+/// the bug this scenario exists to catch.
+void whenAnyZeroDeadlineVsRelease() {
+  auto *A = new SmallSem(1, ResumptionMode::Async);
+  auto Held = A->acquire();
+  sc::check(Held.isImmediate(), "drain failed");
+  auto FA = A->acquire();
+  auto FB = A->acquire();
+  std::optional<WhenAnyResult<Unit>> R;
+  sc::Thread T1 = sc::spawn([&] { A->release(); });
+  sc::Thread T2 = sc::spawn([&] {
+    Future<Unit> *Futs[2] = {&FA, &FB};
+    R = whenAnyFor(Futs, 2, 0ns);
+  });
+  T1.join();
+  T2.join();
+  // The released permit is with the winner, with a stray, or back in the
+  // pool (both cancels won before the release arrived).
+  int Owned = R.has_value() ? 1 : 0;
+  for (Future<Unit> *F : {&FA, &FB})
+    if (!(R.has_value() && F == (R->Index == 0 ? &FA : &FB)) &&
+        F->status() == FutureStatus::Completed)
+      ++Owned;
+  sc::check(Owned <= 1, "one release produced two owned permits");
+  sc::check(A->availablePermits() == 1 - Owned,
+            "permit lost or duplicated in the deadline sweep");
+  if (Owned)
+    A->release();
+  sc::check(A->availablePermits() == 1, "drain-back failed");
+  delete A;
+}
+
+TEST(SchedcheckCombinator, WhenAnyZeroDeadlineExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, whenAnyZeroDeadlineVsRelease);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+/// Generous deadline with a guaranteed releaser: exercises the board's
+/// timed epoch-wait (sc::blockOnWordTimed virtual time) on the park path;
+/// the join must always commit the lone completion, never time out.
+void whenAnyGenerousDeadline() {
+  auto *A = new SmallSem(1, ResumptionMode::Async);
+  auto Held = A->acquire();
+  auto FA = A->acquire();
+  std::optional<WhenAnyResult<Unit>> R;
+  sc::Thread T1 = sc::spawn([&] { A->release(); });
+  sc::Thread T2 = sc::spawn([&] {
+    Future<Unit> *Futs[1] = {&FA};
+    R = whenAnyFor(Futs, 1, 10s);
+  });
+  T1.join();
+  T2.join();
+  sc::check(R.has_value() && R->Index == 0,
+            "guaranteed release: the deadline must never win");
+  A->release();
+  sc::check(A->availablePermits() == 1, "permit lost");
+  delete A;
+}
+
+TEST(SchedcheckCombinator, WhenAnyGenerousDeadlineExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, whenAnyGenerousDeadline);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+// --------------------------------------------------------------------------
+// whenAll: settle counting, no cancellation.
+// --------------------------------------------------------------------------
+
+/// One future resumes, the other is cancelled by a third party; whenAll
+/// must wake on the LAST settle (not the first — the whenAny early-fire
+/// bug) and report exactly one completion.
+void whenAllResumeAndCancel() {
+  auto *A = new SmallSem(1, ResumptionMode::Async);
+  auto Held = A->acquire();
+  auto FA = A->acquire();
+  auto FB = A->acquire();
+  int Completed = -1;
+  sc::Thread T1 = sc::spawn([&] { A->release(); });
+  sc::Thread T2 = sc::spawn([&] { (void)FB.cancel(); });
+  sc::Thread T3 = sc::spawn([&] { Completed = whenAll(FA, FB); });
+  T1.join();
+  T2.join();
+  T3.join();
+  // FB's cancel can lose to the release's resume: then FB completed and
+  // owns the permit instead of FA being the only completion.
+  int Owns = 0;
+  for (Future<Unit> *F : {&FA, &FB})
+    if (F->status() == FutureStatus::Completed)
+      ++Owns;
+  sc::check(Completed == Owns, "whenAll miscounted completions");
+  sc::check(Owns == 1, "one release must complete exactly one future");
+  sc::check(A->availablePermits() == 0, "completed future owns the permit");
+  A->release();
+  sc::check(A->availablePermits() == 1, "drain-back failed");
+  delete A;
+}
+
+TEST(SchedcheckCombinator, WhenAllResumeAndCancelExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, whenAllResumeAndCancel);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+// --------------------------------------------------------------------------
+// CancelScope: scope-cancel vs deadline vs resume, and parent fan-out.
+// --------------------------------------------------------------------------
+
+/// The three-way race the scope composes: awaitFor(F, 0) runs the deadline
+/// cancel, a second thread runs scope.cancel(), a third releases. All
+/// three ride the same result-word CAS; the permit ends owned exactly once
+/// (by the await's value if a resume won, else by the pool).
+void scopeCancelVsTimeoutVsResume() {
+  auto *A = new SmallSem(1, ResumptionMode::Async);
+  auto Held = A->acquire();
+  auto FA = A->acquire();
+  auto *Scope = new CancelScope();
+  std::optional<Unit> V;
+  sc::Thread T1 = sc::spawn([&] { V = Scope->awaitFor(FA, 0ns); });
+  sc::Thread T2 = sc::spawn([&] { Scope->cancel(); });
+  sc::Thread T3 = sc::spawn([&] { A->release(); });
+  T1.join();
+  T2.join();
+  T3.join();
+  sc::check(V.has_value() == (FA.status() == FutureStatus::Completed),
+            "awaitFor's report disagrees with the future's state");
+  sc::check(A->availablePermits() == (V.has_value() ? 0 : 1),
+            "permit lost or duplicated in the three-way race");
+  if (V.has_value())
+    A->release();
+  sc::check(A->availablePermits() == 1, "drain-back failed");
+  delete Scope; // all entries removed by awaitFor
+  delete A;
+}
+
+TEST(SchedcheckCombinator, ScopeCancelVsTimeoutVsResumeExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, scopeCancelVsTimeoutVsResume);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckCombinator, ScopeCancelVsTimeoutVsResumeRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 43;
+  O.Iterations = 1200;
+  sc::Result R = sc::explore(O, scopeCancelVsTimeoutVsResume);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// Parent cancel fans out to a child scope while the child registers a
+/// future: whichever order the spinlocked registry serializes, the future
+/// ends cancelled (by the sweep, or immediately by cancelled-before-add)
+/// and the registry never loses an entry.
+void parentCancelVsChildAdd() {
+  auto *A = new SmallSem(1, ResumptionMode::Async);
+  auto Held = A->acquire();
+  auto FA = A->acquire();
+  auto *Parent = new CancelScope();
+  auto *Child = new CancelScope(Parent);
+  CancelScope::Entry *E = nullptr;
+  sc::Thread T1 = sc::spawn([&] { E = Child->add(FA); });
+  sc::Thread T2 = sc::spawn([&] { Parent->cancel(); });
+  T1.join();
+  T2.join();
+  sc::check(Child->isCancelled(), "parent cancel must reach the child");
+  sc::check(FA.status() == FutureStatus::Cancelled,
+            "registered future escaped the cancel fan-out");
+  Child->remove(E);
+  delete Child;
+  delete Parent;
+  A->release();
+  sc::check(A->availablePermits() == 1, "cancelled acquire kept the permit");
+  delete A;
+}
+
+TEST(SchedcheckCombinator, ParentCancelVsChildAddExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, parentCancelVsChildAdd);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+// --------------------------------------------------------------------------
+// TimerQueue mode of timedAwait: the modelled paths.
+// --------------------------------------------------------------------------
+
+/// Zero-deadline tryAcquireFor in TimerQueue mode races a release. The
+/// non-positive deadline expires inline in the caller (never touching the
+/// unmodelled timer thread), so the full cancel-vs-resume CAS race is
+/// explored; the permit balances whichever side wins.
+void queuedZeroDeadlineVsRelease() {
+  auto *Sem = new SmallSem(1, ResumptionMode::Async);
+  auto Held = Sem->acquire();
+  sc::check(Held.isImmediate(), "drain failed");
+  bool Got = false;
+  sc::Thread T1 = sc::spawn([&] {
+    TimedWaitModeScope Mode(TimedWaitVia::TimerQueue);
+    Got = Sem->tryAcquireFor(0ns);
+  });
+  sc::Thread T2 = sc::spawn([&] { Sem->release(); });
+  T1.join();
+  T2.join();
+  sc::check(Sem->availablePermits() == (Got ? 0 : 1),
+            "permit lost or duplicated in the inline-expiry race");
+  if (Got)
+    Sem->release();
+  sc::check(Sem->availablePermits() == 1, "drain-back failed");
+  delete Sem;
+}
+
+TEST(SchedcheckCombinator, QueuedZeroDeadlineRaceExhaustive) {
+  // Witness both outcomes: the inline cancel winning (timeout) and the
+  // resume winning (rescue).
+  const TimedWaitStats &TS = timedWaitStats();
+  std::uint64_t Timeouts0 = TS.Timeouts.load(std::memory_order_relaxed);
+  std::uint64_t Rescues0 = TS.Rescues.load(std::memory_order_relaxed);
+  const TimerStats &TQ = timerStats();
+  std::uint64_t Inline0 = TQ.InlineExpiries.load(std::memory_order_relaxed);
+  std::uint64_t Sched0 = TQ.Scheduled.load(std::memory_order_relaxed);
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, queuedZeroDeadlineVsRelease);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+  EXPECT_GT(TS.Timeouts.load(std::memory_order_relaxed), Timeouts0);
+  EXPECT_GT(TS.Rescues.load(std::memory_order_relaxed), Rescues0);
+  EXPECT_GT(TQ.InlineExpiries.load(std::memory_order_relaxed), Inline0);
+  EXPECT_EQ(TQ.Scheduled.load(std::memory_order_relaxed), Sched0)
+      << "modelled threads must never arm the OS timer thread";
+}
+
+/// Positive deadline in TimerQueue mode from a modelled thread: the mode
+/// must fall back to the per-op modelled timed futex (virtual time), and
+/// with a guaranteed releaser the acquire always succeeds.
+void queuedGenerousDeadlineFallsBackToVirtualTime() {
+  auto *Sem = new SmallSem(1, ResumptionMode::Async);
+  auto Held = Sem->acquire();
+  bool Got = false;
+  sc::Thread T1 = sc::spawn([&] {
+    TimedWaitModeScope Mode(TimedWaitVia::TimerQueue);
+    Got = Sem->tryAcquireFor(10s);
+  });
+  sc::Thread T2 = sc::spawn([&] { Sem->release(); });
+  T1.join();
+  T2.join();
+  sc::check(Got, "guaranteed release: the deadline must never win");
+  Sem->release();
+  sc::check(Sem->availablePermits() == 1, "permit lost");
+  delete Sem;
+}
+
+TEST(SchedcheckCombinator, QueuedGenerousDeadlineExhaustive) {
+  const TimerStats &TQ = timerStats();
+  std::uint64_t Sched0 = TQ.Scheduled.load(std::memory_order_relaxed);
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, queuedGenerousDeadlineFallsBackToVirtualTime);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+  EXPECT_EQ(TQ.Scheduled.load(std::memory_order_relaxed), Sched0)
+      << "modelled threads must never arm the OS timer thread";
+}
+
+// --------------------------------------------------------------------------
+// Happens-before (DESIGN.md §11): the join board must carry the resumer's
+// plain writes to the combinator's caller — a relaxed downgrade in the
+// settle counter, the winner CAS, or the epoch ring fails this run.
+// --------------------------------------------------------------------------
+
+void whenAnyCarriesPayloadHb() {
+  auto *A = new SmallSem(1, ResumptionMode::Async);
+  auto *D = new Shared<int>(0);
+  auto Held = A->acquire();
+  auto FA = A->acquire();
+  sc::Thread T1 = sc::spawn([&] {
+    D->set(123); // plain write, ordered only by the release that follows
+    A->release();
+  });
+  sc::Thread T2 = sc::spawn([&] {
+    auto R = whenAny(FA);
+    sc::check(R.has_value() && R->Index == 0, "lone resume must win");
+    sc::check(D->get() == 123, "payload not visible after whenAny");
+  });
+  T1.join();
+  T2.join();
+  A->release();
+  delete D;
+  delete A;
+}
+
+TEST(SchedcheckCombinator, WhenAnyCarriesHappensBeforeToPayload) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 47;
+  O.Iterations = 800;
+  O.HbCheck = true;
+  sc::Result R = sc::explore(O, whenAnyCarriesPayloadHb);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -24,6 +24,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
 #include <vector>
 
 using namespace cqs;
@@ -179,6 +182,119 @@ TEST(FireAndForget, UnspawnedTaskDoesNotLeakOrRun) {
   }
   EXPECT_EQ(Counter.load(), 0);
   Wg.done(); // balance the never-run task's pending count
+}
+
+/// Runs its body inline on the calling (non-worker) thread: suspend_never
+/// initial suspend, so awaits inside happen with Executor::current()==null.
+struct InlineTask {
+  struct promise_type {
+    InlineTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+// Regression (ISSUE 9): awaiting a CQS future off-executor used to
+// null-deref Exec in release builds when the assert compiled out. The
+// contract now: the await parks the calling thread (futex) and resumes
+// inline once the future settles.
+TEST(Awaitable, OffExecutorAwaitCompletesOnCallerThread) {
+  ASSERT_EQ(Executor::current(), nullptr);
+  Semaphore S(1);
+  auto Held = S.acquire(); // drain the only permit
+  ASSERT_TRUE(Held.isImmediate());
+  std::atomic<bool> Done{false};
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    S.release();
+  });
+  [](Semaphore &S, std::atomic<bool> &Done) -> InlineTask {
+    // No permit available: this suspends, and there is no executor — the
+    // await must block this thread and resume here, not crash.
+    auto Grant = co_await awaitFuture(S.acquire());
+    EXPECT_TRUE(Grant.has_value());
+    S.release();
+    Done.store(true);
+  }(S, Done);
+  // The inline coroutine only returns control once the await completed.
+  EXPECT_TRUE(Done.load());
+  Releaser.join();
+  EXPECT_EQ(S.availablePermits(), 1);
+}
+
+// Regression (ISSUE 9): spawning a moved-from FireAndForget used to post a
+// null coroutine_handle which a worker then resumed. Now: assert in debug
+// builds, harmless no-op in release (post() rejects null).
+TEST(FireAndForget, SpawnOfMovedFromTaskIsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEBUG_DEATH(
+      {
+        Executor DeathExec(1);
+        std::atomic<int> C{0};
+        WaitGroup W(1);
+        auto T = incrementTask(C, W);
+        auto T2 = std::move(T);
+        std::move(T).spawn(DeathExec); // moved-from: must not reach a worker
+        W.done(); // release builds reach here: nothing was posted
+      },
+      "moved-from");
+}
+
+TEST(Executor, PostNullHandleReturnsFalse) {
+  Executor Exec(1);
+  EXPECT_FALSE(Exec.post(std::coroutine_handle<>()));
+}
+
+/// Exposes the raw handle so tests can call Executor::post directly.
+struct RawTask {
+  struct promise_type {
+    RawTask get_return_object() {
+      return RawTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> H;
+};
+
+RawTask rawNoop(std::shared_ptr<int> /*Token*/, std::atomic<bool> &Ran) {
+  Ran.store(true);
+  co_return;
+}
+
+// Regression (ISSUE 9): a post() racing shutdown used to silently drop the
+// continuation, leaking its frame. Contract now: post-after-shutdown
+// destroys the handle (observable through the frame-held shared_ptr) and
+// returns false.
+TEST(Executor, PostAfterShutdownDestroysHandleAndReturnsFalse) {
+  auto Token = std::make_shared<int>(42);
+  std::atomic<bool> Ran{false};
+  Executor Exec(1);
+  Exec.shutdown();
+  auto T = rawNoop(Token, Ran);
+  EXPECT_EQ(Token.use_count(), 2); // the suspended frame holds a copy
+  EXPECT_FALSE(Exec.post(T.H));
+  EXPECT_FALSE(Ran.load()) << "destroyed, never resumed";
+  EXPECT_EQ(Token.use_count(), 1) << "frame not destroyed: leaked";
+}
+
+TEST(Executor, ShutdownIsIdempotentAndPostBeforeItRuns) {
+  std::atomic<bool> Ran{false};
+  auto Token = std::make_shared<int>(7);
+  {
+    Executor Exec(1);
+    auto T = rawNoop(Token, Ran);
+    EXPECT_TRUE(Exec.post(T.H));
+    Exec.shutdown();
+    Exec.shutdown(); // idempotent
+    // Already-posted work still drains before the workers exit.
+  }
+  EXPECT_TRUE(Ran.load());
+  EXPECT_EQ(Token.use_count(), 1);
 }
 
 TEST(Awaitable, ImmediateFutureDoesNotSuspend) {
