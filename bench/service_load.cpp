@@ -1,0 +1,299 @@
+//===- bench/service_load.cpp - million-client open-loop service load -----===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The end-to-end load benchmark of the sharded quota service (DESIGN.md
+/// §13, EXPERIMENTS.md): an *open-loop* generator drives 1M+ logical
+/// clients — bounded worker threads submitting on Poisson (exponential
+/// inter-arrival) schedules — through the full composition: ChannelV2
+/// request queues, per-tenant ShardedSemaphore admission with TimerQueue
+/// deadlines, the StripedRwMutex tenant table, the connection pool, and
+/// coroutine handlers on the executor.
+///
+/// Open-loop discipline (the part microbenches cannot model):
+///
+///  - every client's latency is measured from its *scheduled* arrival
+///    time, not from when the generator got around to submitting it, so a
+///    slow service cannot hide queueing delay behind a slowed-down
+///    generator (no coordinated omission);
+///  - clients never block: replies land through Request::Continuation, so
+///    the number of outstanding requests is set by the service's speed,
+///    not by the generator's thread count.
+///
+/// One tenant is *hot* — its offered load exceeds its admission capacity
+/// (limit / hold time) — so the run exercises deadline shedding, while the
+/// cold tenants measure the happy path. Reported series:
+///
+///   p50/p99/p999   served-request latency (us, lower is better)
+///   goodput        served requests per second (higher)
+///   shed rate      shed / submitted, % (diagnostic, ungated: set by the
+///                  offered-load-to-capacity ratio, not by code quality)
+///   admission hit  admitted / (admitted + shed-deadline), % (diagnostic)
+///
+/// The latency/goodput series are gated by tools/bench_compare.py against
+/// the committed BENCH_10.json (p999 at a wider band — see the
+/// --p999-threshold flag). Quick and full mode run the *same arrival
+/// rate* — quick only shortens the run — so their distributions are
+/// comparable and the nightly full run can be sanity-checked against the
+/// committed quick baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchMain.h"
+
+#include "service/QuotaService.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::service;
+using namespace std::chrono;
+using bench::Reporter;
+
+namespace {
+
+constexpr std::uint64_t HotTenant = 0;
+constexpr unsigned NumTenants = 64;
+
+struct LoadShape {
+  std::uint64_t Clients;      ///< total logical clients per repetition
+  double RatePerSec;          ///< aggregate Poisson arrival rate
+  unsigned LoadThreads;       ///< generator threads (bounded workers)
+  nanoseconds HoldTime;       ///< simulated backend latency per request
+  std::int64_t HotLimit;      ///< hot tenant permit limit (overloaded)
+  std::int64_t ColdLimit;     ///< cold tenant permit limit (uncontended)
+  nanoseconds Deadline;       ///< per-tenant admission deadline
+  double HotShare;            ///< fraction of traffic aimed at HotTenant
+};
+
+/// One logical client: a preallocated slot whose continuation records the
+/// reply latency from the *scheduled* arrival. Lives for the whole rep;
+/// the service's complete() invokes us on a handler thread, and done()
+/// publishes the writes to the collector via the WaitGroup.
+struct ClientSlot final : QuotaService::ReplyRequest::Continuation {
+  steady_clock::time_point Scheduled;
+  QuotaService::ReplyFuture F;
+  WaitGroup *WG = nullptr;
+  double LatencyUs = 0;
+  std::int32_t Verdict = -1;
+
+  void invoke(std::uint64_t ResultWord) override {
+    LatencyUs =
+        duration<double, std::micro>(steady_clock::now() - Scheduled).count();
+    // The bench never cancels its replies, so the word is always a value.
+    Verdict = decodeValueWord<std::int32_t>(ResultWord);
+    WG->done();
+  }
+
+  /// The reply settled before the continuation could attach (immediate
+  /// shed, or the service won the race): record inline.
+  void completeInline() {
+    LatencyUs =
+        duration<double, std::micro>(steady_clock::now() - Scheduled).count();
+    Verdict = F.tryGet().value_or(-1);
+    WG->done();
+  }
+};
+
+struct RepMetrics {
+  double P50 = 0, P99 = 0, P999 = 0;
+  double Goodput = 0, ShedRate = 0, AdmissionHit = 0;
+};
+
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  double Idx = P * static_cast<double>(Sorted.size() - 1);
+  std::size_t Lo = static_cast<std::size_t>(Idx);
+  std::size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Idx - static_cast<double>(Lo);
+  return Sorted[Lo] + Frac * (Sorted[Hi] - Sorted[Lo]);
+}
+
+/// Runs one repetition: a fresh service, Shape.Clients open-loop arrivals,
+/// then a full drain and the conservation audit.
+RepMetrics runRep(const LoadShape &Shape, std::vector<ClientSlot> &Slots,
+                  unsigned Rep) {
+  ServiceConfig C;
+  C.Dispatchers = 2;
+  C.HandlerThreads = 2;
+  C.QueueCapacity = 8192;
+  C.Connections = 256;
+  C.Admission = AdmissionMode::Async;
+  C.HoldTime = Shape.HoldTime;
+  C.IdlePoll = milliseconds(5);
+  QuotaService S(C);
+  S.configureTenant(HotTenant, Shape.HotLimit, Shape.Deadline);
+  for (std::uint64_t T = 1; T < NumTenants; ++T)
+    S.configureTenant(T, Shape.ColdLimit, Shape.Deadline);
+
+  WaitGroup WG;
+  const std::uint64_t PerThread = Shape.Clients / Shape.LoadThreads;
+  const std::uint64_t Total = PerThread * Shape.LoadThreads;
+  const double MeanGapNs =
+      1e9 * static_cast<double>(Shape.LoadThreads) / Shape.RatePerSec;
+
+  auto Start = steady_clock::now();
+  std::vector<std::thread> Gen;
+  Gen.reserve(Shape.LoadThreads);
+  for (unsigned T = 0; T < Shape.LoadThreads; ++T) {
+    Gen.emplace_back([&, T] {
+      // Deterministic per-(thread, rep) schedule so repetitions are
+      // directly comparable draws of the same arrival process.
+      std::mt19937_64 Rng(0x9E3779B97F4A7C15ull * (T + 1) + Rep);
+      std::exponential_distribution<double> Gap(1.0 / MeanGapNs);
+      std::uniform_real_distribution<double> Pick(0.0, 1.0);
+      double NextNs = 0;
+      ClientSlot *Mine = Slots.data() + static_cast<std::size_t>(T) * PerThread;
+      for (std::uint64_t I = 0; I < PerThread; ++I) {
+        NextNs += Gap(Rng);
+        auto Target =
+            Start + nanoseconds(static_cast<std::int64_t>(NextNs));
+        // Hybrid pacing: sleep while far out, spin the last stretch.
+        for (;;) {
+          auto Now = steady_clock::now();
+          if (Now >= Target)
+            break;
+          if (Target - Now > microseconds(200))
+            std::this_thread::sleep_for(Target - Now - microseconds(100));
+        }
+        std::uint64_t Tenant =
+            Pick(Rng) < Shape.HotShare
+                ? HotTenant
+                : 1 + static_cast<std::uint64_t>(Pick(Rng) * (NumTenants - 1)) %
+                          (NumTenants - 1);
+        ClientSlot &Slot = Mine[I];
+        Slot.Scheduled = Target; // scheduled, not actual: open loop
+        Slot.WG = &WG;
+        WG.add();
+        Slot.F = S.submit(Tenant);
+        QuotaService::ReplyRequest *R = Slot.F.request();
+        if (!R || !R->setContinuation(&Slot))
+          Slot.completeInline();
+      }
+    });
+  }
+  for (std::thread &T : Gen)
+    T.join();
+  WG.wait();
+  double ElapsedSec =
+      duration<double>(steady_clock::now() - Start).count();
+  S.shutdown();
+
+  ServiceStatsSnapshot Snap = S.snapshot();
+  bool Conserved = Snap.accountingBalanced();
+  S.table().forEachLimiter([&](std::uint64_t, const TenantLimiter &L) {
+    Conserved = Conserved && L.quiescentConserved();
+  });
+  if (!Conserved || Snap.Submitted != Total) {
+    std::fprintf(stderr, "service_load: conservation violated in rep %u\n",
+                 Rep);
+    std::exit(1);
+  }
+
+  std::vector<double> ServedLat;
+  ServedLat.reserve(Total);
+  for (std::uint64_t I = 0; I < Total; ++I)
+    if (Slots[I].Verdict == VerdictServed)
+      ServedLat.push_back(Slots[I].LatencyUs);
+  std::sort(ServedLat.begin(), ServedLat.end());
+
+  RepMetrics M;
+  M.P50 = percentile(ServedLat, 0.50);
+  M.P99 = percentile(ServedLat, 0.99);
+  M.P999 = percentile(ServedLat, 0.999);
+  M.Goodput = ElapsedSec > 0
+                  ? static_cast<double>(Snap.Served) / ElapsedSec
+                  : 0;
+  M.ShedRate = Snap.Submitted
+                   ? 100.0 * static_cast<double>(Snap.shed()) /
+                         static_cast<double>(Snap.Submitted)
+                   : 0;
+  std::uint64_t AdmissionDecisions = Snap.Admitted + Snap.ShedDeadline;
+  M.AdmissionHit = AdmissionDecisions
+                       ? 100.0 * static_cast<double>(Snap.Admitted) /
+                             static_cast<double>(AdmissionDecisions)
+                       : 100.0;
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Reporter R("service_load",
+             "open-loop million-client load on the sharded quota service",
+             Argc, Argv);
+
+  LoadShape Shape;
+  // Same arrival rate in both modes; quick only shortens the run (so the
+  // two distributions stay comparable, see the file comment). The rate is
+  // sized for the 1-2 core CI class: the service+generator together must
+  // keep up, or open-loop latencies measure generator lag, not the code.
+  Shape.RatePerSec = 25000.0;
+  Shape.Clients =
+      static_cast<std::uint64_t>(R.ops(/*Full=*/1'250'000, /*Quick=*/50'000));
+  Shape.LoadThreads = 2;
+  Shape.HoldTime = milliseconds(1);
+  Shape.HotLimit = 2;   // capacity 2/1ms = 2k/s << 25% of 25k/s: overloaded
+  Shape.ColdLimit = 64; // never the bottleneck
+  Shape.Deadline = microseconds(500);
+  Shape.HotShare = 0.25;
+
+  const int Reps = R.reps(/*Default=*/3);
+  std::vector<ClientSlot> Slots(Shape.Clients / Shape.LoadThreads *
+                                Shape.LoadThreads);
+
+  char Params[160];
+  std::snprintf(Params, sizeof(Params),
+                "rate=%.0f/s,tenants=%u,hotShare=%.2f,hotLimit=%lld,"
+                "hold=%lldus,deadline=%lldus",
+                Shape.RatePerSec, NumTenants, Shape.HotShare,
+                (long long)Shape.HotLimit,
+                (long long)duration_cast<microseconds>(Shape.HoldTime).count(),
+                (long long)duration_cast<microseconds>(Shape.Deadline).count());
+  R.context(Params);
+
+  std::printf("service_load: %llu clients/rep at %.0f/s, %d reps (%s)\n",
+              (unsigned long long)Slots.size(), Shape.RatePerSec, Reps,
+              R.quick() ? "quick" : "full");
+
+  std::vector<double> P50s, P99s, P999s, Goodputs, ShedRates, Hits;
+  CqsStatsSnapshot Before = CqsStats::processSnapshot();
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    RepMetrics M = runRep(Shape, Slots, static_cast<unsigned>(Rep));
+    std::printf("  rep %d: p50=%.1fus p99=%.1fus p999=%.1fus goodput=%.0f/s "
+                "shed=%.2f%% admit=%.2f%%\n",
+                Rep, M.P50, M.P99, M.P999, M.Goodput, M.ShedRate,
+                M.AdmissionHit);
+    P50s.push_back(M.P50);
+    P99s.push_back(M.P99);
+    P999s.push_back(M.P999);
+    Goodputs.push_back(M.Goodput);
+    ShedRates.push_back(M.ShedRate);
+    Hits.push_back(M.AdmissionHit);
+  }
+  CqsStatsSnapshot Delta = CqsStats::processSnapshot() - Before;
+
+  int Threads = static_cast<int>(Shape.LoadThreads);
+  R.record("p50", Threads, "us", "lower", P50s, Delta);
+  R.record("p99", Threads, "us", "lower", P99s, Delta);
+  R.record("p999", Threads, "us", "lower", P999s, Delta);
+  R.record("goodput", Threads, "ops/s", "higher", Goodputs, Delta);
+  // Structural ratios of offered load to configured capacity: reported for
+  // the record, never gated (a faster host sheds the same fraction).
+  R.record("shed rate", Threads, "%", "lower", ShedRates, Delta,
+           /*Gated=*/false);
+  R.record("admission hit rate", Threads, "%", "higher", Hits, Delta,
+           /*Gated=*/false);
+  R.finish();
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===- examples/quota_server.cpp - sharded quota service demo -------------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A runnable tour of the end-to-end composition layer (DESIGN.md §13):
+/// a sharded quota service built from the library's primitives — ChannelV2
+/// request queues, ShardedSemaphore per-tenant limiters with admission
+/// deadlines, a StripedRwMutex-guarded tenant table with hot-reload, a
+/// blocking connection pool, and whenAnyFor shutdown races.
+///
+/// The demo configures a hot tenant with a tight limit and a cold tenant
+/// with a generous one, drives concurrent client traffic (including clients
+/// that give up early, exercising the client-cancel path), hot-reloads the
+/// hot tenant's limit mid-traffic, then shuts down and prints the
+/// accounting: every submission resolves to exactly one verdict, and every
+/// limiter generation conserved its permits.
+///
+/// Build & run:  ./build/examples/quota_server
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/QuotaService.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::service;
+using namespace std::chrono;
+
+namespace {
+
+constexpr std::uint64_t HotTenant = 1;
+constexpr std::uint64_t ColdTenant = 2;
+constexpr std::uint64_t GhostTenant = 99; // never configured
+
+} // namespace
+
+int main() {
+  ServiceConfig C;
+  C.Dispatchers = 2;
+  C.HandlerThreads = 4;
+  C.QueueCapacity = 256;
+  C.Connections = 16;
+  C.Admission = AdmissionMode::Async;
+  C.HoldTime = microseconds(200); // simulated backend latency
+  QuotaService S(C);
+
+  // A hot tenant with a tight limit (it will shed under load) and a cold
+  // tenant that comfortably absorbs its share.
+  S.configureTenant(HotTenant, /*Limit=*/2, /*AdmissionDeadline=*/
+                    microseconds(300));
+  S.configureTenant(ColdTenant, /*Limit=*/32, milliseconds(5));
+
+  std::atomic<long> Served{0}, Shed{0}, GaveUp{0};
+  std::vector<std::thread> Clients;
+  for (int T = 0; T < 8; ++T) {
+    Clients.emplace_back([&, T] {
+      for (int I = 0; I < 2000; ++I) {
+        // 1 in 4 requests hits the hot tenant; a few target a tenant that
+        // was never configured; most clients wait generously, but every
+        // 16th gives up almost immediately (client-cancel path).
+        std::uint64_t Tenant = (I % 4 == 0) ? HotTenant : ColdTenant;
+        if (I % 97 == 0)
+          Tenant = GhostTenant;
+        nanoseconds Patience =
+            (I % 16 == 0) ? nanoseconds(microseconds(10)) : nanoseconds(milliseconds(50));
+        std::optional<std::int32_t> V = S.call(Tenant, Patience);
+        if (!V)
+          GaveUp.fetch_add(1);
+        else if (*V == VerdictServed)
+          Served.fetch_add(1);
+        else
+          Shed.fetch_add(1);
+        (void)T;
+      }
+    });
+  }
+
+  // Hot-reload the hot tenant's limit mid-traffic: in-flight requests
+  // release into the generation they acquired from, so both generations
+  // conserve their permits.
+  std::this_thread::sleep_for(milliseconds(30));
+  S.configureTenant(HotTenant, /*Limit=*/8, microseconds(300));
+
+  for (auto &T : Clients)
+    T.join();
+  S.shutdown();
+
+  ServiceStatsSnapshot Snap = S.snapshot();
+  std::printf("submitted:        %llu\n",
+              (unsigned long long)Snap.Submitted);
+  std::printf("  served:         %llu\n", (unsigned long long)Snap.Served);
+  std::printf("  shed deadline:  %llu\n",
+              (unsigned long long)Snap.ShedDeadline);
+  std::printf("  shed queue:     %llu\n",
+              (unsigned long long)Snap.ShedQueueFull);
+  std::printf("  shed unknown:   %llu\n",
+              (unsigned long long)Snap.ShedUnknownTenant);
+  std::printf("  shed shutdown:  %llu\n",
+              (unsigned long long)Snap.ShedShutdown);
+  std::printf("  client cancel:  %llu\n",
+              (unsigned long long)Snap.ClientCancelled);
+  std::printf("client view: served=%ld shed=%ld gave-up=%ld\n", Served.load(),
+              Shed.load(), GaveUp.load());
+  std::printf("hot reloads:      %llu\n", (unsigned long long)Snap.Reloads);
+  std::printf("accounting balanced: %s\n",
+              Snap.accountingBalanced() ? "yes" : "NO");
+
+  bool Conserved = true;
+  S.table().forEachLimiter([&](std::uint64_t Tenant, const TenantLimiter &L) {
+    std::printf("tenant %llu gen %llu: limit=%lld admitted=%llu released=%llu "
+                "shed=%llu conserved=%s\n",
+                (unsigned long long)Tenant, (unsigned long long)L.Generation,
+                (long long)L.Limit, (unsigned long long)L.admitted(),
+                (unsigned long long)L.released(),
+                (unsigned long long)L.shedCount(),
+                L.quiescentConserved() ? "yes" : "NO");
+    Conserved = Conserved && L.quiescentConserved();
+  });
+
+  if (!Snap.accountingBalanced() || !Conserved) {
+    std::printf("FAILED: conservation violated\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,0 +1,431 @@
+//===- service/QuotaService.h - sharded quota/rate-limit server -*- C++ -*-=//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end composition layer (DESIGN.md §13): a sharded quota
+/// service built entirely from the library's primitives, exercising them
+/// the way a production admission pipeline does —
+///
+///   submit()  --trySend-->  ChannelV2 request queues   (shed: queue full)
+///   dispatcher threads      whenAnyFor(request, stop)  (shutdown race)
+///   TenantTable route()     StripedRwMutex shared lock (hot-reload race)
+///   TenantLimiter           ShardedSemaphore admission (shed: deadline)
+///   handler coroutines      Executor + Pool<Connection> (backend stage)
+///   reply Request           one result-word CAS        (client-cancel race)
+///
+/// Two admission flavours, selected per service:
+///
+///  - AdmissionMode::Inline — the dispatcher calls tryAcquireFor(deadline)
+///    synchronously (TimedWaitVia::TimerQueue when QueuedAdmissionWaits is
+///    set, the PR 9 central-timer mode). The wait blocks the dispatcher, so
+///    an exhausted tenant applies head-of-line backpressure to its queue —
+///    the classic thread-per-stage server. Deterministic and simple; the
+///    conservation tests drive it hard.
+///  - AdmissionMode::Async — the handler coroutine races Sem.acquire()
+///    against a TimerQueue cancel (completeOnTimeout); nothing blocks, so
+///    one exhausted tenant cannot stall the pipeline. The million-client
+///    load benchmark runs this mode.
+///
+/// Shed-vs-queue policy: the request queue is bounded and submit() never
+/// parks — overload sheds *at the edge* (VerdictShedQueueFull) instead of
+/// queueing unboundedly, while admitted work is never dropped. The CQS
+/// queue inside each primitive stays the single authority on waiter order
+/// (PR 6's lincheck argument): the service adds routing and deadlines
+/// around the primitives, never a second waiter list.
+///
+/// Every reply is one CQS Request: the served/shed/client-cancelled
+/// trichotomy rides the single result-word CAS, so "no request is both
+/// shed and served" is inherited from Appendix G.2 rather than enforced by
+/// service code. See service/ServiceStats.h for the accounting identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SERVICE_QUOTASERVICE_H
+#define CQS_SERVICE_QUOTASERVICE_H
+
+#include "future/TimedAwait.h"
+#include "service/ServiceStats.h"
+#include "service/TenantTable.h"
+#include "support/Striping.h"
+#include "support/WaitGroup.h"
+#include "sync/ChannelV2.h"
+#include "sync/Pool.h"
+#include "task/Awaitable.h"
+#include "task/Combinators.h"
+#include "task/Executor.h"
+#include "task/Task.h"
+#include "task/TimerQueue.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cqs {
+namespace service {
+
+/// A pooled backend connection; the payload is a stand-in for whatever a
+/// real service would pool (sockets, db handles). Bounded by
+/// ServiceConfig::Connections, so the pool is a second admission surface
+/// behind the per-tenant limiters.
+struct Connection {
+  std::uint32_t Id = 0;
+};
+
+enum class AdmissionMode {
+  Inline, ///< dispatcher blocks in tryAcquireFor (bounded by the deadline)
+  Async,  ///< handler races Sem.acquire() vs a TimerQueue cancel
+};
+
+struct ServiceConfig {
+  /// Dispatcher threads; each owns one request queue.
+  unsigned Dispatchers = 2;
+  /// Executor threads running the handler coroutines.
+  unsigned HandlerThreads = 2;
+  /// Per-queue capacity; trySend beyond it sheds VerdictShedQueueFull.
+  std::int64_t QueueCapacity = 1024;
+  /// Pooled backend connections shared by all handlers.
+  unsigned Connections = 64;
+  /// Dispatcher whenAnyFor sweep period while idle.
+  std::chrono::nanoseconds IdlePoll = std::chrono::milliseconds(50);
+  AdmissionMode Admission = AdmissionMode::Async;
+  /// How long a served request holds its permit + connection (simulated
+  /// backend latency). Slept on the TimerQueue — the handler suspends, no
+  /// thread blocks. 0 = complete immediately.
+  std::chrono::nanoseconds HoldTime{0};
+  /// Inline mode: route tryAcquireFor through TimedWaitVia::TimerQueue
+  /// (PR 9) instead of per-op timed futex waits.
+  bool QueuedAdmissionWaits = true;
+};
+
+/// A Future<Unit> completed by the central timer thread after \p Delay —
+/// the suspending analogue of sleep_for, used for simulated backend hold
+/// times. Non-positive delays complete immediately.
+inline Future<Unit> timerSleep(std::chrono::nanoseconds Delay) {
+  if (Delay.count() <= 0)
+    return Future<Unit>::immediate(Unit{});
+  using Req = Request<Unit>;
+  Req *R = Req::acquire(/*InitialRefs=*/2); // timer entry + returned future
+  Future<Unit> F = Future<Unit>::suspended(Ref<Req>::adopt(R));
+  (void)TimerQueue::instance().schedule(
+      Delay,
+      /*Fire=*/[](void *P) { (void)static_cast<Req *>(P)->complete(Unit{}); },
+      /*Drop=*/[](void *P) { static_cast<Req *>(P)->release(); }, R);
+  return F;
+}
+
+class QuotaService {
+public:
+  using ReplyRequest = Request<std::int32_t>;
+  using ReplyFuture = Future<std::int32_t>;
+
+  explicit QuotaService(const ServiceConfig &C)
+      : Cfg(sanitize(C)), Exec(Cfg.HandlerThreads), StopCh(Cfg.Dispatchers),
+        QueueStripes(roundUpPow2Stripes(Cfg.Dispatchers)) {
+    Queues.reserve(Cfg.Dispatchers);
+    for (unsigned I = 0; I < Cfg.Dispatchers; ++I)
+      Queues.push_back(
+          std::make_unique<RequestQueue>(Cfg.QueueCapacity));
+    ConnStore.resize(Cfg.Connections);
+    for (unsigned I = 0; I < Cfg.Connections; ++I) {
+      ConnStore[I].Id = I;
+      Conns.put(&ConnStore[I]);
+    }
+    Dispatchers.reserve(Cfg.Dispatchers);
+    for (unsigned I = 0; I < Cfg.Dispatchers; ++I)
+      Dispatchers.emplace_back([this, I] { dispatchLoop(I); });
+  }
+
+  QuotaService(const QuotaService &) = delete;
+  QuotaService &operator=(const QuotaService &) = delete;
+
+  ~QuotaService() { shutdown(); }
+
+  /// Installs or hot-reloads \p Tenant's limiter. Safe during traffic:
+  /// requests already admitted release into the generation they acquired
+  /// from (see service/TenantTable.h).
+  void configureTenant(std::uint64_t Tenant, std::int64_t Limit,
+                       std::chrono::nanoseconds AdmissionDeadline,
+                       unsigned Shards = 0) {
+    (void)Table.configure(Tenant, Limit, AdmissionDeadline, Shards);
+    bump(Stats.Reloads);
+  }
+
+  /// Submits one request for \p Tenant. Never parks: overload resolves the
+  /// returned future immediately with a shed verdict. The caller may
+  /// blockingGet(), timedAwait(), or cancel() the reply; a cancel that
+  /// beats the service's complete() counts as ClientCancelled and the
+  /// request's permit (if any) is still released exactly once.
+  ReplyFuture submit(std::uint64_t Tenant) {
+    bump(Stats.Submitted);
+    // Register-then-recheck against shutdown() (Dekker, both sides
+    // seq_cst): after shutdown observes SubmitsInFlight == 0, every later
+    // submit must see Closing and shed — no message can slip into a queue
+    // that has already been drained.
+    SubmitsInFlight.fetch_add(1, std::memory_order_seq_cst);
+    if (Closing.load(std::memory_order_seq_cst)) {
+      SubmitsInFlight.fetch_sub(1, std::memory_order_seq_cst);
+      bump(Stats.ShedShutdown);
+      return ReplyFuture::immediate(VerdictShedShutdown);
+    }
+    ReplyRequest *Reply = ReplyRequest::acquire(/*InitialRefs=*/2);
+    ReplyFuture F = ReplyFuture::suspended(Ref<ReplyRequest>::adopt(Reply));
+    auto *M = new RequestMsg{Tenant, Reply};
+    unsigned Q = currentStripe(QueueStripes) % Cfg.Dispatchers;
+    if (!Queues[Q]->trySend(M))
+      finish(M, VerdictShedQueueFull);
+    SubmitsInFlight.fetch_sub(1, std::memory_order_seq_cst);
+    return F;
+  }
+
+  /// submit() + timedAwait: the synchronous client call. nullopt iff the
+  /// client deadline expired first (the reply was withdrawn); a reply that
+  /// beats the cancel is returned even at the deadline (rescue semantics,
+  /// DESIGN.md §8).
+  std::optional<std::int32_t> call(std::uint64_t Tenant,
+                                   std::chrono::nanoseconds ClientDeadline) {
+    ReplyFuture F = submit(Tenant);
+    return timedAwait(F, ClientDeadline);
+  }
+
+  /// Stops accepting work, delivers stop sentinels to every dispatcher,
+  /// drains the queues (shedding VerdictShedShutdown), waits for in-flight
+  /// handlers, and stops the executor. Idempotent; concurrent callers
+  /// block until the first finishes.
+  void shutdown() {
+    std::call_once(ShutdownOnce, [this] {
+      Closing.store(true, std::memory_order_seq_cst);
+      while (SubmitsInFlight.load(std::memory_order_seq_cst) != 0)
+        std::this_thread::yield();
+      for (unsigned I = 0; I < Cfg.Dispatchers; ++I) {
+        bool Sent = StopCh.trySend(&StopSentinel);
+        assert(Sent && "stop channel sized for one sentinel per dispatcher");
+        (void)Sent;
+      }
+      for (std::thread &T : Dispatchers)
+        T.join();
+      // Anything still queued was submitted before the gate closed but
+      // never dispatched; every such request still gets its one verdict.
+      for (auto &Q : Queues) {
+        drainQueue(*Q);
+        Q->close();
+      }
+      StopCh.close();
+      InFlight.wait();
+      Exec.shutdown();
+    });
+  }
+
+  const ServiceStats &stats() const { return Stats; }
+  ServiceStatsSnapshot snapshot() const { return Stats.snapshot(); }
+  TenantTable &table() { return Table; }
+  const ServiceConfig &config() const { return Cfg; }
+
+  std::int64_t idleConnectionsForTesting() { return Conns.sizeForTesting(); }
+  /// Fault-injection hook: the soak test drains/returns connections to
+  /// simulate stalled backend workers (tests/service_soak_test.cpp).
+  QueueBlockingPool<Connection *> &connectionPoolForTesting() {
+    return Conns;
+  }
+  std::uint32_t inFlightForTesting() const { return InFlight.pending(); }
+
+private:
+  struct RequestMsg {
+    std::uint64_t Tenant = 0;
+    ReplyRequest *Reply = nullptr;
+  };
+  using RequestQueue = BufferedChannelV2<RequestMsg *>;
+  using ReceiveFuture = RequestQueue::ReceiveFuture;
+
+  static ServiceConfig sanitize(ServiceConfig C) {
+    if (C.Dispatchers < 1)
+      C.Dispatchers = 1;
+    if (C.HandlerThreads < 1)
+      C.HandlerThreads = 1;
+    if (C.QueueCapacity < 1)
+      C.QueueCapacity = 1;
+    if (C.Connections < 1)
+      C.Connections = 1;
+    return C;
+  }
+
+  /// Delivers \p V through the reply CAS, attributes the outcome, and
+  /// retires the message. The single complete() call is what makes every
+  /// verdict exclusive.
+  void finish(RequestMsg *M, Verdict V) {
+    if (M->Reply->complete(static_cast<std::int32_t>(V))) {
+      switch (V) {
+      case VerdictServed:
+        bump(Stats.Served);
+        break;
+      case VerdictShedDeadline:
+        bump(Stats.ShedDeadline);
+        break;
+      case VerdictShedQueueFull:
+        bump(Stats.ShedQueueFull);
+        break;
+      case VerdictShedUnknownTenant:
+        bump(Stats.ShedUnknownTenant);
+        break;
+      case VerdictShedShutdown:
+        bump(Stats.ShedShutdown);
+        break;
+      }
+    } else {
+      // The client's cancel won the result word first; the request is
+      // resolved (on their side), so it is not re-counted under V.
+      bump(Stats.ClientCancelled);
+    }
+    M->Reply->release(); // the service's reference
+    delete M;
+  }
+
+  void dispatchLoop(unsigned Idx) {
+    RequestQueue &Q = *Queues[Idx];
+    // Inline-mode admission waits ride the central timer (PR 9) when
+    // configured; the scope is per dispatcher thread.
+    std::optional<TimedWaitModeScope> Mode;
+    if (Cfg.Admission == AdmissionMode::Inline && Cfg.QueuedAdmissionWaits)
+      Mode.emplace(TimedWaitVia::TimerQueue);
+    for (;;) {
+      ReceiveFuture RF = Q.receive();
+      if (!RF.valid())
+        break; // queue closed (shutdown already ran)
+      ReceiveFuture SF = StopCh.receive();
+      if (!SF.valid()) {
+        (void)RF.cancel();
+        break;
+      }
+      Future<RequestMsg *> *Race[2] = {&RF, &SF};
+      std::optional<WhenAnyResult<RequestMsg *>> Won =
+          whenAnyFor(Race, 2, Cfg.IdlePoll);
+      if (!Won) {
+        bump(Stats.IdlePolls);
+        continue; // both receives withdrawn; re-issue fresh ones
+      }
+      if (Won->Index == 1) {
+        // Stop won. The losing request receive may have completed anyway
+        // (a whenAny stray) — that message was dequeued and is ours to
+        // resolve, never to drop.
+        if (std::optional<RequestMsg *> Stray = RF.tryGet()) {
+          bump(Stats.StrayRequests);
+          dispatch(*Stray);
+        }
+        break;
+      }
+      dispatch(Won->Value);
+      // Our stop receive lost the race; if its cancel() lost to a
+      // concurrent sentinel delivery, the sentinel is consumed — honor it
+      // now rather than strand a sibling dispatcher's shutdown.
+      if (SF.tryGet().has_value()) {
+        bump(Stats.StrayStops);
+        break;
+      }
+    }
+    drainQueue(Q);
+  }
+
+  void drainQueue(RequestQueue &Q) {
+    while (std::optional<RequestMsg *> M = Q.tryReceive())
+      finish(*M, VerdictShedShutdown);
+  }
+
+  void dispatch(RequestMsg *M) {
+    std::shared_ptr<TenantLimiter> L = Table.route(M->Tenant);
+    if (!L) {
+      finish(M, VerdictShedUnknownTenant);
+      return;
+    }
+    if (Cfg.Admission == AdmissionMode::Inline) {
+      if (!L->Sem.tryAcquireFor(L->AdmissionDeadline)) {
+        L->noteShed();
+        finish(M, VerdictShedDeadline);
+        return;
+      }
+      L->noteAdmitted();
+      bump(Stats.Admitted);
+      InFlight.add();
+      servePermitted(std::move(L), M).spawn(Exec);
+    } else {
+      InFlight.add();
+      serveAsync(std::move(L), M).spawn(Exec);
+    }
+  }
+
+  /// Async admission: race the permit against the deadline on the central
+  /// timer, then run the backend stage. Runs on the handler executor; no
+  /// thread blocks at any point.
+  FireAndForget serveAsync(std::shared_ptr<TenantLimiter> L, RequestMsg *M) {
+    Future<Unit> PF = L->Sem.acquire();
+    TimerToken Deadline = completeOnTimeout(PF, L->AdmissionDeadline);
+    std::optional<Unit> Permit = co_await awaitFuture(std::move(PF));
+    (void)Deadline.tryCancel(); // settled either way: retire the timer
+    if (!Permit) {
+      L->noteShed();
+      finish(M, VerdictShedDeadline);
+      InFlight.done();
+      co_return;
+    }
+    L->noteAdmitted();
+    bump(Stats.Admitted);
+    // The backend stage: one pooled connection, the simulated hold, then
+    // the permit release and the served reply — exactly one release per
+    // admitted permit, into the limiter generation it came from.
+    std::optional<Connection *> C = co_await awaitFuture(Conns.take());
+    if (Cfg.HoldTime.count() > 0)
+      (void)co_await awaitFuture(timerSleep(Cfg.HoldTime));
+    if (C.has_value())
+      Conns.put(*C);
+    L->Sem.release();
+    L->noteReleased();
+    finish(M, VerdictServed);
+    InFlight.done();
+  }
+
+  /// Inline admission already holds the permit; run the same backend
+  /// stage on the executor.
+  FireAndForget servePermitted(std::shared_ptr<TenantLimiter> L,
+                               RequestMsg *M) {
+    std::optional<Connection *> C = co_await awaitFuture(Conns.take());
+    if (Cfg.HoldTime.count() > 0)
+      (void)co_await awaitFuture(timerSleep(Cfg.HoldTime));
+    if (C.has_value())
+      Conns.put(*C);
+    L->Sem.release();
+    L->noteReleased();
+    finish(M, VerdictServed);
+    InFlight.done();
+  }
+
+  ServiceConfig Cfg;
+  ServiceStats Stats;
+  TenantTable Table;
+  Executor Exec;
+  /// The pooled connection objects themselves; the pool circulates
+  /// pointers into this fixed array (pool values must be word-encodable).
+  std::vector<Connection> ConnStore;
+  QueueBlockingPool<Connection *> Conns;
+  std::vector<std::unique_ptr<RequestQueue>> Queues;
+  RequestQueue StopCh;
+  RequestMsg StopSentinel{};
+  std::vector<std::thread> Dispatchers;
+  WaitGroup InFlight;
+  Atomic<bool> Closing{false};
+  Atomic<std::uint64_t> SubmitsInFlight{0};
+  std::once_flag ShutdownOnce;
+  /// Power-of-two stripe count for spreading submitters across queues.
+  const unsigned QueueStripes;
+};
+
+} // namespace service
+} // namespace cqs
+
+#endif // CQS_SERVICE_QUOTASERVICE_H

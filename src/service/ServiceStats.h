@@ -1,0 +1,168 @@
+//===- service/ServiceStats.h - quota-service verdicts & counters -*- C++-*-=//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verdict vocabulary and per-instance counter block of the sharded
+/// quota service (DESIGN.md §13). Every submitted request resolves to
+/// exactly one of:
+///
+///  - a *delivered verdict*: the service won the reply's single result-word
+///    CAS with a Verdict value (served, or one of the shed classes), or
+///  - *client-cancelled*: the client withdrew the reply future first and
+///    the service's complete() lost the CAS.
+///
+/// Because the reply is one CQS Request, "no request is both shed and
+/// served" is not a convention the service maintains — it is the Appendix
+/// G.2 invariant ("a Future cannot be both cancelled and completed")
+/// applied to the composition. The counter block makes that auditable:
+///
+///   Served + ShedDeadline + ShedQueueFull + ShedUnknownTenant
+///     + ShedShutdown + ClientCancelled == Submitted        (at quiescence)
+///
+/// tests/service_conservation_test.cpp asserts this accounting identity
+/// (and the per-tenant permit conservation of TenantTable.h) after every
+/// stress scenario; bench/service_load.cpp derives its shed-rate and
+/// goodput series from the same snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SERVICE_SERVICESTATS_H
+#define CQS_SERVICE_SERVICESTATS_H
+
+#include "core/CqsStats.h"
+#include "support/Atomic.h"
+
+#include <cstdint>
+
+namespace cqs {
+namespace service {
+
+/// Final disposition of one request, delivered through the reply future's
+/// 32-bit value word. Values are part of the service's wire contract
+/// (clients switch on them), so they are explicit and append-only.
+enum Verdict : std::int32_t {
+  /// Admitted, executed, permit and connection returned.
+  VerdictServed = 0,
+  /// The admission deadline expired before the tenant limiter granted a
+  /// permit (tryAcquireFor timed out / the TimerQueue cancel won).
+  VerdictShedDeadline = 1,
+  /// The request queue was full at submit time (open-loop overload).
+  VerdictShedQueueFull = 2,
+  /// No limiter is configured for the tenant.
+  VerdictShedUnknownTenant = 3,
+  /// Submitted during shutdown, or drained from a queue at shutdown.
+  VerdictShedShutdown = 4,
+};
+
+inline const char *verdictName(std::int32_t V) {
+  switch (V) {
+  case VerdictServed:
+    return "served";
+  case VerdictShedDeadline:
+    return "shed-deadline";
+  case VerdictShedQueueFull:
+    return "shed-queue-full";
+  case VerdictShedUnknownTenant:
+    return "shed-unknown-tenant";
+  case VerdictShedShutdown:
+    return "shed-shutdown";
+  default:
+    return "unknown";
+  }
+}
+
+/// Plain copyable snapshot of one service's counters; exact at quiescence
+/// (after shutdown()), individually coherent during traffic.
+struct ServiceStatsSnapshot {
+  std::uint64_t Submitted = 0;
+  std::uint64_t Served = 0;
+  std::uint64_t ShedDeadline = 0;
+  std::uint64_t ShedQueueFull = 0;
+  std::uint64_t ShedUnknownTenant = 0;
+  std::uint64_t ShedShutdown = 0;
+  std::uint64_t ClientCancelled = 0;
+  std::uint64_t Admitted = 0;
+  std::uint64_t IdlePolls = 0;
+  std::uint64_t StrayStops = 0;
+  std::uint64_t StrayRequests = 0;
+  std::uint64_t Reloads = 0;
+
+  /// Requests whose reply CAS the service won, by any verdict.
+  std::uint64_t delivered() const {
+    return Served + ShedDeadline + ShedQueueFull + ShedUnknownTenant +
+           ShedShutdown;
+  }
+
+  /// Every submission resolved exactly once: the conservation identity the
+  /// admission pipeline promises (see the file comment).
+  bool accountingBalanced() const {
+    return delivered() + ClientCancelled == Submitted;
+  }
+
+  /// Requests shed for any reason (the shed-rate numerator).
+  std::uint64_t shed() const {
+    return ShedDeadline + ShedQueueFull + ShedUnknownTenant + ShedShutdown;
+  }
+};
+
+/// Per-QuotaService counter block. All increments are relaxed single
+/// atomics on decision points (never inside a primitive's hot CAS loop),
+/// following the CqsStats discipline.
+struct ServiceStats {
+  /// submit() calls, including ones shed immediately.
+  PlainAtomic<std::uint64_t> Submitted{0};
+  /// Delivered VerdictServed replies.
+  PlainAtomic<std::uint64_t> Served{0};
+  /// Delivered VerdictShedDeadline replies.
+  PlainAtomic<std::uint64_t> ShedDeadline{0};
+  /// Delivered VerdictShedQueueFull replies.
+  PlainAtomic<std::uint64_t> ShedQueueFull{0};
+  /// Delivered VerdictShedUnknownTenant replies.
+  PlainAtomic<std::uint64_t> ShedUnknownTenant{0};
+  /// Delivered VerdictShedShutdown replies.
+  PlainAtomic<std::uint64_t> ShedShutdown{0};
+  /// complete() lost the reply CAS to the client's cancel; the request
+  /// resolved on the client's side, not ours.
+  PlainAtomic<std::uint64_t> ClientCancelled{0};
+  /// Tenant-limiter permits granted to requests (each is released exactly
+  /// once; TenantLimiter tracks the per-limiter pairing).
+  PlainAtomic<std::uint64_t> Admitted{0};
+  /// Dispatcher whenAnyFor sweeps that expired with nothing to do.
+  PlainAtomic<std::uint64_t> IdlePolls{0};
+  /// Stop sentinels consumed as whenAny stray completions (the losing stop
+  /// receive completed concurrently with a request win).
+  PlainAtomic<std::uint64_t> StrayStops{0};
+  /// Requests harvested from the losing receive after a stop win (the
+  /// mirror stray: dequeued messages are never dropped).
+  PlainAtomic<std::uint64_t> StrayRequests{0};
+  /// Tenant-limiter hot-reloads applied through configureTenant().
+  PlainAtomic<std::uint64_t> Reloads{0};
+
+  ServiceStatsSnapshot snapshot() const {
+    auto Rd = [](const PlainAtomic<std::uint64_t> &C) {
+      return C.load(std::memory_order_relaxed);
+    };
+    ServiceStatsSnapshot S;
+    S.Submitted = Rd(Submitted);
+    S.Served = Rd(Served);
+    S.ShedDeadline = Rd(ShedDeadline);
+    S.ShedQueueFull = Rd(ShedQueueFull);
+    S.ShedUnknownTenant = Rd(ShedUnknownTenant);
+    S.ShedShutdown = Rd(ShedShutdown);
+    S.ClientCancelled = Rd(ClientCancelled);
+    S.Admitted = Rd(Admitted);
+    S.IdlePolls = Rd(IdlePolls);
+    S.StrayStops = Rd(StrayStops);
+    S.StrayRequests = Rd(StrayRequests);
+    S.Reloads = Rd(Reloads);
+    return S;
+  }
+};
+
+} // namespace service
+} // namespace cqs
+
+#endif // CQS_SERVICE_SERVICESTATS_H

@@ -1,0 +1,200 @@
+//===- service/TenantTable.h - rwmutex-guarded tenant routing --*- C++ -*-===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tenant routing table of the quota service (DESIGN.md §13): tenant id
+/// -> TenantLimiter, guarded by the striped reader/writer mutex from the
+/// contention-scaling layer. The admission path is read-mostly — every
+/// request takes one lockShared(), copies the tenant's limiter handle, and
+/// unlocks before touching the semaphore — so reader throughput scales with
+/// stripes while hot-reloads serialize on the writer side.
+///
+/// Hot-reload discipline: a tenant's permit count is fixed at semaphore
+/// construction (sync/ShardedSemaphore.h), so "change tenant A's limit to
+/// N" is implemented as *limiter replacement*, not permit mutation — the
+/// writer installs a fresh TenantLimiter and publishes it by swapping the
+/// shared_ptr in the map. In-flight requests keep the old limiter alive
+/// through their own handle and, crucially, release their permit into the
+/// semaphore they acquired it from. That keeps the conservation contract
+/// per limiter *instance*:
+///
+///   Admitted == Released  and  Sem.totalPermits == Limit  (at quiescence)
+///
+/// for every limiter ever published, old generations included. The table
+/// retains replaced limiters (tests walk them via forEachLimiter) so the
+/// oracle can audit the full history, not just the live generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CQS_SERVICE_TENANTTABLE_H
+#define CQS_SERVICE_TENANTTABLE_H
+
+#include "support/Atomic.h"
+#include "sync/ShardedSemaphore.h"
+#include "sync/StripedRwMutex.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cqs {
+namespace service {
+
+/// One generation of one tenant's rate limiter: a sharded semaphore plus
+/// the admission policy and the conservation counters the test oracles
+/// audit. Immutable apart from the counters; reconfiguration replaces the
+/// whole object (see the file comment).
+struct TenantLimiter {
+  TenantLimiter(std::int64_t Limit, std::chrono::nanoseconds AdmissionDeadline,
+                std::uint64_t Generation, unsigned Shards = 0)
+      : Limit(Limit), AdmissionDeadline(AdmissionDeadline),
+        Generation(Generation), Sem(Limit, Shards) {}
+
+  TenantLimiter(const TenantLimiter &) = delete;
+  TenantLimiter &operator=(const TenantLimiter &) = delete;
+
+  /// Maximum concurrently admitted requests for this tenant.
+  const std::int64_t Limit;
+  /// How long an admission may wait for a permit before shedding.
+  const std::chrono::nanoseconds AdmissionDeadline;
+  /// Monotone per-table reload counter identifying this generation.
+  const std::uint64_t Generation;
+  /// The permit pool. Acquired on admission, released exactly once per
+  /// admitted request — into *this* semaphore even if the tenant was
+  /// reconfigured in between.
+  ShardedSemaphore Sem;
+
+  /// Permits granted to requests through this limiter.
+  PlainAtomic<std::uint64_t> Admitted{0};
+  /// Permits returned by completed requests.
+  PlainAtomic<std::uint64_t> Released{0};
+  /// Admissions shed at this limiter's deadline.
+  PlainAtomic<std::uint64_t> Shed{0};
+
+  void noteAdmitted() { Admitted.fetch_add(1, std::memory_order_relaxed); }
+  void noteReleased() { Released.fetch_add(1, std::memory_order_relaxed); }
+  void noteShed() { Shed.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t admitted() const {
+    return Admitted.load(std::memory_order_relaxed);
+  }
+  std::uint64_t released() const {
+    return Released.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shedCount() const {
+    return Shed.load(std::memory_order_relaxed);
+  }
+
+  /// The per-limiter conservation oracle; meaningful only at quiescence
+  /// (no request in flight against this limiter).
+  bool quiescentConserved() const {
+    return admitted() == released() && Sem.totalPermitsForTesting() == Limit;
+  }
+};
+
+/// Tenant id -> limiter, guarded by a BasicStripedRwMutex. route() is the
+/// per-request read path; configure() is the hot-reload write path.
+class TenantTable {
+public:
+  /// \p Stripes = 0 picks the host default (see support/Striping.h).
+  explicit TenantTable(unsigned Stripes = 0) : Mu(Stripes) {}
+
+  TenantTable(const TenantTable &) = delete;
+  TenantTable &operator=(const TenantTable &) = delete;
+
+  /// Installs or replaces \p Tenant's limiter (hot-reload). Returns the
+  /// new limiter's handle. The replaced generation, if any, is retained
+  /// for the conservation oracle and stays alive for in-flight releases.
+  std::shared_ptr<TenantLimiter>
+  configure(std::uint64_t Tenant, std::int64_t Limit,
+            std::chrono::nanoseconds AdmissionDeadline, unsigned Shards = 0) {
+    Mu.lock();
+    auto L = std::make_shared<TenantLimiter>(Limit, AdmissionDeadline,
+                                             NextGeneration++, Shards);
+    auto It = Map.find(Tenant);
+    if (It != Map.end()) {
+      Retired.emplace_back(Tenant, std::move(It->second));
+      It->second = L;
+    } else {
+      Map.emplace(Tenant, L);
+    }
+    Mu.unlock();
+    return L;
+  }
+
+  /// Removes \p Tenant's limiter (subsequent routes shed unknown-tenant).
+  /// The removed generation is retained like a replaced one.
+  bool remove(std::uint64_t Tenant) {
+    Mu.lock();
+    auto It = Map.find(Tenant);
+    bool Found = It != Map.end();
+    if (Found) {
+      Retired.emplace_back(Tenant, std::move(It->second));
+      Map.erase(It);
+    }
+    Mu.unlock();
+    return Found;
+  }
+
+  /// The admission read path: one shared-lock critical section copying the
+  /// handle. Returns nullptr for unconfigured tenants. The handle pins the
+  /// limiter generation the caller admits against, so a concurrent
+  /// configure() never strands its permit.
+  std::shared_ptr<TenantLimiter> route(std::uint64_t Tenant) {
+    Mu.lockShared();
+    auto It = Map.find(Tenant);
+    std::shared_ptr<TenantLimiter> L =
+        It != Map.end() ? It->second : nullptr;
+    Mu.unlockShared();
+    return L;
+  }
+
+  std::size_t tenantCount() {
+    Mu.lockShared();
+    std::size_t N = Map.size();
+    Mu.unlockShared();
+    return N;
+  }
+
+  std::uint64_t generationsForTesting() {
+    Mu.lockShared();
+    std::uint64_t G = NextGeneration;
+    Mu.unlockShared();
+    return G;
+  }
+
+  /// Walks every limiter generation ever published — live map entries plus
+  /// retired ones — under the writer lock. Test oracle use only (the walk
+  /// excludes routes for its duration).
+  void forEachLimiter(
+      const std::function<void(std::uint64_t Tenant,
+                               const TenantLimiter &)> &Fn) {
+    Mu.lock();
+    for (const auto &KV : Map)
+      Fn(KV.first, *KV.second);
+    for (const auto &KV : Retired)
+      Fn(KV.first, *KV.second);
+    Mu.unlock();
+  }
+
+private:
+  StripedRwMutex Mu;
+  /// Both containers are plain data guarded by Mu (writers exclusive,
+  /// route() shared — shared_ptr copies are internally thread-safe).
+  std::unordered_map<std::uint64_t, std::shared_ptr<TenantLimiter>> Map;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<TenantLimiter>>>
+      Retired;
+  std::uint64_t NextGeneration = 1; // guarded by the writer lock
+};
+
+} // namespace service
+} // namespace cqs
+
+#endif // CQS_SERVICE_TENANTTABLE_H

@@ -212,6 +212,69 @@ class BenchCompareGateTest(unittest.TestCase):
         self.assertIn("new series", proc.stdout)
         self.assertIn("fig7: CQS channel v2 [new]", proc.stdout)
 
+    # ---- tail-percentile widening (service_load p999 and friends) ----
+
+    def test_p999_within_widened_band_passes(self):
+        # +80% clears the 50% default gate but not the 100% tail band
+        # (threshold 0.5 * tail-factor 2.0): a p999 set by a handful of
+        # samples gets the benefit of the doubt.
+        base = self.write("base.json", doc([result("service_load", "p999",
+                                                   median=1.0)]))
+        cur = self.write("cur.json", doc([result("service_load", "p999",
+                                                 median=1.8)]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_p999_beyond_widened_band_exits_1(self):
+        # +150% clears even the doubled band — a real tail regression.
+        base = self.write("base.json", doc([result("service_load", "p999",
+                                                   median=1.0)]))
+        cur = self.write("cur.json", doc([result("service_load", "p999",
+                                                 median=2.5)]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_p99_keeps_the_normal_band(self):
+        # The widening is word-bounded to p99.9-class names: the same +80%
+        # on a p99 series (thousands of samples) still gates.
+        base = self.write("base.json", doc([result("service_load", "p99",
+                                                   median=1.0)]))
+        cur = self.write("cur.json", doc([result("service_load", "p99",
+                                                 median=1.8)]))
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_tail_factor_1_disables_widening(self):
+        base = self.write("base.json", doc([result("service_load", "p999",
+                                                   median=1.0)]))
+        cur = self.write("cur.json", doc([result("service_load", "p999",
+                                                 median=1.8)]))
+        proc = self.run_compare(base, cur, "--tail-factor=1.0")
+        self.assertEqual(proc.returncode, 1,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
+    def test_scaling_flat_region_widens_tail_series_too(self):
+        # +30% at an in-flat point clears the 15% flat threshold for a
+        # normal series but not a p999's doubled one.
+        base = self.write("base.json", doc(
+            self.scaling_curve({1: 1.0, 4: 1.0}, series="p999")))
+        cur = self.write("cur.json", doc(
+            self.scaling_curve({1: 1.0, 4: 1.3}, series="p999"), nproc=4))
+        proc = self.run_compare(base, cur, "--scaling")
+        self.assertEqual(proc.returncode, 0,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        # The same delta on a non-tail curve still breaks the contract.
+        base2 = self.write("base2.json", doc(
+            self.scaling_curve({1: 1.0, 4: 1.0})))
+        cur2 = self.write("cur2.json", doc(
+            self.scaling_curve({1: 1.0, 4: 1.3}), nproc=4))
+        proc = self.run_compare(base2, cur2, "--scaling")
+        self.assertEqual(proc.returncode, 2,
+                         f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+
     def test_scaling_new_curve_reported_not_gated(self):
         # A current-only curve (freshly added scaling series) is listed as
         # new and exits 0 even though it cannot be compared; even a "slow"

@@ -1,0 +1,361 @@
+//===- tests/schedcheck_service_test.cpp - model-checked service races ----===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The quota service's composition races (DESIGN.md §13) under the
+/// deterministic scheduler. The service itself runs OS dispatcher threads
+/// and an executor, so these scenarios model its *pipeline stages* with
+/// the same primitives and the same protocol shapes as
+/// service/QuotaService.h:
+///
+///  - timed admission vs release through channel -> sharded semaphore
+///    (the dispatch() + tryAcquireFor inline-expiry race, TimerQueue mode);
+///  - shutdown vs in-flight request: the dispatcher's
+///    whenAnyFor(request, stop) sweep, including the stray-request and
+///    stray-stop harvests — the no-message-lost contract;
+///  - routing-table swap vs reader: TenantTable::configure() racing
+///    route() + admit/release, conservation across both generations, and
+///    an HB leg proving the table publishes the new limiter with correct
+///    ordering;
+///  - the reply CAS: service complete() vs client cancel() — "no request
+///    is both shed and served" as an explored race, not a convention.
+///
+/// Run under the schedcheck and schedcheck-hb CI legs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CqsStats.h"
+#include "future/Future.h"
+#include "future/TimedAwait.h"
+#include "reclaim/Ebr.h"
+#include "schedcheck/Sched.h"
+#include "service/ServiceStats.h"
+#include "service/TenantTable.h"
+#include "support/Striping.h"
+#include "sync/ChannelV2.h"
+#include "sync/ShardedSemaphore.h"
+#include "task/Combinators.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+using namespace cqs;
+using namespace cqs::service;
+using namespace std::chrono_literals;
+
+namespace {
+
+using Chan = BufferedChannelV2<int, 4>;
+using SmallSharded = BasicShardedSemaphore<2>;
+
+// --------------------------------------------------------------------------
+// Stage 1+2: timed admission vs release through the request channel.
+// --------------------------------------------------------------------------
+
+/// A producer trySends a request into the dispatcher's channel; the
+/// dispatcher dequeues it and runs the Inline-mode admission —
+/// tryAcquireFor(0ns) in TimerQueue mode (inline expiry, fully modelled) —
+/// against a drained limiter that a third thread is refilling. Whatever
+/// order the release, the dequeue, and the deadline CAS land in, the
+/// permit ends owned exactly once.
+void admissionDeadlineVsRelease() {
+  auto *Q = new Chan(1);
+  auto *Sem = new SmallSharded(1, /*Shards=*/2, ResumptionMode::Async);
+  auto Held = Sem->acquire();
+  sc::check(Held.isImmediate(), "drain failed");
+  bool Sent = false, Dispatched = false, Got = false;
+  // trySend may refuse when racing the dispatcher's empty tryReceive (the
+  // poisoned-cell WouldBlock path) — the service sheds queue-full there,
+  // so the oracle accounts for it rather than forbidding it.
+  sc::Thread Producer = sc::spawn([&] { Sent = Q->trySend(1); });
+  sc::Thread Dispatcher = sc::spawn([&] {
+    setThreadStripeSlotForTesting(0);
+    if (Q->tryReceive().has_value()) {
+      Dispatched = true;
+      TimedWaitModeScope Mode(TimedWaitVia::TimerQueue);
+      Got = Sem->tryAcquireFor(0ns);
+    }
+  });
+  sc::Thread Releaser = sc::spawn([&] {
+    setThreadStripeSlotForTesting(1);
+    Sem->release();
+  });
+  Producer.join();
+  Dispatcher.join();
+  Releaser.join();
+  sc::check(!Dispatched || Sent, "dequeued a request that was never sent");
+  sc::check(!Got || Dispatched, "admission without a dequeued request");
+  sc::check(Sem->totalPermitsForTesting() == (Got ? 0 : 1),
+            "permit lost or duplicated in the admission race");
+  if (Got)
+    Sem->release();
+  sc::check(Sem->totalPermitsForTesting() == 1, "drain-back failed");
+  // Exactly-once accounting: the request was shed at submit, dispatched,
+  // or is still drainable — never lost, never duplicated.
+  int Drained = 0;
+  while (Q->tryReceive().has_value())
+    ++Drained;
+  sc::check((Sent ? 0 : 1) + (Dispatched ? 1 : 0) + Drained == 1,
+            "request lost or duplicated in the admission pipeline");
+  delete Sem;
+  delete Q;
+}
+
+TEST(SchedcheckService, AdmissionDeadlineVsReleaseExhaustive) {
+  // Witnesses: the exploration must reach both the deadline winning
+  // (timeout) and the release winning (rescue), without ever touching the
+  // unmodelled OS timer thread.
+  const TimedWaitStats &TS = timedWaitStats();
+  std::uint64_t Timeouts0 = TS.Timeouts.load(std::memory_order_relaxed);
+  std::uint64_t Rescues0 = TS.Rescues.load(std::memory_order_relaxed);
+  const TimerStats &TQ = timerStats();
+  std::uint64_t Sched0 = TQ.Scheduled.load(std::memory_order_relaxed);
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, admissionDeadlineVsRelease);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+  EXPECT_GT(TS.Timeouts.load(std::memory_order_relaxed), Timeouts0);
+  EXPECT_GT(TS.Rescues.load(std::memory_order_relaxed), Rescues0);
+  EXPECT_EQ(TQ.Scheduled.load(std::memory_order_relaxed), Sched0)
+      << "modelled threads must never arm the OS timer thread";
+}
+
+TEST(SchedcheckService, AdmissionDeadlineVsReleaseRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 61;
+  O.Iterations = 1200;
+  sc::Result R = sc::explore(O, admissionDeadlineVsRelease);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+// --------------------------------------------------------------------------
+// The dispatcher loop: shutdown vs in-flight request through whenAnyFor.
+// --------------------------------------------------------------------------
+
+/// The exact sweep shape of QuotaService::dispatchLoop: request and stop
+/// receives raced with a non-positive deadline (never parks, fully
+/// modelled), the stray-request harvest after a stop win, and the
+/// stray-stop harvest after a request win. The oracle is the service's
+/// no-loss contract: the request is dispatched or drained exactly once,
+/// and the stop sentinel is honored exactly once.
+void shutdownVsInFlightRequest() {
+  auto *Q = new Chan(1);
+  auto *Stop = new Chan(1);
+  int DispatchedReq = 0, StrayReq = 0, StopsSeen = 0, Drained = 0;
+  bool SentReq = false, SentStop = false;
+  // Both trySends may refuse when racing the dispatcher's withdrawn
+  // receives (poisoned-cell WouldBlock) — the service sheds queue-full /
+  // retries the sentinel there, so the oracle accounts for the refusal.
+  sc::Thread Producer = sc::spawn([&] { SentReq = Q->trySend(1); });
+  sc::Thread Stopper = sc::spawn([&] { SentStop = Stop->trySend(2); });
+  sc::Thread Dispatcher = sc::spawn([&] {
+    for (int Sweep = 0; Sweep < 2; ++Sweep) {
+      Chan::ReceiveFuture RF = Q->receive();
+      sc::check(RF.valid(), "queue receive failed");
+      Chan::ReceiveFuture SF = Stop->receive();
+      sc::check(SF.valid(), "stop receive failed");
+      Future<int> *Race[2] = {&RF, &SF};
+      std::optional<WhenAnyResult<int>> Won = whenAnyFor(Race, 2, 0ns);
+      if (!Won)
+        continue; // idle sweep: both receives withdrawn, re-issued next turn
+      if (Won->Index == 1) {
+        ++StopsSeen;
+        // Stop won; the losing request receive may have dequeued anyway —
+        // that message is ours to resolve, never to drop.
+        if (RF.tryGet().has_value()) {
+          ++StrayReq;
+          ++DispatchedReq;
+        }
+        break;
+      }
+      ++DispatchedReq;
+      // Our stop receive lost; a failed loser-cancel means the sentinel
+      // was consumed — honor it instead of stranding the shutdown.
+      if (SF.tryGet().has_value()) {
+        ++StopsSeen;
+        break;
+      }
+    }
+  });
+  Producer.join();
+  Stopper.join();
+  Dispatcher.join();
+  // Shutdown's epilogue: drain whatever the dispatcher left behind.
+  while (Q->tryReceive().has_value())
+    ++Drained;
+  while (Stop->tryReceive().has_value())
+    ++StopsSeen;
+  sc::check((SentReq ? 0 : 1) + DispatchedReq + Drained == 1,
+            "request lost or double-dispatched in the shutdown race");
+  sc::check((SentStop ? 0 : 1) + StopsSeen == 1,
+            "stop sentinel lost or duplicated");
+  delete Stop;
+  delete Q;
+}
+
+TEST(SchedcheckService, ShutdownVsInFlightExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 600000;
+  sc::Result R = sc::explore(O, shutdownVsInFlightRequest);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+TEST(SchedcheckService, ShutdownVsInFlightRandomSweep) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 67;
+  O.Iterations = 1000;
+  sc::Result R = sc::explore(O, shutdownVsInFlightRequest);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+// --------------------------------------------------------------------------
+// TenantTable: hot-reload swap vs a routing reader.
+// --------------------------------------------------------------------------
+
+/// configure() replaces the limiter while a reader routes and admits
+/// through whichever generation it pinned. Both generations must conserve
+/// their permits — the in-flight release lands in the semaphore it
+/// acquired from, never the replacement's.
+void tableSwapVsReader() {
+  auto *Table = new TenantTable(/*Stripes=*/2);
+  Table->configure(/*Tenant=*/1, /*Limit=*/1, 0ns, /*Shards=*/2); // gen 1
+  sc::Thread Reader = sc::spawn([&] {
+    setThreadStripeSlotForTesting(0);
+    std::shared_ptr<TenantLimiter> L = Table->route(1);
+    sc::check(L != nullptr, "configured tenant must always route");
+    auto F = L->Sem.acquire();
+    sc::check(F.isImmediate(), "fresh limiter must have a free permit");
+    L->noteAdmitted();
+    L->Sem.release();
+    L->noteReleased();
+  });
+  sc::Thread Reloader = sc::spawn([&] {
+    setThreadStripeSlotForTesting(1);
+    Table->configure(1, /*Limit=*/2, 0ns, /*Shards=*/2); // gen 2
+  });
+  Reader.join();
+  Reloader.join();
+  int Generations = 0;
+  Table->forEachLimiter([&](std::uint64_t, const TenantLimiter &L) {
+    ++Generations;
+    sc::check(L.admitted() == L.released(),
+              "admit/release split across generations");
+    sc::check(L.Sem.totalPermitsForTesting() == L.Limit,
+              "permit stranded in a replaced limiter");
+  });
+  sc::check(Generations == 2, "hot-reload must retire the old generation");
+  delete Table;
+}
+
+TEST(SchedcheckService, TableSwapVsReaderExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 1;
+  O.Iterations = 600000;
+  sc::Result R = sc::explore(O, tableSwapVsReader);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+/// HB leg: the table must *publish* the new limiter — a reader that
+/// routes generation 2 must see every plain write the reloader made
+/// before configure(). A relaxed downgrade in the striped rwmutex (or a
+/// lost writer-side fence) fails this under the vector-clock check.
+void tableSwapCarriesPayloadHb() {
+  auto *Table = new TenantTable(/*Stripes=*/2);
+  auto *D = new Shared<int>(0);
+  Table->configure(1, 1, 0ns, 2); // gen 1
+  sc::Thread Reader = sc::spawn([&] {
+    setThreadStripeSlotForTesting(0);
+    std::shared_ptr<TenantLimiter> L = Table->route(1);
+    sc::check(L != nullptr, "configured tenant must always route");
+    if (L->Generation == 2)
+      sc::check(D->get() == 123, "gen-2 limiter visible before its payload");
+  });
+  sc::Thread Reloader = sc::spawn([&] {
+    setThreadStripeSlotForTesting(1);
+    D->set(123); // plain write, published only by configure()'s ordering
+    Table->configure(1, 2, 0ns, 2); // gen 2
+  });
+  Reader.join();
+  Reloader.join();
+  delete D;
+  delete Table;
+}
+
+TEST(SchedcheckService, TableSwapCarriesHappensBeforeToPayload) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Random;
+  O.Seed = 71;
+  O.Iterations = 800;
+  O.HbCheck = true;
+  sc::Result R = sc::explore(O, tableSwapCarriesPayloadHb);
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+// --------------------------------------------------------------------------
+// The reply word: service complete() vs client cancel().
+// --------------------------------------------------------------------------
+
+/// The served/shed/client-cancelled trichotomy rides one result-word CAS
+/// (Appendix G.2). Exactly one side may win; the future's final state must
+/// agree with the winner; a won complete() delivers the verdict intact.
+void replyCompleteVsClientCancel() {
+  using Req = Request<std::int32_t>;
+  Req *Reply = Req::acquire(/*InitialRefs=*/2);
+  auto *F = new Future<std::int32_t>(
+      Future<std::int32_t>::suspended(Ref<Req>::adopt(Reply)));
+  bool ServiceWon = false, ClientWon = false;
+  sc::Thread Service = sc::spawn([&] {
+    ServiceWon = Reply->complete(VerdictServed);
+    Reply->release(); // the service's reference
+  });
+  sc::Thread Client = sc::spawn([&] { ClientWon = F->cancel(); });
+  Service.join();
+  Client.join();
+  sc::check(ServiceWon != ClientWon,
+            "reply resolved twice or not at all (shed AND served)");
+  sc::check((F->status() == FutureStatus::Completed) == ServiceWon,
+            "future state disagrees with the CAS winner");
+  if (ServiceWon)
+    sc::check(F->tryGet().has_value() &&
+                  *F->tryGet() == VerdictServed,
+              "verdict corrupted through the reply word");
+  delete F;
+}
+
+TEST(SchedcheckService, ReplyCompleteVsCancelExhaustive) {
+  sc::Options O;
+  O.Strat = sc::Strategy::Dfs;
+  O.PreemptionBound = 2;
+  O.Iterations = 400000;
+  sc::Result R = sc::explore(O, replyCompleteVsClientCancel);
+  EXPECT_TRUE(R.Ok) << R.Report;
+  EXPECT_TRUE(R.Exhausted)
+      << R.Executions << " executions, " << R.Truncated << " truncated";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -1,0 +1,335 @@
+//===- tests/service_conservation_test.cpp - admission-pipeline oracle ----===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The cross-primitive conservation oracle of the sharded quota service
+/// (DESIGN.md §13): under concurrent deadline expiry, client cancellation,
+/// tenant-limit hot-reload, and shutdown, the pipeline must keep two
+/// accounting identities exactly:
+///
+///  1. Every submission resolves exactly once — the per-verdict counters
+///     plus client cancellations sum to Submitted, and the verdicts the
+///     *clients* observed tally to the same numbers (no request is both
+///     shed and served: the reply is one CQS Request, Appendix G.2).
+///  2. Every admitted permit is released exactly once, into the limiter
+///     generation it was acquired from — Admitted == Released and the
+///     semaphore holds its full permit count at quiescence, for every
+///     generation ever published (hot-reloads included). The connection
+///     pool is likewise back to full size.
+///
+/// These are the PR 4 / PR 9 no-leak contracts, now composed through
+/// channel -> whenAnyFor -> rwmutex table -> sharded semaphore ->
+/// executor -> pool. Runs under ASan, TSan, and the no-pooling leg.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/QuotaService.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::service;
+using namespace std::chrono;
+
+namespace {
+
+/// What the clients of one scenario observed, tallied per verdict; the
+/// oracle cross-checks these against the service's own counters.
+struct ClientTally {
+  std::atomic<std::uint64_t> Served{0};
+  std::atomic<std::uint64_t> ShedDeadline{0};
+  std::atomic<std::uint64_t> ShedQueueFull{0};
+  std::atomic<std::uint64_t> ShedUnknownTenant{0};
+  std::atomic<std::uint64_t> ShedShutdown{0};
+  std::atomic<std::uint64_t> Cancelled{0};
+  std::atomic<std::uint64_t> Submitted{0};
+
+  void observe(std::optional<std::int32_t> V) {
+    Submitted.fetch_add(1, std::memory_order_relaxed);
+    if (!V) {
+      Cancelled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    switch (*V) {
+    case VerdictServed:
+      Served.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case VerdictShedDeadline:
+      ShedDeadline.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case VerdictShedQueueFull:
+      ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case VerdictShedUnknownTenant:
+      ShedUnknownTenant.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case VerdictShedShutdown:
+      ShedShutdown.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      ADD_FAILURE() << "unknown verdict " << *V;
+    }
+  }
+};
+
+/// The full post-shutdown audit: accounting identity, client-vs-service
+/// tally agreement, per-generation permit conservation, pool refill.
+void auditQuiescent(QuotaService &S, const ClientTally &T) {
+  ServiceStatsSnapshot Snap = S.snapshot();
+
+  // Identity 1: every submission resolved exactly once.
+  EXPECT_TRUE(Snap.accountingBalanced())
+      << "delivered=" << Snap.delivered()
+      << " cancelled=" << Snap.ClientCancelled
+      << " submitted=" << Snap.Submitted;
+  EXPECT_EQ(Snap.Submitted, T.Submitted.load());
+
+  // The clients' view and the service's view must be the same partition.
+  EXPECT_EQ(Snap.Served, T.Served.load());
+  EXPECT_EQ(Snap.ShedDeadline, T.ShedDeadline.load());
+  EXPECT_EQ(Snap.ShedQueueFull, T.ShedQueueFull.load());
+  EXPECT_EQ(Snap.ShedUnknownTenant, T.ShedUnknownTenant.load());
+  EXPECT_EQ(Snap.ShedShutdown, T.ShedShutdown.load());
+  EXPECT_EQ(Snap.ClientCancelled, T.Cancelled.load());
+
+  // Identity 2: permits conserved in every limiter generation ever
+  // published, and the connection pool is whole again.
+  S.table().forEachLimiter([&](std::uint64_t Tenant, const TenantLimiter &L) {
+    EXPECT_EQ(L.admitted(), L.released())
+        << "tenant " << Tenant << " gen " << L.Generation;
+    EXPECT_EQ(L.Sem.totalPermitsForTesting(), L.Limit)
+        << "tenant " << Tenant << " gen " << L.Generation;
+  });
+  EXPECT_EQ(S.idleConnectionsForTesting(),
+            static_cast<std::int64_t>(S.config().Connections));
+  EXPECT_EQ(S.inFlightForTesting(), 0u);
+}
+
+/// Deadline expiry under sustained overload: tiny limits, a hold time
+/// longer than the admission deadline, both admission modes. Most
+/// requests shed at the deadline; every admitted one still releases its
+/// permit exactly once.
+TEST(ServiceConservation, DeadlineExpiryStorm) {
+  for (AdmissionMode Mode : {AdmissionMode::Async, AdmissionMode::Inline}) {
+    ServiceConfig C;
+    C.Dispatchers = 2;
+    C.HandlerThreads = 2;
+    C.QueueCapacity = 256;
+    C.Connections = 8;
+    C.Admission = Mode;
+    C.HoldTime = microseconds(200);
+    QuotaService S(C);
+    // Hold > deadline with a tiny limit: deterministic overload.
+    S.configureTenant(1, /*Limit=*/2, /*AdmissionDeadline=*/microseconds(100));
+    S.configureTenant(2, /*Limit=*/64, milliseconds(10));
+
+    ClientTally T;
+    std::vector<std::thread> Clients;
+    for (int W = 0; W < 4; ++W) {
+      Clients.emplace_back([&, W] {
+        std::vector<QuotaService::ReplyFuture> Fs;
+        Fs.reserve(64);
+        for (int I = 0; I < 500; ++I) {
+          Fs.push_back(S.submit(W % 2 ? 1 : 2));
+          if (Fs.size() == 64) {
+            for (auto &F : Fs)
+              T.observe(F.blockingGet());
+            Fs.clear();
+          }
+        }
+        for (auto &F : Fs)
+          T.observe(F.blockingGet());
+      });
+    }
+    for (auto &Th : Clients)
+      Th.join();
+    S.shutdown();
+    auditQuiescent(S, T);
+    ServiceStatsSnapshot Snap = S.snapshot();
+    EXPECT_GT(Snap.ShedDeadline, 0u) << "overload never hit the deadline";
+    EXPECT_GT(Snap.Served, 0u);
+  }
+}
+
+/// Client-cancel storm: impatient clients with randomized tiny deadlines
+/// withdraw their replies while the service is completing them. A cancel
+/// that wins counts as ClientCancelled on both sides; a reply that wins is
+/// observed even at the deadline (rescue semantics).
+TEST(ServiceConservation, ClientCancelStorm) {
+  ServiceConfig C;
+  C.Dispatchers = 2;
+  C.HandlerThreads = 2;
+  C.QueueCapacity = 512;
+  C.Connections = 16;
+  C.Admission = AdmissionMode::Async;
+  C.HoldTime = microseconds(100);
+  QuotaService S(C);
+  S.configureTenant(7, /*Limit=*/8, milliseconds(5));
+
+  ClientTally T;
+  std::vector<std::thread> Clients;
+  for (int W = 0; W < 4; ++W) {
+    Clients.emplace_back([&, W] {
+      std::mt19937 Rng(1234 + W);
+      std::uniform_int_distribution<int> PatienceUs(0, 300);
+      for (int I = 0; I < 500; ++I)
+        T.observe(S.call(7, microseconds(PatienceUs(Rng))));
+    });
+  }
+  for (auto &Th : Clients)
+    Th.join();
+  S.shutdown();
+  auditQuiescent(S, T);
+  ServiceStatsSnapshot Snap = S.snapshot();
+  EXPECT_GT(Snap.ClientCancelled, 0u) << "no cancel ever won the race";
+  EXPECT_GT(Snap.Served, 0u) << "no reply ever won the race";
+}
+
+/// Tenant-limit hot-reload during traffic: a reloader thread keeps
+/// replacing the hot tenant's limiter while clients hammer it. In-flight
+/// requests must release into the generation they acquired from, so every
+/// retired generation conserves its permits too.
+TEST(ServiceConservation, HotReloadDuringTraffic) {
+  ServiceConfig C;
+  C.Dispatchers = 2;
+  C.HandlerThreads = 2;
+  C.QueueCapacity = 512;
+  C.Connections = 16;
+  C.Admission = AdmissionMode::Async;
+  C.HoldTime = microseconds(100);
+  QuotaService S(C);
+  S.configureTenant(3, /*Limit=*/4, milliseconds(2));
+
+  std::atomic<bool> Stop{false};
+  std::thread Reloader([&] {
+    std::int64_t Limit = 4;
+    while (!Stop.load(std::memory_order_acquire)) {
+      Limit = Limit == 4 ? 16 : 4;
+      S.configureTenant(3, Limit, milliseconds(2));
+      std::this_thread::sleep_for(microseconds(300));
+    }
+  });
+
+  ClientTally T;
+  std::vector<std::thread> Clients;
+  for (int W = 0; W < 4; ++W) {
+    Clients.emplace_back([&] {
+      for (int I = 0; I < 400; ++I)
+        T.observe(S.submit(3).blockingGet());
+    });
+  }
+  for (auto &Th : Clients)
+    Th.join();
+  Stop.store(true, std::memory_order_release);
+  Reloader.join();
+  S.shutdown();
+  auditQuiescent(S, T);
+  ServiceStatsSnapshot Snap = S.snapshot();
+  EXPECT_GT(Snap.Reloads, 2u);
+  EXPECT_GT(S.table().generationsForTesting(), 3u);
+}
+
+/// Shutdown mid-traffic: submitters race shutdown() itself. Requests that
+/// get in before the gate are drained with a shutdown verdict (or served);
+/// requests after it shed immediately. Nothing is lost either way.
+TEST(ServiceConservation, ShutdownMidTraffic) {
+  ServiceConfig C;
+  C.Dispatchers = 2;
+  C.HandlerThreads = 2;
+  C.QueueCapacity = 256;
+  C.Connections = 8;
+  C.Admission = AdmissionMode::Async;
+  C.HoldTime = microseconds(50);
+  QuotaService S(C);
+  S.configureTenant(5, /*Limit=*/16, milliseconds(5));
+
+  ClientTally T;
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Clients;
+  for (int W = 0; W < 4; ++W) {
+    Clients.emplace_back([&] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      std::vector<QuotaService::ReplyFuture> Fs;
+      Fs.reserve(300);
+      for (int I = 0; I < 300; ++I)
+        Fs.push_back(S.submit(5));
+      for (auto &F : Fs)
+        T.observe(F.blockingGet());
+    });
+  }
+  Go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(microseconds(500));
+  S.shutdown(); // concurrent with the submitters
+  // Post-gate submissions shed deterministically and immediately.
+  for (int I = 0; I < 10; ++I) {
+    QuotaService::ReplyFuture F = S.submit(5);
+    EXPECT_TRUE(F.isImmediate());
+    T.observe(F.blockingGet());
+  }
+  for (auto &Th : Clients)
+    Th.join();
+  auditQuiescent(S, T);
+  ServiceStatsSnapshot Snap = S.snapshot();
+  EXPECT_GE(Snap.ShedShutdown, 10u) << "post-shutdown submits must shed";
+}
+
+/// Unknown tenants shed deterministically and never touch a limiter.
+TEST(ServiceConservation, UnknownTenantSheds) {
+  ServiceConfig C;
+  C.Dispatchers = 1;
+  C.HandlerThreads = 1;
+  QuotaService S(C);
+  S.configureTenant(1, 4, milliseconds(1));
+
+  ClientTally T;
+  for (int I = 0; I < 50; ++I)
+    T.observe(S.submit(/*Tenant=*/999).blockingGet());
+  S.shutdown();
+  auditQuiescent(S, T);
+  EXPECT_EQ(S.snapshot().ShedUnknownTenant, 50u);
+  EXPECT_EQ(S.snapshot().Admitted, 0u);
+}
+
+/// Queue-full shedding: one dispatcher with a capacity-1 queue and a slow
+/// backend; a burst must shed the overflow at the edge, and the shed
+/// replies resolve immediately (submit never parks).
+TEST(ServiceConservation, QueueFullShedsAtEdge) {
+  ServiceConfig C;
+  C.Dispatchers = 1;
+  C.HandlerThreads = 1;
+  C.QueueCapacity = 1;
+  C.Connections = 1;
+  C.Admission = AdmissionMode::Inline;
+  C.HoldTime = milliseconds(2);
+  QuotaService S(C);
+  S.configureTenant(1, 1, milliseconds(50));
+
+  ClientTally T;
+  std::vector<QuotaService::ReplyFuture> Fs;
+  for (int I = 0; I < 64; ++I)
+    Fs.push_back(S.submit(1));
+  for (auto &F : Fs)
+    T.observe(F.blockingGet());
+  S.shutdown();
+  auditQuiescent(S, T);
+  EXPECT_GT(S.snapshot().ShedQueueFull, 0u);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

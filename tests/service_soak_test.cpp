@@ -1,0 +1,178 @@
+//===- tests/service_soak_test.cpp - fault-injection service soak ---------===//
+//
+// Part of the CQS reproduction library, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The fault-injection soak leg of the quota service (DESIGN.md §13):
+/// sustained client traffic with three adversaries injected at random —
+///
+///  - *worker stalls*: an injector drains the whole connection pool and
+///    sits on it for a few milliseconds, starving every handler mid-flight
+///    (backend brown-out);
+///  - *client disconnect storms*: bursts of submitted requests whose reply
+///    futures are all cancelled at once, racing the service's completes;
+///  - *hot-reloads*: the traffic tenant's limiter keeps being replaced.
+///
+/// All under the torture-test watchdog (no progress for 30s = deadlock =
+/// abort), and audited afterwards with the same conservation oracle as
+/// tests/service_conservation_test.cpp: every submission resolved exactly
+/// once, every permit released into its generation, the pool whole again.
+///
+/// Tagged with the ctest `stress` label: PR CI runs the short default,
+/// nightly sets CQS_STRESS_FULL=1 for the long run (~10x).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/QuotaService.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace cqs;
+using namespace cqs::service;
+using namespace std::chrono;
+
+namespace {
+
+/// Nightly runs multiply every workload by this (CQS_STRESS_FULL=1); PR CI
+/// keeps the short default so the suite stays seconds-scale.
+int stressScale() {
+  const char *E = std::getenv("CQS_STRESS_FULL");
+  return (E && E[0] == '1') ? 10 : 1;
+}
+
+TEST(ServiceSoak, StallsDisconnectsAndReloadsUnderWatchdog) {
+  ServiceConfig C;
+  C.Dispatchers = 2;
+  C.HandlerThreads = 2;
+  C.QueueCapacity = 512;
+  C.Connections = 8;
+  C.Admission = AdmissionMode::Async;
+  C.HoldTime = microseconds(50);
+  QuotaService S(C);
+  S.configureTenant(1, /*Limit=*/8, milliseconds(2));
+  S.configureTenant(2, /*Limit=*/32, milliseconds(2));
+
+  const int Scale = stressScale();
+  const int ClientThreads = 4;
+  const int BurstsPerThread = 60 * Scale;
+  const int BurstSize = 32;
+
+  std::atomic<long> Progress{0};
+  std::atomic<bool> Done{false};
+
+  // Torture-style watchdog: the mix must keep making progress.
+  std::thread Watchdog([&] {
+    long Last = -1;
+    int Stalls = 0;
+    while (!Done.load()) {
+      std::this_thread::sleep_for(seconds(2));
+      long Cur = Progress.load();
+      if (Cur == Last && !Done.load() && ++Stalls >= 15) {
+        std::fprintf(stderr, "service soak: no progress for 30s at %ld\n",
+                     Cur);
+        std::abort();
+      }
+      if (Cur != Last)
+        Stalls = 0;
+      Last = Cur;
+    }
+  });
+
+  // Worker-stall injector: periodically steal every idle connection and
+  // hold the set for 1-5ms. Handlers park in Conns.take(); the watchdog
+  // proves they always resume once the stall ends.
+  std::thread Staller([&] {
+    SplitMix64 Rng(0xDEADBEEF);
+    auto &Pool = S.connectionPoolForTesting();
+    while (!Done.load(std::memory_order_acquire)) {
+      std::vector<Connection *> Stolen;
+      while (std::optional<Connection *> Conn = Pool.tryTake())
+        Stolen.push_back(*Conn);
+      std::this_thread::sleep_for(
+          microseconds(1000 + Rng.nextBelow(4000)));
+      for (Connection *Conn : Stolen)
+        Pool.put(Conn);
+      std::this_thread::sleep_for(
+          microseconds(500 + Rng.nextBelow(2000)));
+    }
+  });
+
+  // Hot-reload injector.
+  std::thread Reloader([&] {
+    SplitMix64 Rng(0xFEEDFACE);
+    while (!Done.load(std::memory_order_acquire)) {
+      S.configureTenant(1, 4 + Rng.nextBelow(12), milliseconds(2));
+      std::this_thread::sleep_for(microseconds(700));
+    }
+  });
+
+  std::atomic<std::uint64_t> ClientResolved{0};
+  std::vector<std::thread> Clients;
+  for (int W = 0; W < ClientThreads; ++W) {
+    Clients.emplace_back([&, W] {
+      SplitMix64 Rng(0xABCD + W);
+      std::vector<QuotaService::ReplyFuture> Burst;
+      Burst.reserve(BurstSize);
+      for (int B = 0; B < BurstsPerThread; ++B) {
+        bool Disconnect = Rng.chance(1, 3); // storm: cancel the whole burst
+        Burst.clear();
+        for (int I = 0; I < BurstSize; ++I)
+          Burst.push_back(S.submit(Rng.chance(1, 2) ? 1 : 2));
+        if (Disconnect)
+          for (auto &F : Burst)
+            (void)F.cancel(); // races the service's complete(); either wins
+        for (auto &F : Burst) {
+          (void)F.blockingGet(); // resolved either way (cancel counts too)
+          ClientResolved.fetch_add(1, std::memory_order_relaxed);
+          Progress.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto &T : Clients)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Staller.join();
+  Reloader.join();
+  Watchdog.join();
+  S.shutdown();
+
+  // Conservation after the storm.
+  ServiceStatsSnapshot Snap = S.snapshot();
+  EXPECT_TRUE(Snap.accountingBalanced())
+      << "delivered=" << Snap.delivered()
+      << " cancelled=" << Snap.ClientCancelled
+      << " submitted=" << Snap.Submitted;
+  EXPECT_EQ(Snap.Submitted, ClientResolved.load());
+  EXPECT_EQ(Snap.Submitted,
+            std::uint64_t(ClientThreads) * BurstsPerThread * BurstSize);
+  S.table().forEachLimiter([&](std::uint64_t Tenant, const TenantLimiter &L) {
+    EXPECT_EQ(L.admitted(), L.released())
+        << "tenant " << Tenant << " gen " << L.Generation;
+    EXPECT_EQ(L.Sem.totalPermitsForTesting(), L.Limit)
+        << "tenant " << Tenant << " gen " << L.Generation;
+  });
+  EXPECT_EQ(S.idleConnectionsForTesting(),
+            static_cast<std::int64_t>(C.Connections));
+  EXPECT_GT(Snap.ClientCancelled, 0u) << "disconnect storms never won";
+  EXPECT_GT(Snap.Served, 0u);
+  EXPECT_GT(Snap.Reloads, 1u);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  int Rc = RUN_ALL_TESTS();
+  cqs::ebr::drainForTesting();
+  return Rc;
+}

@@ -26,6 +26,15 @@ meaningful gate must clear roughly twice the noise floor. 50% leaves
 headroom for the spikes while still catching any real complexity or
 fast-path regression (those show up as 2-100x, see the ablations).
 
+Tail-percentile series gate against a wider band: a p999 is set by a
+handful of samples per repetition (the service-load bench takes ~0.1% of
+its latencies), so a single scheduler spike moves it by integer factors
+where the p50 barely flinches. Series whose name contains a p99.9-class
+token ("p999" or "p99.9") have their threshold multiplied by
+--tail-factor (default 2.0: 150% over baseline where the default gate
+fires at 50%). p50/p99 and throughput series are unaffected — their
+statistic is set by thousands of samples and keeps the normal band.
+
 Individual keys may disappear between runs (sweeps legitimately shrink
 when a bench is retuned or run with --quick), but a whole (benchmark,
 series) pair present in the baseline and absent from the new results means
@@ -56,9 +65,22 @@ curve is broken, not merely a point slow.
 
 import argparse
 import json
+import re
 import sys
 
 SCHEMA = "cqs-bench-v1"
+
+# Series measured at the extreme tail (p99.9-class percentiles): a couple
+# of samples per repetition set the statistic, so the regression band is
+# widened by --tail-factor. Word-bounded so "p99" stays in the normal band.
+TAIL_SERIES_RE = re.compile(r"p999(?![0-9])|p99\.9", re.IGNORECASE)
+
+
+def series_threshold(series, threshold, tail_factor):
+    """The gate threshold for one series: widened for tail percentiles."""
+    if TAIL_SERIES_RE.search(series):
+        return threshold * tail_factor
+    return threshold
 
 
 def die(msg):
@@ -155,8 +177,9 @@ def scaling_main(args, cur_doc, base, cur):
             in_flat = nproc <= 0 or threads <= nproc
             gated = (in_flat and bool(b.get("gated", True))
                      and bool(c.get("gated", True)))
-            is_reg, ref, new, rel = point_regresses(b, c,
-                                                    args.flat_threshold)
+            thr = series_threshold(ckey[1], args.flat_threshold,
+                                   args.tail_factor)
+            is_reg, ref, new, rel = point_regresses(b, c, thr)
             if gated and is_reg:
                 regressions.append((ckey, threads, ref, new, rel))
             mark = ("REG" if gated and is_reg
@@ -228,11 +251,18 @@ def main() -> int:
     ap.add_argument("--flat-threshold", type=float, default=0.15,
                     help="relative per-point threshold in --scaling mode "
                          "(default 0.15 = 15%%)")
+    ap.add_argument("--tail-factor", type=float, default=2.0,
+                    help="threshold multiplier for tail-percentile series "
+                         "(names containing 'p999' or 'p99.9'); default 2.0 "
+                         "— a p999 is set by a handful of samples and needs "
+                         "a wider noise band. 1.0 disables the widening")
     args = ap.parse_args()
     if args.threshold <= 0:
         die("bench_compare: --threshold must be positive")
     if args.flat_threshold <= 0:
         die("bench_compare: --flat-threshold must be positive")
+    if args.tail_factor < 1:
+        die("bench_compare: --tail-factor must be >= 1")
 
     _, base = load(args.baseline)
     cur_doc, cur = load(args.current)
@@ -247,6 +277,7 @@ def main() -> int:
         compared += 1
         direction = b.get("direction", "lower")
         gated = bool(b.get("gated", True)) and bool(c.get("gated", True))
+        thr = series_threshold(key[1], args.threshold, args.tail_factor)
         bmed, cmed = float(b["median"]), float(c["median"])
         bmin = float(b.get("min", bmed))
         bmax = float(b.get("max", bmed))
@@ -255,16 +286,16 @@ def main() -> int:
 
         if direction == "lower":
             ref, new = bmin, cmin
-            is_reg = (ref > 0 and new > ref * (1 + args.threshold)
+            is_reg = (ref > 0 and new > ref * (1 + thr)
                       and cmed > bmed)
-            is_imp = ref > 0 and new < ref / (1 + args.threshold)
+            is_imp = ref > 0 and new < ref / (1 + thr)
             if abs(ref) < ABS_FLOOR and abs(new) < ABS_FLOOR:
                 is_reg = is_imp = False
         else:
             ref, new = bmax, cmax
-            is_reg = (ref > 0 and new < ref / (1 + args.threshold)
+            is_reg = (ref > 0 and new < ref / (1 + thr)
                       and cmed < bmed)
-            is_imp = ref > 0 and new > ref * (1 + args.threshold)
+            is_imp = ref > 0 and new > ref * (1 + thr)
         if not gated:
             is_reg = False
         rel = (new - ref) / abs(ref) if ref else 0.0
